@@ -1,0 +1,144 @@
+// Command eisrbench regenerates every table and figure of the paper's
+// evaluation (§7) plus the in-text measurements and the design-choice
+// ablations, printing paper-formatted tables.
+//
+// Usage:
+//
+//	eisrbench                 # run everything (quick sizes)
+//	eisrbench -exp table3     # one experiment
+//	eisrbench -full           # paper-scale parameters (slower)
+//	eisrbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/routerplugins/eisr/internal/bench"
+)
+
+var experiments = []string{
+	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
+	"drrshare", "hfsc", "schedovh", "ablate-cache", "ablate-bmp",
+	"ablate-collapse", "ablate-interdag",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all')")
+	full := flag.Bool("full", false, "paper-scale parameters (50k filters, 1000 reps)")
+	seed := flag.Int64("seed", 1998, "random seed")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
+		return
+	}
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if run("table1") {
+		ran = true
+		fmt.Println(bench.RunTable1())
+	}
+	if run("table2") {
+		ran = true
+		counts := []int{16, 1000, 10000}
+		if *full {
+			counts = []int{16, 1000, 10000, 50000}
+		}
+		v4 := bench.RunTable2(*seed, counts, false)
+		v6 := bench.RunTable2(*seed, counts, true)
+		fmt.Println(bench.Table2Breakdown(false))
+		fmt.Println(bench.Table2Breakdown(true))
+		fmt.Println(bench.Table2Table(v4, v6))
+	}
+	if run("table3") {
+		ran = true
+		opts := bench.Table3Options{Reps: 50, PerFlow: 100}
+		if *full {
+			opts.Reps = 1000
+		}
+		rows, err := bench.RunTable3(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.Table3Table(rows))
+		rows6, err := bench.RunTable3(bench.Table3Options{Reps: opts.Reps / 2, PerFlow: 100, IPv6: true})
+		if err != nil {
+			fatal(err)
+		}
+		t := bench.Table3Table(rows6)
+		t.Title = "Table 3 (IPv6 variant, as measured in the paper)"
+		fmt.Println(t)
+	}
+	if run("flowcache") {
+		ran = true
+		res, err := bench.RunFlowCache(*seed, 512, 200_000, 0.9, true)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FlowCacheTable(res))
+	}
+	if run("dagscale") {
+		ran = true
+		counts := []int{16, 64, 256, 1024, 4096}
+		if *full {
+			counts = append(counts, 16384, 50000)
+		}
+		fmt.Println(bench.DAGScaleTable(bench.RunDAGScale(*seed, counts)))
+	}
+	if run("gates") {
+		ran = true
+		fmt.Println(bench.GateScaleTable(bench.RunGateScale(8)))
+	}
+	if run("drrshare") {
+		ran = true
+		rows := bench.RunDRRShare([]float64{1, 2, 4}, 1000, 20000, 1e6, 10)
+		fmt.Println(bench.DRRShareTable(rows))
+	}
+	if run("hfsc") {
+		ran = true
+		fmt.Println(bench.HFSCTable(bench.RunHFSCDecoupling(1e6)))
+	}
+	if run("schedovh") {
+		ran = true
+		n := 100_000
+		if *full {
+			n = 1_000_000
+		}
+		fmt.Println(bench.SchedOverheadTable(bench.RunSchedOverhead(n)))
+	}
+	if run("ablate-cache") {
+		ran = true
+		fmt.Println(bench.AblateCacheTable(bench.RunAblateCache(*seed, 512, 200_000, 0.9)))
+	}
+	if run("ablate-bmp") {
+		ran = true
+		n := 4096
+		if *full {
+			n = 50000
+		}
+		fmt.Println(bench.AblateBMPTable(bench.RunAblateBMP(*seed, n), n))
+	}
+	if run("ablate-interdag") {
+		ran = true
+		fmt.Println(bench.AblateInterDAGTable(bench.RunAblateInterDAG(*seed, 4, 1000), 4))
+	}
+	if run("ablate-collapse") {
+		ran = true
+		fmt.Println(bench.AblateCollapseTable(bench.RunAblateCollapse(*seed)))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eisrbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command eisrd runs the Extended Integrated Services Router: it
+// assembles the core, interfaces, classifier and plugin registry, runs
+// an optional boot configuration script (the paper's "configuration
+// script during system initialization"), serves the control socket for
+// pmgr and the daemons, and forwards packets until interrupted.
+//
+//	eisrd -ctl 127.0.0.1:4242 -ifaces 4 -config router.conf
+//
+// The configuration script holds pmgr commands, one per line:
+//
+//	load drr
+//	create drr iface=1 quantum=1500
+//	register drr drr0 filter='<129.*.*.*, *, TCP, *, *, *>' weight=4
+//	route add 0.0.0.0/0 dev 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"github.com/routerplugins/eisr"
+)
+
+func main() {
+	ctlAddr := flag.String("ctl", "127.0.0.1:4242", "control socket listen address")
+	nIfaces := flag.Int("ifaces", 2, "number of simulated interfaces")
+	bestEffort := flag.Bool("best-effort", false, "run the monolithic best-effort kernel (no plugins)")
+	bmpKind := flag.String("bmp", "bspl", "BMP algorithm: linear|patricia|bspl|cpe")
+	config := flag.String("config", "", "boot configuration script")
+	verify := flag.Bool("verify-checksums", true, "validate IPv4 header checksums")
+	routed := flag.Bool("routed", false, "run the distance-vector route daemon")
+	originate := flag.String("originate", "", "comma-separated PREFIX@IFINDEX list the route daemon originates")
+	flag.Parse()
+
+	r, err := eisr.New(eisr.Options{
+		BestEffort:      *bestEffort,
+		BMP:             *bmpKind,
+		VerifyChecksums: *verify,
+	})
+	if err != nil {
+		log.Fatalf("eisrd: %v", err)
+	}
+	for i := 0; i < *nIfaces; i++ {
+		if _, err := r.AddInterface(int32(i), fmt.Sprintf("sim%d", i), ""); err != nil {
+			log.Fatalf("eisrd: interface %d: %v", i, err)
+		}
+	}
+	if *config != "" {
+		if err := runScript(r, *config); err != nil {
+			log.Fatalf("eisrd: config: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *ctlAddr)
+	if err != nil {
+		log.Fatalf("eisrd: control socket: %v", err)
+	}
+	go func() {
+		if err := r.ServeControl(ln); err != nil {
+			log.Printf("eisrd: control server stopped: %v", err)
+		}
+	}()
+	log.Printf("eisrd: control socket on %s, %d interfaces, %d plugin modules available",
+		ln.Addr(), *nIfaces, len(eisr.Modules()))
+
+	if *routed {
+		d := r.EnableRouteDaemon()
+		for _, spec := range strings.Split(*originate, ",") {
+			if spec == "" {
+				continue
+			}
+			prefix, ifStr, ok := strings.Cut(spec, "@")
+			if !ok {
+				log.Fatalf("eisrd: -originate entries are PREFIX@IFINDEX, got %q", spec)
+			}
+			idx, err := strconv.Atoi(ifStr)
+			if err != nil {
+				log.Fatalf("eisrd: bad interface in %q", spec)
+			}
+			if err := d.Originate(prefix, int32(idx)); err != nil {
+				log.Fatalf("eisrd: originate %q: %v", spec, err)
+			}
+		}
+		done := make(chan struct{})
+		defer close(done)
+		go d.Serve(done)
+		log.Printf("eisrd: route daemon running")
+	}
+
+	r.Start()
+	defer r.Stop()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("eisrd: shutting down; core stats: %+v", r.Core.Stats())
+}
+
+// runScript executes a boot configuration script through the same
+// dispatch path the control socket uses.
+func runScript(r *eisr.Router, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.RunConfigScript(f)
+}

@@ -1,0 +1,60 @@
+// Command pmgr is the Plugin Manager (§3.1): "a simple application which
+// takes arguments from the command line and translates them into calls
+// to the user-space Router Plugin Library". It speaks the control
+// protocol to a running eisrd.
+//
+//	pmgr -s 127.0.0.1:4242 load drr
+//	pmgr create drr iface=1 quantum=1500
+//	pmgr register drr drr0 'filter=<129.*.*.*, *, TCP, *, *, *>' weight=4
+//	pmgr msg drr drr0 stats
+//	pmgr route add 0.0.0.0/0 dev 1
+//	pmgr filters sched
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/routerplugins/eisr/internal/ctl"
+)
+
+func main() {
+	server := flag.String("s", "127.0.0.1:4242", "eisrd control socket address")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: pmgr [-s ADDR] COMMAND ...
+
+commands:
+  load PLUGIN | unload PLUGIN | plugins
+  create PLUGIN [key=value ...]
+  free PLUGIN INSTANCE | instances PLUGIN
+  register PLUGIN INSTANCE filter=SPEC [key=value ...]
+  deregister PLUGIN INSTANCE filter=SPEC
+  msg PLUGIN [INSTANCE] VERB [key=value ...]
+  route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
+  filters GATE | stats | flows
+`)
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	req, err := ctl.ParseCommand(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmgr:", err)
+		os.Exit(2)
+	}
+	c, err := ctl.Dial("tcp", *server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmgr: cannot reach eisrd:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	data, err := c.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmgr:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ctl.FormatData(data))
+}

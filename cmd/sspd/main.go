@@ -1,0 +1,38 @@
+// Command sspd runs the SSP daemon (§3.1): the state-setup protocol
+// server that accepts reservation requests and installs the
+// corresponding filters and bindings through the Router Plugin Library,
+// maintaining them as refreshed soft state.
+//
+//	sspd -ctl 127.0.0.1:4242 -listen 127.0.0.1:4243
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"github.com/routerplugins/eisr/internal/ctl"
+	"github.com/routerplugins/eisr/internal/sspd"
+)
+
+func main() {
+	ctlAddr := flag.String("ctl", "127.0.0.1:4242", "eisrd control socket address")
+	listen := flag.String("listen", "127.0.0.1:4243", "SSP listen address")
+	flag.Parse()
+
+	client, err := ctl.Dial("tcp", *ctlAddr)
+	if err != nil {
+		log.Fatalf("sspd: cannot reach eisrd: %v", err)
+	}
+	defer client.Close()
+
+	d := sspd.New(client)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("sspd: listen: %v", err)
+	}
+	log.Printf("sspd: serving SSP on %s (router at %s)", ln.Addr(), *ctlAddr)
+	if err := d.Serve(ln); err != nil {
+		log.Fatalf("sspd: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package eisr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/ctl"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Control implements ctl.Backend: the router side of the control socket
+// that pmgr and the daemons speak to.
+func (r *Router) Control(req *ctl.Request) (any, error) {
+	switch req.Op {
+	case ctl.OpLoad:
+		return nil, r.LoadPlugin(req.Plugin)
+	case ctl.OpUnload:
+		return nil, r.UnloadPlugin(req.Plugin)
+	case ctl.OpPlugins:
+		type pluginInfo struct {
+			Name string `json:"name"`
+			Code string `json:"code"`
+		}
+		var out []pluginInfo
+		for _, p := range r.PCU.Plugins() {
+			out = append(out, pluginInfo{Name: p.PluginName(), Code: p.PluginCode().String()})
+		}
+		return out, nil
+	case ctl.OpCreate:
+		return r.CreateInstance(req.Plugin, req.Args)
+	case ctl.OpFree:
+		return nil, r.FreeInstance(req.Plugin, req.Instance)
+	case ctl.OpInstances:
+		p, ok := r.PCU.Lookup(req.Plugin)
+		if !ok {
+			return nil, fmt.Errorf("eisr: plugin %q not loaded", req.Plugin)
+		}
+		var names []string
+		for _, in := range r.PCU.Instances(p.PluginCode()) {
+			names = append(names, in.InstanceName())
+		}
+		return names, nil
+	case ctl.OpRegister:
+		return nil, r.Register(req.Plugin, req.Instance, req.Args)
+	case ctl.OpDeregister:
+		filter := ""
+		if req.Args != nil {
+			filter = req.Args["filter"]
+		}
+		return nil, r.Deregister(req.Plugin, req.Instance, filter)
+	case ctl.OpMessage:
+		return r.Message(req.Plugin, req.Instance, req.Verb, req.Args)
+	case ctl.OpRouteAdd:
+		return nil, r.AddRoute(req.Route)
+	case ctl.OpRouteDel:
+		return nil, r.DelRoute(req.Route)
+	case ctl.OpRoutes:
+		type routeInfo struct {
+			Prefix string `json:"prefix"`
+			Dev    int32  `json:"dev"`
+			Via    string `json:"via,omitempty"`
+			Metric int    `json:"metric"`
+		}
+		var out []routeInfo
+		var noGateway pkt.Addr
+		for _, rt := range r.Routes.Routes() {
+			ri := routeInfo{Prefix: rt.Prefix.String(), Dev: rt.NextHop.IfIndex, Metric: rt.NextHop.Metric}
+			if rt.NextHop.Gateway != noGateway {
+				ri.Via = rt.NextHop.Gateway.String()
+			}
+			out = append(out, ri)
+		}
+		return out, nil
+	case ctl.OpFilters:
+		if r.AIU == nil {
+			return nil, fmt.Errorf("eisr: no classifier in best-effort mode")
+		}
+		g := gateByName(req.Gate)
+		if g == pcu.TypeInvalid {
+			return nil, fmt.Errorf("eisr: unknown gate %q", req.Gate)
+		}
+		ft, ok := r.AIU.Table(g)
+		if !ok {
+			return nil, fmt.Errorf("eisr: gate %s not configured", g)
+		}
+		var out []string
+		for _, rec := range ft.Records() {
+			out = append(out, rec.String())
+		}
+		return out, nil
+	case ctl.OpStats:
+		return r.Core.Stats(), nil
+	case ctl.OpFlows:
+		if r.AIU == nil {
+			return nil, fmt.Errorf("eisr: no classifier in best-effort mode")
+		}
+		return r.AIU.FlowTable().Stats(), nil
+	default:
+		return nil, fmt.Errorf("eisr: unknown op %q", req.Op)
+	}
+}
+
+// RunConfigScript executes a boot configuration script: pmgr commands,
+// one per line, comments with '#', quotes protecting filter specs — the
+// paper's "configuration script during system initialization". It stops
+// at the first failing line.
+func (r *Router) RunConfigScript(src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		tokens := ctl.SplitLine(sc.Text())
+		if len(tokens) == 0 {
+			continue
+		}
+		req, err := ctl.ParseCommand(tokens)
+		if err != nil {
+			return fmt.Errorf("eisr: config line %d: %w", lineNo, err)
+		}
+		if _, err := r.Control(req); err != nil {
+			return fmt.Errorf("eisr: config line %d (%s): %w", lineNo, sc.Text(), err)
+		}
+	}
+	return sc.Err()
+}
+
+// ServeControl serves the control protocol on a listener until the
+// listener closes. Run it in a goroutine:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go r.ServeControl(ln)
+func (r *Router) ServeControl(ln net.Listener) error {
+	return ctl.NewServer(r).Serve(ln)
+}
+
+// ensure interface satisfaction.
+var _ ctl.Backend = (*Router)(nil)
+
+// FlowStats re-exports the flow-cache statistics type for API users.
+type FlowStats = aiu.FlowStats

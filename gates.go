@@ -1,0 +1,22 @@
+package eisr
+
+import "github.com/routerplugins/eisr/internal/pcu"
+
+// Gate identifies a point in the IP core where packets branch to plugin
+// instances; each gate corresponds to one plugin type (§4).
+type Gate = pcu.Type
+
+// The gates of the paper's implementation plus the envisioned plugin
+// types. A router serves the gates listed in Options.Gates (default:
+// options, security, routing, sched).
+const (
+	GateOptions  = pcu.TypeOptions
+	GateSecurity = pcu.TypeSecurity
+	GateSched    = pcu.TypeSched
+	GateBMP      = pcu.TypeBMP
+	GateRouting  = pcu.TypeRouting
+	GateStats    = pcu.TypeStats
+	GateCongest  = pcu.TypeCongest
+	GateFirewall = pcu.TypeFirewall
+	GateMonitor  = pcu.TypeMonitor
+)

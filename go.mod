@@ -1,0 +1,3 @@
+module github.com/routerplugins/eisr
+
+go 1.24

@@ -1,0 +1,408 @@
+package aiu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Config tunes the AIU.
+type Config struct {
+	// BMPKind selects the longest-prefix-match plugin used at the DAG's
+	// address levels. The paper ships PATRICIA and binary search on
+	// prefix lengths; the default is BSPL, the fast one.
+	BMPKind bmp.Kind
+	// CollapseNodes enables the paper's §5.1.2 node-collapsing
+	// optimization (all-wildcard levels are skipped). It is off by
+	// default so access counts match Table 2's six-edge accounting.
+	CollapseNodes bool
+	// FlowBuckets, InitialFlows, MaxFlows size the flow table.
+	FlowBuckets  int
+	InitialFlows int
+	MaxFlows     int
+	// ShareIdenticalTables enables the §5.1.2 inter-DAG optimization:
+	// "often, the same or similar filters are installed in two or more
+	// filter tables. It is possible to exploit the information gleaned
+	// from a lookup in one filter table to speed up the lookup for the
+	// same packet in the next." When two gates' filter tables hold the
+	// same filter specifications, the uncached path classifies once and
+	// maps the result into the later gate's records instead of walking
+	// its DAG again. Off by default so the gate-scaling experiment
+	// reflects the unoptimized per-gate cost.
+	ShareIdenticalTables bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BMPKind == "" {
+		c.BMPKind = bmp.KindBSPL
+	}
+	if c.FlowBuckets == 0 {
+		c.FlowBuckets = DefaultFlowBuckets
+	}
+	if c.InitialFlows == 0 {
+		c.InitialFlows = DefaultInitialFlows
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = DefaultMaxFlows
+	}
+	return c
+}
+
+// FilterTable is one gate's filter table: the installed filter records
+// and the DAG built over them. The DAG is rebuilt lazily after control-
+// path mutations.
+type FilterTable struct {
+	gate    pcu.Type
+	records []*FilterRecord
+	dag     *dag
+	dirty   bool
+
+	// sig fingerprints the multiset of filter specs; tables with equal
+	// sig hold the same filters and can share classification results
+	// (inter-DAG optimization). bySpecIdx lists records by spec rank so
+	// a twin table's result maps here with one indexed load.
+	sig       uint64
+	bySpecIdx []*FilterRecord
+}
+
+// Records lists the installed records in installation order.
+func (ft *FilterTable) Records() []*FilterRecord {
+	return append([]*FilterRecord(nil), ft.records...)
+}
+
+// AIU is the Association Identification Unit: per-gate filter tables, the
+// flow table, and the binding between flows and plugin instances. Control
+// path methods (Bind, Unbind, ...) take the write lock; the data path
+// (LookupGate) runs under the read lock plus the flow table's own mutex.
+type AIU struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	gates  []pcu.Type       // gate order; slot i in flow records = gates[i]
+	slots  map[pcu.Type]int // gate -> slot
+	tables map[pcu.Type]*FilterTable
+	flows  *FlowTable
+	nextID uint64
+	seq    uint64
+
+	// firstPacketLookups counts filter-table lookups taken on the
+	// uncached path; cachedLookups counts flow-cache hits.
+	firstPacketLookups atomic.Uint64
+	cachedLookups      atomic.Uint64
+}
+
+// New builds an AIU serving the given gates, in gate order. The gate
+// order determines both the flow-record slot layout and the order in
+// which the uncached path performs its per-gate filter lookups.
+func New(cfg Config, gates ...pcu.Type) *AIU {
+	cfg = cfg.withDefaults()
+	a := &AIU{
+		cfg:    cfg,
+		gates:  append([]pcu.Type(nil), gates...),
+		slots:  make(map[pcu.Type]int, len(gates)),
+		tables: make(map[pcu.Type]*FilterTable, len(gates)),
+	}
+	for i, g := range gates {
+		a.slots[g] = i
+		a.tables[g] = &FilterTable{gate: g}
+	}
+	a.flows = NewFlowTable(cfg.FlowBuckets, cfg.InitialFlows, cfg.MaxFlows, len(gates))
+	return a
+}
+
+// Gates returns the gate order.
+func (a *AIU) Gates() []pcu.Type { return append([]pcu.Type(nil), a.gates...) }
+
+// Slot returns the flow-record slot index of a gate.
+func (a *AIU) Slot(g pcu.Type) (int, bool) {
+	s, ok := a.slots[g]
+	return s, ok
+}
+
+// FlowTable exposes the flow cache (benchmarks, purge timers).
+func (a *AIU) FlowTable() *FlowTable { return a.flows }
+
+// Bind installs a filter in a gate's filter table and binds it to a
+// plugin instance (the AIU registration function the PCU's
+// register-instance message ultimately calls). private is the optional
+// filter-associated plugin state. It returns the installed record.
+func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*FilterRecord, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ft, ok := a.tables[gate]
+	if !ok {
+		return nil, fmt.Errorf("aiu: no gate %s", gate)
+	}
+	a.nextID++
+	a.seq++
+	rec := &FilterRecord{
+		ID: a.nextID, Gate: gate, Filter: f, Instance: inst,
+		Private: private, seq: a.seq,
+	}
+	ft.records = append(ft.records, rec)
+	ft.dirty = true
+	// Flows cached before this filter existed may now be misclassified;
+	// flush the ones the new filter matches so they reclassify.
+	a.flows.FlushWhere(func(r *FlowRecord) bool { return f.Matches(r.Key) })
+	return rec, nil
+}
+
+// Unbind removes a filter record from its gate's table (the
+// deregister-instance path).
+func (a *AIU) Unbind(rec *FilterRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ft, ok := a.tables[rec.Gate]
+	if !ok {
+		return fmt.Errorf("aiu: no gate %s", rec.Gate)
+	}
+	for i, r := range ft.records {
+		if r == rec {
+			ft.records = append(ft.records[:i], ft.records[i+1:]...)
+			ft.dirty = true
+			if l, ok := rec.Instance.(FilterRemoveListener); ok {
+				l.FilterRemoved(rec)
+			}
+			a.flows.FlushWhere(func(fr *FlowRecord) bool {
+				return fr.Bind(a.slots[rec.Gate]).Rec == rec
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("aiu: record %d not installed", rec.ID)
+}
+
+// UnbindInstance removes every filter bound to an instance across all
+// gates and flushes its cached flows — the free-instance semantics: "a
+// freed instance can no longer be used by the kernel and all references
+// to it are removed from the flow table and the filter table".
+func (a *AIU) UnbindInstance(inst pcu.Instance) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ft := range a.tables {
+		kept := ft.records[:0]
+		for _, r := range ft.records {
+			if r.Instance == inst {
+				if l, ok := inst.(FilterRemoveListener); ok {
+					l.FilterRemoved(r)
+				}
+				n++
+				ft.dirty = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		ft.records = kept
+	}
+	a.flows.FlushWhere(func(fr *FlowRecord) bool {
+		for i := 0; i < fr.Slots(); i++ {
+			if fr.Bind(i).Instance == inst {
+				return true
+			}
+		}
+		return false
+	})
+	return n
+}
+
+// FilterRemoveListener is implemented by instances that keep hard state
+// on filter records and must release it when the filter is removed.
+type FilterRemoveListener interface {
+	FilterRemoved(rec *FilterRecord)
+}
+
+// FindRecord locates an installed record by gate, exact filter spec, and
+// bound instance — the deregister-instance path, where the caller names
+// the binding by its filter rather than holding the record.
+func (a *AIU) FindRecord(gate pcu.Type, f Filter, inst pcu.Instance) *FilterRecord {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ft, ok := a.tables[gate]
+	if !ok {
+		return nil
+	}
+	for _, r := range ft.records {
+		if r.Filter == f && r.Instance == inst {
+			return r
+		}
+	}
+	return nil
+}
+
+// Table returns a gate's filter table.
+func (a *AIU) Table(gate pcu.Type) (*FilterTable, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ft, ok := a.tables[gate]
+	return ft, ok
+}
+
+// dagFor returns the gate's DAG, rebuilding it if dirty. Caller must
+// hold at least the read lock; rebuilds upgrade briefly.
+func (a *AIU) dagFor(gate pcu.Type) *dag {
+	ft := a.tables[gate]
+	if ft == nil {
+		return nil
+	}
+	if ft.dirty || ft.dag == nil {
+		// Upgrade to the write lock for the rebuild.
+		a.mu.RUnlock()
+		a.mu.Lock()
+		if ft.dirty || ft.dag == nil {
+			ft.dag = buildDAG(ft.records, dagConfig{bmpKind: a.cfg.BMPKind, collapse: a.cfg.CollapseNodes})
+			if a.cfg.ShareIdenticalTables {
+				ft.sig = specSignature(ft.records)
+				// Rank records by rendered spec; twin tables (equal
+				// multisets) produce aligned ranks, so a record in one
+				// maps to the other by index.
+				ft.bySpecIdx = append([]*FilterRecord(nil), ft.records...)
+				sort.Slice(ft.bySpecIdx, func(i, j int) bool {
+					si, sj := ft.bySpecIdx[i].Filter.String(), ft.bySpecIdx[j].Filter.String()
+					if si != sj {
+						return si < sj
+					}
+					return ft.bySpecIdx[i].seq < ft.bySpecIdx[j].seq
+				})
+				for i, r := range ft.bySpecIdx {
+					r.specIdx = i
+				}
+			}
+			ft.dirty = false
+		}
+		a.mu.Unlock()
+		a.mu.RLock()
+	}
+	return ft.dag
+}
+
+// ClassifyKey performs a raw filter-table lookup at one gate — the slow
+// path the paper's Table 2 instruments. It does not consult or fill the
+// flow cache.
+func (a *AIU) ClassifyKey(gate pcu.Type, k pkt.Key, c *cycles.Counter) *FilterRecord {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d := a.dagFor(gate)
+	if d == nil {
+		return nil
+	}
+	return d.lookup(k, c)
+}
+
+// LookupGate is the gate macro's entry point (§3.2): given a packet at a
+// gate, return the plugin instance bound to the packet's flow and the
+// flow record. The fast path reads the FIX cached in the packet; the next
+// path hits the flow table; the slow path classifies the packet against
+// every gate's filter table and installs a flow record so subsequent
+// packets take the fast paths.
+func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.Counter) (pcu.Instance, *FlowRecord) {
+	slot, ok := a.slots[gate]
+	if !ok {
+		return nil, nil
+	}
+	// Fastest: FIX already stored in the packet by an earlier gate.
+	if p.FIX != nil {
+		rec := p.FIX.(*FlowRecord)
+		c.Access(1) // one indirect load through the FIX
+		b := rec.Bind(slot)
+		return b.Instance, rec
+	}
+	if !p.KeyValid {
+		k, err := pkt.ExtractKey(p.Data, p.InIf)
+		if err != nil {
+			return nil, nil
+		}
+		p.Key, p.KeyValid = k, true
+	}
+	// Fast: flow-table hit.
+	if rec := a.flows.Lookup(p.Key, now, c); rec != nil {
+		p.FIX = rec
+		a.cachedLookups.Add(1)
+		return rec.Bind(slot).Instance, rec
+	}
+	// Slow: classify at every gate ("the processing of the first packet
+	// of a new flow with n gates involves n filter table lookups to
+	// create a single entry in the flow table"), then install the record
+	// in one atomic step. With inter-DAG sharing on, gates whose filter
+	// tables are identical to an earlier gate's reuse its result with a
+	// single map access instead of another DAG walk.
+	a.mu.RLock()
+	binds := make([]GateBind, len(a.gates))
+	var shared map[uint64]*FilterRecord
+	for i, g := range a.gates {
+		d := a.dagFor(g)
+		if d == nil {
+			continue
+		}
+		ft := a.tables[g]
+		if a.cfg.ShareIdenticalTables {
+			if prev, ok := shared[ft.sig]; ok {
+				c.Access(1) // the inter-DAG pointer dereference
+				var fr *FilterRecord
+				if prev != nil && prev.specIdx < len(ft.bySpecIdx) {
+					fr = ft.bySpecIdx[prev.specIdx]
+				}
+				if fr != nil {
+					binds[i] = GateBind{Instance: fr.Instance, Rec: fr}
+				}
+				continue
+			}
+		}
+		fr := d.lookup(p.Key, c)
+		if fr != nil {
+			binds[i] = GateBind{Instance: fr.Instance, Rec: fr}
+		}
+		if a.cfg.ShareIdenticalTables {
+			if shared == nil {
+				shared = make(map[uint64]*FilterRecord, len(a.gates))
+			}
+			shared[ft.sig] = fr
+		}
+	}
+	a.mu.RUnlock()
+	rec := a.flows.Insert(p.Key, now, binds)
+	a.firstPacketLookups.Add(1)
+	p.FIX = rec
+	return rec.Bind(slot).Instance, rec
+}
+
+// specSignature fingerprints the multiset of filter specs in a table
+// (order independent): an order-insensitive FNV combination over the
+// rendered specs.
+func specSignature(records []*FilterRecord) uint64 {
+	var sum, xor uint64
+	for _, r := range records {
+		h := uint64(14695981039346656037)
+		for _, b := range []byte(r.Filter.String()) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		sum += h
+		xor ^= h
+	}
+	return sum ^ (xor << 1) ^ uint64(len(records))
+}
+
+// Stats reports classifier path counters: cache-hit and first-packet
+// classifications.
+func (a *AIU) Stats() (cached, firstPacket uint64) {
+	return a.cachedLookups.Load(), a.firstPacketLookups.Load()
+}
+
+// DAGNodes reports the node count of a gate's DAG (memory accounting for
+// the set-pruning structure).
+func (a *AIU) DAGNodes(gate pcu.Type) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d := a.dagFor(gate)
+	if d == nil {
+		return 0
+	}
+	return d.nodes
+}

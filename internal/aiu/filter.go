@@ -1,0 +1,383 @@
+// Package aiu implements the Association Identification Unit — the most
+// important component of the paper's framework (§5). It provides the
+// packet classifier (per-gate filter tables built as set-pruning DAGs
+// whose per-level match functions are pluggable, §5.1), the hash-based
+// flow table that caches the gate→instance bindings for active flows
+// (§5.2), and the glue that binds filters to plugin instances.
+package aiu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// AddrSpec is one address field of a filter: a prefix (possibly a host
+// address, possibly partially wildcarded by a mask length) or the full
+// wildcard '*', which matches any address of any family.
+type AddrSpec struct {
+	Wild   bool
+	Prefix pkt.Prefix
+}
+
+// AnyAddr is the wildcarded address field.
+func AnyAddr() AddrSpec { return AddrSpec{Wild: true} }
+
+// AddrIs builds a fully specified (host) address field.
+func AddrIs(a pkt.Addr) AddrSpec {
+	return AddrSpec{Prefix: pkt.Prefix{Addr: a, Len: a.BitLen()}}
+}
+
+// AddrIn builds a prefix-wildcarded address field.
+func AddrIn(p pkt.Prefix) AddrSpec { return AddrSpec{Prefix: pkt.PrefixFrom(p.Addr, p.Len)} }
+
+// Matches reports whether the field accepts address a.
+func (s AddrSpec) Matches(a pkt.Addr) bool {
+	return s.Wild || s.Prefix.Contains(a)
+}
+
+// specLen is the specificity of the field: prefix length, with the full
+// wildcard less specific than any prefix (including a zero-length one,
+// which is family-restricted and therefore more specific than '*').
+func (s AddrSpec) specLen() int {
+	if s.Wild {
+		return -1
+	}
+	return s.Prefix.Len
+}
+
+func (s AddrSpec) String() string {
+	if s.Wild {
+		return "*"
+	}
+	if s.Prefix.IsHost() {
+		return s.Prefix.Addr.String()
+	}
+	return s.Prefix.String()
+}
+
+// PortRange is a port field: an inclusive range. The wildcard is the full
+// range [0, 65535]; a single port has Lo == Hi.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort is the wildcarded port field.
+func AnyPort() PortRange { return PortRange{0, 65535} }
+
+// PortIs builds a single-port field.
+func PortIs(p uint16) PortRange { return PortRange{p, p} }
+
+// Ports builds an explicit range, swapping bounds if reversed.
+func Ports(lo, hi uint16) PortRange {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return PortRange{lo, hi}
+}
+
+// Matches reports whether the field accepts port p.
+func (r PortRange) Matches(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// IsWild reports whether the range is the full wildcard.
+func (r PortRange) IsWild() bool { return r.Lo == 0 && r.Hi == 65535 }
+
+// width is the number of ports covered, used for specificity ordering.
+func (r PortRange) width() int { return int(r.Hi) - int(r.Lo) + 1 }
+
+func (r PortRange) String() string {
+	switch {
+	case r.IsWild():
+		return "*"
+	case r.Lo == r.Hi:
+		return strconv.Itoa(int(r.Lo))
+	default:
+		return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+	}
+}
+
+// ProtoSpec is the protocol field: a specific IP protocol or '*'.
+type ProtoSpec struct {
+	Wild  bool
+	Value uint8
+}
+
+// AnyProto is the wildcarded protocol field.
+func AnyProto() ProtoSpec { return ProtoSpec{Wild: true} }
+
+// ProtoIs builds a specific protocol field.
+func ProtoIs(v uint8) ProtoSpec { return ProtoSpec{Value: v} }
+
+// Matches reports whether the field accepts protocol v.
+func (s ProtoSpec) Matches(v uint8) bool { return s.Wild || s.Value == v }
+
+func (s ProtoSpec) String() string {
+	if s.Wild {
+		return "*"
+	}
+	switch s.Value {
+	case pkt.ProtoTCP:
+		return "TCP"
+	case pkt.ProtoUDP:
+		return "UDP"
+	case pkt.ProtoICMP:
+		return "ICMP"
+	default:
+		return strconv.Itoa(int(s.Value))
+	}
+}
+
+// IfSpec is the incoming-interface field: a specific interface index or
+// '*'.
+type IfSpec struct {
+	Wild  bool
+	Index int32
+}
+
+// AnyIf is the wildcarded interface field.
+func AnyIf() IfSpec { return IfSpec{Wild: true} }
+
+// IfIs builds a specific interface field.
+func IfIs(idx int32) IfSpec { return IfSpec{Index: idx} }
+
+// Matches reports whether the field accepts interface idx.
+func (s IfSpec) Matches(idx int32) bool { return s.Wild || s.Index == idx }
+
+func (s IfSpec) String() string {
+	if s.Wild {
+		return "*"
+	}
+	return fmt.Sprintf("if%d", s.Index)
+}
+
+// Filter is the paper's six-tuple filter specification:
+//
+//	<source address, destination address, protocol, source port,
+//	 destination port, incoming interface>
+//
+// Any field may be wildcarded; address fields may be partially
+// wildcarded by a prefix mask. A filter with every field fully specified
+// describes a single end-to-end application flow.
+type Filter struct {
+	Src     AddrSpec
+	Dst     AddrSpec
+	Proto   ProtoSpec
+	SrcPort PortRange
+	DstPort PortRange
+	InIf    IfSpec
+}
+
+// MatchAll is the filter with every field wildcarded.
+func MatchAll() Filter {
+	return Filter{
+		Src: AnyAddr(), Dst: AnyAddr(), Proto: AnyProto(),
+		SrcPort: AnyPort(), DstPort: AnyPort(), InIf: AnyIf(),
+	}
+}
+
+// Matches reports whether the filter accepts the six-tuple k.
+func (f Filter) Matches(k pkt.Key) bool {
+	return f.Src.Matches(k.Src) &&
+		f.Dst.Matches(k.Dst) &&
+		f.Proto.Matches(k.Proto) &&
+		f.SrcPort.Matches(k.SrcPort) &&
+		f.DstPort.Matches(k.DstPort) &&
+		f.InIf.Matches(k.InIf)
+}
+
+// String renders the six-tuple in the paper's notation, e.g.
+// "<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>".
+func (f Filter) String() string {
+	return fmt.Sprintf("<%s, %s, %s, %s, %s, %s>",
+		f.Src, f.Dst, f.Proto, f.SrcPort, f.DstPort, f.InIf)
+}
+
+// moreSpecific imposes the classifier's total "most specific matching
+// filter" order (§5.1): fields are compared in DAG level order — source
+// address, destination address, protocol, source port, destination port,
+// incoming interface — and at the first differing field the longer
+// prefix / specified-over-wildcard / narrower range wins. It returns
+// +1 if f is more specific than g, -1 if less, 0 if equally specific.
+// Equal specificity among distinct filters ("ambiguous filters", whose
+// resolution the paper defers to [7]) is broken by installation order:
+// the earlier filter wins.
+func (f Filter) moreSpecific(g Filter) int {
+	if d := f.Src.specLen() - g.Src.specLen(); d != 0 {
+		return sign(d)
+	}
+	if d := f.Dst.specLen() - g.Dst.specLen(); d != 0 {
+		return sign(d)
+	}
+	if f.Proto.Wild != g.Proto.Wild {
+		if g.Proto.Wild {
+			return 1
+		}
+		return -1
+	}
+	if d := g.SrcPort.width() - f.SrcPort.width(); d != 0 {
+		return sign(d)
+	}
+	if d := g.DstPort.width() - f.DstPort.width(); d != 0 {
+		return sign(d)
+	}
+	if f.InIf.Wild != g.InIf.Wild {
+		if g.InIf.Wild {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+func sign(d int) int {
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// ParseFilter parses the paper's textual filter notation: six
+// comma-separated fields, optionally wrapped in angle brackets:
+//
+//	<129.*.*.*, 192.94.233.10, TCP, *, *, *>
+//	129.0.0.0/8, 192.94.233.10, TCP, *, 500-600, if2
+//
+// Addresses accept CIDR notation, a bare address (host filter), the
+// legacy dotted-star form ("129.*.*.*" and "128.252.153.*"), or '*'.
+// Ports accept a number, "lo-hi", or '*'. Protocol accepts TCP, UDP,
+// ICMP, a number, or '*'. Interface accepts "ifN", a number, or '*'.
+func ParseFilter(s string) (Filter, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	parts := strings.Split(s, ",")
+	if len(parts) != 6 {
+		return Filter{}, fmt.Errorf("aiu: filter needs 6 fields, got %d in %q", len(parts), s)
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	var f Filter
+	var err error
+	if f.Src, err = parseAddrSpec(parts[0]); err != nil {
+		return Filter{}, fmt.Errorf("aiu: source address: %w", err)
+	}
+	if f.Dst, err = parseAddrSpec(parts[1]); err != nil {
+		return Filter{}, fmt.Errorf("aiu: destination address: %w", err)
+	}
+	if f.Proto, err = parseProtoSpec(parts[2]); err != nil {
+		return Filter{}, err
+	}
+	if f.SrcPort, err = parsePortRange(parts[3]); err != nil {
+		return Filter{}, fmt.Errorf("aiu: source port: %w", err)
+	}
+	if f.DstPort, err = parsePortRange(parts[4]); err != nil {
+		return Filter{}, fmt.Errorf("aiu: destination port: %w", err)
+	}
+	if f.InIf, err = parseIfSpec(parts[5]); err != nil {
+		return Filter{}, err
+	}
+	return f, nil
+}
+
+// MustParseFilter is ParseFilter that panics on error.
+func MustParseFilter(s string) Filter {
+	f, err := ParseFilter(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func parseAddrSpec(s string) (AddrSpec, error) {
+	if s == "*" {
+		return AnyAddr(), nil
+	}
+	if strings.Contains(s, ".") && strings.Contains(s, "*") {
+		// Legacy dotted-star form: 129.*.*.* or 128.252.153.*
+		octets := strings.Split(s, ".")
+		if len(octets) != 4 {
+			return AddrSpec{}, fmt.Errorf("bad dotted form %q", s)
+		}
+		var v uint32
+		bits := 0
+		seenStar := false
+		for _, o := range octets {
+			if o == "*" {
+				seenStar = true
+				v <<= 8
+				continue
+			}
+			if seenStar {
+				return AddrSpec{}, fmt.Errorf("octet after wildcard in %q", s)
+			}
+			n, err := strconv.Atoi(o)
+			if err != nil || n < 0 || n > 255 {
+				return AddrSpec{}, fmt.Errorf("bad octet %q", o)
+			}
+			v = v<<8 | uint32(n)
+			bits += 8
+		}
+		return AddrIn(pkt.PrefixFrom(pkt.AddrV4(v), bits)), nil
+	}
+	p, err := pkt.ParsePrefix(s)
+	if err != nil {
+		return AddrSpec{}, err
+	}
+	return AddrIn(p), nil
+}
+
+func parseProtoSpec(s string) (ProtoSpec, error) {
+	switch strings.ToUpper(s) {
+	case "*":
+		return AnyProto(), nil
+	case "TCP":
+		return ProtoIs(pkt.ProtoTCP), nil
+	case "UDP":
+		return ProtoIs(pkt.ProtoUDP), nil
+	case "ICMP":
+		return ProtoIs(pkt.ProtoICMP), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 255 {
+		return ProtoSpec{}, fmt.Errorf("aiu: bad protocol %q", s)
+	}
+	return ProtoIs(uint8(n)), nil
+}
+
+func parsePortRange(s string) (PortRange, error) {
+	if s == "*" {
+		return AnyPort(), nil
+	}
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || l < 0 || h > 65535 || l > h {
+			return PortRange{}, fmt.Errorf("bad range %q", s)
+		}
+		return Ports(uint16(l), uint16(h)), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 65535 {
+		return PortRange{}, fmt.Errorf("bad port %q", s)
+	}
+	return PortIs(uint16(n)), nil
+}
+
+func parseIfSpec(s string) (IfSpec, error) {
+	if s == "*" {
+		return AnyIf(), nil
+	}
+	s = strings.TrimPrefix(s, "if")
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return IfSpec{}, fmt.Errorf("aiu: bad interface %q", s)
+	}
+	return IfIs(int32(n)), nil
+}

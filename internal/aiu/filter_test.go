@@ -1,0 +1,140 @@
+package aiu
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func TestParseFilterPaperNotation(t *testing.T) {
+	// The paper's §3 example: "<129.*.*.*, 192.94.233.10, TCP, *, *, *>"
+	f, err := ParseFilter("<129.*.*.*, 192.94.233.10, TCP, *, *, *>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Src.Wild || f.Src.Prefix.String() != "129.0.0.0/8" {
+		t.Errorf("src = %s", f.Src)
+	}
+	if f.Dst.String() != "192.94.233.10" {
+		t.Errorf("dst = %s", f.Dst)
+	}
+	if f.Proto.Wild || f.Proto.Value != pkt.ProtoTCP {
+		t.Errorf("proto = %s", f.Proto)
+	}
+	if !f.SrcPort.IsWild() || !f.DstPort.IsWild() || !f.InIf.Wild {
+		t.Errorf("ports/if should be wild: %s", f)
+	}
+}
+
+func TestParseFilterForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want string
+	}{
+		{"129.0.0.0/8, 192.94.233.10, TCP, *, *, *", true, "<129.0.0.0/8, 192.94.233.10, TCP, *, *, *>"},
+		{"128.252.153.*, *, UDP, *, *, *", true, "<128.252.153.0/24, *, UDP, *, *, *>"},
+		{"*, *, *, 500-600, 53, if2", true, "<*, *, *, 500-600, 53, if2>"},
+		{"*, *, 89, *, *, 4", true, "<*, *, 89, *, *, if4>"},
+		{"2001:db8::/32, *, udp, *, *, *", true, "<2001:db8::/32, *, UDP, *, *, *>"},
+		{"1.2.3.4, 5.6.7.8, TCP, *, *", false, ""},        // 5 fields
+		{"1.2.3.4, 5.6.7.8, WXYZ, *, *, *", false, ""},    // bad proto
+		{"1.2.*.4, 5.6.7.8, TCP, *, *, *", false, ""},     // star mid-address
+		{"1.2.3.4, 5.6.7.8, TCP, 9-5, *, *", false, ""},   // reversed range
+		{"1.2.3.4, 5.6.7.8, TCP, 70000, *, *", false, ""}, // port overflow
+		{"1.2.3.4, 5.6.7.8, TCP, *, *, if-3", false, ""},  // bad interface
+	}
+	for _, tc := range cases {
+		f, err := ParseFilter(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseFilter(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && f.String() != tc.want {
+			t.Errorf("ParseFilter(%q) = %s, want %s", tc.in, f, tc.want)
+		}
+	}
+}
+
+func TestFilterMatches(t *testing.T) {
+	f := MustParseFilter("<129.*.*.*, 192.94.233.10, TCP, *, *, *>")
+	match := pkt.Key{
+		Src: pkt.MustParseAddr("129.132.66.1"), Dst: pkt.MustParseAddr("192.94.233.10"),
+		Proto: pkt.ProtoTCP, SrcPort: 1234, DstPort: 80, InIf: 0,
+	}
+	if !f.Matches(match) {
+		t.Errorf("%s should match %s", f, match)
+	}
+	noSrc := match
+	noSrc.Src = pkt.MustParseAddr("128.252.153.1")
+	if f.Matches(noSrc) {
+		t.Errorf("%s should not match %s", f, noSrc)
+	}
+	noProto := match
+	noProto.Proto = pkt.ProtoUDP
+	if f.Matches(noProto) {
+		t.Errorf("%s should not match %s", f, noProto)
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	f := MatchAll()
+	keys := []pkt.Key{
+		{Src: pkt.AddrV4(1), Dst: pkt.AddrV4(2), Proto: 6, SrcPort: 1, DstPort: 2, InIf: 7},
+		{Src: pkt.MustParseAddr("2001:db8::1"), Dst: pkt.MustParseAddr("2001:db8::2"), Proto: 17},
+	}
+	for _, k := range keys {
+		if !f.Matches(k) {
+			t.Errorf("MatchAll should match %s", k)
+		}
+	}
+}
+
+func TestMoreSpecificOrder(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		// Longer source prefix wins.
+		{"128.252.153.1, 128.252.153.7, UDP, *, *, *", "128.252.153.*, *, UDP, *, *, *", 1},
+		// Same src, specified dst beats wildcard dst.
+		{"129.*.*.*, 192.94.233.10, TCP, *, *, *", "129.*.*.*, *, TCP, *, *, *", 1},
+		// Specified proto beats wildcard at equal addresses.
+		{"*, *, TCP, *, *, *", "*, *, *, *, *, *", 1},
+		// Narrower port range beats wider.
+		{"*, *, *, 100-200, *, *", "*, *, *, 100-300, *, *", 1},
+		// Specified interface breaks final tie.
+		{"*, *, *, *, *, if1", "*, *, *, *, *, *", 1},
+		// Identical specificity.
+		{"*, *, TCP, *, *, *", "*, *, UDP, *, *, *", 0},
+		// Address prefix beats wildcard even at length 0 semantics.
+		{"0.0.0.0/0, *, *, *, *, *", "*, *, *, *, *, *", 1},
+	}
+	for _, tc := range cases {
+		a, b := MustParseFilter(tc.a), MustParseFilter(tc.b)
+		if got := a.moreSpecific(b); got != tc.want {
+			t.Errorf("moreSpecific(%s, %s) = %d, want %d", a, b, got, tc.want)
+		}
+		if got := b.moreSpecific(a); got != -tc.want {
+			t.Errorf("moreSpecific(%s, %s) = %d, want %d", b, a, got, -tc.want)
+		}
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	if s := PortIs(80).String(); s != "80" {
+		t.Errorf("PortIs = %s", s)
+	}
+	if s := Ports(20, 21).String(); s != "20-21" {
+		t.Errorf("Ports = %s", s)
+	}
+	if s := ProtoIs(89).String(); s != "89" {
+		t.Errorf("ProtoIs = %s", s)
+	}
+	if s := IfIs(3).String(); s != "if3" {
+		t.Errorf("IfIs = %s", s)
+	}
+	if s := AnyAddr().String(); s != "*" {
+		t.Errorf("AnyAddr = %s", s)
+	}
+}

@@ -1,0 +1,387 @@
+package aiu
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Flow-table sizing defaults from the paper (§5.2): the bucket array is
+// allocated at boot with a default of 32768 entries; a small number of
+// flow records (default 1024) is preallocated on a free list and grown
+// exponentially (1024, 2048, 4096, ...) as demand arises; once a
+// configured maximum is reached, the oldest records are recycled.
+const (
+	DefaultFlowBuckets  = 32768
+	DefaultInitialFlows = 1024
+	DefaultMaxFlows     = 65536
+)
+
+// GateBind is one gate's slot in a flow record: the plugin instance the
+// flow is bound to at that gate and the per-flow soft state the instance
+// keeps there (§5.2 item 1 — e.g. the DRR plugin stores the pointer to
+// its per-flow packet queue here).
+type GateBind struct {
+	Instance pcu.Instance
+	// Private is per-flow, per-gate plugin soft state.
+	Private any
+	// Rec is the filter record this binding was derived from (§5.2
+	// item 2).
+	Rec *FilterRecord
+}
+
+// FlowRecord is one row of the flow table: the cache entry for an active
+// flow, holding the resolved plugin instance for every gate so that
+// packets after the first skip classification entirely. A pointer to the
+// row travels in the packet as the flow index (FIX).
+type FlowRecord struct {
+	Key pkt.Key
+	// binds is published atomically: the data path reads gate slots
+	// lock-free through the FIX while the control path (eviction,
+	// recycling) swaps in a fresh slice under the table lock. A swap
+	// orphans the old slice, so in-flight readers see a consistent —
+	// if momentarily stale — view, the same guarantee the paper's
+	// kernel gets from its single flow of control.
+	binds atomic.Pointer[[]GateBind]
+
+	// LastUse is the arrival time of the last packet that hit this
+	// record; the idle purge uses it.
+	LastUse time.Time
+
+	hash uint32
+	next *FlowRecord // hash-chain link (§5.2: collisions on a singly linked list)
+
+	// Creation-order queue link for oldest-first recycling.
+	older, newer *FlowRecord
+	live         bool
+}
+
+// Bind returns the slot for a gate (indexed by the AIU's gate order).
+func (r *FlowRecord) Bind(slot int) *GateBind { return &(*r.binds.Load())[slot] }
+
+// Slots returns the number of gate slots in the record.
+func (r *FlowRecord) Slots() int { return len(*r.binds.Load()) }
+
+// FlowEvictListener is implemented by plugin instances that keep per-flow
+// soft state and need to reclaim it when the AIU removes or recycles a
+// flow record. The paper's create-instance message lets a plugin supply
+// "functions which are called by the AIU on removal of an entry in the
+// flow or filter table"; in Go the natural encoding is an optional
+// interface.
+type FlowEvictListener interface {
+	FlowEvicted(rec *FlowRecord, slot int)
+}
+
+// FlowStats counts flow-table events.
+type FlowStats struct {
+	Hits     uint64
+	Misses   uint64
+	Inserts  uint64
+	Recycled uint64
+	Removed  uint64
+	Live     int
+	Alloc    int
+}
+
+// FlowTable is the hash-based flow cache. The hash covers the five header
+// fields <src, dst, proto, sport, dport>; chains resolve collisions;
+// records come from a free list that grows exponentially up to a cap,
+// after which the oldest records are recycled.
+type FlowTable struct {
+	mu      sync.Mutex
+	buckets []*FlowRecord
+	mask    uint32
+	gates   int
+
+	free     *FlowRecord
+	nAlloc   int
+	nextGrow int
+	maxAlloc int
+	oldest   *FlowRecord
+	newest   *FlowRecord
+	live     int
+
+	stats FlowStats
+}
+
+// NewFlowTable builds a flow table with the given bucket count (rounded
+// up to a power of two), initial and maximum record counts, and the
+// number of gate slots per record.
+func NewFlowTable(buckets, initial, max, gates int) *FlowTable {
+	if buckets <= 0 {
+		buckets = DefaultFlowBuckets
+	}
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	if initial <= 0 {
+		initial = DefaultInitialFlows
+	}
+	if max < initial {
+		max = initial
+	}
+	t := &FlowTable{
+		buckets:  make([]*FlowRecord, n),
+		mask:     uint32(n - 1),
+		gates:    gates,
+		nextGrow: initial,
+		maxAlloc: max,
+	}
+	t.grow(initial)
+	return t
+}
+
+// grow allocates count records onto the free list.
+func (t *FlowTable) grow(count int) {
+	for i := 0; i < count && t.nAlloc < t.maxAlloc; i++ {
+		r := &FlowRecord{}
+		b := make([]GateBind, t.gates)
+		r.binds.Store(&b)
+		r.next = t.free
+		t.free = r
+		t.nAlloc++
+	}
+}
+
+// HashKey is the paper's cheap five-tuple hash ("executed in 17
+// processor cycles on a Pentium"): a xor-fold of the address words with
+// the ports and protocol mixed in, finished with one multiplicative
+// scramble so sequential flow populations — the common case for
+// synthetic and scanned traffic — spread across buckets. A handful of
+// ALU ops plus one multiply keeps it in the original's cost class.
+func HashKey(k pkt.Key) uint32 {
+	var h uint32
+	s, d := k.Src.As16(), k.Dst.As16()
+	for i := 0; i < 16; i += 4 {
+		h ^= uint32(s[i])<<24 | uint32(s[i+1])<<16 | uint32(s[i+2])<<8 | uint32(s[i+3])
+		h ^= uint32(d[i])<<24 | uint32(d[i+1])<<16 | uint32(d[i+2])<<8 | uint32(d[i+3])
+	}
+	h ^= uint32(k.SrcPort)<<16 | uint32(k.DstPort)
+	h ^= uint32(k.Proto) << 8
+	h *= 0x9e3779b1 // Fibonacci scramble
+	h ^= h >> 15
+	return h
+}
+
+// Lookup finds the record for a fully specified six-tuple. The counter is
+// charged one function-pointer load (the "index hash" row of Table 2) and
+// one memory access per chain element examined.
+func (t *FlowTable) Lookup(k pkt.Key, now time.Time, c *cycles.Counter) *FlowRecord {
+	c.FnPointer()
+	h := HashKey(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
+		c.Access(1)
+		if r.Key == k {
+			r.LastUse = now
+			t.stats.Hits++
+			return r
+		}
+	}
+	t.stats.Misses++
+	return nil
+}
+
+// Insert creates (or refreshes) the record for a six-tuple, taking a
+// record from the free list, growing it exponentially if exhausted, or
+// recycling the oldest live record once the allocation cap is reached.
+// binds, when non-nil, is copied into the record's gate slots under the
+// table lock, so a record can never be observed half-filled or recycled
+// between creation and fill.
+func (t *FlowTable) Insert(k pkt.Key, now time.Time, binds []GateBind) *FlowRecord {
+	h := HashKey(k)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Refresh an existing record for the same key, if any.
+	idx := h & t.mask
+	for r := t.buckets[idx]; r != nil; r = r.next {
+		if r.Key == k {
+			r.LastUse = now
+			if binds != nil {
+				r.publishBinds(binds, t.gates)
+			}
+			return r
+		}
+	}
+	r := t.takeRecord()
+	r.Key = k
+	r.hash = h
+	r.LastUse = now
+	r.publishBinds(binds, t.gates)
+	r.live = true
+	r.next = t.buckets[idx]
+	t.buckets[idx] = r
+	t.pushNewest(r)
+	t.live++
+	t.stats.Inserts++
+	return r
+}
+
+// takeRecord pops the free list, growing or recycling as needed.
+// Called with the lock held.
+func (t *FlowTable) takeRecord() *FlowRecord {
+	if t.free == nil && t.nAlloc < t.maxAlloc {
+		grow := t.nextGrow
+		t.nextGrow *= 2
+		t.grow(grow)
+	}
+	if t.free != nil {
+		r := t.free
+		t.free = r.next
+		r.next = nil
+		return r
+	}
+	// Recycle the oldest live record.
+	r := t.oldest
+	if r == nil {
+		// Degenerate configuration (max 0); allocate anyway.
+		r := &FlowRecord{}
+		b := make([]GateBind, t.gates)
+		r.binds.Store(&b)
+		return r
+	}
+	t.evictLocked(r)
+	t.stats.Recycled++
+	t.stats.Removed-- // evictLocked counted a removal; recycling is separate
+	r.next = nil
+	return r
+}
+
+// Remove deletes the record for a key, reporting whether it was present.
+func (t *FlowTable) Remove(k pkt.Key) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := HashKey(k)
+	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
+		if r.Key == k {
+			t.evictLocked(r)
+			t.freeLocked(r)
+			return true
+		}
+	}
+	return false
+}
+
+// PurgeIdle removes records idle since before the deadline (§3.2: "if a
+// cached flow remains idle for an extended period, its cached entry may
+// be removed"). It returns the number purged.
+func (t *FlowTable) PurgeIdle(before time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for r := t.oldest; r != nil; {
+		next := r.newer
+		if r.LastUse.Before(before) {
+			t.evictLocked(r)
+			t.freeLocked(r)
+			n++
+		}
+		r = next
+	}
+	return n
+}
+
+// FlushWhere removes every record for which pred returns true — used when
+// instances are freed or filters removed, so no stale instance pointers
+// survive in the cache.
+func (t *FlowTable) FlushWhere(pred func(*FlowRecord) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for r := t.oldest; r != nil; {
+		next := r.newer
+		if pred(r) {
+			t.evictLocked(r)
+			t.freeLocked(r)
+			n++
+		}
+		r = next
+	}
+	return n
+}
+
+// evictLocked unlinks a live record from its chain and the age queue,
+// notifies evict listeners, and publishes a cleared bind set.
+func (t *FlowTable) evictLocked(r *FlowRecord) {
+	idx := r.hash & t.mask
+	for pp := &t.buckets[idx]; *pp != nil; pp = &(*pp).next {
+		if *pp == r {
+			*pp = r.next
+			break
+		}
+	}
+	t.popAge(r)
+	t.live--
+	t.stats.Removed++
+	old := *r.binds.Load()
+	for slot := range old {
+		if l, ok := old[slot].Instance.(FlowEvictListener); ok {
+			l.FlowEvicted(r, slot)
+		}
+	}
+	r.publishBinds(nil, t.gates)
+	r.live = false
+}
+
+// publishBinds atomically replaces the record's gate slots with a fresh
+// slice (zeroed, or a copy of src).
+func (r *FlowRecord) publishBinds(src []GateBind, gates int) {
+	b := make([]GateBind, gates)
+	copy(b, src)
+	r.binds.Store(&b)
+}
+
+// freeLocked returns a record to the free list.
+func (t *FlowTable) freeLocked(r *FlowRecord) {
+	r.next = t.free
+	t.free = r
+}
+
+func (t *FlowTable) pushNewest(r *FlowRecord) {
+	r.older = t.newest
+	r.newer = nil
+	if t.newest != nil {
+		t.newest.newer = r
+	}
+	t.newest = r
+	if t.oldest == nil {
+		t.oldest = r
+	}
+}
+
+func (t *FlowTable) popAge(r *FlowRecord) {
+	if r.older != nil {
+		r.older.newer = r.newer
+	} else if t.oldest == r {
+		t.oldest = r.newer
+	}
+	if r.newer != nil {
+		r.newer.older = r.older
+	} else if t.newest == r {
+		t.newest = r.older
+	}
+	r.older, r.newer = nil, nil
+}
+
+// Len returns the number of live records.
+func (t *FlowTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.live
+}
+
+// Stats snapshots the table counters.
+func (t *FlowTable) Stats() FlowStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Live = t.live
+	s.Alloc = t.nAlloc
+	return s
+}

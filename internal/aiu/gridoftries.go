@@ -1,0 +1,267 @@
+package aiu
+
+import (
+	"fmt"
+
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// GridOfTries implements the two-dimensional classifier of Srinivasan,
+// Varghese, Suri & Waldvogel [26], which the paper names as its planned
+// upgrade: "more advanced techniques such as grid-of-tries can provide
+// better memory utilization without sacrificing performance, but work
+// only in the special case of two-dimensional filters... we plan to
+// incorporate enhanced implementations and algorithms (such as those in
+// [26]) into our framework."
+//
+// Structure: a binary trie over source prefixes; each valid source node
+// owns a destination trie holding only the filters with exactly that
+// source prefix (no set-pruning replication — this is where the memory
+// saving over the DAG comes from). Instead of backtracking to shorter
+// source prefixes on a failed destination walk, precomputed *switch
+// pointers* jump from a failed destination-trie edge directly into the
+// destination trie of the next-shorter source prefix, preserving O(W)
+// lookup.
+//
+// It classifies on <source prefix, destination prefix> filters only (the
+// remaining four fields must be wildcarded), and is exposed through the
+// same most-specific-match semantics so it can stand in for the DAG on
+// 2D filter tables.
+type GridOfTries struct {
+	root  *gotSrcNode // source trie root (IPv4)
+	root6 *gotSrcNode // source trie root (IPv6)
+	nodes int
+}
+
+// gotSrcNode is a source-trie node. A node with a destination trie is a
+// "valid" source prefix (some filter's source ends here).
+type gotSrcNode struct {
+	child [2]*gotSrcNode
+	// dst is the destination trie for filters whose source prefix ends
+	// here; nil if none.
+	dst *gotDstNode
+}
+
+// gotDstNode is a destination-trie node.
+type gotDstNode struct {
+	child [2]*gotDstNode
+	// jump[b] is the switch pointer taken when child[b] is nil: it
+	// continues the walk at the corresponding node in the next-shorter
+	// source prefix's destination trie.
+	jump [2]*gotDstNode
+	// best is the most specific filter record matching along this
+	// destination path considering this and all shorter source
+	// prefixes (precomputed, so the walk never backtracks).
+	best *FilterRecord
+	// stored is the record whose <src,dst> ends exactly here (before
+	// best-propagation), used during construction.
+	stored *FilterRecord
+}
+
+// NewGridOfTries builds the classifier from 2D records. Records with any
+// non-wildcard field beyond source/destination are rejected.
+func NewGridOfTries(records []*FilterRecord) (*GridOfTries, error) {
+	g := &GridOfTries{}
+	for _, r := range records {
+		if !is2D(r.Filter) {
+			return nil, fmt.Errorf("aiu: grid-of-tries requires two-dimensional filters (src/dst only): %s", r)
+		}
+	}
+	// Insert filters per family.
+	for _, fam := range []bool{false, true} {
+		root := &gotSrcNode{}
+		g.nodes++
+		var famRecs []*FilterRecord
+		for _, r := range records {
+			if recFamilyIs(r, fam) {
+				famRecs = append(famRecs, r)
+			}
+		}
+		if len(famRecs) == 0 {
+			continue
+		}
+		for _, r := range famRecs {
+			g.insert(root, r)
+		}
+		g.connect(root, nil)
+		if fam {
+			g.root6 = root
+		} else {
+			g.root = root
+		}
+	}
+	return g, nil
+}
+
+// is2D reports whether a filter uses only the two address fields.
+func is2D(f Filter) bool {
+	return f.Proto.Wild && f.SrcPort.IsWild() && f.DstPort.IsWild() && f.InIf.Wild
+}
+
+// recFamilyIs places a record in the v4 or v6 grid. Fully wildcarded
+// addresses go in both (represented by zero-length prefixes).
+func recFamilyIs(r *FilterRecord, v6 bool) bool {
+	srcKnown := !r.Filter.Src.Wild
+	dstKnown := !r.Filter.Dst.Wild
+	if srcKnown {
+		return r.Filter.Src.Prefix.Addr.IsV6() == v6
+	}
+	if dstKnown {
+		return r.Filter.Dst.Prefix.Addr.IsV6() == v6
+	}
+	return true // match-all filters live in both grids
+}
+
+// insert walks/creates the source path then the destination path.
+func (g *GridOfTries) insert(root *gotSrcNode, r *FilterRecord) {
+	sn := root
+	if !r.Filter.Src.Wild {
+		p := r.Filter.Src.Prefix
+		for i := 0; i < p.Len; i++ {
+			b := p.Addr.Bit(i)
+			if sn.child[b] == nil {
+				sn.child[b] = &gotSrcNode{}
+				g.nodes++
+			}
+			sn = sn.child[b]
+		}
+	}
+	if sn.dst == nil {
+		sn.dst = &gotDstNode{}
+		g.nodes++
+	}
+	dn := sn.dst
+	if !r.Filter.Dst.Wild {
+		p := r.Filter.Dst.Prefix
+		for i := 0; i < p.Len; i++ {
+			b := p.Addr.Bit(i)
+			if dn.child[b] == nil {
+				dn.child[b] = &gotDstNode{}
+				g.nodes++
+			}
+			dn = dn.child[b]
+		}
+	}
+	if dn.stored == nil || r.Filter.moreSpecific(dn.stored.Filter) == 1 ||
+		(r.Filter.moreSpecific(dn.stored.Filter) == 0 && r.seq < dn.stored.seq) {
+		dn.stored = r
+	}
+}
+
+// connect precomputes switch pointers and best records. For each source
+// node with a destination trie, its "previous" trie is the destination
+// trie of the nearest ancestor source prefix. Each destination node's
+// best is the more specific of its own stored record and the best at the
+// corresponding node of the previous trie; missing children jump into
+// the previous trie's corresponding child.
+func (g *GridOfTries) connect(sn *gotSrcNode, prevDst *gotDstNode) {
+	cur := prevDst
+	if sn.dst != nil {
+		g.weave(sn.dst, prevDst, nil)
+		cur = sn.dst
+	}
+	for b := 0; b < 2; b++ {
+		if sn.child[b] != nil {
+			g.connect(sn.child[b], cur)
+		}
+	}
+}
+
+// betterOf picks the more specific record (installation order breaking
+// ties), treating nil as least specific.
+func betterOf(a, b *FilterRecord) *FilterRecord {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	switch b.Filter.moreSpecific(a.Filter) {
+	case 1:
+		return b
+	case 0:
+		if b.seq < a.seq {
+			return b
+		}
+	}
+	return a
+}
+
+// weave aligns trie d over trie prev and makes bests *cumulative*: each
+// node's best covers every filter whose destination is a prefix of the
+// node's path (parentBest folds downward) at this or any shorter source
+// prefix (prev folds across). The walked node's best is then exactly the
+// answer for the walked path, so lookups never compare records.
+func (g *GridOfTries) weave(d, prev *gotDstNode, parentBest *FilterRecord) {
+	d.best = betterOf(parentBest, d.stored)
+	if prev != nil {
+		d.best = betterOf(d.best, prev.best)
+	}
+	for b := 0; b < 2; b++ {
+		var prevChild *gotDstNode
+		if prev != nil {
+			prevChild = prev.child[b]
+			if prevChild == nil {
+				prevChild = prev.jump[b]
+			}
+		}
+		if d.child[b] != nil {
+			g.weave(d.child[b], prevChild, d.best)
+		} else {
+			d.jump[b] = prevChild
+		}
+	}
+}
+
+// Lookup returns the most specific 2D filter matching <src, dst>. One
+// memory access is charged per trie node visited.
+func (g *GridOfTries) Lookup(src, dst pkt.Addr, c *cycles.Counter) *FilterRecord {
+	root := g.root
+	if src.IsV6() {
+		root = g.root6
+	}
+	if root == nil {
+		return nil
+	}
+	// Walk the source trie to the longest matching valid prefix,
+	// remembering the deepest destination trie seen.
+	sn := root
+	var entry *gotDstNode
+	if sn.dst != nil {
+		entry = sn.dst
+	}
+	for i := 0; i < src.BitLen() && sn != nil; i++ {
+		c.Access(1)
+		sn = sn.child[src.Bit(i)]
+		if sn != nil && sn.dst != nil {
+			entry = sn.dst
+		}
+	}
+	if entry == nil {
+		return nil
+	}
+	// Walk the destination trie, following switch pointers on missing
+	// edges. A jump moves into a shorter source prefix's trie, whose
+	// cumulative bests cannot know about longer-source matches already
+	// seen, so the answer is the best across the visited nodes.
+	dn := entry
+	best := dn.best
+	for i := 0; i < dst.BitLen() && dn != nil; i++ {
+		c.Access(1)
+		b := dst.Bit(i)
+		next := dn.child[b]
+		if next == nil {
+			next = dn.jump[b]
+		}
+		dn = next
+		if dn != nil {
+			best = betterOf(best, dn.best)
+		}
+	}
+	return best
+}
+
+// Nodes reports the structure's node count (the memory-utilization
+// comparison against the set-pruning DAG).
+func (g *GridOfTries) Nodes() int { return g.nodes }

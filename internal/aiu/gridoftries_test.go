@@ -1,0 +1,172 @@
+package aiu
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func rec2D(t *testing.T, id uint64, src, dst string) *FilterRecord {
+	t.Helper()
+	f := MatchAll()
+	if src != "*" {
+		f.Src = AddrIn(pkt.MustParsePrefix(src))
+	}
+	if dst != "*" {
+		f.Dst = AddrIn(pkt.MustParsePrefix(dst))
+	}
+	return &FilterRecord{ID: id, Filter: f, seq: id}
+}
+
+func TestGridOfTriesBasic(t *testing.T) {
+	recs := []*FilterRecord{
+		rec2D(t, 1, "10.0.0.0/8", "20.0.0.0/8"),
+		rec2D(t, 2, "10.1.0.0/16", "20.0.0.0/8"),
+		rec2D(t, 3, "10.0.0.0/8", "20.2.0.0/16"),
+		rec2D(t, 4, "*", "30.0.0.0/8"),
+		rec2D(t, 5, "10.1.2.3/32", "*"),
+	}
+	g, err := NewGridOfTries(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src, dst string
+		want     uint64
+	}{
+		{"10.9.9.9", "20.9.9.9", 1},
+		{"10.1.9.9", "20.9.9.9", 2}, // longer src wins
+		{"10.9.9.9", "20.2.9.9", 3}, // longer dst at same src
+		{"10.1.9.9", "20.2.9.9", 2}, // src-first lexicographic order
+		{"99.9.9.9", "30.1.1.1", 4},
+		{"10.1.2.3", "99.9.9.9", 5},
+		{"10.1.2.3", "20.2.1.1", 5}, // /32 src dominates
+		{"99.9.9.9", "99.9.9.9", 0},
+	}
+	for _, tc := range cases {
+		got := g.Lookup(pkt.MustParseAddr(tc.src), pkt.MustParseAddr(tc.dst), nil)
+		switch {
+		case tc.want == 0 && got != nil:
+			t.Errorf("(%s,%s) = #%d, want none", tc.src, tc.dst, got.ID)
+		case tc.want != 0 && got == nil:
+			t.Errorf("(%s,%s) = none, want #%d", tc.src, tc.dst, tc.want)
+		case tc.want != 0 && got.ID != tc.want:
+			t.Errorf("(%s,%s) = #%d, want #%d", tc.src, tc.dst, got.ID, tc.want)
+		}
+	}
+}
+
+func TestGridOfTriesRejectsNon2D(t *testing.T) {
+	f := MatchAll()
+	f.Proto = ProtoIs(pkt.ProtoTCP)
+	if _, err := NewGridOfTries([]*FilterRecord{{ID: 1, Filter: f}}); err == nil {
+		t.Error("non-2D filter accepted")
+	}
+}
+
+// TestGridOfTriesMatchesNaive cross-checks the grid against brute force
+// on random 2D filter populations.
+func TestGridOfTriesMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		recs := make([]*FilterRecord, n)
+		for i := range recs {
+			f := MatchAll()
+			if rng.Intn(8) > 0 {
+				f.Src = AddrIn(pkt.PrefixFrom(randAddr(rng), rng.Intn(33)))
+			}
+			if rng.Intn(8) > 0 {
+				f.Dst = AddrIn(pkt.PrefixFrom(randAddr(rng), rng.Intn(33)))
+			}
+			recs[i] = &FilterRecord{ID: uint64(i + 1), Filter: f, seq: uint64(i + 1)}
+		}
+		g, err := NewGridOfTries(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 500; probe++ {
+			k := pkt.Key{Src: randAddr(rng), Dst: randAddr(rng)}
+			want := naiveClassify(recs, k)
+			got := g.Lookup(k.Src, k.Dst, nil)
+			if got != want {
+				t.Fatalf("trial %d (%s,%s): got %v want %v\n%s",
+					trial, k.Src, k.Dst, got, want, dumpFilters(recs))
+			}
+		}
+	}
+}
+
+// TestGridOfTriesIPv6 runs the cross-check over v6 prefixes.
+func TestGridOfTriesIPv6(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	mk := func() pkt.Addr {
+		var b [16]byte
+		b[0], b[1] = 0x20, 0x01
+		b[15] = byte(rng.Intn(4))
+		b[7] = byte(rng.Intn(4))
+		return pkt.AddrFrom16(b)
+	}
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(30)
+		recs := make([]*FilterRecord, n)
+		for i := range recs {
+			f := MatchAll()
+			if rng.Intn(6) > 0 {
+				f.Src = AddrIn(pkt.PrefixFrom(mk(), []int{16, 48, 64, 128}[rng.Intn(4)]))
+			}
+			if rng.Intn(6) > 0 {
+				f.Dst = AddrIn(pkt.PrefixFrom(mk(), []int{16, 64, 128}[rng.Intn(3)]))
+			}
+			recs[i] = &FilterRecord{ID: uint64(i + 1), Filter: f, seq: uint64(i + 1)}
+		}
+		g, err := NewGridOfTries(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 300; probe++ {
+			k := pkt.Key{Src: mk(), Dst: mk()}
+			want := naiveClassify(recs, k)
+			got := g.Lookup(k.Src, k.Dst, nil)
+			if got != want {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestGridOfTriesMemoryAdvantage demonstrates the paper's stated reason
+// to adopt it: better memory utilization than the set-pruning DAG on 2D
+// filter sets with shared structure.
+func TestGridOfTriesMemoryAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Nested prefixes maximize set-pruning replication.
+	var recs []*FilterRecord
+	id := uint64(1)
+	for i := 0; i < 24; i++ {
+		base := pkt.AddrV4(0x0a000000 | uint32(i)<<8)
+		for _, l := range []int{8, 16, 24} {
+			f := MatchAll()
+			f.Src = AddrIn(pkt.PrefixFrom(base, l))
+			f.Dst = AddrIn(pkt.PrefixFrom(pkt.AddrV4(rng.Uint32()), 16))
+			recs = append(recs, &FilterRecord{ID: id, Filter: f, seq: id})
+			id++
+		}
+	}
+	g, err := NewGridOfTries(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+	t.Logf("grid-of-tries nodes: %d; set-pruning DAG nodes: %d", g.Nodes(), d.nodes)
+	// The grid stores each filter once; results must still agree.
+	for probe := 0; probe < 300; probe++ {
+		k := pkt.Key{Src: pkt.AddrV4(0x0a000000 | rng.Uint32()&0xffffff), Dst: pkt.AddrV4(rng.Uint32())}
+		want := naiveClassify(recs, k)
+		if got := g.Lookup(k.Src, k.Dst, nil); got != want {
+			t.Fatalf("disagreement at %s", k)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package bench regenerates the paper's evaluation artifacts: every
+// table and figure of §7 plus the in-text measurements, on the simulated
+// substrate. Each experiment returns a structured result whose String()
+// prints rows in the paper's format, side by side with the published
+// numbers where absolute comparison is meaningful (Table 2's memory
+// access counts) or with relative overheads where the hardware differs
+// (Table 3).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// fmtDur prints a duration in microseconds with two decimals, matching
+// the paper's µs reporting.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1000)
+}
+
+// fmtRate prints packets/second.
+func fmtRate(pps float64) string {
+	return fmt.Sprintf("%.0f", pps)
+}

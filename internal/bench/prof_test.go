@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/trafficgen"
+)
+
+func benchPath(b *testing.B, cfg Table3Config) {
+	rig, err := buildRig(cfg, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := trafficgen.Table3Flows()
+	protos := make([][]byte, len(flows))
+	for i, f := range flows {
+		protos[i], _ = f.Datagram()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.inIf.Inject(protos[i%3])
+		p := rig.inIf.Poll()
+		rig.router.ProcessOne(p)
+	}
+}
+
+func BenchmarkMonoPath(b *testing.B)      { benchPath(b, KernelBestEffort) }
+func BenchmarkPluginPath(b *testing.B)    { benchPath(b, KernelPlugin) }
+func BenchmarkALTQDRRPath(b *testing.B)   { benchPath(b, KernelALTQDRR) }
+func BenchmarkPluginDRRPath(b *testing.B) { benchPath(b, KernelPluginDRR) }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// RunTable1 reproduces the worked example of §5.1.1: the four filters of
+// Table 1 built into a DAG (Figure 4) and a set of probe triples walked
+// through it, including the paper's <128.252.153.1, 128.252.153.7, UDP>
+// lookup that terminates at filter 2.
+func RunTable1() *Table {
+	specs := []string{
+		"129.*.*.*, 192.94.233.10, TCP, *, *, *",
+		"128.252.153.1, 128.252.153.7, UDP, *, *, *",
+		"128.252.153.1, 128.252.153.7, TCP, *, *, *",
+		"128.252.153.*, *, UDP, *, *, *",
+	}
+	a := aiu.New(aiu.Config{BMPKind: bmp.KindBSPL}, pcu.TypeSched)
+	inst := benchInstance{}
+	recsByID := map[uint64]int{}
+	for i, s := range specs {
+		rec, err := a.Bind(pcu.TypeSched, aiu.MustParseFilter(s), &inst, nil)
+		if err != nil {
+			panic(err)
+		}
+		recsByID[rec.ID] = i + 1
+	}
+	t := &Table{
+		Title:  "Table 1 / Figure 4: the paper's example filter table and DAG lookups",
+		Header: []string{"probe <src, dst, proto>", "best matching filter", "accesses"},
+	}
+	probes := []struct {
+		src, dst string
+		proto    uint8
+	}{
+		{"128.252.153.1", "128.252.153.7", pkt.ProtoUDP},
+		{"128.252.153.1", "128.252.153.7", pkt.ProtoTCP},
+		{"128.252.153.77", "10.0.0.1", pkt.ProtoUDP},
+		{"129.132.66.1", "192.94.233.10", pkt.ProtoTCP},
+		{"129.132.66.1", "192.94.233.10", pkt.ProtoUDP},
+		{"1.2.3.4", "5.6.7.8", pkt.ProtoTCP},
+	}
+	for _, p := range probes {
+		k := pkt.Key{Src: pkt.MustParseAddr(p.src), Dst: pkt.MustParseAddr(p.dst), Proto: p.proto, SrcPort: 1000, DstPort: 2000}
+		var c cycles.Counter
+		rec := a.ClassifyKey(pcu.TypeSched, k, &c)
+		match := "none"
+		if rec != nil {
+			match = fmt.Sprintf("filter %d  %s", recsByID[rec.ID], rec.Filter)
+		}
+		t.Add(fmt.Sprintf("<%s, %s, %d>", p.src, p.dst, p.proto), match, fmt.Sprintf("%d", c.Total()))
+	}
+	t.Note("filter 2 is a proper subset of filter 4 (more specific wins inside the subset); filters 1 and 4 are disjoint")
+	return t
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/trafficgen"
+)
+
+// Table2Result is one (family, filter count) measurement of the filter
+// lookup cost in memory accesses.
+type Table2Result struct {
+	IPv6      bool
+	Filters   int
+	WorstMem  uint64
+	WorstFn   uint64
+	AvgMem    float64
+	PaperMem  int // the paper's worst-case accounting (excl. fn ptrs)
+	PaperFn   int
+	PaperTime string
+}
+
+// paper accounting: fnptr(BMP)=1, fnptr(hash)=1, addr = 2*log2(W)/2,
+// ports = 2, edges = 6.
+func paperAccesses(v6 bool) (mem, fn int) {
+	return 2*bmp.WorstCaseProbes(v6) + 2 + 6, 2
+}
+
+// RunTable2 reproduces Table 2: "Memory Accesses for a Filter Lookup".
+// It installs flow-like filter populations of increasing size (up to the
+// paper's 50,000), classifies random packets through a BSPL-matched DAG
+// with the access counter armed, and reports worst and average counts —
+// which must stay at or below the paper's bound (20 for IPv4, 24 for
+// IPv6) independent of the number of filters.
+func RunTable2(seed int64, counts []int, v6 bool) []Table2Result {
+	if counts == nil {
+		counts = []int{16, 1000, 10000, 50000}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Table2Result
+	for _, n := range counts {
+		a := aiu.New(aiu.Config{BMPKind: bmp.KindBSPL}, pcu.TypeSched)
+		inst := benchInstance{}
+		for _, f := range trafficgen.FlowLikeFilters(rng, n, v6) {
+			a.Bind(pcu.TypeSched, f, &inst, nil)
+		}
+		keys := trafficgen.RandomKeys(rng, 2000, v6)
+		// Mix in keys that actually match installed host filters so
+		// deep DAG paths are exercised.
+		ft, _ := a.Table(pcu.TypeSched)
+		for i, rec := range ft.Records() {
+			if i >= 1000 {
+				break
+			}
+			f := rec.Filter
+			if !f.Src.Wild && f.Src.Prefix.IsHost() {
+				k := pkt.Key{Src: f.Src.Prefix.Addr, Proto: f.Proto.Value}
+				if !f.Dst.Wild {
+					k.Dst = f.Dst.Prefix.Addr
+				}
+				k.SrcPort, k.DstPort = f.SrcPort.Lo, f.DstPort.Lo
+				keys = append(keys, k)
+			}
+		}
+		var worstMem, worstFn, totalMem uint64
+		for _, k := range keys {
+			var c cycles.Counter
+			a.ClassifyKey(pcu.TypeSched, k, &c)
+			if c.Mem > worstMem {
+				worstMem = c.Mem
+			}
+			if c.FnPtr > worstFn {
+				worstFn = c.FnPtr
+			}
+			totalMem += c.Mem
+		}
+		pm, pf := paperAccesses(v6)
+		out = append(out, Table2Result{
+			IPv6: v6, Filters: n,
+			WorstMem: worstMem, WorstFn: worstFn + 1, // + the flow-table hash fn ptr of the paper's accounting
+			AvgMem:   float64(totalMem) / float64(len(keys)),
+			PaperMem: pm, PaperFn: pf,
+		})
+	}
+	return out
+}
+
+// Table2Table renders results in the paper's row structure.
+func Table2Table(v4, v6 []Table2Result) *Table {
+	t := &Table{
+		Title:  "Table 2: Memory Accesses for a Filter Lookup (worst case, BSPL matcher)",
+		Header: []string{"filters", "family", "measured worst", "measured avg", "paper bound", "within bound"},
+	}
+	add := func(rs []Table2Result, fam string) {
+		for _, r := range rs {
+			total := r.WorstMem + r.WorstFn
+			bound := r.PaperMem + r.PaperFn
+			t.Add(
+				fmt.Sprintf("%d", r.Filters), fam,
+				fmt.Sprintf("%d", total),
+				fmt.Sprintf("%.1f", r.AvgMem+float64(r.WorstFn)),
+				fmt.Sprintf("%d", bound),
+				fmt.Sprintf("%v", total <= uint64(bound)),
+			)
+		}
+	}
+	add(v4, "IPv4")
+	add(v6, "IPv6")
+	t.Note("paper accounting: 1 BMP fn ptr + 1 hash fn ptr + 2*log2(W) address probes + 2 port lookups + 6 DAG edges = 20 (IPv4) / 24 (IPv6)")
+	t.Note("the count is independent of the number of installed filters — the paper's central claim for the DAG classifier")
+	return t
+}
+
+// Table2Breakdown reproduces the paper's per-row accounting for the
+// worst case at one population size.
+func Table2Breakdown(v6 bool) *Table {
+	fam := "IPv4"
+	w := 32
+	if v6 {
+		fam, w = "IPv6", 128
+	}
+	probes := bmp.WorstCaseProbes(v6)
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2 breakdown (%s, %d-bit addresses)", fam, w),
+		Header: []string{"component", "accesses"},
+	}
+	t.Add("Access to function pointer for BMP function", "1")
+	t.Add("Access to function pointer for index hash", "1")
+	t.Add(fmt.Sprintf("IP address lookup (2*log2(%d))", w), fmt.Sprintf("%d", 2*probes))
+	t.Add("Port number lookup", "2")
+	t.Add("Access to DAG edges", "6")
+	t.Add("Total", fmt.Sprintf("%d", 2+2*probes+2+6))
+	return t
+}
+
+// benchInstance is a no-op instance for classifier-only experiments.
+type benchInstance struct{}
+
+func (benchInstance) InstanceName() string { return "bench" }
+func (benchInstance) HandlePacket(p *pkt.Packet) error {
+	return nil
+}

@@ -1,0 +1,220 @@
+package bmp
+
+import (
+	"sort"
+
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// BSPL implements binary search on prefix lengths [Waldvogel et al.,
+// SIGCOMM'97] — the fast BMP plugin of the paper, and the algorithm whose
+// worst case produces Table 2's access accounting: O(log W) hash probes
+// per lookup (5 for IPv4, 7 for IPv6 in the paper's arithmetic), each
+// charged as one memory access, independent of the number of prefixes.
+//
+// One hash table per *distinct installed prefix length* holds the
+// truncated prefixes of that length plus markers: artificial entries left
+// on the binary search path of longer prefixes so the search knows to
+// continue toward them. Every entry precomputes its best matching prefix
+// so a failed continuation never needs to backtrack. The binary search
+// runs over the sorted array of distinct lengths, so its worst case is
+// ceil(log2(D+1)) probes for D distinct lengths — at most 6 for IPv4
+// (D = 32) and 8 for IPv6, and exactly the paper's 5/7 whenever D is 31-
+// or 127-wide or less, which any realistic filter population satisfies.
+//
+// Mutations are cheap bookkeeping that mark the structure dirty; the hash
+// tables and marker BMPs are (re)built lazily on the next lookup. This
+// favors the router workload: filter installation is control path, lookup
+// is data path.
+type BSPL struct {
+	store map[pkt.Prefix]any
+	dirty bool
+
+	fam [2]bsplFamily // 0: IPv4, 1: IPv6
+}
+
+type bsplFamily struct {
+	// lens is the sorted set of distinct installed prefix lengths
+	// (excluding 0); tables[i] is the hash table for lens[i].
+	lens   []int
+	tables []map[pkt.Addr]*bsplEntry
+	// defVal is the value of the zero-length prefix, if any.
+	defVal any
+	defSet bool
+}
+
+type bsplEntry struct {
+	// bmp is the longest real prefix matching this entry's bit string,
+	// including the entry itself when it is a real prefix.
+	bmpVal    any
+	bmpPrefix pkt.Prefix
+	bmpOK     bool
+	// hasLonger directs the binary search upward: some real prefix
+	// longer than this entry's length extends this bit string.
+	hasLonger bool
+}
+
+// NewBSPL returns an empty binary-search-on-prefix-lengths table.
+func NewBSPL() *BSPL {
+	return &BSPL{store: make(map[pkt.Prefix]any)}
+}
+
+// Name implements Table.
+func (t *BSPL) Name() string { return string(KindBSPL) }
+
+// Len implements Table.
+func (t *BSPL) Len() int { return len(t.store) }
+
+// Insert implements Table.
+func (t *BSPL) Insert(p pkt.Prefix, v any) {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	t.store[p] = v
+	t.dirty = true
+}
+
+// Delete implements Table.
+func (t *BSPL) Delete(p pkt.Prefix) bool {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	if _, ok := t.store[p]; !ok {
+		return false
+	}
+	delete(t.store, p)
+	t.dirty = true
+	return true
+}
+
+func famIndex(v6 bool) int {
+	if v6 {
+		return 1
+	}
+	return 0
+}
+
+// rebuild constructs the per-length hash tables, markers, and precomputed
+// marker BMPs from the prefix store.
+func (t *BSPL) rebuild() {
+	t.fam[0] = bsplFamily{}
+	t.fam[1] = bsplFamily{}
+
+	// A PATRICIA over the real prefixes answers "best matching prefix of
+	// this marker's bit string" queries during the build.
+	ref := NewPatricia()
+	lenSet := [2]map[int]bool{{}, {}}
+	for p, v := range t.store {
+		f := &t.fam[famIndex(p.Addr.IsV6())]
+		if p.Len == 0 {
+			f.defVal, f.defSet = v, true
+			continue
+		}
+		lenSet[famIndex(p.Addr.IsV6())][p.Len] = true
+		ref.Insert(p, v)
+	}
+	for fi := range t.fam {
+		f := &t.fam[fi]
+		for l := range lenSet[fi] {
+			f.lens = append(f.lens, l)
+		}
+		sort.Ints(f.lens)
+		f.tables = make([]map[pkt.Addr]*bsplEntry, len(f.lens))
+		for i := range f.tables {
+			f.tables[i] = make(map[pkt.Addr]*bsplEntry)
+		}
+	}
+
+	entry := func(f *bsplFamily, idx int, key pkt.Addr) *bsplEntry {
+		e := f.tables[idx][key]
+		if e == nil {
+			e = &bsplEntry{}
+			f.tables[idx][key] = e
+		}
+		return e
+	}
+
+	// Walk each prefix's binary search path over the length array,
+	// dropping markers where the search must be steered upward.
+	for p := range t.store {
+		if p.Len == 0 {
+			continue
+		}
+		f := &t.fam[famIndex(p.Addr.IsV6())]
+		lo, hi := 0, len(f.lens)-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			L := f.lens[mid]
+			switch {
+			case p.Len > L:
+				e := entry(f, mid, p.Addr.Truncate(L))
+				e.hasLonger = true
+				lo = mid + 1
+			case p.Len == L:
+				entry(f, mid, p.Addr)
+				lo = hi + 1 // done
+			default:
+				hi = mid - 1
+			}
+		}
+	}
+
+	// Precompute every entry's BMP: the longest real prefix of length at
+	// most the entry's level that matches its bit string.
+	for fi := range t.fam {
+		f := &t.fam[fi]
+		for i, tab := range f.tables {
+			L := f.lens[i]
+			for key, e := range tab {
+				if v, mp, ok := ref.lookupMax(key, L, nil); ok {
+					e.bmpVal, e.bmpPrefix, e.bmpOK = v, mp, true
+				}
+			}
+		}
+	}
+	t.dirty = false
+}
+
+// Lookup implements Table. Each hash probe costs one memory access; the
+// probe count is bounded by ceil(log2(D+1)) for D distinct prefix lengths
+// regardless of the number of installed prefixes — the property Table 2
+// depends on.
+func (t *BSPL) Lookup(a pkt.Addr, c *cycles.Counter) (any, pkt.Prefix, bool) {
+	if t.dirty {
+		t.rebuild()
+	}
+	f := &t.fam[famIndex(a.IsV6())]
+	var (
+		bestVal any
+		bestP   pkt.Prefix
+		bestOK  bool
+	)
+	if f.defSet {
+		bestVal, bestP, bestOK = f.defVal, pkt.PrefixFrom(a, 0), true
+	}
+	lo, hi := 0, len(f.lens)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		c.Access(1)
+		e := f.tables[mid][a.Truncate(f.lens[mid])]
+		if e == nil {
+			hi = mid - 1
+			continue
+		}
+		if e.bmpOK {
+			bestVal, bestP, bestOK = e.bmpVal, e.bmpPrefix, true
+		}
+		if !e.hasLonger {
+			break
+		}
+		lo = mid + 1
+	}
+	return bestVal, bestP, bestOK
+}
+
+// WorstCaseProbes returns the paper's Table 2 accounting for the maximum
+// number of hash probes per address lookup: log2 of the address width (5
+// for IPv4, 7 for IPv6).
+func WorstCaseProbes(v6 bool) int {
+	if v6 {
+		return 7 // log2(128)
+	}
+	return 5 // log2(32)
+}

@@ -1,0 +1,152 @@
+package bmp
+
+import (
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// CPE is a multibit trie with fixed stride — controlled prefix expansion
+// [Srinivasan & Varghese, SIGMETRICS'98], which the paper names as the
+// state-of-the-art BMP to plug into the classifier. Prefixes whose length
+// is not a multiple of the stride are expanded to the next stride
+// boundary. Lookup inspects stride bits per trie node, charging one
+// memory access per node, so the worst case is W/stride accesses (4 for
+// IPv4 at the default stride of 8).
+//
+// Like BSPL, mutations mark the structure dirty and the trie is rebuilt
+// lazily on lookup; expansion makes in-place deletes disproportionately
+// complex for a control-path operation.
+type CPE struct {
+	stride int
+	store  map[pkt.Prefix]any
+	dirty  bool
+	root   [2]*cpeNode // 0: IPv4, 1: IPv6
+}
+
+type cpeNode struct {
+	// entries has 2^stride slots. Each slot carries the best matching
+	// prefix among those expanded onto it, plus a child for longer ones.
+	entries []cpeSlot
+}
+
+type cpeSlot struct {
+	val   any
+	plen  int // original (pre-expansion) length; -1 if empty
+	pfx   pkt.Prefix
+	child *cpeNode
+}
+
+// NewCPE returns an empty controlled-prefix-expansion table with the
+// given stride in bits. The stride must divide the address width, so the
+// accepted values are 1, 2, 4, 8, and 16; the default used by New is 8.
+func NewCPE(stride int) *CPE {
+	if stride < 1 || stride > 16 || 32%stride != 0 {
+		panic("bmp: CPE stride must be one of 1, 2, 4, 8, 16")
+	}
+	return &CPE{stride: stride, store: make(map[pkt.Prefix]any)}
+}
+
+// Name implements Table.
+func (t *CPE) Name() string { return string(KindCPE) }
+
+// Len implements Table.
+func (t *CPE) Len() int { return len(t.store) }
+
+// Insert implements Table.
+func (t *CPE) Insert(p pkt.Prefix, v any) {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	t.store[p] = v
+	t.dirty = true
+}
+
+// Delete implements Table.
+func (t *CPE) Delete(p pkt.Prefix) bool {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	if _, ok := t.store[p]; !ok {
+		return false
+	}
+	delete(t.store, p)
+	t.dirty = true
+	return true
+}
+
+func (t *CPE) newNode() *cpeNode {
+	n := &cpeNode{entries: make([]cpeSlot, 1<<t.stride)}
+	for i := range n.entries {
+		n.entries[i].plen = -1
+	}
+	return n
+}
+
+// chunk extracts stride bits of a starting at bit offset off.
+func (t *CPE) chunk(a pkt.Addr, off int) int {
+	v := 0
+	for i := 0; i < t.stride; i++ {
+		v = v<<1 | int(a.Bit(off+i))
+	}
+	return v
+}
+
+func (t *CPE) rebuild() {
+	t.root[0], t.root[1] = nil, nil
+	for p, v := range t.store {
+		fi := famIndex(p.Addr.IsV6())
+		if t.root[fi] == nil {
+			t.root[fi] = t.newNode()
+		}
+		t.insertTrie(t.root[fi], p, v, 0)
+	}
+	t.dirty = false
+}
+
+func (t *CPE) insertTrie(n *cpeNode, p pkt.Prefix, v any, depth int) {
+	off := depth * t.stride
+	if p.Len <= off+t.stride {
+		// The prefix ends inside this node: expand it over all slots
+		// whose leading bits match.
+		specified := p.Len - off // 0..stride
+		base := 0
+		for i := 0; i < specified; i++ {
+			base = base<<1 | int(p.Addr.Bit(off+i))
+		}
+		span := 1 << (t.stride - specified)
+		lo := base << (t.stride - specified)
+		for i := lo; i < lo+span; i++ {
+			s := &n.entries[i]
+			if p.Len > s.plen {
+				s.val, s.plen, s.pfx = v, p.Len, p
+			}
+		}
+		return
+	}
+	idx := t.chunk(p.Addr, off)
+	s := &n.entries[idx]
+	if s.child == nil {
+		s.child = t.newNode()
+	}
+	t.insertTrie(s.child, p, v, depth+1)
+}
+
+// Lookup implements Table. One memory access per trie level.
+func (t *CPE) Lookup(a pkt.Addr, c *cycles.Counter) (any, pkt.Prefix, bool) {
+	if t.dirty {
+		t.rebuild()
+	}
+	n := t.root[famIndex(a.IsV6())]
+	var (
+		bestVal any
+		bestP   pkt.Prefix
+		bestOK  bool
+	)
+	off := 0
+	for n != nil && off+t.stride <= a.BitLen() {
+		c.Access(1)
+		s := &n.entries[t.chunk(a, off)]
+		if s.plen >= 0 {
+			bestVal, bestP, bestOK = s.val, s.pfx, true
+		}
+		n = s.child
+		off += t.stride
+	}
+	return bestVal, bestP, bestOK
+}

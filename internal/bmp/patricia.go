@@ -1,0 +1,180 @@
+package bmp
+
+import (
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Patricia is a path-compressed binary trie — the "slower but freely
+// available" BMP plugin of the paper, modeled on the BSD radix tree
+// [Sklower 93]. Lookup visits at most one node per bit of divergence and
+// charges one memory access per visited node.
+//
+// Node prefixes are absolute (the full truncated address plus length), so
+// each node knows the entire path that leads to it; this keeps splits and
+// merges simple.
+type Patricia struct {
+	root4 *patNode
+	root6 *patNode
+	n     int
+}
+
+type patNode struct {
+	prefix pkt.Prefix
+	hasVal bool
+	val    any
+	child  [2]*patNode
+}
+
+// NewPatricia returns an empty PATRICIA table.
+func NewPatricia() *Patricia { return &Patricia{} }
+
+// Name implements Table.
+func (t *Patricia) Name() string { return string(KindPatricia) }
+
+// Len implements Table.
+func (t *Patricia) Len() int { return t.n }
+
+func (t *Patricia) rootFor(v6 bool) **patNode {
+	if v6 {
+		return &t.root6
+	}
+	return &t.root4
+}
+
+// Insert implements Table.
+func (t *Patricia) Insert(p pkt.Prefix, v any) {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	root := t.rootFor(p.Addr.IsV6())
+	added := false
+	*root = patInsert(*root, p, v, &added)
+	if added {
+		t.n++
+	}
+}
+
+func patInsert(n *patNode, p pkt.Prefix, v any, added *bool) *patNode {
+	if n == nil {
+		*added = true
+		return &patNode{prefix: p, hasVal: true, val: v}
+	}
+	cpl := n.prefix.Addr.CommonPrefixLen(p.Addr)
+	if cpl > n.prefix.Len {
+		cpl = n.prefix.Len
+	}
+	if cpl > p.Len {
+		cpl = p.Len
+	}
+	if cpl < n.prefix.Len {
+		// Split: the new prefix diverges inside this node's path.
+		parent := &patNode{prefix: pkt.PrefixFrom(p.Addr, cpl)}
+		parent.child[n.prefix.Addr.Bit(cpl)] = n
+		if cpl == p.Len {
+			parent.hasVal, parent.val = true, v
+		} else {
+			nn := &patNode{prefix: p, hasVal: true, val: v}
+			parent.child[p.Addr.Bit(cpl)] = nn
+		}
+		*added = true
+		return parent
+	}
+	// n's path is a prefix of p.
+	if p.Len == n.prefix.Len {
+		if !n.hasVal {
+			*added = true
+		}
+		n.hasVal, n.val = true, v
+		return n
+	}
+	b := p.Addr.Bit(n.prefix.Len)
+	n.child[b] = patInsert(n.child[b], p, v, added)
+	return n
+}
+
+// Delete implements Table.
+func (t *Patricia) Delete(p pkt.Prefix) bool {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	root := t.rootFor(p.Addr.IsV6())
+	removed := false
+	*root = patDelete(*root, p, &removed)
+	if removed {
+		t.n--
+	}
+	return removed
+}
+
+func patDelete(n *patNode, p pkt.Prefix, removed *bool) *patNode {
+	if n == nil {
+		return nil
+	}
+	if n.prefix == p {
+		if !n.hasVal {
+			return n
+		}
+		*removed = true
+		n.hasVal, n.val = false, nil
+		return patCompact(n)
+	}
+	if n.prefix.Len >= p.Len || !n.prefix.Contains(p.Addr) {
+		return n
+	}
+	b := p.Addr.Bit(n.prefix.Len)
+	n.child[b] = patDelete(n.child[b], p, removed)
+	if *removed {
+		return patCompact(n)
+	}
+	return n
+}
+
+// patCompact removes empty value-less nodes and merges single-child
+// value-less interior nodes upward.
+func patCompact(n *patNode) *patNode {
+	if n.hasVal {
+		return n
+	}
+	var only *patNode
+	count := 0
+	for _, c := range n.child {
+		if c != nil {
+			only = c
+			count++
+		}
+	}
+	switch count {
+	case 0:
+		return nil
+	case 1:
+		return only // child prefixes are absolute, so hoisting is free
+	default:
+		return n
+	}
+}
+
+// Lookup implements Table.
+func (t *Patricia) Lookup(a pkt.Addr, c *cycles.Counter) (any, pkt.Prefix, bool) {
+	return t.lookupMax(a, a.BitLen(), c)
+}
+
+// lookupMax finds the longest matching prefix of length at most maxLen.
+// The BSPL builder uses it to precompute marker BMPs.
+func (t *Patricia) lookupMax(a pkt.Addr, maxLen int, c *cycles.Counter) (any, pkt.Prefix, bool) {
+	n := *t.rootFor(a.IsV6())
+	var best *patNode
+	for n != nil {
+		c.Access(1)
+		if n.prefix.Len > maxLen || !n.prefix.Contains(a) {
+			break
+		}
+		if n.hasVal {
+			best = n
+		}
+		if n.prefix.Len == a.BitLen() {
+			break
+		}
+		n = n.child[a.Bit(n.prefix.Len)]
+	}
+	if best == nil {
+		return nil, pkt.Prefix{}, false
+	}
+	return best.val, best.prefix, true
+}

@@ -1,0 +1,186 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ParseCommand translates a pmgr-style command line into a control
+// request. The grammar mirrors the paper's pmgr usage (§6.1):
+//
+//	load PLUGIN
+//	unload PLUGIN
+//	plugins
+//	create PLUGIN [key=value ...]
+//	free PLUGIN INSTANCE
+//	instances PLUGIN
+//	register PLUGIN INSTANCE filter=<SPEC> [key=value ...]
+//	deregister PLUGIN INSTANCE filter=<SPEC>
+//	msg PLUGIN [INSTANCE] VERB [key=value ...]
+//	route add PREFIX dev N [via GW] [metric M]
+//	route del PREFIX
+//	routes
+//	filters GATE
+//	stats
+//	flows
+//
+// Filter specs contain commas and spaces; quote them or rely on the
+// key=value splitting, which only splits on the first '='.
+func ParseCommand(args []string) (*Request, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("ctl: empty command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "load", "unload":
+		if len(rest) != 1 {
+			return nil, fmt.Errorf("ctl: %s PLUGIN", cmd)
+		}
+		op := OpLoad
+		if cmd == "unload" {
+			op = OpUnload
+		}
+		return &Request{Op: op, Plugin: rest[0]}, nil
+	case "plugins":
+		return &Request{Op: OpPlugins}, nil
+	case "create":
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("ctl: create PLUGIN [key=value ...]")
+		}
+		return &Request{Op: OpCreate, Plugin: rest[0], Args: parseKVs(rest[1:])}, nil
+	case "free":
+		if len(rest) != 2 {
+			return nil, fmt.Errorf("ctl: free PLUGIN INSTANCE")
+		}
+		return &Request{Op: OpFree, Plugin: rest[0], Instance: rest[1]}, nil
+	case "instances":
+		if len(rest) != 1 {
+			return nil, fmt.Errorf("ctl: instances PLUGIN")
+		}
+		return &Request{Op: OpInstances, Plugin: rest[0]}, nil
+	case "register", "deregister":
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("ctl: %s PLUGIN INSTANCE [key=value ...]", cmd)
+		}
+		op := OpRegister
+		if cmd == "deregister" {
+			op = OpDeregister
+		}
+		return &Request{Op: op, Plugin: rest[0], Instance: rest[1], Args: parseKVs(rest[2:])}, nil
+	case "msg":
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("ctl: msg PLUGIN [INSTANCE] VERB [key=value ...]")
+		}
+		req := &Request{Op: OpMessage, Plugin: rest[0]}
+		rest = rest[1:]
+		// The second token is an instance unless it is immediately a
+		// verb followed by nothing/k=v; disambiguate: if the next token
+		// after it exists and has no '=', treat token as instance.
+		if len(rest) >= 2 && !strings.Contains(rest[1], "=") {
+			req.Instance, req.Verb = rest[0], rest[1]
+			req.Args = parseKVs(rest[2:])
+		} else if len(rest) >= 2 {
+			req.Instance, req.Verb = rest[0], rest[1]
+			req.Args = parseKVs(rest[2:])
+		} else {
+			req.Verb = rest[0]
+		}
+		return req, nil
+	case "route":
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("ctl: route add|del ...")
+		}
+		switch rest[0] {
+		case "add":
+			return &Request{Op: OpRouteAdd, Route: strings.Join(rest[1:], " ")}, nil
+		case "del":
+			return &Request{Op: OpRouteDel, Route: rest[1]}, nil
+		default:
+			return nil, fmt.Errorf("ctl: route add|del, got %q", rest[0])
+		}
+	case "routes":
+		return &Request{Op: OpRoutes}, nil
+	case "filters":
+		if len(rest) != 1 {
+			return nil, fmt.Errorf("ctl: filters GATE")
+		}
+		return &Request{Op: OpFilters, Gate: rest[0]}, nil
+	case "stats":
+		return &Request{Op: OpStats}, nil
+	case "flows":
+		return &Request{Op: OpFlows}, nil
+	default:
+		return nil, fmt.Errorf("ctl: unknown command %q", cmd)
+	}
+}
+
+// parseKVs splits "key=value" arguments; later duplicates win.
+func parseKVs(args []string) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(args))
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			out[a] = ""
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// SplitLine tokenizes a configuration-script line, honoring single and
+// double quotes so filter specs with commas and spaces stay whole.
+// Comments start with '#'.
+func SplitLine(line string) []string {
+	var out []string
+	var cur strings.Builder
+	quote := byte(0)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#':
+			flush()
+			return out
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// FormatData pretty-prints a response payload for CLI display.
+func FormatData(data json.RawMessage) string {
+	if len(data) == 0 {
+		return "ok"
+	}
+	var pretty any
+	if err := json.Unmarshal(data, &pretty); err != nil {
+		return string(data)
+	}
+	b, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return string(data)
+	}
+	return string(b)
+}

@@ -1,0 +1,233 @@
+// Package ctl implements the control-path wire protocol between user
+// space and the router — the analog of the paper's "dedicated socket
+// type for all plugin related user space communication with the kernel,
+// similar to the routing socket used by routed" (§4). The Plugin
+// Manager, the SSP daemon, and the route daemon all speak this protocol
+// through the Client type (the paper's user-space Router Plugin
+// Library).
+//
+// Framing is newline-delimited JSON over any stream transport (TCP or
+// Unix socket).
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Op is a control operation.
+type Op string
+
+// The operations of the control protocol.
+const (
+	OpLoad       Op = "load"       // load a plugin module
+	OpUnload     Op = "unload"     // unload a plugin module
+	OpPlugins    Op = "plugins"    // list loaded plugins
+	OpCreate     Op = "create"     // create-instance
+	OpFree       Op = "free"       // free-instance
+	OpInstances  Op = "instances"  // list instances of a plugin
+	OpRegister   Op = "register"   // register-instance (bind filter)
+	OpDeregister Op = "deregister" // deregister-instance
+	OpMessage    Op = "message"    // plugin-specific message
+	OpRouteAdd   Op = "route-add"  // install a route
+	OpRouteDel   Op = "route-del"  // remove a route
+	OpRoutes     Op = "routes"     // list routes
+	OpFilters    Op = "filters"    // list filters at a gate
+	OpStats      Op = "stats"      // router core statistics
+	OpFlows      Op = "flows"      // flow table statistics
+)
+
+// Request is one control message.
+type Request struct {
+	Op       Op                `json:"op"`
+	Plugin   string            `json:"plugin,omitempty"`
+	Instance string            `json:"instance,omitempty"`
+	Verb     string            `json:"verb,omitempty"`
+	Gate     string            `json:"gate,omitempty"`
+	Route    string            `json:"route,omitempty"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// Response answers a request. Data is op-specific JSON.
+type Response struct {
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// Backend is the router-side implementation the server dispatches to;
+// the eisr facade implements it.
+type Backend interface {
+	Control(req *Request) (any, error)
+}
+
+// Server accepts control connections and serves requests.
+type Server struct {
+	backend Backend
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer builds a server over a backend.
+func NewServer(b Backend) *Server { return &Server{backend: b} }
+
+// Serve accepts connections on l until it is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := Response{OK: true}
+		data, err := s.backend.Control(&req)
+		if err != nil {
+			resp.OK = false
+			resp.Error = err.Error()
+		} else if data != nil {
+			raw, err := json.Marshal(data)
+			if err != nil {
+				resp.OK = false
+				resp.Error = fmt.Sprintf("ctl: marshal reply: %v", err)
+			} else {
+				resp.Data = raw
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is the Router Plugin Library: the user-space API that the
+// Plugin Manager and the daemons link against.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a control endpoint ("tcp", "127.0.0.1:4242" or
+// "unix", "/path").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), enc: json.NewEncoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request, returning the op-specific payload.
+func (c *Client) Do(req *Request) (json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ctl: %s", resp.Error)
+	}
+	return resp.Data, nil
+}
+
+// Convenience wrappers — the library calls of §3.1.
+
+// LoadPlugin loads a named plugin module into the router.
+func (c *Client) LoadPlugin(name string) error {
+	_, err := c.Do(&Request{Op: OpLoad, Plugin: name})
+	return err
+}
+
+// CreateInstance creates a configured instance and returns its name.
+func (c *Client) CreateInstance(plugin string, args map[string]string) (string, error) {
+	data, err := c.Do(&Request{Op: OpCreate, Plugin: plugin, Args: args})
+	if err != nil {
+		return "", err
+	}
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// FreeInstance frees an instance.
+func (c *Client) FreeInstance(plugin, instance string) error {
+	_, err := c.Do(&Request{Op: OpFree, Plugin: plugin, Instance: instance})
+	return err
+}
+
+// Register binds a filter (in args["filter"]) to an instance.
+func (c *Client) Register(plugin, instance string, args map[string]string) error {
+	_, err := c.Do(&Request{Op: OpRegister, Plugin: plugin, Instance: instance, Args: args})
+	return err
+}
+
+// Deregister removes a filter binding.
+func (c *Client) Deregister(plugin, instance, filter string) error {
+	_, err := c.Do(&Request{
+		Op: OpDeregister, Plugin: plugin, Instance: instance,
+		Args: map[string]string{"filter": filter},
+	})
+	return err
+}
+
+// Message sends a plugin-specific message; the reply is plugin-defined
+// JSON.
+func (c *Client) Message(plugin, instance, verb string, args map[string]string) (json.RawMessage, error) {
+	return c.Do(&Request{Op: OpMessage, Plugin: plugin, Instance: instance, Verb: verb, Args: args})
+}
+
+// AddRoute installs a route ("PREFIX dev N [via GW] [metric M]").
+func (c *Client) AddRoute(route string) error {
+	_, err := c.Do(&Request{Op: OpRouteAdd, Route: route})
+	return err
+}
+
+// DelRoute removes a route by prefix.
+func (c *Client) DelRoute(prefix string) error {
+	_, err := c.Do(&Request{Op: OpRouteDel, Route: prefix})
+	return err
+}

@@ -1,0 +1,220 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+)
+
+func TestParseCommand(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Request
+	}{
+		{"load drr", &Request{Op: OpLoad, Plugin: "drr"}},
+		{"unload drr", &Request{Op: OpUnload, Plugin: "drr"}},
+		{"plugins", &Request{Op: OpPlugins}},
+		{"create drr iface=1 quantum=1500", &Request{
+			Op: OpCreate, Plugin: "drr",
+			Args: map[string]string{"iface": "1", "quantum": "1500"},
+		}},
+		{"free drr drr0", &Request{Op: OpFree, Plugin: "drr", Instance: "drr0"}},
+		{"instances drr", &Request{Op: OpInstances, Plugin: "drr"}},
+		{"register drr drr0 'filter=<1.2.3.4, *, TCP, *, *, *>' weight=4", &Request{
+			Op: OpRegister, Plugin: "drr", Instance: "drr0",
+			Args: map[string]string{"filter": "<1.2.3.4, *, TCP, *, *, *>", "weight": "4"},
+		}},
+		{"deregister drr drr0 filter=F", &Request{
+			Op: OpDeregister, Plugin: "drr", Instance: "drr0",
+			Args: map[string]string{"filter": "F"},
+		}},
+		{"msg drr drr0 stats", &Request{Op: OpMessage, Plugin: "drr", Instance: "drr0", Verb: "stats"}},
+		{"msg hfsc hfsc0 add-class name=video rt=100", &Request{
+			Op: OpMessage, Plugin: "hfsc", Instance: "hfsc0", Verb: "add-class",
+			Args: map[string]string{"name": "video", "rt": "100"},
+		}},
+		{"route add 10.0.0.0/8 dev 1 via 192.168.1.1", &Request{
+			Op: OpRouteAdd, Route: "10.0.0.0/8 dev 1 via 192.168.1.1",
+		}},
+		{"route del 10.0.0.0/8", &Request{Op: OpRouteDel, Route: "10.0.0.0/8"}},
+		{"routes", &Request{Op: OpRoutes}},
+		{"filters sched", &Request{Op: OpFilters, Gate: "sched"}},
+		{"stats", &Request{Op: OpStats}},
+		{"flows", &Request{Op: OpFlows}},
+	}
+	for _, tc := range cases {
+		got, err := ParseCommand(SplitLine(tc.in))
+		if err != nil {
+			t.Errorf("ParseCommand(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseCommand(%q)\n got %+v\nwant %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseCommandErrors(t *testing.T) {
+	bad := [][]string{
+		{},
+		{"bogus"},
+		{"load"},
+		{"create"},
+		{"free", "drr"},
+		{"instances"},
+		{"register", "drr"},
+		{"msg", "drr"},
+		{"route"},
+		{"route", "sideways", "x"},
+		{"filters"},
+	}
+	for _, args := range bad {
+		if _, err := ParseCommand(args); err == nil {
+			t.Errorf("ParseCommand(%v) accepted", args)
+		}
+	}
+}
+
+func TestSplitLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"load drr", []string{"load", "drr"}},
+		{"  load   drr  ", []string{"load", "drr"}},
+		{"register drr drr0 'filter=<129.*.*.*, *, TCP, *, *, *>' weight=4",
+			[]string{"register", "drr", "drr0", "filter=<129.*.*.*, *, TCP, *, *, *>", "weight=4"}},
+		{`create x "a b"=c`, []string{"create", "x", "a b=c"}},
+		{"# a comment", nil},
+		{"load drr # trailing comment", []string{"load", "drr"}},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := SplitLine(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitLine(%q) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatData(t *testing.T) {
+	if got := FormatData(nil); got != "ok" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := FormatData(json.RawMessage(`{"a":1}`)); got != "{\n  \"a\": 1\n}" {
+		t.Errorf("object = %q", got)
+	}
+	if got := FormatData(json.RawMessage(`not-json`)); got != "not-json" {
+		t.Errorf("garbage = %q", got)
+	}
+}
+
+// echoBackend echoes requests for wire tests.
+type echoBackend struct{}
+
+func (echoBackend) Control(req *Request) (any, error) {
+	if req.Op == "fail" {
+		return nil, fmt.Errorf("scripted error")
+	}
+	return map[string]string{"op": string(req.Op), "plugin": req.Plugin}, nil
+}
+
+func TestClientServerWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go NewServer(echoBackend{}).Serve(ln)
+
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data, err := c.Do(&Request{Op: OpLoad, Plugin: "drr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["op"] != "load" || got["plugin"] != "drr" {
+		t.Errorf("echo = %v", got)
+	}
+	// Errors propagate.
+	if _, err := c.Do(&Request{Op: "fail"}); err == nil {
+		t.Error("server error not propagated")
+	}
+	// Multiple requests on one connection.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Do(&Request{Op: OpStats}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClientHelpers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var seen []Request
+	backend := backendFunc(func(req *Request) (any, error) {
+		seen = append(seen, *req)
+		if req.Op == OpCreate {
+			return "drr0", nil
+		}
+		return nil, nil
+	})
+	go NewServer(backend).Serve(ln)
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.LoadPlugin("drr"); err != nil {
+		t.Fatal(err)
+	}
+	name, err := c.CreateInstance("drr", map[string]string{"iface": "1"})
+	if err != nil || name != "drr0" {
+		t.Fatalf("CreateInstance = %q, %v", name, err)
+	}
+	if err := c.Register("drr", name, map[string]string{"filter": "F"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deregister("drr", name, "F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Message("drr", name, "stats", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FreeInstance("drr", name); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRoute("0.0.0.0/0 dev 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DelRoute("0.0.0.0/0"); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpLoad, OpCreate, OpRegister, OpDeregister, OpMessage, OpFree, OpRouteAdd, OpRouteDel}
+	if len(seen) != len(wantOps) {
+		t.Fatalf("saw %d requests want %d", len(seen), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if seen[i].Op != op {
+			t.Errorf("request %d op = %s want %s", i, seen[i].Op, op)
+		}
+	}
+}
+
+type backendFunc func(req *Request) (any, error)
+
+func (f backendFunc) Control(req *Request) (any, error) { return f(req) }

@@ -1,0 +1,93 @@
+// Package cycles provides the machine cost model used to report results
+// in the units of the paper's evaluation. The paper measured on a Pentium
+// Pro at 233 MHz ("P6/233") with a 60 ns memory access delay and reported
+// classification cost as a count of memory accesses (Table 2) and
+// forwarding cost in CPU cycles (Table 3).
+//
+// Two mechanisms live here:
+//
+//   - Counter: an explicit memory-access counter threaded through the
+//     classifier. Table 2's numbers are access *counts*, which are
+//     hardware-independent; we count the same accesses the paper counts
+//     (hash-table probes, trie-node visits, DAG edge fetches, function
+//     pointers) and compare them exactly.
+//
+//   - Model: converts measured wall-clock durations and access counts
+//     into P6/233-style figures for side-by-side presentation in
+//     EXPERIMENTS.md. The headline comparisons remain ratios, which are
+//     machine independent.
+package cycles
+
+import "time"
+
+// Counter accumulates the memory accesses attributed to one operation.
+// A nil *Counter is valid and counts nothing, so hot paths can pass nil
+// when instrumentation is off.
+type Counter struct {
+	// Mem is the number of memory accesses.
+	Mem uint64
+	// FnPtr is the number of function-pointer loads (the paper accounts
+	// these separately in Table 2: one for the BMP function, one for the
+	// index hash function).
+	FnPtr uint64
+}
+
+// Access records n data memory accesses.
+func (c *Counter) Access(n int) {
+	if c != nil {
+		c.Mem += uint64(n)
+	}
+}
+
+// FnPointer records a function-pointer load.
+func (c *Counter) FnPointer() {
+	if c != nil {
+		c.FnPtr++
+	}
+}
+
+// Total returns all accesses, data and function pointer together — the
+// quantity Table 2 totals.
+func (c *Counter) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.Mem + c.FnPtr
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.Mem, c.FnPtr = 0, 0
+	}
+}
+
+// Model is a simple machine model for translating measurements into the
+// paper's reporting units.
+type Model struct {
+	// ClockHz is the CPU clock. The paper's machine ran at 233 MHz.
+	ClockHz float64
+	// MemAccess is the cost of one memory access. The paper uses 60 ns.
+	MemAccess time.Duration
+}
+
+// P6233 is the paper's evaluation machine.
+var P6233 = Model{ClockHz: 233e6, MemAccess: 60 * time.Nanosecond}
+
+// CyclesOf converts a duration into CPU cycles under the model.
+func (m Model) CyclesOf(d time.Duration) float64 {
+	return d.Seconds() * m.ClockHz
+}
+
+// DurationOfCycles converts a cycle count into a duration under the model.
+func (m Model) DurationOfCycles(cy float64) time.Duration {
+	return time.Duration(cy / m.ClockHz * float64(time.Second))
+}
+
+// LookupTime estimates the filter-lookup latency from an access count the
+// way the paper does: "a reasonably good estimate of the worst case filter
+// lookup time can be calculated by multiplying the number of memory
+// accesses with the memory access delay (60 ns)".
+func (m Model) LookupTime(accesses uint64) time.Duration {
+	return time.Duration(accesses) * m.MemAccess
+}

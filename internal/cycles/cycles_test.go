@@ -1,0 +1,50 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Access(5)
+	c.FnPointer()
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("nil counter total != 0")
+	}
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	var c Counter
+	c.Access(3)
+	c.Access(2)
+	c.FnPointer()
+	if c.Mem != 5 || c.FnPtr != 1 || c.Total() != 6 {
+		t.Errorf("counter = %+v total %d", c, c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestModelConversions(t *testing.T) {
+	m := P6233
+	// 233 cycles = 1 microsecond at 233 MHz.
+	if got := m.CyclesOf(time.Microsecond); got < 232.9 || got > 233.1 {
+		t.Errorf("CyclesOf(1us) = %v", got)
+	}
+	if got := m.DurationOfCycles(233); got < 999*time.Nanosecond || got > 1001*time.Nanosecond {
+		t.Errorf("DurationOfCycles(233) = %v", got)
+	}
+	// The paper's estimate: 24 accesses * 60ns = 1.44us ≈ "1.4 us".
+	if got := m.LookupTime(24); got != 1440*time.Nanosecond {
+		t.Errorf("LookupTime(24) = %v", got)
+	}
+	// Round trip.
+	d := 7 * time.Microsecond
+	if got := m.DurationOfCycles(m.CyclesOf(d)); got < d-time.Nanosecond || got > d+time.Nanosecond {
+		t.Errorf("round trip = %v", got)
+	}
+}

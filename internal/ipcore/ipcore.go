@@ -1,0 +1,709 @@
+// Package ipcore is the stable core of the EISR (§3): the streamlined
+// IPv4/IPv6 forwarding path that interacts with the (simulated) network
+// devices and demultiplexes packets to plugin instances at gates. The
+// core is deliberately small; everything "fluid" — option processing,
+// security, scheduling, classification match functions — lives in
+// plugins reached through gates.
+//
+// The same type also implements the *monolithic best-effort* kernel used
+// as the Table 3 baseline: in ModeBestEffort no gates exist, forwarding
+// is hard-wired (checksum, route lookup, TTL, FIFO output), and an
+// optional hard-wired ALTQ-style scheduler reproduces the "NetBSD with
+// ALTQ and DRR" row.
+package ipcore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/sched"
+)
+
+// limitedBroadcast is 255.255.255.255.
+var limitedBroadcast = pkt.AddrV4(0xffffffff)
+
+// Mode selects the kernel flavor.
+type Mode int
+
+const (
+	// ModeBestEffort is the unmodified monolithic kernel: no gates, no
+	// classifier, direct function calls end to end.
+	ModeBestEffort Mode = iota
+	// ModePlugin is the EISR architecture: gates consult the AIU and
+	// dispatch to plugin instances.
+	ModePlugin
+)
+
+// DefaultGates is the paper's gate set: IPv6/IPv4 option processing, IP
+// security, packet scheduling, and the classifier's best-matching-prefix
+// gate (represented by the routing gate, which performs per-flow route
+// selection when bound).
+var DefaultGates = []pcu.Type{pcu.TypeOptions, pcu.TypeSecurity, pcu.TypeRouting, pcu.TypeSched}
+
+// Drainer is implemented by scheduling instances that own an output
+// queue: the core pulls packets from it when the link can transmit.
+type Drainer interface {
+	Drain() *pkt.Packet
+	Backlog() int
+}
+
+// Stats counts core events.
+type Stats struct {
+	Forwarded   uint64
+	Delivered   uint64 // locally destined
+	Dropped     uint64
+	TTLExpired  uint64
+	BadChecksum uint64
+	NoRoute     uint64
+	PluginDrops uint64
+	SchedEnq    uint64
+	ICMPSent    uint64
+	Fragmented  uint64
+}
+
+// coreStats is the lock-free live counter set; Stats() snapshots it.
+// Per-packet counter updates must not take a mutex — the 8%-overhead
+// result depends on the data path being lean.
+type coreStats struct {
+	forwarded   atomic.Uint64
+	delivered   atomic.Uint64
+	dropped     atomic.Uint64
+	ttlExpired  atomic.Uint64
+	badChecksum atomic.Uint64
+	noRoute     atomic.Uint64
+	pluginDrops atomic.Uint64
+	schedEnq    atomic.Uint64
+	icmpSent    atomic.Uint64
+	fragmented  atomic.Uint64
+}
+
+// Config assembles a router core.
+type Config struct {
+	Mode  Mode
+	Gates []pcu.Type // plugin mode; nil = DefaultGates
+	AIU   *aiu.AIU   // required in plugin mode
+	// Routes is the destination forwarding table (both modes).
+	Routes *routing.Table
+	// MonoSched, in best-effort mode, replaces the output FIFO with a
+	// hard-wired scheduler (the ALTQ+DRR baseline). nil = plain FIFO.
+	MonoSched sched.Scheduler
+	// VerifyChecksums enables IPv4 header checksum validation (the
+	// paper's kernel does this; toggleable for ablation).
+	VerifyChecksums bool
+	// SendICMPErrors makes the core answer TTL expiry and routing
+	// failures with ICMP time-exceeded / destination-unreachable
+	// messages (rate limited), as a real router does.
+	SendICMPErrors bool
+	// ICMPRate caps generated ICMP errors per second (0 = 100).
+	ICMPRate int
+	// LocalSink receives packets addressed to one of the router's own
+	// interfaces (daemons, control protocols). nil = count and drop.
+	LocalSink func(p *pkt.Packet)
+	// Clock supplies the AIU's notion of now; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Router is the forwarding engine plus its attached interfaces.
+type Router struct {
+	cfg   Config
+	mode  Mode
+	gates []pcu.Type
+	// gateSlots pairs each gate with its flow-record slot, precomputed
+	// so the per-packet gate "macro" needs no map lookup.
+	gateSlots []int
+	aiu       *aiu.AIU
+
+	mu       sync.RWMutex
+	ifaces   map[int32]*netdev.Interface
+	local    map[pkt.Addr]int32
+	outQ     map[int32]*sched.FIFO
+	drainers map[int32][]Drainer
+
+	stats coreStats
+
+	icmpMu     sync.Mutex
+	icmpTokens float64
+	icmpLast   time.Time
+
+	clock func() time.Time
+
+	// Counter, when non-nil, accumulates classifier cost accounting for
+	// every forwarded packet (benchmark instrumentation).
+	Counter *cycles.Counter
+}
+
+// New assembles a router.
+func New(cfg Config) (*Router, error) {
+	if cfg.Routes == nil {
+		return nil, fmt.Errorf("ipcore: a routing table is required")
+	}
+	if cfg.Mode == ModePlugin && cfg.AIU == nil {
+		return nil, fmt.Errorf("ipcore: plugin mode requires an AIU")
+	}
+	gates := cfg.Gates
+	if gates == nil {
+		gates = DefaultGates
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	r := &Router{
+		cfg: cfg, mode: cfg.Mode, gates: gates, aiu: cfg.AIU,
+		ifaces:   make(map[int32]*netdev.Interface),
+		local:    make(map[pkt.Addr]int32),
+		outQ:     make(map[int32]*sched.FIFO),
+		drainers: make(map[int32][]Drainer),
+		clock:    clock,
+	}
+	if cfg.AIU != nil {
+		r.gateSlots = make([]int, len(gates))
+		for i, g := range gates {
+			slot, ok := cfg.AIU.Slot(g)
+			if !ok {
+				return nil, fmt.Errorf("ipcore: AIU does not serve gate %s", g)
+			}
+			r.gateSlots[i] = slot
+		}
+	}
+	return r, nil
+}
+
+// AddInterface attaches an interface to the router.
+func (r *Router) AddInterface(ifc *netdev.Interface) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ifaces[ifc.Index] = ifc
+	r.outQ[ifc.Index] = sched.NewFIFO(1024)
+	var zero pkt.Addr
+	if ifc.Addr != zero {
+		r.local[ifc.Addr] = ifc.Index
+	}
+}
+
+// Interface returns an attached interface.
+func (r *Router) Interface(idx int32) *netdev.Interface {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ifaces[idx]
+}
+
+// Interfaces lists attached interface indices.
+func (r *Router) Interfaces() []*netdev.Interface {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*netdev.Interface, 0, len(r.ifaces))
+	for _, i := range r.ifaces {
+		out = append(out, i)
+	}
+	return out
+}
+
+// RegisterDrainer attaches a scheduling instance's output queue to an
+// interface (called by scheduler plugins on create-instance).
+func (r *Router) RegisterDrainer(ifIdx int32, d Drainer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drainers[ifIdx] = append(r.drainers[ifIdx], d)
+}
+
+// UnregisterDrainer detaches a drainer (free-instance). The slice is
+// rebuilt copy-on-write because TxDrain reads it after dropping the read
+// lock.
+func (r *Router) UnregisterDrainer(ifIdx int32, d Drainer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.drainers[ifIdx]
+	list := make([]Drainer, 0, len(old))
+	for _, x := range old {
+		if x != d {
+			list = append(list, x)
+		}
+	}
+	r.drainers[ifIdx] = list
+}
+
+// AIU exposes the classifier (plugin mode).
+func (r *Router) AIU() *aiu.AIU { return r.aiu }
+
+// Routes exposes the forwarding table.
+func (r *Router) Routes() *routing.Table { return r.cfg.Routes }
+
+// Stats snapshots the counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Forwarded:   r.stats.forwarded.Load(),
+		Delivered:   r.stats.delivered.Load(),
+		Dropped:     r.stats.dropped.Load(),
+		TTLExpired:  r.stats.ttlExpired.Load(),
+		BadChecksum: r.stats.badChecksum.Load(),
+		NoRoute:     r.stats.noRoute.Load(),
+		PluginDrops: r.stats.pluginDrops.Load(),
+		SchedEnq:    r.stats.schedEnq.Load(),
+		ICMPSent:    r.stats.icmpSent.Load(),
+		Fragmented:  r.stats.fragmented.Load(),
+	}
+}
+
+// Forward runs one packet through the data path up to (and including)
+// output queueing. It returns true if the packet survived to an output
+// queue or local delivery.
+func (r *Router) Forward(p *pkt.Packet) bool {
+	if r.mode == ModeBestEffort {
+		return r.forwardMono(p)
+	}
+	return r.forwardPlugin(p)
+}
+
+// forwardMono is the unmodified best-effort kernel: a chain of direct
+// ("hardwired") function calls.
+func (r *Router) forwardMono(p *pkt.Packet) bool {
+	if !r.validate(p) {
+		return false
+	}
+	if r.deliverLocal(p) {
+		return true
+	}
+	nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+	if !ok {
+		return r.dropNoRoute(p)
+	}
+	p.OutIf = nh.IfIndex
+	p.NextHop = nh.Gateway
+	if !r.decTTL(p) {
+		return false
+	}
+	if r.cfg.MonoSched != nil {
+		if err := r.cfg.MonoSched.Enqueue(p); err != nil {
+			r.stats.dropped.Add(1)
+			return false
+		}
+		r.stats.schedEnq.Add(1)
+		r.stats.forwarded.Add(1)
+		return true
+	}
+	return r.enqueueFIFO(p)
+}
+
+// forwardPlugin is the EISR data path: gates in order, classification
+// via the AIU with flow caching, indirect calls into plugin instances.
+// Unlike the monolithic path, local delivery is decided at routing time,
+// *after* the security gate: a tunnel packet addressed to this gateway
+// is decrypted first, and the inner datagram is what gets forwarded or
+// delivered — the paper's "gate is inserted into the IP core code in
+// place of the traditional call to the kernel function responsible for
+// IPv6 security processing".
+func (r *Router) forwardPlugin(p *pkt.Packet) bool {
+	if !r.validate(p) {
+		return false
+	}
+	now := p.Stamp
+	if now.IsZero() {
+		now = r.clock()
+	}
+	routed := false
+	schedHandled := false
+	for gi, g := range r.gates {
+		// The gate "macro": once the FIX is in the packet, fetch the
+		// instance with a single indirect load — no call into the AIU
+		// (§3.2: "macros implementing a gate can retrieve the instance
+		// pointers cached in the flow table by accessing the FIX stored
+		// in the packet").
+		var inst pcu.Instance
+		if rec, ok := p.FIX.(*aiu.FlowRecord); ok {
+			r.Counter.Access(1)
+			inst = rec.Bind(r.gateSlots[gi]).Instance
+		} else {
+			inst, _ = r.aiu.LookupGate(p, g, now, r.Counter)
+		}
+		switch g {
+		case pcu.TypeRouting:
+			// The routing gate realizes §8's QoS routing: a bound
+			// instance may set the output interface per flow. The
+			// destination table remains the fallback.
+			if inst != nil {
+				if err := inst.HandlePacket(p); err != nil {
+					return r.pluginDrop(p, err)
+				}
+			}
+			if r.deliverLocal(p) {
+				return true
+			}
+			if p.OutIf < 0 {
+				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+				if !ok {
+					return r.dropNoRoute(p)
+				}
+				p.OutIf = nh.IfIndex
+				p.NextHop = nh.Gateway
+			}
+			if !r.decTTL(p) {
+				return false
+			}
+			routed = true
+		case pcu.TypeSched:
+			if !routed {
+				// A gate set without an explicit routing gate still
+				// needs a forwarding decision before output.
+				if r.deliverLocal(p) {
+					return true
+				}
+				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+				if !ok {
+					return r.dropNoRoute(p)
+				}
+				p.OutIf = nh.IfIndex
+				p.NextHop = nh.Gateway
+				if !r.decTTL(p) {
+					return false
+				}
+				routed = true
+			}
+			if inst != nil {
+				if err := inst.HandlePacket(p); err != nil {
+					return r.pluginDrop(p, err)
+				}
+				if p.Drop {
+					return r.pluginDrop(p, nil)
+				}
+				schedHandled = true
+				r.stats.schedEnq.Add(1)
+				r.stats.forwarded.Add(1)
+			}
+		default:
+			if inst != nil {
+				if err := inst.HandlePacket(p); err != nil {
+					return r.pluginDrop(p, err)
+				}
+				if p.Drop {
+					return r.pluginDrop(p, nil)
+				}
+			}
+		}
+		if p.PuntLocal {
+			r.stats.delivered.Add(1)
+			if r.cfg.LocalSink != nil {
+				r.cfg.LocalSink(p)
+			}
+			return true
+		}
+	}
+	if schedHandled {
+		return true
+	}
+	if !routed {
+		if r.deliverLocal(p) {
+			return true
+		}
+		nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+		if !ok {
+			return r.dropNoRoute(p)
+		}
+		p.OutIf = nh.IfIndex
+		p.NextHop = nh.Gateway
+		if !r.decTTL(p) {
+			return false
+		}
+	}
+	return r.enqueueFIFO(p)
+}
+
+func (r *Router) pluginDrop(p *pkt.Packet, err error) bool {
+	if err != nil && !p.Drop {
+		p.MarkDrop(err.Error())
+	}
+	r.stats.pluginDrops.Add(1)
+	r.stats.dropped.Add(1)
+	return false
+}
+
+// validate performs the version/checksum/sanity checks of ip_input.
+func (r *Router) validate(p *pkt.Packet) bool {
+	switch p.Version() {
+	case 4:
+		if r.cfg.VerifyChecksums && !pkt.VerifyIPv4Checksum(p.Data) {
+			r.stats.badChecksum.Add(1)
+			r.stats.dropped.Add(1)
+			return false
+		}
+	case 6:
+		// No header checksum in IPv6.
+	default:
+		r.stats.dropped.Add(1)
+		return false
+	}
+	if !p.KeyValid {
+		k, err := pkt.ExtractKey(p.Data, p.InIf)
+		if err != nil {
+			r.stats.dropped.Add(1)
+			return false
+		}
+		p.Key, p.KeyValid = k, true
+	}
+	return true
+}
+
+// deliverLocal punts packets addressed to the router itself, including
+// the limited broadcast (255.255.255.255), which is never forwarded.
+func (r *Router) deliverLocal(p *pkt.Packet) bool {
+	mine := p.Key.Dst == limitedBroadcast
+	if !mine {
+		r.mu.RLock()
+		_, mine = r.local[p.Key.Dst]
+		r.mu.RUnlock()
+	}
+	if !mine {
+		return false
+	}
+	r.stats.delivered.Add(1)
+	if r.cfg.LocalSink != nil {
+		r.cfg.LocalSink(p)
+	}
+	return true
+}
+
+func (r *Router) decTTL(p *pkt.Packet) bool {
+	var err error
+	switch p.Version() {
+	case 4:
+		_, err = pkt.DecTTLv4(p.Data)
+	case 6:
+		_, err = pkt.DecHopLimit(p.Data)
+	}
+	if err != nil {
+		r.stats.ttlExpired.Add(1)
+		r.stats.dropped.Add(1)
+		r.sendICMPError(p, pkt.ICMPv4TimeExceeded, pkt.ICMPv6TimeExceeded, 0, 0)
+		return false
+	}
+	return true
+}
+
+// dropNoRoute counts a routing failure and answers with an ICMP
+// destination-unreachable when enabled.
+func (r *Router) dropNoRoute(p *pkt.Packet) bool {
+	r.stats.noRoute.Add(1)
+	r.stats.dropped.Add(1)
+	r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6DestUnreach, 0, 0)
+	return false
+}
+
+// sendICMPError emits a rate-limited ICMP error about p back toward its
+// source, using the receiving interface's address as the router address.
+// Errors are never generated about ICMP errors (RFC 1122).
+func (r *Router) sendICMPError(p *pkt.Packet, v4type, v6type, v4code, v6code uint8) {
+	if !r.cfg.SendICMPErrors || pkt.IsICMPError(p.Data) {
+		return
+	}
+	if !r.takeICMPToken() {
+		return
+	}
+	ifc := r.Interface(p.InIf)
+	var zero pkt.Addr
+	if ifc == nil || ifc.Addr == zero {
+		return
+	}
+	ty, code := v4type, v4code
+	if p.Version() == 6 {
+		ty, code = v6type, v6code
+	}
+	if ifc.Addr.IsV6() != (p.Version() == 6) {
+		return // no same-family address to source the error from
+	}
+	data, err := pkt.BuildICMPError(p.Data, ifc.Addr, ty, code)
+	if err != nil {
+		return
+	}
+	q, err := pkt.NewPacket(data, -1)
+	if err != nil {
+		return
+	}
+	nh, ok := r.cfg.Routes.Lookup(q.Key.Dst, nil)
+	if !ok {
+		return
+	}
+	q.OutIf = nh.IfIndex
+	q.NextHop = nh.Gateway
+	r.enqueueFIFO(q)
+	r.stats.icmpSent.Add(1)
+}
+
+// takeICMPToken enforces the ICMP error rate limit.
+func (r *Router) takeICMPToken() bool {
+	rate := float64(r.cfg.ICMPRate)
+	if rate <= 0 {
+		rate = 100
+	}
+	now := r.clock()
+	r.icmpMu.Lock()
+	defer r.icmpMu.Unlock()
+	if r.icmpLast.IsZero() {
+		r.icmpLast = now
+		r.icmpTokens = rate
+	}
+	r.icmpTokens += now.Sub(r.icmpLast).Seconds() * rate
+	if r.icmpTokens > rate {
+		r.icmpTokens = rate
+	}
+	r.icmpLast = now
+	if r.icmpTokens < 1 {
+		return false
+	}
+	r.icmpTokens--
+	return true
+}
+
+func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
+	r.mu.RLock()
+	q := r.outQ[p.OutIf]
+	r.mu.RUnlock()
+	if q == nil {
+		r.stats.dropped.Add(1)
+		return false
+	}
+	if err := q.Enqueue(p); err != nil {
+		r.stats.dropped.Add(1)
+		return false
+	}
+	r.stats.forwarded.Add(1)
+	return true
+}
+
+// TxDrain transmits up to budget packets queued for an interface,
+// serving plugin schedulers first, then the default FIFO (and, in
+// best-effort mode, the hard-wired scheduler). It returns the number of
+// packets transmitted.
+func (r *Router) TxDrain(ifIdx int32, budget int) int {
+	r.mu.RLock()
+	ifc := r.ifaces[ifIdx]
+	q := r.outQ[ifIdx]
+	drainers := r.drainers[ifIdx] // read-only under the lock discipline below
+	r.mu.RUnlock()
+	if ifc == nil {
+		return 0
+	}
+	sent := 0
+	for sent < budget {
+		var p *pkt.Packet
+		for _, d := range drainers {
+			if p = d.Drain(); p != nil {
+				break
+			}
+		}
+		if p == nil && r.mode == ModeBestEffort && r.cfg.MonoSched != nil {
+			if candidate := r.cfg.MonoSched.Dequeue(); candidate != nil && candidate.OutIf == ifIdx {
+				p = candidate
+			} else if candidate != nil {
+				// Mis-targeted packet (single shared mono scheduler):
+				// transmit on its own interface.
+				r.transmit(candidate)
+				sent++
+				continue
+			}
+		}
+		if p == nil && q != nil {
+			p = q.Dequeue()
+		}
+		if p == nil {
+			break
+		}
+		r.transmit(p)
+		sent++
+	}
+	return sent
+}
+
+func (r *Router) transmit(p *pkt.Packet) {
+	r.mu.RLock()
+	ifc := r.ifaces[p.OutIf]
+	r.mu.RUnlock()
+	if ifc == nil {
+		return
+	}
+	if len(p.Data) > ifc.MTU {
+		// The next link cannot carry the datagram: fragment IPv4 when
+		// DF is clear; otherwise drop with fragmentation-needed (v4,
+		// type 3 code 4) or packet-too-big (v6, type 2).
+		if p.Version() == 4 && !pkt.DontFragment(p.Data) {
+			frags, err := pkt.FragmentIPv4(p.Data, ifc.MTU)
+			if err == nil {
+				for _, f := range frags {
+					q := *p
+					q.Data = f
+					q.FIX = nil
+					ifc.Transmit(&q)
+				}
+				r.stats.fragmented.Add(1)
+				return
+			}
+		}
+		r.stats.dropped.Add(1)
+		r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6PacketTooBig, 4, 0)
+		return
+	}
+	ifc.Transmit(p)
+}
+
+// ProcessOne runs a single received packet through the complete
+// forward-and-transmit cycle — the measurement path of §7.3, where the
+// packet is timestamped on receive and the cycle counter is read just
+// before it is handed back to the hardware.
+func (r *Router) ProcessOne(p *pkt.Packet) bool {
+	if !r.Forward(p) {
+		return false
+	}
+	if p.OutIf >= 0 {
+		r.TxDrain(p.OutIf, 4)
+	}
+	return true
+}
+
+// Step polls every interface once, forwarding what arrived and draining
+// outputs; returns the number of packets forwarded. Run loops use it.
+func (r *Router) Step() int {
+	r.mu.RLock()
+	ifaces := make([]*netdev.Interface, 0, len(r.ifaces))
+	for _, i := range r.ifaces {
+		ifaces = append(ifaces, i)
+	}
+	r.mu.RUnlock()
+	n := 0
+	for _, ifc := range ifaces {
+		for {
+			p := ifc.Poll()
+			if p == nil {
+				break
+			}
+			if r.Forward(p) {
+				n++
+			}
+		}
+	}
+	for _, ifc := range ifaces {
+		r.TxDrain(ifc.Index, 64)
+	}
+	return n
+}
+
+// Run processes packets until done closes.
+func (r *Router) Run(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if r.Step() == 0 {
+			// Idle: yield briefly rather than spin hot.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package netdev simulates the network hardware underneath the IP core:
+// interfaces with receive/transmit rings, link rate and MTU, and
+// point-to-point links wiring interfaces of different routers together.
+// It stands in for the ATM interfaces of the paper's testbed (MTU 9180);
+// the device driver timestamps every incoming packet exactly as the
+// paper's instrumented driver does for the Table 3 measurements.
+package netdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// DefaultMTU matches the paper's ATM configuration.
+const DefaultMTU = 9180
+
+// Errors reported by devices.
+var (
+	ErrRingFull = errors.New("netdev: ring full")
+	ErrTooBig   = errors.New("netdev: packet exceeds MTU")
+	ErrDown     = errors.New("netdev: interface down")
+)
+
+// Stats counts per-interface packet events.
+type Stats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	RxDrops   uint64
+	TxPackets uint64
+	TxBytes   uint64
+	TxDrops   uint64
+}
+
+// Interface is one simulated network interface. Packets received from
+// the attached link are queued on the RX ring for the router core to
+// drain; packets the core transmits go out on the TX ring and are
+// delivered to the peer interface, if any.
+type Interface struct {
+	Index int32
+	Name  string
+	MTU   int
+
+	mu    sync.Mutex
+	up    bool
+	rx    chan *pkt.Packet
+	peer  *Interface
+	stats Stats
+
+	// mbufs is the receive descriptor ring's buffer pool: Inject copies
+	// wire bytes into the next ring buffer, exactly like a DMA engine
+	// filling preallocated mbufs. Buffers recycle once the ring wraps,
+	// so a packet's data is valid while fewer than ring-size packets
+	// arrive behind it — the same contract a real driver gives the
+	// stack.
+	mbufs   [][]byte
+	mbufSeq uint64
+
+	// Addr is the interface's own address (used by daemons and for
+	// locally destined traffic).
+	Addr pkt.Addr
+
+	// clock supplies receive timestamps; overridable for tests.
+	clock func() time.Time
+}
+
+// Config parameterizes NewInterface.
+type Config struct {
+	Name   string
+	MTU    int // defaults to DefaultMTU
+	RxRing int // defaults to 512 descriptors
+	Addr   pkt.Addr
+	Clock  func() time.Time
+}
+
+// NewInterface builds an administratively-up interface.
+func NewInterface(index int32, cfg Config) *Interface {
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.RxRing == 0 {
+		cfg.RxRing = 512
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("sim%d", index)
+	}
+	return &Interface{
+		Index: index, Name: name, MTU: cfg.MTU,
+		up: true, rx: make(chan *pkt.Packet, cfg.RxRing),
+		Addr: cfg.Addr, clock: cfg.Clock,
+	}
+}
+
+// SetUp raises or lowers the interface.
+func (i *Interface) SetUp(up bool) {
+	i.mu.Lock()
+	i.up = up
+	i.mu.Unlock()
+}
+
+// Up reports administrative state.
+func (i *Interface) Up() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.up
+}
+
+// Connect wires two interfaces as a point-to-point link (both ways).
+func Connect(a, b *Interface) {
+	a.mu.Lock()
+	a.peer = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.peer = a
+	b.mu.Unlock()
+}
+
+// Inject delivers raw datagram bytes into the interface's RX ring as if
+// they arrived from the wire — the traffic generator's entry point. Like
+// a real driver it allocates a packet buffer (the mbuf) and copies the
+// wire bytes into it, then parses the headers and timestamps the packet;
+// the caller's slice is not retained.
+func (i *Interface) Inject(data []byte) error {
+	i.mu.Lock()
+	up := i.up
+	i.mu.Unlock()
+	if !up {
+		return ErrDown
+	}
+	if len(data) > i.MTU {
+		i.mu.Lock()
+		i.stats.RxDrops++
+		i.mu.Unlock()
+		return ErrTooBig
+	}
+	buf := i.nextMbuf(len(data))
+	copy(buf, data)
+	p, err := pkt.NewPacket(buf, i.Index)
+	if err != nil {
+		i.mu.Lock()
+		i.stats.RxDrops++
+		i.mu.Unlock()
+		return err
+	}
+	p.Stamp = i.clock()
+	select {
+	case i.rx <- p:
+		i.mu.Lock()
+		i.stats.RxPackets++
+		i.stats.RxBytes += uint64(len(data))
+		i.mu.Unlock()
+		return nil
+	default:
+		i.mu.Lock()
+		i.stats.RxDrops++
+		i.mu.Unlock()
+		return ErrRingFull
+	}
+}
+
+// nextMbuf hands out the next receive buffer from the descriptor ring,
+// growing the pool lazily to the ring depth.
+func (i *Interface) nextMbuf(n int) []byte {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.mbufs == nil {
+		depth := cap(i.rx) + 1
+		i.mbufs = make([][]byte, depth)
+		for j := range i.mbufs {
+			i.mbufs[j] = make([]byte, i.MTU)
+		}
+	}
+	b := i.mbufs[i.mbufSeq%uint64(len(i.mbufs))]
+	i.mbufSeq++
+	return b[:n]
+}
+
+// InjectPacket enqueues an already-built packet (zero-copy path for the
+// benchmark harness). The caller must have set Data and InIf.
+func (i *Interface) InjectPacket(p *pkt.Packet) error {
+	p.Stamp = i.clock()
+	select {
+	case i.rx <- p:
+		i.mu.Lock()
+		i.stats.RxPackets++
+		i.stats.RxBytes += uint64(len(p.Data))
+		i.mu.Unlock()
+		return nil
+	default:
+		i.mu.Lock()
+		i.stats.RxDrops++
+		i.mu.Unlock()
+		return ErrRingFull
+	}
+}
+
+// Poll drains one packet from the RX ring without blocking; nil when the
+// ring is empty.
+func (i *Interface) Poll() *pkt.Packet {
+	select {
+	case p := <-i.rx:
+		return p
+	default:
+		return nil
+	}
+}
+
+// Recv blocks until a packet arrives or the done channel closes.
+func (i *Interface) Recv(done <-chan struct{}) *pkt.Packet {
+	select {
+	case p := <-i.rx:
+		return p
+	case <-done:
+		return nil
+	}
+}
+
+// RxLen reports the RX ring occupancy.
+func (i *Interface) RxLen() int { return len(i.rx) }
+
+// Transmit sends a packet out this interface: it is accounted and, if a
+// peer is connected, delivered into the peer's RX ring. Without a peer
+// the packet is counted and discarded (a sink, as in the benchmark
+// harness where the ATM card loops to the measurement host).
+func (i *Interface) Transmit(p *pkt.Packet) error {
+	i.mu.Lock()
+	up, peer := i.up, i.peer
+	i.mu.Unlock()
+	if !up {
+		i.mu.Lock()
+		i.stats.TxDrops++
+		i.mu.Unlock()
+		return ErrDown
+	}
+	if len(p.Data) > i.MTU {
+		i.mu.Lock()
+		i.stats.TxDrops++
+		i.mu.Unlock()
+		return ErrTooBig
+	}
+	i.mu.Lock()
+	i.stats.TxPackets++
+	i.stats.TxBytes += uint64(len(p.Data))
+	i.mu.Unlock()
+	if peer != nil {
+		q := &pkt.Packet{Data: p.Data, InIf: peer.Index, OutIf: -1, TOS: p.TOS}
+		if k, err := pkt.ExtractKey(q.Data, peer.Index); err == nil {
+			q.Key, q.KeyValid = k, true
+		}
+		q.Stamp = peer.clock()
+		select {
+		case peer.rx <- q:
+			peer.mu.Lock()
+			peer.stats.RxPackets++
+			peer.stats.RxBytes += uint64(len(q.Data))
+			peer.mu.Unlock()
+		default:
+			peer.mu.Lock()
+			peer.stats.RxDrops++
+			peer.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the interface counters.
+func (i *Interface) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

@@ -1,0 +1,323 @@
+// Package pcu implements the Plugin Control Unit (§4 of the paper): the
+// registry that manages plugins, tracks their instances, and dispatches
+// control-path messages to them. The PCU is deliberately small — the
+// paper's implementation is ~200 lines of C managing a table per plugin
+// type for names and callback functions — and it knows nothing about the
+// data path: it only forwards messages.
+//
+// Plugins are identified by a 32-bit code whose upper 16 bits name the
+// plugin type and whose lower 16 bits distinguish implementations of the
+// same type. The plugin type corresponds directly to a gate in the IP
+// core: whenever a packet enters a gate it is passed to an instance of a
+// plugin of that type.
+package pcu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Type is a plugin type, which corresponds one-to-one with a gate in the
+// IP core (§4: "there is a direct correspondence between a gate in our
+// architecture and the plugin type").
+type Type uint16
+
+// The plugin types of the paper's implementation. Third-party types can
+// use any value above TypeUser.
+const (
+	TypeInvalid  Type = 0
+	TypeOptions  Type = 1 // IPv4/IPv6 option processing
+	TypeSecurity Type = 2 // IP security (AH/ESP)
+	TypeSched    Type = 3 // packet scheduling
+	TypeBMP      Type = 4 // longest-prefix matching for the classifier
+	TypeRouting  Type = 5 // routing integrated with classification (§8)
+	TypeStats    Type = 6 // statistics gathering / network monitoring
+	TypeCongest  Type = 7 // congestion control (RED)
+	TypeFirewall Type = 8 // firewall accept/deny
+	TypeMonitor  Type = 9 // TCP congestion backoff monitoring
+	TypeUser     Type = 256
+)
+
+// String names the well-known types.
+func (t Type) String() string {
+	switch t {
+	case TypeOptions:
+		return "options"
+	case TypeSecurity:
+		return "security"
+	case TypeSched:
+		return "sched"
+	case TypeBMP:
+		return "bmp"
+	case TypeRouting:
+		return "routing"
+	case TypeStats:
+		return "stats"
+	case TypeCongest:
+		return "congest"
+	case TypeFirewall:
+		return "firewall"
+	case TypeMonitor:
+		return "monitor"
+	default:
+		return fmt.Sprintf("type%d", uint16(t))
+	}
+}
+
+// Code is the 32-bit plugin code: type in the upper 16 bits,
+// implementation id in the lower 16.
+type Code uint32
+
+// MakeCode assembles a plugin code.
+func MakeCode(t Type, impl uint16) Code {
+	return Code(uint32(t)<<16 | uint32(impl))
+}
+
+// Type extracts the plugin type.
+func (c Code) Type() Type { return Type(c >> 16) }
+
+// Impl extracts the implementation id.
+func (c Code) Impl() uint16 { return uint16(c) }
+
+// String renders "type/impl".
+func (c Code) String() string {
+	return fmt.Sprintf("%s/%d", c.Type(), c.Impl())
+}
+
+// Instance is a specific run-time configuration of a plugin — the entity
+// bound to flows and called on the data path. HandlePacket is the main
+// packet processing function invoked at the gate; it must be safe for the
+// data-path goroutine and must not block.
+type Instance interface {
+	// InstanceName identifies the instance ("drr0", "sec2", ...).
+	InstanceName() string
+	// HandlePacket processes one packet at the instance's gate. An
+	// error marks the packet dropped with the error text.
+	HandlePacket(p *pkt.Packet) error
+}
+
+// MsgKind is the kind of a control message. The standardized message set
+// (§4) must be answered by every plugin; plugin-specific messages use
+// MsgCustom with a verb.
+type MsgKind int
+
+// The standardized messages plus the custom escape hatch.
+const (
+	MsgCreateInstance MsgKind = iota + 1
+	MsgFreeInstance
+	MsgRegisterInstance
+	MsgDeregisterInstance
+	MsgCustom
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgCreateInstance:
+		return "create-instance"
+	case MsgFreeInstance:
+		return "free-instance"
+	case MsgRegisterInstance:
+		return "register-instance"
+	case MsgDeregisterInstance:
+		return "deregister-instance"
+	case MsgCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("msg%d", int(k))
+	}
+}
+
+// Message is one control-path message to a plugin. Args carries
+// configuration key/values ("iface", "rate", ...); Instance targets
+// messages at a particular instance; Reply carries results back to the
+// caller.
+type Message struct {
+	Kind     MsgKind
+	Verb     string // for MsgCustom
+	Args     map[string]string
+	Instance Instance
+	// Reply is set by the plugin: the created instance for
+	// MsgCreateInstance, or a custom payload (e.g. statistics).
+	Reply any
+}
+
+// Arg returns a message argument with a default.
+func (m *Message) Arg(key, def string) string {
+	if v, ok := m.Args[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Plugin is the contract every plugin fulfills: it identifies itself and
+// answers control messages via its callback. Loading registers the
+// callback with the PCU; afterwards all control communication flows
+// through it.
+type Plugin interface {
+	// PluginName is the human name used by the plugin manager.
+	PluginName() string
+	// PluginCode is the 32-bit type/impl code.
+	PluginCode() Code
+	// Callback handles a control message. The standardized messages
+	// must be supported; unknown custom verbs should return an error.
+	Callback(msg *Message) error
+}
+
+// Errors reported by the registry.
+var (
+	ErrDuplicate   = errors.New("pcu: plugin already loaded")
+	ErrNotLoaded   = errors.New("pcu: plugin not loaded")
+	ErrNoSuchType  = errors.New("pcu: no plugin of that type")
+	ErrBadInstance = errors.New("pcu: message requires an instance")
+)
+
+// Registry is the PCU proper: the per-type tables of loaded plugins.
+// It is safe for concurrent use; all methods are control path.
+type Registry struct {
+	mu     sync.RWMutex
+	byCode map[Code]Plugin
+	byName map[string]Plugin
+	// instances tracks live instances per plugin code, in creation
+	// order, so free-instance and listings can find them.
+	instances map[Code][]Instance
+}
+
+// NewRegistry returns an empty PCU.
+func NewRegistry() *Registry {
+	return &Registry{
+		byCode:    make(map[Code]Plugin),
+		byName:    make(map[string]Plugin),
+		instances: make(map[Code][]Instance),
+	}
+}
+
+// Load registers a plugin (the analog of modload + callback
+// registration). It fails if the code or name is already taken.
+func (r *Registry) Load(p Plugin) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byCode[p.PluginCode()]; ok {
+		return fmt.Errorf("%w: code %s", ErrDuplicate, p.PluginCode())
+	}
+	if _, ok := r.byName[p.PluginName()]; ok {
+		return fmt.Errorf("%w: name %q", ErrDuplicate, p.PluginName())
+	}
+	r.byCode[p.PluginCode()] = p
+	r.byName[p.PluginName()] = p
+	return nil
+}
+
+// Unload removes a plugin. The caller is responsible for having freed
+// its instances first (the router facade enforces this).
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
+	}
+	if n := len(r.instances[p.PluginCode()]); n > 0 {
+		return fmt.Errorf("pcu: plugin %q still has %d live instances", name, n)
+	}
+	delete(r.byName, name)
+	delete(r.byCode, p.PluginCode())
+	delete(r.instances, p.PluginCode())
+	return nil
+}
+
+// Lookup finds a plugin by name.
+func (r *Registry) Lookup(name string) (Plugin, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// LookupCode finds a plugin by code.
+func (r *Registry) LookupCode(c Code) (Plugin, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byCode[c]
+	return p, ok
+}
+
+// Plugins lists loaded plugins sorted by code.
+func (r *Registry) Plugins() []Plugin {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Plugin, 0, len(r.byCode))
+	for _, p := range r.byCode {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PluginCode() < out[j].PluginCode() })
+	return out
+}
+
+// Send dispatches a message to the named plugin and performs the PCU's
+// bookkeeping for the standardized lifecycle messages: created instances
+// are tracked, freed instances forgotten.
+func (r *Registry) Send(name string, msg *Message) error {
+	r.mu.RLock()
+	p, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
+	}
+	switch msg.Kind {
+	case MsgFreeInstance, MsgRegisterInstance, MsgDeregisterInstance:
+		if msg.Instance == nil {
+			return fmt.Errorf("%w: %s to %s", ErrBadInstance, msg.Kind, name)
+		}
+	}
+	if err := p.Callback(msg); err != nil {
+		return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, name, err)
+	}
+	switch msg.Kind {
+	case MsgCreateInstance:
+		inst, ok := msg.Reply.(Instance)
+		if !ok {
+			return fmt.Errorf("pcu: plugin %s created no instance", name)
+		}
+		r.mu.Lock()
+		r.instances[p.PluginCode()] = append(r.instances[p.PluginCode()], inst)
+		r.mu.Unlock()
+	case MsgFreeInstance:
+		r.mu.Lock()
+		list := r.instances[p.PluginCode()]
+		for i, in := range list {
+			if in == msg.Instance {
+				r.instances[p.PluginCode()] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Instances lists the live instances of a plugin code.
+func (r *Registry) Instances(c Code) []Instance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Instance(nil), r.instances[c]...)
+}
+
+// FindInstance locates an instance by plugin name and instance name.
+func (r *Registry) FindInstance(plugin, instance string) (Instance, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[plugin]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotLoaded, plugin)
+	}
+	for _, in := range r.instances[p.PluginCode()] {
+		if in.InstanceName() == instance {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("pcu: plugin %q has no instance %q", plugin, instance)
+}

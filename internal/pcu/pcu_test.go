@@ -1,0 +1,226 @@
+package pcu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func TestCodePacking(t *testing.T) {
+	c := MakeCode(TypeSched, 42)
+	if c.Type() != TypeSched || c.Impl() != 42 {
+		t.Errorf("code round trip: %v -> %v/%d", c, c.Type(), c.Impl())
+	}
+	if c.String() != "sched/42" {
+		t.Errorf("String = %s", c)
+	}
+	// Boundary values.
+	c2 := MakeCode(Type(0xffff), 0xffff)
+	if c2.Type() != Type(0xffff) || c2.Impl() != 0xffff {
+		t.Errorf("boundary code: %v/%d", c2.Type(), c2.Impl())
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TypeOptions:  "options",
+		TypeSecurity: "security",
+		TypeSched:    "sched",
+		TypeBMP:      "bmp",
+		TypeRouting:  "routing",
+		TypeStats:    "stats",
+		TypeCongest:  "congest",
+		TypeFirewall: "firewall",
+		TypeMonitor:  "monitor",
+		Type(1234):   "type1234",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", ty, got, want)
+		}
+	}
+}
+
+func TestMsgKindStrings(t *testing.T) {
+	for k, want := range map[MsgKind]string{
+		MsgCreateInstance:     "create-instance",
+		MsgFreeInstance:       "free-instance",
+		MsgRegisterInstance:   "register-instance",
+		MsgDeregisterInstance: "deregister-instance",
+		MsgCustom:             "custom",
+		MsgKind(99):           "msg99",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%v = %q want %q", k, got, want)
+		}
+	}
+}
+
+// fakePlugin is a scriptable plugin for registry tests.
+type fakePlugin struct {
+	name string
+	code Code
+	fail bool
+	last *Message
+}
+
+type fakeInstance struct{ name string }
+
+func (f *fakeInstance) InstanceName() string             { return f.name }
+func (f *fakeInstance) HandlePacket(p *pkt.Packet) error { return nil }
+
+func (f *fakePlugin) PluginName() string { return f.name }
+func (f *fakePlugin) PluginCode() Code   { return f.code }
+func (f *fakePlugin) Callback(msg *Message) error {
+	f.last = msg
+	if f.fail {
+		return errors.New("scripted failure")
+	}
+	if msg.Kind == MsgCreateInstance {
+		msg.Reply = &fakeInstance{name: f.name + "-0"}
+	}
+	return nil
+}
+
+func TestRegistryLoadDuplicate(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlugin{name: "a", code: MakeCode(TypeSched, 1)}
+	if err := r.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(&fakePlugin{name: "b", code: MakeCode(TypeSched, 1)}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate code: %v", err)
+	}
+	if err := r.Load(&fakePlugin{name: "a", code: MakeCode(TypeSched, 2)}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate name: %v", err)
+	}
+}
+
+func TestRegistrySendLifecycle(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlugin{name: "sched-x", code: MakeCode(TypeSched, 7)}
+	r.Load(p)
+
+	msg := &Message{Kind: MsgCreateInstance, Args: map[string]string{"iface": "1"}}
+	if err := r.Send("sched-x", msg); err != nil {
+		t.Fatal(err)
+	}
+	inst := msg.Reply.(Instance)
+	if got := r.Instances(p.code); len(got) != 1 || got[0] != inst {
+		t.Fatalf("instances = %v", got)
+	}
+	if found, err := r.FindInstance("sched-x", "sched-x-0"); err != nil || found != inst {
+		t.Errorf("FindInstance = %v, %v", found, err)
+	}
+	if _, err := r.FindInstance("sched-x", "none"); err == nil {
+		t.Error("missing instance found")
+	}
+	if _, err := r.FindInstance("ghost", "x"); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("missing plugin: %v", err)
+	}
+
+	// Instance-scoped messages without an instance are rejected.
+	for _, k := range []MsgKind{MsgFreeInstance, MsgRegisterInstance, MsgDeregisterInstance} {
+		if err := r.Send("sched-x", &Message{Kind: k}); !errors.Is(err, ErrBadInstance) {
+			t.Errorf("%v without instance: %v", k, err)
+		}
+	}
+
+	if err := r.Send("sched-x", &Message{Kind: MsgFreeInstance, Instance: inst}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Instances(p.code); len(got) != 0 {
+		t.Errorf("instances after free = %v", got)
+	}
+}
+
+func TestRegistrySendErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Send("none", &Message{Kind: MsgCustom, Verb: "x"}); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("send to unloaded: %v", err)
+	}
+	p := &fakePlugin{name: "flaky", code: MakeCode(TypeStats, 1), fail: true}
+	r.Load(p)
+	if err := r.Send("flaky", &Message{Kind: MsgCustom, Verb: "boom"}); err == nil {
+		t.Error("callback failure not propagated")
+	}
+	// A create-instance that returns no instance is an error.
+	p.fail = false
+	noReply := &fakePlugin{name: "noreply", code: MakeCode(TypeStats, 2)}
+	r.Load(noReply)
+	// noreply's Callback sets a reply only for create... it does. Use a
+	// plugin that doesn't:
+	bad := &badCreate{}
+	r.Load(bad)
+	if err := r.Send("bad", &Message{Kind: MsgCreateInstance}); err == nil {
+		t.Error("create without reply accepted")
+	}
+}
+
+type badCreate struct{}
+
+func (badCreate) PluginName() string          { return "bad" }
+func (badCreate) PluginCode() Code            { return MakeCode(TypeStats, 9) }
+func (badCreate) Callback(msg *Message) error { return nil }
+
+func TestRegistryUnload(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlugin{name: "u", code: MakeCode(TypeSched, 3)}
+	r.Load(p)
+	msg := &Message{Kind: MsgCreateInstance}
+	r.Send("u", msg)
+	if err := r.Unload("u"); err == nil {
+		t.Error("unload with live instance accepted")
+	}
+	r.Send("u", &Message{Kind: MsgFreeInstance, Instance: msg.Reply.(Instance)})
+	if err := r.Unload("u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unload("u"); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("double unload: %v", err)
+	}
+	if _, ok := r.Lookup("u"); ok {
+		t.Error("unloaded plugin still visible")
+	}
+}
+
+func TestRegistryPluginsSorted(t *testing.T) {
+	r := NewRegistry()
+	for i := 3; i >= 1; i-- {
+		r.Load(&fakePlugin{name: fmt.Sprintf("p%d", i), code: MakeCode(TypeSched, uint16(i))})
+	}
+	list := r.Plugins()
+	if len(list) != 3 {
+		t.Fatalf("plugins = %d", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].PluginCode() > list[i].PluginCode() {
+			t.Error("plugins not sorted by code")
+		}
+	}
+}
+
+func TestMessageArg(t *testing.T) {
+	m := &Message{Args: map[string]string{"k": "v"}}
+	if m.Arg("k", "d") != "v" || m.Arg("x", "d") != "d" {
+		t.Error("Arg defaults wrong")
+	}
+	var empty Message
+	if empty.Arg("k", "d") != "d" {
+		t.Error("nil args should return default")
+	}
+}
+
+func TestLookupCode(t *testing.T) {
+	r := NewRegistry()
+	p := &fakePlugin{name: "x", code: MakeCode(TypeOptions, 5)}
+	r.Load(p)
+	if got, ok := r.LookupCode(p.code); !ok || got != p {
+		t.Error("LookupCode failed")
+	}
+	if _, ok := r.LookupCode(MakeCode(TypeOptions, 6)); ok {
+		t.Error("missing code found")
+	}
+}

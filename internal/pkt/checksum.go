@@ -1,0 +1,56 @@
+package pkt
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum of b: the one's
+// complement of the one's-complement sum of the 16-bit words. A trailing
+// odd byte is padded with zero on the right.
+func Checksum(b []byte) uint16 {
+	return ^foldChecksum(sumWords(0, b))
+}
+
+// ChecksumTransport computes the transport checksum (UDP/TCP) including
+// the IPv4 or IPv6 pseudo-header, per RFC 768/793/2460 §8.1. proto is the
+// IP protocol number and seg the transport header plus payload.
+func ChecksumTransport(src, dst Addr, proto uint8, seg []byte) uint16 {
+	var sum uint32
+	sum = sumWords(sum, src.Bytes())
+	sum = sumWords(sum, dst.Bytes())
+	if src.IsV6() {
+		var ph [8]byte
+		binary.BigEndian.PutUint32(ph[0:4], uint32(len(seg)))
+		ph[7] = proto
+		sum = sumWords(sum, ph[:])
+	} else {
+		var ph [4]byte
+		ph[1] = proto
+		binary.BigEndian.PutUint16(ph[2:4], uint16(len(seg)))
+		sum = sumWords(sum, ph[:])
+	}
+	sum = sumWords(sum, seg)
+	cs := ^foldChecksum(sum)
+	if cs == 0 {
+		// A computed zero is transmitted as all ones (UDP convention; for
+		// TCP a zero checksum is valid but harmless to avoid).
+		cs = 0xffff
+	}
+	return cs
+}
+
+func sumWords(sum uint32, b []byte) uint32 {
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	return sum
+}
+
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum)
+}

@@ -1,0 +1,241 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// IPv4 fragment-word flags.
+const (
+	FlagDF = 0x2 // don't fragment
+	FlagMF = 0x1 // more fragments
+)
+
+// ICMPv6PacketTooBig is the ICMPv6 type a router sends when a datagram
+// exceeds the next link's MTU (IPv6 routers never fragment in flight).
+const ICMPv6PacketTooBig = 2
+
+// DontFragment reports whether an IPv4 datagram has DF set (always true
+// for IPv6, which forbids in-flight fragmentation).
+func DontFragment(data []byte) bool {
+	if len(data) < IPv4HeaderLen || data[0]>>4 != 4 {
+		return true
+	}
+	return data[6]&(FlagDF<<5) != 0
+}
+
+// FragmentIPv4 splits an IPv4 datagram into fragments that fit mtu,
+// honoring the 8-byte offset granularity and replicating only options
+// whose copied bit is set into non-first fragments (RFC 791). The input
+// must not have DF set.
+func FragmentIPv4(data []byte, mtu int) ([][]byte, error) {
+	h, err := ParseIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if DontFragment(data) {
+		return nil, fmt.Errorf("pkt: DF set")
+	}
+	hl := h.HeaderLen()
+	if mtu <= hl+8 {
+		return nil, fmt.Errorf("pkt: mtu %d too small to fragment", mtu)
+	}
+	payload := data[hl:h.TotalLen]
+	if hl+len(payload) <= mtu {
+		return [][]byte{data}, nil
+	}
+	// Options replicated into later fragments: copied bit set (0x80).
+	var copiedOpts []byte
+	opts := h.Options
+	for len(opts) > 0 {
+		t := opts[0]
+		switch {
+		case t == 0:
+			opts = nil
+		case t == 1:
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				opts = nil
+				break
+			}
+			if t&0x80 != 0 {
+				copiedOpts = append(copiedOpts, opts[:opts[1]]...)
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	for len(copiedOpts)%4 != 0 {
+		copiedOpts = append(copiedOpts, 0)
+	}
+
+	baseOff := int(h.FragOff) // already-fragmented datagrams refragment fine
+	lastMF := h.Flags&FlagMF != 0
+
+	var out [][]byte
+	off := 0
+	for off < len(payload) {
+		curOpts := h.Options
+		if off > 0 {
+			curOpts = copiedOpts
+		}
+		curHL := IPv4HeaderLen + len(curOpts)
+		room := (mtu - curHL) &^ 7 // fragment payloads align to 8 bytes
+		last := off+room >= len(payload)
+		n := room
+		if last {
+			n = len(payload) - off
+		}
+		fh := h
+		fh.Options = curOpts
+		fh.TotalLen = uint16(curHL + n)
+		fh.FragOff = uint16(baseOff + off/8)
+		fh.Flags = h.Flags &^ FlagMF
+		if !last || lastMF {
+			fh.Flags |= FlagMF
+		}
+		buf := make([]byte, curHL+n)
+		if _, err := fh.Marshal(buf); err != nil {
+			return nil, err
+		}
+		copy(buf[curHL:], payload[off:off+n])
+		out = append(out, buf)
+		off += n
+	}
+	return out, nil
+}
+
+// Reassembler collects IPv4 fragments and reconstitutes datagrams. Keyed
+// by <src, dst, protocol, identification>; incomplete datagrams expire.
+// It is the host-side counterpart used in tests and examples (routers
+// themselves never reassemble in flight).
+type Reassembler struct {
+	timeout time.Duration
+	asm     map[reasmKey]*reasmState
+}
+
+type reasmKey struct {
+	src, dst Addr
+	proto    uint8
+	id       uint16
+}
+
+type reasmState struct {
+	frags    []fragPiece
+	total    int // payload length once the last fragment arrives; -1 unknown
+	deadline time.Time
+}
+
+type fragPiece struct {
+	off  int
+	data []byte
+}
+
+// NewReassembler builds a reassembler (timeout 0 = 30s, RFC 791's upper
+// TTL guidance).
+func NewReassembler(timeout time.Duration) *Reassembler {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Reassembler{timeout: timeout, asm: make(map[reasmKey]*reasmState)}
+}
+
+// Add offers a datagram or fragment. When the piece completes a
+// datagram, the reassembled datagram is returned; otherwise nil.
+func (r *Reassembler) Add(data []byte, now time.Time) ([]byte, error) {
+	h, err := ParseIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.FragOff == 0 && h.Flags&FlagMF == 0 {
+		return data, nil // not fragmented
+	}
+	key := reasmKey{src: h.Src, dst: h.Dst, proto: h.Protocol, id: h.ID}
+	st := r.asm[key]
+	if st == nil {
+		st = &reasmState{total: -1}
+		r.asm[key] = st
+	}
+	st.deadline = now.Add(r.timeout)
+	payload := data[h.HeaderLen():h.TotalLen]
+	off := int(h.FragOff) * 8
+	st.frags = append(st.frags, fragPiece{off: off, data: append([]byte(nil), payload...)})
+	if h.Flags&FlagMF == 0 {
+		st.total = off + len(payload)
+	}
+	if st.total < 0 {
+		return nil, nil
+	}
+	// Check coverage.
+	sort.Slice(st.frags, func(i, j int) bool { return st.frags[i].off < st.frags[j].off })
+	covered := 0
+	for _, f := range st.frags {
+		if f.off > covered {
+			return nil, nil // hole
+		}
+		if end := f.off + len(f.data); end > covered {
+			covered = end
+		}
+	}
+	if covered < st.total {
+		return nil, nil
+	}
+	// Complete: rebuild the datagram with the first fragment's header.
+	out := make([]byte, h.HeaderLen()+st.total)
+	var first *fragPiece
+	for i := range st.frags {
+		if st.frags[i].off == 0 {
+			first = &st.frags[i]
+			break
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("pkt: no first fragment")
+	}
+	// Use the arriving header as template; clear fragmentation fields.
+	fh := h
+	fh.FragOff = 0
+	fh.Flags &^= FlagMF
+	fh.TotalLen = uint16(len(out))
+	if _, err := fh.Marshal(out); err != nil {
+		return nil, err
+	}
+	for _, f := range st.frags {
+		copy(out[h.HeaderLen()+f.off:], f.data)
+	}
+	delete(r.asm, key)
+	return out, nil
+}
+
+// Expire drops incomplete datagrams past their deadline, returning how
+// many were discarded.
+func (r *Reassembler) Expire(now time.Time) int {
+	n := 0
+	for k, st := range r.asm {
+		if st.deadline.Before(now) {
+			delete(r.asm, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Pending counts incomplete datagrams.
+func (r *Reassembler) Pending() int { return len(r.asm) }
+
+// SetID stamps an IPv4 datagram's identification field (builders leave
+// it zero) and fixes the checksum — handy when synthesizing fragment
+// streams.
+func SetID(data []byte, id uint16) error {
+	if len(data) < IPv4HeaderLen || data[0]>>4 != 4 {
+		return ErrBadHeader
+	}
+	binary.BigEndian.PutUint16(data[4:6], id)
+	ihl := int(data[0]&0x0f) * 4
+	data[10], data[11] = 0, 0
+	cs := Checksum(data[:ihl])
+	binary.BigEndian.PutUint16(data[10:12], cs)
+	return nil
+}

@@ -1,0 +1,346 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestIPv4MarshalParseRoundTrip(t *testing.T) {
+	h := IPv4Header{
+		TOS: 0x10, TotalLen: 120, ID: 0xbeef, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: ProtoUDP,
+		Src: MustParseAddr("128.252.153.1"), Dst: MustParseAddr("192.94.233.10"),
+	}
+	buf := make([]byte, 120)
+	n, err := h.Marshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != IPv4HeaderLen {
+		t.Fatalf("marshal wrote %d bytes", n)
+	}
+	if !VerifyIPv4Checksum(buf) {
+		t.Error("checksum of freshly marshaled header invalid")
+	}
+	g, err := ParseIPv4(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TOS != h.TOS || g.TotalLen != h.TotalLen || g.ID != h.ID ||
+		g.Flags != h.Flags || g.TTL != h.TTL || g.Protocol != h.Protocol ||
+		g.Src != h.Src || g.Dst != h.Dst {
+		t.Errorf("round trip mismatch: %+v vs %+v", g, h)
+	}
+}
+
+func TestIPv4Options(t *testing.T) {
+	h := IPv4Header{
+		TotalLen: 28, TTL: 1, Protocol: ProtoICMP,
+		Src: AddrV4(1), Dst: AddrV4(2),
+		Options: []byte{0x94, 0x04, 0x00, 0x00}, // router alert
+	}
+	buf := make([]byte, 28)
+	if _, err := h.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseIPv4(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.Options, h.Options) {
+		t.Errorf("options mismatch: %x vs %x", g.Options, h.Options)
+	}
+	bad := h
+	bad.Options = []byte{1, 2, 3} // not multiple of 4
+	if _, err := bad.Marshal(buf); err == nil {
+		t.Error("expected error for misaligned options")
+	}
+}
+
+func TestParseIPv4Malformed(t *testing.T) {
+	if _, err := ParseIPv4(nil); err == nil {
+		t.Error("nil buffer should fail")
+	}
+	if _, err := ParseIPv4(make([]byte, 19)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	b := make([]byte, 20)
+	b[0] = 0x60
+	if _, err := ParseIPv4(b); err != ErrBadVersion {
+		t.Errorf("v6 first byte: got %v", err)
+	}
+	b[0] = 0x43 // IHL 12 bytes < 20
+	if _, err := ParseIPv4(b); err == nil {
+		t.Error("IHL below minimum should fail")
+	}
+	b[0] = 0x45
+	b[3] = 10 // total length 10 < IHL
+	if _, err := ParseIPv4(b); err == nil {
+		t.Error("total length below header should fail")
+	}
+}
+
+func TestDecTTLv4KeepsChecksumValid(t *testing.T) {
+	spec := UDPSpec{
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("10.0.0.2"),
+		SrcPort: 1000, DstPort: 2000, TTL: 17, Payload: []byte("hi"),
+	}
+	data, err := BuildUDP(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 16; want >= 0; want-- {
+		ttl, err := DecTTLv4(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(ttl) != want {
+			t.Fatalf("ttl = %d want %d", ttl, want)
+		}
+		if !VerifyIPv4Checksum(data) {
+			t.Fatalf("checksum invalid after decrement to %d", ttl)
+		}
+	}
+	if _, err := DecTTLv4(data); err == nil {
+		t.Error("decrement past zero should fail")
+	}
+}
+
+func TestIPv6MarshalParseRoundTrip(t *testing.T) {
+	h := IPv6Header{
+		TrafficClass: 0xb8, FlowLabel: 0xabcde, PayloadLen: 8,
+		NextHeader: ProtoUDP, HopLimit: 3,
+		Src: MustParseAddr("2001:db8::1"), Dst: MustParseAddr("2001:db8::2"),
+	}
+	buf := make([]byte, IPv6HeaderLen+8)
+	if _, err := h.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseIPv6(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != h {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", g, h)
+	}
+}
+
+func TestHopByHopRoundTrip(t *testing.T) {
+	h := HopByHopHeader{
+		NextHeader: ProtoUDP,
+		Options: []HopByHopOption{
+			{Type: Opt6RouterAlert, Data: []byte{0, 0}},
+		},
+	}
+	enc := h.Marshal()
+	if len(enc)%8 != 0 {
+		t.Fatalf("encoded length %d not a multiple of 8", len(enc))
+	}
+	g, err := ParseHopByHop(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NextHeader != ProtoUDP || len(g.Options) != 1 ||
+		g.Options[0].Type != Opt6RouterAlert || !bytes.Equal(g.Options[0].Data, []byte{0, 0}) {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+	if g.Len != len(enc) {
+		t.Errorf("Len = %d want %d", g.Len, len(enc))
+	}
+}
+
+func TestParseHopByHopMalformed(t *testing.T) {
+	if _, err := ParseHopByHop([]byte{17}); err == nil {
+		t.Error("short header should fail")
+	}
+	// Option length overruns the header.
+	bad := []byte{17, 0, 5, 200, 0, 0, 0, 0}
+	if _, err := ParseHopByHop(bad); err == nil {
+		t.Error("overrunning option should fail")
+	}
+}
+
+func TestUDPTCPRoundTrip(t *testing.T) {
+	uh := UDPHeader{SrcPort: 1234, DstPort: 80, Length: 8, Checksum: 0xdead}
+	b := make([]byte, 8)
+	if _, err := uh.Marshal(b); err != nil {
+		t.Fatal(err)
+	}
+	gu, err := ParseUDP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gu != uh {
+		t.Errorf("udp round trip: %+v vs %+v", gu, uh)
+	}
+
+	th := TCPHeader{
+		SrcPort: 443, DstPort: 9999, Seq: 1, Ack: 2, Flags: TCPSyn | TCPAck,
+		Window: 4096, Urgent: 0, Options: []byte{2, 4, 5, 0xb4},
+	}
+	tb := make([]byte, th.HeaderLen())
+	if _, err := th.Marshal(tb); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := ParseTCP(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.SrcPort != th.SrcPort || gt.DstPort != th.DstPort || gt.Seq != th.Seq ||
+		gt.Ack != th.Ack || gt.Flags != th.Flags || gt.Window != th.Window ||
+		!bytes.Equal(gt.Options, th.Options) {
+		t.Errorf("tcp round trip: %+v vs %+v", gt, th)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 §3: the words 0x0001, 0xf203, 0xf4f5, 0xf6f7
+	// sum to 0xddf2 (with carries), so the checksum is ^0xddf2 = 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd-length input pads with a zero byte.
+	if got, want := Checksum([]byte{0xff}), ^uint16(0xff00); got != want {
+		t.Errorf("odd Checksum = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestBuildUDPv4ChecksumsValid(t *testing.T) {
+	data, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("10.1.1.1"), Dst: MustParseAddr("10.1.1.2"),
+		SrcPort: 5000, DstPort: 6000, Payload: bytes.Repeat([]byte{0xaa}, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPv4Checksum(data) {
+		t.Error("IPv4 header checksum invalid")
+	}
+	h, _ := ParseIPv4(data)
+	seg := data[h.HeaderLen():]
+	// Recomputing the transport checksum over a segment that already
+	// contains a valid checksum yields 0 (or 0xffff after the UDP-zero
+	// avoidance); verify by summing manually.
+	got := ChecksumTransport(h.Src, h.Dst, ProtoUDP, seg)
+	if got != 0xffff && got != 0 {
+		t.Errorf("UDP checksum verification sum = %#04x", got)
+	}
+}
+
+func TestExtractKeyV4UDP(t *testing.T) {
+	data, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("128.252.153.1"), Dst: MustParseAddr("128.252.153.7"),
+		SrcPort: 1111, DstPort: 2222, Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ExtractKey(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Key{
+		Src: MustParseAddr("128.252.153.1"), Dst: MustParseAddr("128.252.153.7"),
+		Proto: ProtoUDP, SrcPort: 1111, DstPort: 2222, InIf: 3,
+	}
+	if k != want {
+		t.Errorf("key = %s want %s", k, want)
+	}
+}
+
+func TestExtractKeyV6WithHopByHop(t *testing.T) {
+	data, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("2001:db8::1"), Dst: MustParseAddr("2001:db8::2"),
+		SrcPort: 7, DstPort: 9, Payload: []byte("y"),
+		HopByHop: []HopByHopOption{{Type: Opt6RouterAlert, Data: []byte{0, 0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ExtractKey(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Proto != ProtoUDP || k.SrcPort != 7 || k.DstPort != 9 {
+		t.Errorf("key through hop-by-hop = %s", k)
+	}
+}
+
+func TestExtractKeyTCP(t *testing.T) {
+	data, err := BuildTCP(TCPSpec{
+		Src: MustParseAddr("1.2.3.4"), Dst: MustParseAddr("5.6.7.8"),
+		SrcPort: 999, DstPort: 443, Flags: TCPSyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ExtractKey(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Proto != ProtoTCP || k.SrcPort != 999 || k.DstPort != 443 {
+		t.Errorf("tcp key = %s", k)
+	}
+}
+
+func TestExtractKeyFragment(t *testing.T) {
+	data, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("1.1.1.1"), Dst: MustParseAddr("2.2.2.2"),
+		SrcPort: 1, DstPort: 2, Payload: []byte("z"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fake a non-first fragment: set fragment offset, fix checksum.
+	data[6], data[7] = 0x00, 0x10
+	data[10], data[11] = 0, 0
+	cs := Checksum(data[:20])
+	data[10], data[11] = byte(cs>>8), byte(cs)
+	k, err := ExtractKey(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.SrcPort != 0 || k.DstPort != 0 || k.Proto != ProtoUDP {
+		t.Errorf("fragment key should have zero ports: %s", k)
+	}
+}
+
+func TestNewPacket(t *testing.T) {
+	data, _ := BuildUDP(UDPSpec{
+		Src: MustParseAddr("9.9.9.9"), Dst: MustParseAddr("8.8.8.8"),
+		SrcPort: 53, DstPort: 53, TOS: 0xb8, Payload: []byte("q"),
+	})
+	p, err := NewPacket(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.KeyValid || p.Key.InIf != 2 || p.TOS != 0xb8 || p.OutIf != -1 {
+		t.Errorf("packet metadata: %+v", p)
+	}
+	q := p.Clone()
+	q.Data[0] = 0
+	if p.Data[0] == 0 {
+		t.Error("Clone shares data")
+	}
+}
+
+func TestExtractKeyGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(80)
+		b := make([]byte, n)
+		rng.Read(b)
+		// Must never panic; error or success both acceptable.
+		ExtractKey(b, 0)
+	}
+}
+
+func TestFiveTuple(t *testing.T) {
+	k := Key{Src: AddrV4(1), Dst: AddrV4(2), Proto: 6, SrcPort: 3, DstPort: 4, InIf: 9}
+	f := k.FiveTuple()
+	if f.InIf != -1 || f.Src != k.Src || f.DstPort != k.DstPort {
+		t.Errorf("FiveTuple = %+v", f)
+	}
+}

@@ -1,0 +1,143 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the core's error generation (RFC 792) and
+// their ICMPv6 counterparts (RFC 2463).
+const (
+	ICMPv4EchoReply    = 0
+	ICMPv4DestUnreach  = 3
+	ICMPv4Echo         = 8
+	ICMPv4TimeExceeded = 11
+	ICMPv6DestUnreach  = 1
+	ICMPv6TimeExceeded = 3
+	ICMPv6EchoRequest  = 128
+	ICMPv6EchoReply    = 129
+)
+
+// ICMPMessage is a parsed ICMP/ICMPv6 message.
+type ICMPMessage struct {
+	Type uint8
+	Code uint8
+	// Body is everything after the 4-byte header (including the unused
+	// word of error messages).
+	Body []byte
+}
+
+// ParseICMP decodes an ICMP message from a transport payload.
+func ParseICMP(b []byte) (ICMPMessage, error) {
+	var m ICMPMessage
+	if len(b) < 8 {
+		return m, ErrTruncated
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	m.Body = b[4:]
+	return m, nil
+}
+
+// icmpErrOriginalLimit bounds how much of the offending datagram an ICMP
+// error quotes: the IP header plus 8 bytes for v4 (RFC 792), up to the
+// minimum-MTU budget for v6 (we use a compact 128 bytes).
+func icmpQuote(orig []byte, v6 bool) []byte {
+	limit := 0
+	if v6 {
+		limit = 128
+	} else if len(orig) > 0 && orig[0]>>4 == 4 {
+		ihl := int(orig[0]&0x0f) * 4
+		limit = ihl + 8
+	}
+	if limit > len(orig) {
+		limit = len(orig)
+	}
+	return orig[:limit]
+}
+
+// IsICMPError reports whether the datagram is itself an ICMP/ICMPv6
+// error message — errors must never be generated about errors (RFC 1122
+// §3.2.2).
+func IsICMPError(data []byte) bool {
+	k, err := ExtractKey(data, 0)
+	if err != nil {
+		return false
+	}
+	var l4 []byte
+	switch data[0] >> 4 {
+	case 4:
+		if k.Proto != ProtoICMP {
+			return false
+		}
+		ihl := int(data[0]&0x0f) * 4
+		l4 = data[ihl:]
+	case 6:
+		if k.Proto != ProtoIPv6ICMP {
+			return false
+		}
+		l4 = data[IPv6HeaderLen:]
+	default:
+		return false
+	}
+	m, err := ParseICMP(l4)
+	if err != nil {
+		return false
+	}
+	if data[0]>>4 == 4 {
+		return m.Type == ICMPv4DestUnreach || m.Type == ICMPv4TimeExceeded
+	}
+	return m.Type == ICMPv6DestUnreach || m.Type == ICMPv6TimeExceeded
+}
+
+// BuildICMPError synthesizes the ICMP error a router sends about an
+// offending datagram: from the router address back to the datagram's
+// source, quoting its leading bytes. icmpType/code must be appropriate
+// for the datagram's IP version (the v4/v6 constants above).
+func BuildICMPError(orig []byte, routerAddr Addr, icmpType, code uint8) ([]byte, error) {
+	if len(orig) == 0 {
+		return nil, ErrTruncated
+	}
+	v6 := orig[0]>>4 == 6
+	if v6 != routerAddr.IsV6() {
+		return nil, fmt.Errorf("pkt: router address family does not match datagram")
+	}
+	k, err := ExtractKey(orig, 0)
+	if err != nil {
+		return nil, err
+	}
+	quote := icmpQuote(orig, v6)
+	body := make([]byte, 8+len(quote))
+	body[0] = icmpType
+	body[1] = code
+	copy(body[8:], quote)
+
+	if !v6 {
+		cs := Checksum(body)
+		binary.BigEndian.PutUint16(body[2:4], cs)
+		total := IPv4HeaderLen + len(body)
+		out := make([]byte, total)
+		h := IPv4Header{
+			TotalLen: uint16(total), TTL: 64, Protocol: ProtoICMP,
+			Src: routerAddr, Dst: k.Src,
+		}
+		if _, err := h.Marshal(out); err != nil {
+			return nil, err
+		}
+		copy(out[IPv4HeaderLen:], body)
+		return out, nil
+	}
+	total := IPv6HeaderLen + len(body)
+	out := make([]byte, total)
+	h := IPv6Header{
+		PayloadLen: uint16(len(body)), NextHeader: ProtoIPv6ICMP, HopLimit: 64,
+		Src: routerAddr, Dst: k.Src,
+	}
+	if _, err := h.Marshal(out); err != nil {
+		return nil, err
+	}
+	copy(out[IPv6HeaderLen:], body)
+	cs := ChecksumTransport(routerAddr, k.Src, ProtoIPv6ICMP, body)
+	binary.BigEndian.PutUint16(out[IPv6HeaderLen+2:IPv6HeaderLen+4], cs)
+	return out, nil
+}

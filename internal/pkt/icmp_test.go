@@ -1,0 +1,113 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func origUDP(t *testing.T) []byte {
+	t.Helper()
+	data, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("20.0.0.1"),
+		SrcPort: 1111, DstPort: 2222, Payload: bytes.Repeat([]byte{0xee}, 64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestBuildICMPErrorV4(t *testing.T) {
+	orig := origUDP(t)
+	router := MustParseAddr("192.0.2.1")
+	out, err := BuildICMPError(orig, router, ICMPv4TimeExceeded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseIPv4(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Protocol != ProtoICMP {
+		t.Errorf("protocol = %d", h.Protocol)
+	}
+	if h.Src != router || h.Dst != MustParseAddr("10.0.0.1") {
+		t.Errorf("addresses %s -> %s", h.Src, h.Dst)
+	}
+	if !VerifyIPv4Checksum(out) {
+		t.Error("outer checksum invalid")
+	}
+	m, err := ParseICMP(out[h.HeaderLen():])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != ICMPv4TimeExceeded || m.Code != 0 {
+		t.Errorf("icmp %d/%d", m.Type, m.Code)
+	}
+	// The quote is the offending IP header + 8 bytes (RFC 792): the
+	// original UDP header is visible inside.
+	quote := m.Body[4:]
+	if len(quote) != IPv4HeaderLen+8 {
+		t.Errorf("quote length = %d", len(quote))
+	}
+	if !bytes.Equal(quote[:IPv4HeaderLen+8], orig[:IPv4HeaderLen+8]) {
+		t.Error("quote does not match the offending datagram")
+	}
+	// ICMP body checksum verifies (sum over body with embedded checksum
+	// is zero).
+	if Checksum(out[h.HeaderLen():]) != 0 {
+		t.Error("icmp checksum invalid")
+	}
+}
+
+func TestBuildICMPErrorV6(t *testing.T) {
+	orig, err := BuildUDP(UDPSpec{
+		Src: MustParseAddr("2001:db8::1"), Dst: MustParseAddr("2001:db8::2"),
+		SrcPort: 5, DstPort: 6, Payload: bytes.Repeat([]byte{1}, 300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := MustParseAddr("2001:db8::ff")
+	out, err := BuildICMPError(orig, router, ICMPv6TimeExceeded, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseIPv6(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NextHeader != ProtoIPv6ICMP || h.Dst != MustParseAddr("2001:db8::1") {
+		t.Errorf("header %+v", h)
+	}
+	m, _ := ParseICMP(out[IPv6HeaderLen:])
+	if m.Type != ICMPv6TimeExceeded {
+		t.Errorf("type = %d", m.Type)
+	}
+	// v6 quotes up to 128 bytes of the offender.
+	if len(m.Body)-4 != 128 {
+		t.Errorf("quote = %d bytes", len(m.Body)-4)
+	}
+}
+
+func TestBuildICMPErrorFamilyMismatch(t *testing.T) {
+	if _, err := BuildICMPError(origUDP(t), MustParseAddr("2001:db8::1"), ICMPv4TimeExceeded, 0); err == nil {
+		t.Error("v6 router address for v4 datagram accepted")
+	}
+	if _, err := BuildICMPError(nil, MustParseAddr("192.0.2.1"), ICMPv4TimeExceeded, 0); err == nil {
+		t.Error("empty datagram accepted")
+	}
+}
+
+func TestIsICMPError(t *testing.T) {
+	if IsICMPError(origUDP(t)) {
+		t.Error("UDP flagged as ICMP error")
+	}
+	errPkt, _ := BuildICMPError(origUDP(t), MustParseAddr("192.0.2.1"), ICMPv4DestUnreach, 1)
+	if !IsICMPError(errPkt) {
+		t.Error("dest-unreach not recognized")
+	}
+	if IsICMPError([]byte{0xff}) {
+		t.Error("garbage recognized")
+	}
+}

@@ -1,0 +1,144 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// Errors returned by the header codecs.
+var (
+	ErrTruncated  = errors.New("pkt: truncated packet")
+	ErrBadVersion = errors.New("pkt: bad IP version")
+	ErrBadHeader  = errors.New("pkt: malformed header")
+)
+
+// IPv4Header is a parsed IPv4 header. Fields mirror RFC 791.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      Addr
+	Dst      Addr
+	Options  []byte // raw options, length multiple of 4
+}
+
+// HeaderLen returns the header length in bytes including options.
+func (h *IPv4Header) HeaderLen() int { return IPv4HeaderLen + len(h.Options) }
+
+// ParseIPv4 decodes an IPv4 header from the start of b. It validates
+// version, header length, and total length against the buffer.
+func ParseIPv4(b []byte) (IPv4Header, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return h, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return h, fmt.Errorf("%w: IHL %d", ErrBadHeader, ihl)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return h, fmt.Errorf("%w: total length %d buffer %d", ErrBadHeader, h.TotalLen, len(b))
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	fragWord := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(fragWord >> 13)
+	h.FragOff = fragWord & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	var src, dst [4]byte
+	copy(src[:], b[12:16])
+	copy(dst[:], b[16:20])
+	h.Src = AddrFrom4(src)
+	h.Dst = AddrFrom4(dst)
+	if ihl > IPv4HeaderLen {
+		h.Options = append([]byte(nil), b[IPv4HeaderLen:ihl]...)
+	}
+	return h, nil
+}
+
+// Marshal encodes the header into b, which must be at least HeaderLen()
+// bytes. The checksum field is computed over the encoded header. It
+// returns the number of bytes written.
+func (h *IPv4Header) Marshal(b []byte) (int, error) {
+	hl := h.HeaderLen()
+	if len(h.Options)%4 != 0 {
+		return 0, fmt.Errorf("%w: options length %d not a multiple of 4", ErrBadHeader, len(h.Options))
+	}
+	if hl > 60 {
+		return 0, fmt.Errorf("%w: header length %d exceeds 60", ErrBadHeader, hl)
+	}
+	if len(b) < hl {
+		return 0, ErrTruncated
+	}
+	if h.Src.IsV6() || h.Dst.IsV6() {
+		return 0, fmt.Errorf("%w: IPv6 address in IPv4 header", ErrBadHeader)
+	}
+	b[0] = 0x40 | uint8(hl/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	src, dst := h.Src.As4(), h.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	copy(b[IPv4HeaderLen:hl], h.Options)
+	cs := Checksum(b[:hl])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	h.Checksum = cs
+	return hl, nil
+}
+
+// VerifyIPv4Checksum recomputes the header checksum of the datagram in b
+// and reports whether it is valid.
+func VerifyIPv4Checksum(b []byte) bool {
+	if len(b) < IPv4HeaderLen {
+		return false
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return false
+	}
+	return Checksum(b[:ihl]) == 0
+}
+
+// DecTTLv4 decrements the TTL of the IPv4 datagram in b in place,
+// incrementally updating the checksum per RFC 1624. It returns the new
+// TTL, or an error if the packet is malformed or the TTL is already zero.
+func DecTTLv4(b []byte) (uint8, error) {
+	if len(b) < IPv4HeaderLen {
+		return 0, ErrTruncated
+	}
+	ttl := b[8]
+	if ttl == 0 {
+		return 0, errors.New("pkt: TTL already zero")
+	}
+	// RFC 1624 incremental update: HC' = ~(~HC + ~m + m'), where m is the
+	// 16-bit word holding TTL and protocol.
+	old := binary.BigEndian.Uint16(b[8:10])
+	b[8] = ttl - 1
+	newWord := binary.BigEndian.Uint16(b[8:10])
+	sum := uint32(^binary.BigEndian.Uint16(b[10:12])) + uint32(^old) + uint32(newWord)
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	binary.BigEndian.PutUint16(b[10:12], ^uint16(sum))
+	return ttl - 1, nil
+}

@@ -1,0 +1,157 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv6HeaderLen is the fixed IPv6 header length.
+const IPv6HeaderLen = 40
+
+// IPv6 extension header option types used by the option-processing gate.
+const (
+	Opt6Pad1        = 0
+	Opt6PadN        = 1
+	Opt6RouterAlert = 5
+)
+
+// IPv6Header is a parsed fixed IPv6 header (RFC 2460).
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          Addr
+	Dst          Addr
+}
+
+// ParseIPv6 decodes the fixed IPv6 header from the start of b.
+func ParseIPv6(b []byte) (IPv6Header, error) {
+	var h IPv6Header
+	if len(b) < IPv6HeaderLen {
+		return h, ErrTruncated
+	}
+	if b[0]>>4 != 6 {
+		return h, ErrBadVersion
+	}
+	h.TrafficClass = b[0]<<4 | b[1]>>4
+	h.FlowLabel = uint32(b[1]&0x0f)<<16 | uint32(b[2])<<8 | uint32(b[3])
+	h.PayloadLen = binary.BigEndian.Uint16(b[4:6])
+	if IPv6HeaderLen+int(h.PayloadLen) > len(b) {
+		return h, fmt.Errorf("%w: payload length %d buffer %d", ErrBadHeader, h.PayloadLen, len(b))
+	}
+	h.NextHeader = b[6]
+	h.HopLimit = b[7]
+	var src, dst [16]byte
+	copy(src[:], b[8:24])
+	copy(dst[:], b[24:40])
+	h.Src = AddrFrom16(src)
+	h.Dst = AddrFrom16(dst)
+	return h, nil
+}
+
+// Marshal encodes the header into b (at least IPv6HeaderLen bytes) and
+// returns the number of bytes written.
+func (h *IPv6Header) Marshal(b []byte) (int, error) {
+	if len(b) < IPv6HeaderLen {
+		return 0, ErrTruncated
+	}
+	if !h.Src.IsV6() || !h.Dst.IsV6() {
+		return 0, fmt.Errorf("%w: IPv4 address in IPv6 header", ErrBadHeader)
+	}
+	b[0] = 0x60 | h.TrafficClass>>4
+	b[1] = h.TrafficClass<<4 | uint8(h.FlowLabel>>16)&0x0f
+	b[2] = byte(h.FlowLabel >> 8)
+	b[3] = byte(h.FlowLabel)
+	binary.BigEndian.PutUint16(b[4:6], h.PayloadLen)
+	b[6] = h.NextHeader
+	b[7] = h.HopLimit
+	src, dst := h.Src.As16(), h.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	return IPv6HeaderLen, nil
+}
+
+// HopByHopOption is one TLV option inside a hop-by-hop extension header.
+type HopByHopOption struct {
+	Type uint8
+	Data []byte
+}
+
+// HopByHopHeader is a parsed IPv6 hop-by-hop options extension header.
+// The paper's IPv6-options gate dispatches packets carrying these to
+// option plugins.
+type HopByHopHeader struct {
+	NextHeader uint8
+	Options    []HopByHopOption
+	// Len is the total encoded length in bytes (multiple of 8).
+	Len int
+}
+
+// ParseHopByHop decodes a hop-by-hop extension header from the start of b.
+func ParseHopByHop(b []byte) (HopByHopHeader, error) {
+	var h HopByHopHeader
+	if len(b) < 8 {
+		return h, ErrTruncated
+	}
+	h.NextHeader = b[0]
+	h.Len = (int(b[1]) + 1) * 8
+	if len(b) < h.Len {
+		return h, ErrTruncated
+	}
+	opts := b[2:h.Len]
+	for len(opts) > 0 {
+		t := opts[0]
+		if t == Opt6Pad1 {
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return h, fmt.Errorf("%w: dangling option type %d", ErrBadHeader, t)
+		}
+		olen := int(opts[1])
+		if len(opts) < 2+olen {
+			return h, fmt.Errorf("%w: option %d length %d overruns header", ErrBadHeader, t, olen)
+		}
+		if t != Opt6PadN {
+			h.Options = append(h.Options, HopByHopOption{Type: t, Data: append([]byte(nil), opts[2:2+olen]...)})
+		}
+		opts = opts[2+olen:]
+	}
+	return h, nil
+}
+
+// Marshal encodes the hop-by-hop header, padding to a multiple of 8
+// bytes, and returns the encoded bytes.
+func (h *HopByHopHeader) Marshal() []byte {
+	body := []byte{h.NextHeader, 0}
+	for _, o := range h.Options {
+		body = append(body, o.Type, byte(len(o.Data)))
+		body = append(body, o.Data...)
+	}
+	// Pad to a multiple of 8 with PadN (or Pad1 for a single byte).
+	switch pad := (8 - len(body)%8) % 8; {
+	case pad == 1:
+		body = append(body, Opt6Pad1)
+	case pad > 1:
+		body = append(body, Opt6PadN, byte(pad-2))
+		body = append(body, make([]byte, pad-2)...)
+	}
+	body[1] = byte(len(body)/8 - 1)
+	h.Len = len(body)
+	return body
+}
+
+// DecHopLimit decrements the hop limit of the IPv6 datagram in b in
+// place. It returns the new hop limit or an error if already zero.
+func DecHopLimit(b []byte) (uint8, error) {
+	if len(b) < IPv6HeaderLen {
+		return 0, ErrTruncated
+	}
+	if b[7] == 0 {
+		return 0, fmt.Errorf("pkt: hop limit already zero")
+	}
+	b[7]--
+	return b[7], nil
+}

@@ -1,0 +1,152 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickUDPBuildExtract: for arbitrary addresses, ports and payload
+// sizes, building a datagram and extracting its key returns exactly the
+// specified six-tuple, and the header checksum verifies.
+func TestQuickUDPBuildExtract(t *testing.T) {
+	f := func(src, dst uint32, sport, dport uint16, size uint16, inIf int32) bool {
+		data, err := BuildUDP(UDPSpec{
+			Src: AddrV4(src), Dst: AddrV4(dst),
+			SrcPort: sport, DstPort: dport,
+			Payload: make([]byte, size%4096),
+		})
+		if err != nil {
+			return false
+		}
+		if !VerifyIPv4Checksum(data) {
+			return false
+		}
+		k, err := ExtractKey(data, inIf)
+		if err != nil {
+			return false
+		}
+		return k.Src == AddrV4(src) && k.Dst == AddrV4(dst) &&
+			k.SrcPort == sport && k.DstPort == dport &&
+			k.Proto == ProtoUDP && k.InIf == inIf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTTLDecrementPreservesChecksum: the RFC 1624 incremental update
+// agrees with full recomputation for arbitrary headers.
+func TestQuickTTLDecrementPreservesChecksum(t *testing.T) {
+	f := func(src, dst uint32, ttl uint8, tos uint8) bool {
+		if ttl == 0 {
+			ttl = 1
+		}
+		data, err := BuildUDP(UDPSpec{
+			Src: AddrV4(src), Dst: AddrV4(dst), SrcPort: 1, DstPort: 2,
+			TTL: ttl, TOS: tos, Payload: []byte("q"),
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := DecTTLv4(data); err != nil {
+			return false
+		}
+		return VerifyIPv4Checksum(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFragmentReassemble: fragmentation followed by reassembly is
+// the identity for arbitrary payload sizes and viable MTUs.
+func TestQuickFragmentReassemble(t *testing.T) {
+	f := func(size uint16, mtuRaw uint16, id uint16) bool {
+		payload := int(size%8000) + 100
+		mtu := int(mtuRaw%2000) + 256
+		data, err := BuildUDP(UDPSpec{
+			Src: AddrV4(1), Dst: AddrV4(2), SrcPort: 3, DstPort: 4,
+			Payload: make([]byte, payload),
+		})
+		if err != nil {
+			return false
+		}
+		SetID(data, id)
+		frags, err := FragmentIPv4(data, mtu)
+		if err != nil {
+			return false
+		}
+		r := NewReassembler(0)
+		var got []byte
+		for _, fr := range frags {
+			out, err := r.Add(fr, time.Now())
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrefixTruncateContains: for any address and length, the
+// canonical prefix contains its base address and truncation is
+// idempotent — both families.
+func TestQuickPrefixTruncateContains(t *testing.T) {
+	f := func(b [16]byte, lenRaw uint8, v6 bool) bool {
+		var a Addr
+		if v6 {
+			a = AddrFrom16(b)
+		} else {
+			a = AddrV4(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+		}
+		n := int(lenRaw) % (a.BitLen() + 1)
+		p := PrefixFrom(a, n)
+		if !p.Contains(a) {
+			return false
+		}
+		return p.Addr.Truncate(n) == p.Addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHopByHopRoundTrip: marshal∘parse is the identity on option
+// lists.
+func TestQuickHopByHopRoundTrip(t *testing.T) {
+	f := func(optData []byte, nOpts uint8) bool {
+		n := int(nOpts%4) + 1
+		if len(optData) > 32 {
+			optData = optData[:32]
+		}
+		h := HopByHopHeader{NextHeader: ProtoUDP}
+		for i := 0; i < n; i++ {
+			h.Options = append(h.Options, HopByHopOption{Type: Opt6RouterAlert, Data: optData})
+		}
+		enc := h.Marshal()
+		g, err := ParseHopByHop(enc)
+		if err != nil {
+			return false
+		}
+		if g.NextHeader != ProtoUDP || len(g.Options) != n {
+			return false
+		}
+		for _, o := range g.Options {
+			if !bytes.Equal(o.Data, optData) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

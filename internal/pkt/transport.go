@@ -1,0 +1,124 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// TCPHeaderLen is the TCP header length without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// UDPHeader is a parsed UDP header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// ParseUDP decodes a UDP header from the start of b.
+func ParseUDP(b []byte) (UDPHeader, error) {
+	var h UDPHeader
+	if len(b) < UDPHeaderLen {
+		return h, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if int(h.Length) < UDPHeaderLen {
+		return h, fmt.Errorf("%w: UDP length %d", ErrBadHeader, h.Length)
+	}
+	return h, nil
+}
+
+// Marshal encodes the header into b (at least UDPHeaderLen bytes).
+// The checksum field is written as-is; use ChecksumTransport to fill it.
+func (h *UDPHeader) Marshal(b []byte) (int, error) {
+	if len(b) < UDPHeaderLen {
+		return 0, ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+	return UDPHeaderLen, nil
+}
+
+// TCPHeader is a parsed TCP header (options kept raw).
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+	Options  []byte // multiple of 4 bytes
+}
+
+// HeaderLen returns the header length in bytes including options.
+func (h *TCPHeader) HeaderLen() int { return TCPHeaderLen + len(h.Options) }
+
+// ParseTCP decodes a TCP header from the start of b.
+func ParseTCP(b []byte) (TCPHeader, error) {
+	var h TCPHeader
+	if len(b) < TCPHeaderLen {
+		return h, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(b) < dataOff {
+		return h, fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, dataOff)
+	}
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	h.Urgent = binary.BigEndian.Uint16(b[18:20])
+	if dataOff > TCPHeaderLen {
+		h.Options = append([]byte(nil), b[TCPHeaderLen:dataOff]...)
+	}
+	return h, nil
+}
+
+// Marshal encodes the header into b (at least HeaderLen() bytes).
+func (h *TCPHeader) Marshal(b []byte) (int, error) {
+	hl := h.HeaderLen()
+	if len(h.Options)%4 != 0 {
+		return 0, fmt.Errorf("%w: TCP options length %d not a multiple of 4", ErrBadHeader, len(h.Options))
+	}
+	if hl > 60 {
+		return 0, fmt.Errorf("%w: TCP header length %d exceeds 60", ErrBadHeader, hl)
+	}
+	if len(b) < hl {
+		return 0, ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = uint8(hl/4) << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], h.Urgent)
+	copy(b[TCPHeaderLen:hl], h.Options)
+	return hl, nil
+}

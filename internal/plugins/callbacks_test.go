@@ -1,0 +1,233 @@
+package plugins
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// TestCallbackErrorPaths drives every plugin's callback through its
+// error and edge branches: missing arguments, bad values, unknown verbs,
+// wrong instance types, free/deregister flows.
+func TestCallbackErrorPaths(t *testing.T) {
+	rg := newRig(t, pcu.TypeOptions, pcu.TypeSecurity, pcu.TypeFirewall,
+		pcu.TypeStats, pcu.TypeMonitor, pcu.TypeRouting, pcu.TypeSched)
+	for _, load := range []pcu.Plugin{
+		NewDRRPlugin(rg.env), NewHFSCPlugin(rg.env), NewREDPlugin(rg.env),
+		NewFirewallPlugin(rg.env), NewStatsPlugin(rg.env), NewTCPMonPlugin(rg.env),
+		NewRoutePlugin(rg.env), NewOptionsPlugin(rg.env), NewNullPlugin(rg.env, pcu.TypeOptions),
+	} {
+		if err := rg.reg.Load(load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send := func(plugin string, msg *pcu.Message) error { return rg.reg.Send(plugin, msg) }
+
+	// create-instance argument validation.
+	for _, tc := range []struct {
+		plugin string
+		args   map[string]string
+	}{
+		{"drr", nil},                             // missing iface
+		{"drr", map[string]string{"iface": "x"}}, // bad iface
+		{"drr", map[string]string{"iface": "1", "quantum": "x"}},
+		{"hfsc", map[string]string{"iface": "1"}}, // missing rate
+		{"hfsc", map[string]string{"iface": "1", "rate": "x"}},
+		{"red", map[string]string{"iface": "1", "minth": "9", "maxth": "5"}},
+		{"red", map[string]string{"iface": "1", "maxp": "x"}},
+		{"firewall", map[string]string{"default": "sideways"}},
+	} {
+		if err := send(tc.plugin, &pcu.Message{Kind: pcu.MsgCreateInstance, Args: tc.args}); err == nil {
+			t.Errorf("%s create with %v accepted", tc.plugin, tc.args)
+		}
+	}
+
+	// register-instance validation + unknown verbs, per plugin.
+	mkInst := func(plugin string, args map[string]string) pcu.Instance {
+		msg := &pcu.Message{Kind: pcu.MsgCreateInstance, Args: args}
+		if err := send(plugin, msg); err != nil {
+			t.Fatalf("%s create: %v", plugin, err)
+		}
+		return msg.Reply.(pcu.Instance)
+	}
+	insts := map[string]pcu.Instance{
+		"drr":      mkInst("drr", map[string]string{"iface": "1"}),
+		"hfsc":     mkInst("hfsc", map[string]string{"iface": "1", "rate": "1000000"}),
+		"red":      mkInst("red", map[string]string{"iface": "1"}),
+		"firewall": mkInst("firewall", nil),
+		"stats":    mkInst("stats", nil),
+		"tcpmon":   mkInst("tcpmon", nil),
+		"l4route":  mkInst("l4route", nil),
+		"options":  mkInst("options", map[string]string{"strict": "1"}),
+	}
+	for plugin, inst := range insts {
+		// register without filter fails.
+		if err := send(plugin, &pcu.Message{Kind: pcu.MsgRegisterInstance, Instance: inst}); err == nil {
+			t.Errorf("%s register without filter accepted", plugin)
+		}
+		// register with a malformed filter fails.
+		if err := send(plugin, &pcu.Message{
+			Kind: pcu.MsgRegisterInstance, Instance: inst,
+			Args: map[string]string{"filter": "garbage"},
+		}); err == nil {
+			t.Errorf("%s register with bad filter accepted", plugin)
+		}
+		// unknown custom verb fails.
+		if err := send(plugin, &pcu.Message{Kind: pcu.MsgCustom, Verb: "frobnicate", Instance: inst}); err == nil {
+			t.Errorf("%s frobnicate accepted", plugin)
+		}
+		// deregister of a missing binding fails.
+		if err := send(plugin, &pcu.Message{
+			Kind: pcu.MsgDeregisterInstance, Instance: inst,
+			Args: map[string]string{"filter": "9.9.9.9, *, *, *, *, *"},
+		}); err == nil {
+			t.Errorf("%s deregister of missing binding accepted", plugin)
+		}
+	}
+
+	// Plugin-specific register validation.
+	if err := send("l4route", &pcu.Message{
+		Kind: pcu.MsgRegisterInstance, Instance: insts["l4route"],
+		Args: map[string]string{"filter": "*, *, *, *, *, *"},
+	}); err == nil {
+		t.Error("l4route register without dev accepted")
+	}
+	if err := send("l4route", &pcu.Message{
+		Kind: pcu.MsgRegisterInstance, Instance: insts["l4route"],
+		Args: map[string]string{"filter": "*, *, *, *, *, *", "dev": "1", "via": "zzz"},
+	}); err == nil {
+		t.Error("l4route bad via accepted")
+	}
+	if err := send("firewall", &pcu.Message{
+		Kind: pcu.MsgRegisterInstance, Instance: insts["firewall"],
+		Args: map[string]string{"filter": "*, *, *, *, *, *", "action": "sideways"},
+	}); err == nil {
+		t.Error("firewall bad action accepted")
+	}
+	// hfsc add-class validation.
+	for _, args := range []map[string]string{
+		nil,                              // missing name
+		{"name": "default"},              // duplicate
+		{"name": "x", "parent": "ghost"}, // unknown parent
+		{"name": "y", "rt": "a,b,c"},     // bad curve
+	} {
+		if err := send("hfsc", &pcu.Message{Kind: pcu.MsgCustom, Verb: "add-class", Instance: insts["hfsc"], Args: args}); err == nil {
+			t.Errorf("hfsc add-class with %v accepted", args)
+		}
+	}
+	// hfsc register to default class works; stats verbs respond.
+	if err := send("hfsc", &pcu.Message{
+		Kind: pcu.MsgRegisterInstance, Instance: insts["hfsc"],
+		Args: map[string]string{"filter": "*, *, *, *, *, *"},
+	}); err != nil {
+		t.Error(err)
+	}
+	for _, tc := range []struct{ plugin, verb string }{
+		{"drr", "stats"}, {"hfsc", "stats"}, {"red", "stats"},
+		{"firewall", "stats"}, {"stats", "report"}, {"stats", "reset"},
+		{"tcpmon", "report"}, {"l4route", "stats"}, {"options", "stats"},
+	} {
+		if err := send(tc.plugin, &pcu.Message{Kind: pcu.MsgCustom, Verb: tc.verb, Instance: insts[tc.plugin]}); err != nil {
+			t.Errorf("%s %s: %v", tc.plugin, tc.verb, err)
+		}
+	}
+	// Custom verbs that need an instance reject nil.
+	for _, tc := range []struct{ plugin, verb string }{
+		{"drr", "stats"}, {"hfsc", "add-class"}, {"stats", "report"}, {"tcpmon", "report"},
+	} {
+		if err := send(tc.plugin, &pcu.Message{Kind: pcu.MsgCustom, Verb: tc.verb}); err == nil {
+			t.Errorf("%s %s without instance accepted", tc.plugin, tc.verb)
+		}
+	}
+	// free-instance with a mismatched type fails for typed plugins.
+	wrong := insts["stats"]
+	for _, plugin := range []string{"drr", "hfsc", "red"} {
+		if err := send(plugin, &pcu.Message{Kind: pcu.MsgFreeInstance, Instance: wrong}); err == nil {
+			t.Errorf("%s freed a foreign instance", plugin)
+		}
+	}
+	// Accessors on instances.
+	if insts["drr"].(*DRRInstance).IfIndex() != 1 {
+		t.Error("DRR IfIndex wrong")
+	}
+	if insts["hfsc"].(*HFSCInstance).Scheduler() == nil {
+		t.Error("HFSC Scheduler nil")
+	}
+	if insts["red"].(*REDInstance).Backlog() != 0 {
+		t.Error("RED backlog nonzero")
+	}
+	for name, inst := range insts {
+		if inst.InstanceName() == "" {
+			t.Errorf("%s instance has empty name", name)
+		}
+	}
+}
+
+// TestOptionsStrictDropsUnknown covers strict-mode and IPv4 option
+// parsing branches.
+func TestOptionsStrictDropsUnknown(t *testing.T) {
+	rg := newRig(t)
+	rg.reg.Load(NewOptionsPlugin(rg.env))
+	inst := rg.create(t, "options", map[string]string{"strict": "1"}).(*OptionsInstance)
+
+	// IPv4 datagram with a router-alert option.
+	h := pkt.IPv4Header{
+		TotalLen: 24 + 8, TTL: 4, Protocol: pkt.ProtoUDP,
+		Src: pkt.MustParseAddr("1.1.1.1"), Dst: pkt.MustParseAddr("2.2.2.2"),
+		Options: []byte{0x94, 0x04, 0, 0},
+	}
+	buf := make([]byte, 32)
+	if _, err := h.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	p := &pkt.Packet{Data: buf}
+	if err := inst.HandlePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := inst.Snapshot(); st.RouterAlerts != 1 {
+		t.Errorf("alerts = %+v", st)
+	}
+	// Unknown IPv4 option in strict mode: dropped.
+	h.Options = []byte{0x99, 0x04, 0, 0}
+	if _, err := h.Marshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	q := &pkt.Packet{Data: buf}
+	inst.HandlePacket(q)
+	if !q.Drop {
+		t.Error("strict mode kept unknown option")
+	}
+	// Unknown IPv6 option with action bits: dropped in strict mode.
+	data6, _ := pkt.BuildUDP(pkt.UDPSpec{
+		Src: pkt.MustParseAddr("2001:db8::1"), Dst: pkt.MustParseAddr("2001:db8::2"),
+		SrcPort: 1, DstPort: 2, Payload: []byte("z"),
+		HopByHop: []pkt.HopByHopOption{{Type: 0xc2, Data: []byte{1, 2}}},
+	})
+	r, _ := pkt.NewPacket(data6, 0)
+	inst.HandlePacket(r)
+	if !r.Drop {
+		t.Error("strict mode kept unknown v6 option")
+	}
+}
+
+// TestRouteInstanceWithoutBinding covers the pass-through branches.
+func TestRouteInstanceWithoutBinding(t *testing.T) {
+	rg := newRig(t)
+	rg.reg.Load(NewRoutePlugin(rg.env))
+	inst := rg.create(t, "l4route", nil).(*RouteInstance)
+	// No FIX at all.
+	p := &pkt.Packet{OutIf: -1}
+	if err := inst.HandlePacket(p); err != nil || p.OutIf != -1 {
+		t.Error("packet without flow record modified")
+	}
+	// Binding present with via.
+	rg.bind(t, "l4route", inst, map[string]string{
+		"filter": "*, *, *, *, *, *", "dev": "1", "via": "192.0.2.9",
+	})
+	q := udp(t, "10.0.0.1", 1, 10)
+	rg.r.Forward(q)
+	if q.NextHop != pkt.MustParseAddr("192.0.2.9") {
+		t.Errorf("via not applied: %s", q.NextHop)
+	}
+}

@@ -1,0 +1,193 @@
+package plugins
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/sched"
+)
+
+// DRRPlugin is the weighted Deficit Round Robin scheduling plugin of
+// §6.1. Because the AIU already classifies packets into flows and gives
+// the plugin a per-flow soft-state slot in the flow record, the plugin
+// itself is small: each flow lazily receives its own queue (perfect
+// per-flow fair queuing, not a fixed hash bucket like ALTQ), weighted by
+// the reservation installed with the flow's filter.
+type DRRPlugin struct {
+	env   *Env
+	namer instanceNamer
+}
+
+// NewDRRPlugin builds the plugin.
+func NewDRRPlugin(env *Env) *DRRPlugin {
+	return &DRRPlugin{env: env, namer: instanceNamer{prefix: "drr"}}
+}
+
+// PluginName implements pcu.Plugin.
+func (d *DRRPlugin) PluginName() string { return "drr" }
+
+// PluginCode implements pcu.Plugin.
+func (d *DRRPlugin) PluginCode() pcu.Code { return pcu.MakeCode(pcu.TypeSched, 1) }
+
+// Callback implements pcu.Plugin.
+//
+// create-instance args: iface=N (required), quantum=BYTES, qlen=PKTS.
+// register-instance args: filter=SPEC, weight=W (reserved flows).
+// Custom messages: "stats" replies with a []FlowShare snapshot.
+func (d *DRRPlugin) Callback(msg *pcu.Message) error {
+	switch msg.Kind {
+	case pcu.MsgCreateInstance:
+		ifIdx, err := argIf(msg)
+		if err != nil {
+			return err
+		}
+		quantum, err := argInt(msg, "quantum", 1500)
+		if err != nil {
+			return err
+		}
+		qlen, err := argInt(msg, "qlen", 128)
+		if err != nil {
+			return err
+		}
+		inst := &DRRInstance{
+			name: d.namer.next(), env: d.env, ifIdx: ifIdx,
+			drr: sched.NewDRR(quantum, qlen),
+		}
+		if slot, ok := d.env.AIU.Slot(pcu.TypeSched); ok {
+			inst.slot = slot
+		} else {
+			return fmt.Errorf("plugins: AIU has no scheduling gate")
+		}
+		if d.env.Router != nil {
+			d.env.Router.RegisterDrainer(ifIdx, inst)
+		}
+		msg.Reply = inst
+		return nil
+	case pcu.MsgFreeInstance:
+		inst, ok := msg.Instance.(*DRRInstance)
+		if !ok {
+			return fmt.Errorf("plugins: not a DRR instance")
+		}
+		if d.env.Router != nil {
+			d.env.Router.UnregisterDrainer(inst.ifIdx, inst)
+		}
+		d.env.AIU.UnbindInstance(inst)
+		return nil
+	case pcu.MsgRegisterInstance:
+		w, err := argFloat(msg, "weight", 1)
+		if err != nil {
+			return err
+		}
+		return register(d.env, pcu.TypeSched, msg, &Reservation{Weight: w})
+	case pcu.MsgDeregisterInstance:
+		return deregister(d.env, pcu.TypeSched, msg)
+	case pcu.MsgCustom:
+		switch msg.Verb {
+		case "stats":
+			inst, ok := msg.Instance.(*DRRInstance)
+			if !ok {
+				return fmt.Errorf("plugins: stats needs an instance")
+			}
+			msg.Reply = inst.Shares()
+			return nil
+		}
+		return fmt.Errorf("plugins: drr has no message %q", msg.Verb)
+	default:
+		return fmt.Errorf("plugins: unhandled message kind %v", msg.Kind)
+	}
+}
+
+// DRRInstance is one interface's DRR scheduler.
+type DRRInstance struct {
+	name  string
+	env   *Env
+	ifIdx int32
+	slot  int
+
+	mu  sync.Mutex
+	drr *sched.DRR
+}
+
+// InstanceName implements pcu.Instance.
+func (i *DRRInstance) InstanceName() string { return i.name }
+
+// IfIndex reports the interface this instance schedules.
+func (i *DRRInstance) IfIndex() int32 { return i.ifIdx }
+
+// HandlePacket implements pcu.Instance: find (or create) the flow's
+// queue via the flow record's soft-state slot and enqueue. The per-flow
+// queue pointer lives exactly where the paper puts it — in the flow
+// table row ("used by the DRR plugin to store a pointer to a queue of
+// packets for each active flow").
+func (i *DRRInstance) HandlePacket(p *pkt.Packet) error {
+	rec, _ := p.FIX.(*aiu.FlowRecord)
+	if rec == nil {
+		return fmt.Errorf("drr: packet carries no flow record")
+	}
+	b := rec.Bind(i.slot)
+	q, _ := b.Private.(*sched.DRRQueue)
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if q == nil {
+		weight := 1.0
+		if b.Rec != nil {
+			if res, ok := b.Rec.Private.(*Reservation); ok && res.Weight > 0 {
+				weight = res.Weight
+			}
+		}
+		q = i.drr.NewQueue(rec.Key.String(), weight)
+		b.Private = q
+	}
+	return i.drr.EnqueueFlow(q, p)
+}
+
+// Drain implements ipcore.Drainer.
+func (i *DRRInstance) Drain() *pkt.Packet {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.drr.Dequeue()
+}
+
+// Backlog implements ipcore.Drainer.
+func (i *DRRInstance) Backlog() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.drr.Len()
+}
+
+// FlowEvicted implements aiu.FlowEvictListener: reclaim the per-flow
+// queue when the AIU recycles the flow record.
+func (i *DRRInstance) FlowEvicted(rec *aiu.FlowRecord, slot int) {
+	q, _ := rec.Bind(slot).Private.(*sched.DRRQueue)
+	if q == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.drr.RemoveQueue(q)
+}
+
+// FlowShare is one flow's service snapshot.
+type FlowShare struct {
+	Label  string
+	Weight float64
+	Served uint64
+	Drops  uint64
+}
+
+// Shares snapshots per-flow service for the link-sharing demos.
+func (i *DRRInstance) Shares() []FlowShare {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var out []FlowShare
+	for _, q := range i.drr.Queues() {
+		out = append(out, FlowShare{Label: q.Label, Weight: q.Weight, Served: q.Served, Drops: q.Drops})
+	}
+	return out
+}
+
+// Scheduler exposes the underlying DRR for simulators.
+func (i *DRRInstance) Scheduler() *sched.DRR { return i.drr }

@@ -1,0 +1,65 @@
+package plugins
+
+import (
+	"fmt"
+
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// NullPlugin is the "empty plugin" of the §7.3 measurement: its packet
+// handler does nothing, so binding null instances to gates measures the
+// pure overhead of the plugin framework — flow detection plus the
+// indirect function calls — against the monolithic kernel.
+type NullPlugin struct {
+	env   *Env
+	gate  pcu.Type
+	namer instanceNamer
+}
+
+// NewNullPlugin builds a null plugin for the given gate type (an "empty"
+// implementation can be registered at any gate).
+func NewNullPlugin(env *Env, gate pcu.Type) *NullPlugin {
+	return &NullPlugin{env: env, gate: gate, namer: instanceNamer{prefix: fmt.Sprintf("null-%s", gate)}}
+}
+
+// PluginName implements pcu.Plugin.
+func (n *NullPlugin) PluginName() string { return fmt.Sprintf("null-%s", n.gate) }
+
+// PluginCode implements pcu.Plugin; impl id 0xffff marks the null
+// implementation of a type.
+func (n *NullPlugin) PluginCode() pcu.Code { return pcu.MakeCode(n.gate, 0xffff) }
+
+// Callback implements pcu.Plugin.
+func (n *NullPlugin) Callback(msg *pcu.Message) error {
+	switch msg.Kind {
+	case pcu.MsgCreateInstance:
+		msg.Reply = &NullInstance{name: n.namer.next()}
+		return nil
+	case pcu.MsgFreeInstance:
+		n.env.AIU.UnbindInstance(msg.Instance)
+		return nil
+	case pcu.MsgRegisterInstance:
+		return register(n.env, n.gate, msg, nil)
+	case pcu.MsgDeregisterInstance:
+		return deregister(n.env, n.gate, msg)
+	default:
+		return fmt.Errorf("plugins: null plugin has no message %q", msg.Verb)
+	}
+}
+
+// NullInstance does nothing, as fast as possible.
+type NullInstance struct {
+	name string
+	// Calls counts handler invocations so tests can assert dispatch.
+	Calls uint64
+}
+
+// InstanceName implements pcu.Instance.
+func (i *NullInstance) InstanceName() string { return i.name }
+
+// HandlePacket implements pcu.Instance.
+func (i *NullInstance) HandlePacket(p *pkt.Packet) error {
+	i.Calls++
+	return nil
+}

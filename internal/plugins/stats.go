@@ -1,0 +1,145 @@
+package plugins
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// StatsPlugin is the statistics-gathering plugin for network management
+// (§2: "it is important to be able to quickly and easily change the
+// kinds of statistics being collected, and to do this without incurring
+// significant overhead on the data path"). Instances count packets and
+// bytes per flow (keyed by the six-tuple) and per protocol; the "report"
+// message returns snapshots sorted by traffic volume.
+type StatsPlugin struct {
+	env   *Env
+	namer instanceNamer
+}
+
+// NewStatsPlugin builds the plugin.
+func NewStatsPlugin(env *Env) *StatsPlugin {
+	return &StatsPlugin{env: env, namer: instanceNamer{prefix: "stats"}}
+}
+
+// PluginName implements pcu.Plugin.
+func (s *StatsPlugin) PluginName() string { return "stats" }
+
+// PluginCode implements pcu.Plugin.
+func (s *StatsPlugin) PluginCode() pcu.Code { return pcu.MakeCode(pcu.TypeStats, 1) }
+
+// Callback implements pcu.Plugin.
+func (s *StatsPlugin) Callback(msg *pcu.Message) error {
+	switch msg.Kind {
+	case pcu.MsgCreateInstance:
+		inst := &StatsInstance{name: s.namer.next(), flows: make(map[pkt.Key]*FlowCount), proto: make(map[uint8]*FlowCount)}
+		msg.Reply = inst
+		return nil
+	case pcu.MsgFreeInstance:
+		s.env.AIU.UnbindInstance(msg.Instance)
+		return nil
+	case pcu.MsgRegisterInstance:
+		return register(s.env, pcu.TypeStats, msg, nil)
+	case pcu.MsgDeregisterInstance:
+		return deregister(s.env, pcu.TypeStats, msg)
+	case pcu.MsgCustom:
+		inst, ok := msg.Instance.(*StatsInstance)
+		if !ok {
+			return fmt.Errorf("plugins: %q needs an instance", msg.Verb)
+		}
+		switch msg.Verb {
+		case "report":
+			msg.Reply = inst.Report()
+			return nil
+		case "reset":
+			inst.Reset()
+			return nil
+		}
+		return fmt.Errorf("plugins: stats has no message %q", msg.Verb)
+	default:
+		return fmt.Errorf("plugins: unhandled message kind %v", msg.Kind)
+	}
+}
+
+// FlowCount is one counter bucket.
+type FlowCount struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// FlowReport is one flow's row in a report.
+type FlowReport struct {
+	Key pkt.Key
+	FlowCount
+}
+
+// Report is the reply to the "report" message.
+type Report struct {
+	Total    FlowCount
+	ByProto  map[uint8]FlowCount
+	TopFlows []FlowReport
+}
+
+// StatsInstance accumulates counters on the data path.
+type StatsInstance struct {
+	name string
+
+	mu    sync.Mutex
+	total FlowCount
+	flows map[pkt.Key]*FlowCount
+	proto map[uint8]*FlowCount
+}
+
+// InstanceName implements pcu.Instance.
+func (i *StatsInstance) InstanceName() string { return i.name }
+
+// HandlePacket implements pcu.Instance.
+func (i *StatsInstance) HandlePacket(p *pkt.Packet) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := uint64(len(p.Data))
+	i.total.Packets++
+	i.total.Bytes += n
+	fc := i.flows[p.Key]
+	if fc == nil {
+		fc = &FlowCount{}
+		i.flows[p.Key] = fc
+	}
+	fc.Packets++
+	fc.Bytes += n
+	pc := i.proto[p.Key.Proto]
+	if pc == nil {
+		pc = &FlowCount{}
+		i.proto[p.Key.Proto] = pc
+	}
+	pc.Packets++
+	pc.Bytes += n
+	return nil
+}
+
+// Report snapshots the counters, flows sorted by bytes descending.
+func (i *StatsInstance) Report() Report {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	r := Report{Total: i.total, ByProto: make(map[uint8]FlowCount, len(i.proto))}
+	for pr, c := range i.proto {
+		r.ByProto[pr] = *c
+	}
+	for k, c := range i.flows {
+		r.TopFlows = append(r.TopFlows, FlowReport{Key: k, FlowCount: *c})
+	}
+	sort.Slice(r.TopFlows, func(a, b int) bool { return r.TopFlows[a].Bytes > r.TopFlows[b].Bytes })
+	return r
+}
+
+// Reset clears all counters.
+func (i *StatsInstance) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.total = FlowCount{}
+	i.flows = make(map[pkt.Key]*FlowCount)
+	i.proto = make(map[uint8]*FlowCount)
+}

@@ -1,0 +1,161 @@
+package plugins
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// TCPMonPlugin is "a plugin monitoring TCP congestion backoff behaviour"
+// (§4). It keeps per-flow soft state in the flow record — highest
+// sequence seen, retransmission count, duplicate-ACK runs — and flags
+// flows that do not appear to back off (sequence keeps advancing at full
+// tilt through loss episodes).
+type TCPMonPlugin struct {
+	env   *Env
+	namer instanceNamer
+}
+
+// NewTCPMonPlugin builds the plugin.
+func NewTCPMonPlugin(env *Env) *TCPMonPlugin {
+	return &TCPMonPlugin{env: env, namer: instanceNamer{prefix: "tcpmon"}}
+}
+
+// PluginName implements pcu.Plugin.
+func (t *TCPMonPlugin) PluginName() string { return "tcpmon" }
+
+// PluginCode implements pcu.Plugin.
+func (t *TCPMonPlugin) PluginCode() pcu.Code { return pcu.MakeCode(pcu.TypeMonitor, 1) }
+
+// Callback implements pcu.Plugin.
+func (t *TCPMonPlugin) Callback(msg *pcu.Message) error {
+	switch msg.Kind {
+	case pcu.MsgCreateInstance:
+		inst := &TCPMonInstance{name: t.namer.next(), flows: make(map[pkt.Key]*TCPFlowState)}
+		inst.slot, _ = t.env.AIU.Slot(pcu.TypeMonitor)
+		msg.Reply = inst
+		return nil
+	case pcu.MsgFreeInstance:
+		t.env.AIU.UnbindInstance(msg.Instance)
+		return nil
+	case pcu.MsgRegisterInstance:
+		return register(t.env, pcu.TypeMonitor, msg, nil)
+	case pcu.MsgDeregisterInstance:
+		return deregister(t.env, pcu.TypeMonitor, msg)
+	case pcu.MsgCustom:
+		inst, ok := msg.Instance.(*TCPMonInstance)
+		if !ok {
+			return fmt.Errorf("plugins: %q needs an instance", msg.Verb)
+		}
+		if msg.Verb == "report" {
+			msg.Reply = inst.Report()
+			return nil
+		}
+		return fmt.Errorf("plugins: tcpmon has no message %q", msg.Verb)
+	default:
+		return fmt.Errorf("plugins: unhandled message kind %v", msg.Kind)
+	}
+}
+
+// TCPFlowState is the monitor's per-flow soft state.
+type TCPFlowState struct {
+	HighSeq uint32
+	Packets uint64
+	Retrans uint64
+	Syns    uint64
+	Fins    uint64
+	LastAck uint32
+	DupAcks uint64
+}
+
+// TCPMonInstance watches TCP flows.
+type TCPMonInstance struct {
+	name string
+	slot int
+
+	mu    sync.Mutex
+	flows map[pkt.Key]*TCPFlowState
+}
+
+// InstanceName implements pcu.Instance.
+func (i *TCPMonInstance) InstanceName() string { return i.name }
+
+// HandlePacket implements pcu.Instance.
+func (i *TCPMonInstance) HandlePacket(p *pkt.Packet) error {
+	if p.Key.Proto != pkt.ProtoTCP {
+		return nil
+	}
+	var l4 []byte
+	switch p.Version() {
+	case 4:
+		h, err := pkt.ParseIPv4(p.Data)
+		if err != nil {
+			return err
+		}
+		l4 = p.Data[h.HeaderLen():]
+	case 6:
+		l4 = p.Data[pkt.IPv6HeaderLen:]
+	default:
+		return nil
+	}
+	th, err := pkt.ParseTCP(l4)
+	if err != nil {
+		return err
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := i.flows[p.Key]
+	if st == nil {
+		st = &TCPFlowState{}
+		i.flows[p.Key] = st
+		// Mirror the state into the flow record's soft-state slot so a
+		// cache hit gives O(1) access on the data path.
+		if rec, _ := p.FIX.(*aiu.FlowRecord); rec != nil {
+			rec.Bind(i.slot).Private = st
+		}
+	}
+	st.Packets++
+	if th.Flags&pkt.TCPSyn != 0 {
+		st.Syns++
+	}
+	if th.Flags&pkt.TCPFin != 0 {
+		st.Fins++
+	}
+	if th.Flags&pkt.TCPAck != 0 {
+		if th.Ack == st.LastAck {
+			st.DupAcks++
+		}
+		st.LastAck = th.Ack
+	}
+	if st.Packets > 1 && th.Seq != 0 && seqLEQ(th.Seq, st.HighSeq) {
+		st.Retrans++
+	}
+	if seqGT(th.Seq, st.HighSeq) {
+		st.HighSeq = th.Seq
+	}
+	return nil
+}
+
+// seqGT compares TCP sequence numbers mod 2^32.
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// TCPFlowReport pairs a flow with its state.
+type TCPFlowReport struct {
+	Key pkt.Key
+	TCPFlowState
+}
+
+// Report snapshots all tracked flows.
+func (i *TCPMonInstance) Report() []TCPFlowReport {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]TCPFlowReport, 0, len(i.flows))
+	for k, st := range i.flows {
+		out = append(out, TCPFlowReport{Key: k, TCPFlowState: *st})
+	}
+	return out
+}

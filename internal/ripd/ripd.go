@@ -1,0 +1,280 @@
+// Package ripd implements the route daemon of §3.1 — the analog of
+// routed, one of the user-space daemons "linked against the Router
+// Plugin Library to perform their respective tasks". It runs a small
+// distance-vector protocol (RIP-shaped: periodic advertisements over UDP
+// port 520, metric 16 = infinity, split horizon, route expiry) across
+// the simulated links, so a topology of routers converges on working
+// forwarding tables without static configuration.
+//
+// The wire format is JSON inside UDP datagrams addressed to the limited
+// broadcast, which the IP core delivers locally rather than forwarding.
+package ripd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+)
+
+// Protocol constants.
+const (
+	Port     = 520 // the historical routed/RIP port
+	Infinity = 16
+)
+
+// Update is one advertisement.
+type Update struct {
+	From   string       `json:"from"` // advertising interface address
+	Routes []RouteEntry `json:"routes"`
+}
+
+// RouteEntry advertises one prefix.
+type RouteEntry struct {
+	Prefix string `json:"prefix"`
+	Metric int    `json:"metric"`
+}
+
+// Daemon is the route daemon for one router.
+type Daemon struct {
+	core  *ipcore.Router
+	table *routing.Table
+	clock func() time.Time
+
+	mu sync.Mutex
+	// static routes this daemon originates (metric 1), typically the
+	// router's directly connected networks.
+	origin map[pkt.Prefix]bool
+	// learned routes with their provenance and deadline.
+	learned map[pkt.Prefix]*learnedRoute
+
+	advertiseEvery time.Duration
+	expireAfter    time.Duration
+
+	// Sent/Received count protocol messages for tests and monitoring.
+	Sent     int
+	Received int
+}
+
+type learnedRoute struct {
+	nh       routing.NextHop
+	metric   int
+	viaIf    int32
+	deadline time.Time
+}
+
+// New builds a daemon over a router core and its forwarding table.
+func New(core *ipcore.Router, table *routing.Table) *Daemon {
+	return &Daemon{
+		core: core, table: table, clock: time.Now,
+		origin:         make(map[pkt.Prefix]bool),
+		learned:        make(map[pkt.Prefix]*learnedRoute),
+		advertiseEvery: 10 * time.Second,
+		expireAfter:    35 * time.Second,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (d *Daemon) SetClock(f func() time.Time) { d.clock = f }
+
+// SetTimers adjusts the advertisement interval and route lifetime.
+func (d *Daemon) SetTimers(advertise, expire time.Duration) {
+	d.advertiseEvery = advertise
+	d.expireAfter = expire
+}
+
+// Originate announces a directly connected prefix (installed locally at
+// metric 0 semantics; advertised at metric 1).
+func (d *Daemon) Originate(prefix string, ifIdx int32) error {
+	p, err := pkt.ParsePrefix(prefix)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.origin[pkt.PrefixFrom(p.Addr, p.Len)] = true
+	d.mu.Unlock()
+	d.table.Add(p, routing.NextHop{IfIndex: ifIdx})
+	return nil
+}
+
+// HandlePacket ingests one received protocol packet (wired to the
+// router's local handler for UDP port 520).
+func (d *Daemon) HandlePacket(p *pkt.Packet) {
+	var u Update
+	payload, err := udpPayload(p.Data)
+	if err != nil {
+		return
+	}
+	if err := json.Unmarshal(payload, &u); err != nil {
+		return
+	}
+	from, err := pkt.ParseAddr(u.From)
+	if err != nil {
+		return
+	}
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Received++
+	for _, re := range u.Routes {
+		prefix, err := pkt.ParsePrefix(re.Prefix)
+		if err != nil {
+			continue
+		}
+		prefix = pkt.PrefixFrom(prefix.Addr, prefix.Len)
+		if d.origin[prefix] {
+			continue // we own it
+		}
+		metric := re.Metric + 1
+		if metric >= Infinity {
+			// Poisoned or too far: withdraw if we learned it this way.
+			if lr, ok := d.learned[prefix]; ok && lr.nh.Gateway == from {
+				delete(d.learned, prefix)
+				d.table.Del(prefix)
+			}
+			continue
+		}
+		lr, ok := d.learned[prefix]
+		if !ok || metric < lr.metric || lr.nh.Gateway == from {
+			nh := routing.NextHop{IfIndex: p.InIf, Gateway: from, Metric: metric}
+			d.learned[prefix] = &learnedRoute{nh: nh, metric: metric, viaIf: p.InIf, deadline: now.Add(d.expireAfter)}
+			d.table.Add(prefix, nh)
+		} else if lr.nh.Gateway == from {
+			lr.deadline = now.Add(d.expireAfter)
+		}
+	}
+}
+
+// Advertise sends the daemon's view out every addressed interface, with
+// split horizon (routes are not advertised back out the interface they
+// were learned from).
+func (d *Daemon) Advertise() {
+	d.mu.Lock()
+	type entry struct {
+		prefix pkt.Prefix
+		metric int
+		viaIf  int32 // -1 for originated
+	}
+	var view []entry
+	for p := range d.origin {
+		view = append(view, entry{prefix: p, metric: 1, viaIf: -1})
+	}
+	for p, lr := range d.learned {
+		view = append(view, entry{prefix: p, metric: lr.metric, viaIf: lr.viaIf})
+	}
+	d.mu.Unlock()
+
+	for _, ifc := range d.core.Interfaces() {
+		var zero pkt.Addr
+		if ifc.Addr == zero || ifc.Addr.IsV6() {
+			continue
+		}
+		u := Update{From: ifc.Addr.String()}
+		for _, e := range view {
+			if e.viaIf == ifc.Index {
+				continue // split horizon
+			}
+			u.Routes = append(u.Routes, RouteEntry{Prefix: e.prefix.String(), Metric: e.metric})
+		}
+		if len(u.Routes) == 0 {
+			continue
+		}
+		if err := d.sendUpdate(ifc, &u); err == nil {
+			d.mu.Lock()
+			d.Sent++
+			d.mu.Unlock()
+		}
+	}
+}
+
+func (d *Daemon) sendUpdate(ifc *netdev.Interface, u *Update) error {
+	payload, err := json.Marshal(u)
+	if err != nil {
+		return err
+	}
+	data, err := pkt.BuildUDP(pkt.UDPSpec{
+		Src: ifc.Addr, Dst: pkt.AddrV4(0xffffffff),
+		SrcPort: Port, DstPort: Port, TTL: 1, Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := pkt.NewPacket(data, -1)
+	if err != nil {
+		return err
+	}
+	p.OutIf = ifc.Index
+	return ifc.Transmit(p)
+}
+
+// Expire withdraws learned routes whose lifetime lapsed; it returns the
+// number withdrawn.
+func (d *Daemon) Expire() int {
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for p, lr := range d.learned {
+		if lr.deadline.Before(now) {
+			delete(d.learned, p)
+			d.table.Del(p)
+			n++
+		}
+	}
+	return n
+}
+
+// Tick runs one protocol round: advertise then expire. Simulations call
+// it directly; Serve loops it on the advertisement timer.
+func (d *Daemon) Tick() {
+	d.Advertise()
+	d.Expire()
+}
+
+// Serve runs the protocol until done closes.
+func (d *Daemon) Serve(done <-chan struct{}) {
+	t := time.NewTicker(d.advertiseEvery)
+	defer t.Stop()
+	d.Advertise()
+	for {
+		select {
+		case <-t.C:
+			d.Tick()
+		case <-done:
+			return
+		}
+	}
+}
+
+// Learned lists the currently learned prefixes with metrics (for status
+// displays).
+func (d *Daemon) Learned() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.learned))
+	for p, lr := range d.learned {
+		out[p.String()] = lr.metric
+	}
+	return out
+}
+
+// udpPayload extracts the UDP payload of an IPv4 datagram.
+func udpPayload(data []byte) ([]byte, error) {
+	h, err := pkt.ParseIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.Protocol != pkt.ProtoUDP {
+		return nil, fmt.Errorf("ripd: not UDP")
+	}
+	seg := data[h.HeaderLen():h.TotalLen]
+	if len(seg) < pkt.UDPHeaderLen {
+		return nil, pkt.ErrTruncated
+	}
+	return seg[pkt.UDPHeaderLen:], nil
+}

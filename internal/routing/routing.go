@@ -1,0 +1,169 @@
+// Package routing implements the router's forwarding table on top of the
+// pluggable best-matching-prefix algorithms, plus the paper's §8
+// extension: routing integrated with the packet classifier (QoS routing /
+// L4 switching), where per-flow filters select routes ahead of the
+// destination-only longest-prefix match.
+//
+// As the paper observes, plain routing *is* packet classification with
+// only the destination field specified and everything else wildcarded;
+// this package keeps the conventional destination table for the fast
+// common case and delegates flow-sensitive routing to the classifier.
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// NextHop is a forwarding decision.
+type NextHop struct {
+	IfIndex int32
+	// Gateway is the next-hop address; the zero Addr means directly
+	// connected (deliver to the destination itself).
+	Gateway pkt.Addr
+	// Metric orders competing routes to the same prefix.
+	Metric int
+}
+
+// Route pairs a prefix with its next hop, for listings.
+type Route struct {
+	Prefix  pkt.Prefix
+	NextHop NextHop
+}
+
+// Table is a concurrency-safe forwarding table. The longest-prefix-match
+// engine is one of the BMP plugins, selected at construction — exactly
+// the paper's arrangement, where BMP implementations are plugins used
+// "for packet classification and routing".
+type Table struct {
+	mu   sync.RWMutex
+	bmp  bmp.Table
+	list map[pkt.Prefix]NextHop
+}
+
+// New builds a table on the given BMP algorithm ("" = BSPL).
+func New(kind bmp.Kind) (*Table, error) {
+	if kind == "" {
+		kind = bmp.KindBSPL
+	}
+	t, err := bmp.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{bmp: t, list: make(map[pkt.Prefix]NextHop)}, nil
+}
+
+// Add installs or replaces a route. A route with a worse (higher) metric
+// than the installed one for the same prefix is ignored.
+func (t *Table) Add(p pkt.Prefix, nh NextHop) {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.list[p]; ok && old.Metric < nh.Metric {
+		return
+	}
+	t.list[p] = nh
+	t.bmp.Insert(p, nh)
+	// Prime lazily built structures on the control path.
+	t.bmp.Lookup(p.Addr, nil)
+}
+
+// Del removes a route, reporting whether it existed.
+func (t *Table) Del(p pkt.Prefix) bool {
+	p = pkt.PrefixFrom(p.Addr, p.Len)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.list[p]; !ok {
+		return false
+	}
+	delete(t.list, p)
+	t.bmp.Delete(p)
+	t.bmp.Lookup(p.Addr, nil)
+	return true
+}
+
+// Lookup finds the longest-prefix route for a destination.
+func (t *Table) Lookup(dst pkt.Addr, c *cycles.Counter) (NextHop, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, _, ok := t.bmp.Lookup(dst, c)
+	if !ok {
+		return NextHop{}, false
+	}
+	return v.(NextHop), true
+}
+
+// Len returns the number of installed routes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.list)
+}
+
+// Routes lists routes sorted by prefix string (stable for display).
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Route, 0, len(t.list))
+	for p, nh := range t.list {
+		out = append(out, Route{Prefix: p, NextHop: nh})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+// ParseRoute parses "PREFIX dev N [via GATEWAY] [metric M]" — the static
+// route syntax of the route daemon and pmgr.
+func ParseRoute(s string) (Route, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return Route{}, fmt.Errorf("routing: route needs at least 'PREFIX dev N': %q", s)
+	}
+	p, err := pkt.ParsePrefix(fields[0])
+	if err != nil {
+		return Route{}, fmt.Errorf("routing: bad prefix %q: %w", fields[0], err)
+	}
+	r := Route{Prefix: p}
+	i := 1
+	for i < len(fields) {
+		switch fields[i] {
+		case "dev":
+			if i+1 >= len(fields) {
+				return Route{}, fmt.Errorf("routing: dev needs an argument")
+			}
+			var idx int32
+			if _, err := fmt.Sscanf(fields[i+1], "%d", &idx); err != nil {
+				return Route{}, fmt.Errorf("routing: bad device %q", fields[i+1])
+			}
+			r.NextHop.IfIndex = idx
+			i += 2
+		case "via":
+			if i+1 >= len(fields) {
+				return Route{}, fmt.Errorf("routing: via needs an argument")
+			}
+			gw, err := pkt.ParseAddr(fields[i+1])
+			if err != nil {
+				return Route{}, fmt.Errorf("routing: bad gateway %q: %w", fields[i+1], err)
+			}
+			r.NextHop.Gateway = gw
+			i += 2
+		case "metric":
+			if i+1 >= len(fields) {
+				return Route{}, fmt.Errorf("routing: metric needs an argument")
+			}
+			if _, err := fmt.Sscanf(fields[i+1], "%d", &r.NextHop.Metric); err != nil {
+				return Route{}, fmt.Errorf("routing: bad metric %q", fields[i+1])
+			}
+			i += 2
+		default:
+			return Route{}, fmt.Errorf("routing: unknown keyword %q", fields[i])
+		}
+	}
+	return r, nil
+}

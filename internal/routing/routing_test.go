@@ -1,0 +1,99 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func TestTableLookupLongestMatch(t *testing.T) {
+	for _, kind := range []bmp.Kind{bmp.KindLinear, bmp.KindPatricia, bmp.KindBSPL, bmp.KindCPE} {
+		tab, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.Add(pkt.MustParsePrefix("0.0.0.0/0"), NextHop{IfIndex: 0})
+		tab.Add(pkt.MustParsePrefix("10.0.0.0/8"), NextHop{IfIndex: 1})
+		tab.Add(pkt.MustParsePrefix("10.9.0.0/16"), NextHop{IfIndex: 2})
+		nh, ok := tab.Lookup(pkt.MustParseAddr("10.9.1.1"), nil)
+		if !ok || nh.IfIndex != 2 {
+			t.Errorf("%s: lookup = %+v,%v", kind, nh, ok)
+		}
+		nh, _ = tab.Lookup(pkt.MustParseAddr("10.1.1.1"), nil)
+		if nh.IfIndex != 1 {
+			t.Errorf("%s: /8 match = %+v", kind, nh)
+		}
+		nh, _ = tab.Lookup(pkt.MustParseAddr("192.0.2.1"), nil)
+		if nh.IfIndex != 0 {
+			t.Errorf("%s: default = %+v", kind, nh)
+		}
+		if tab.Len() != 3 {
+			t.Errorf("Len = %d", tab.Len())
+		}
+	}
+}
+
+func TestTableMetric(t *testing.T) {
+	tab, _ := New("")
+	p := pkt.MustParsePrefix("10.0.0.0/8")
+	tab.Add(p, NextHop{IfIndex: 1, Metric: 10})
+	tab.Add(p, NextHop{IfIndex: 2, Metric: 20}) // worse; ignored
+	nh, _ := tab.Lookup(pkt.MustParseAddr("10.1.1.1"), nil)
+	if nh.IfIndex != 1 {
+		t.Errorf("worse metric replaced route: %+v", nh)
+	}
+	tab.Add(p, NextHop{IfIndex: 3, Metric: 5}) // better; replaces
+	nh, _ = tab.Lookup(pkt.MustParseAddr("10.1.1.1"), nil)
+	if nh.IfIndex != 3 {
+		t.Errorf("better metric did not replace: %+v", nh)
+	}
+}
+
+func TestTableDel(t *testing.T) {
+	tab, _ := New("")
+	p := pkt.MustParsePrefix("10.0.0.0/8")
+	tab.Add(p, NextHop{IfIndex: 1})
+	if !tab.Del(p) {
+		t.Fatal("Del returned false")
+	}
+	if tab.Del(p) {
+		t.Error("double Del returned true")
+	}
+	if _, ok := tab.Lookup(pkt.MustParseAddr("10.1.1.1"), nil); ok {
+		t.Error("deleted route still matches")
+	}
+}
+
+func TestRoutesListing(t *testing.T) {
+	tab, _ := New("")
+	tab.Add(pkt.MustParsePrefix("10.0.0.0/8"), NextHop{IfIndex: 1})
+	tab.Add(pkt.MustParsePrefix("2001:db8::/32"), NextHop{IfIndex: 2})
+	rs := tab.Routes()
+	if len(rs) != 2 {
+		t.Fatalf("Routes = %v", rs)
+	}
+}
+
+func TestParseRoute(t *testing.T) {
+	r, err := ParseRoute("10.0.0.0/8 dev 2 via 192.168.1.1 metric 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prefix.String() != "10.0.0.0/8" || r.NextHop.IfIndex != 2 ||
+		r.NextHop.Gateway.String() != "192.168.1.1" || r.NextHop.Metric != 5 {
+		t.Errorf("parsed %+v", r)
+	}
+	if _, err := ParseRoute("10.0.0.0/8"); err == nil {
+		t.Error("missing dev should fail")
+	}
+	if _, err := ParseRoute("10.0.0.0/8 dev x"); err == nil {
+		t.Error("bad dev should fail")
+	}
+	if _, err := ParseRoute("10.0.0.0/8 dev 1 bogus 3"); err == nil {
+		t.Error("unknown keyword should fail")
+	}
+	if _, err := ParseRoute("not-a-prefix dev 1 via 1.2.3.4"); err == nil {
+		t.Error("bad prefix should fail")
+	}
+}

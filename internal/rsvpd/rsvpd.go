@@ -1,0 +1,427 @@
+// Package rsvpd implements the reservation protocol the paper was in the
+// middle of bringing up ("we implemented an SSP daemon for our system,
+// and are currently in the process of porting an RSVP implementation"):
+// a compact RSVP in the RFC 2205 mold.
+//
+// Semantics reproduced from RSVP:
+//
+//   - PATH messages travel from the sender toward the session destination
+//     through the data path, carrying a hop-by-hop RSVP_HOP object. Every
+//     router on the way punts them to its daemon (the router-alert
+//     mechanism, realized by the punt instance at the options gate),
+//     records path state <session → previous hop>, rewrites the hop to
+//     its own outgoing address, and re-originates the message downstream.
+//   - RESV messages travel receiver-to-sender along the reverse path
+//     recorded by the path state. At every hop the daemon installs the
+//     reservation — a filter binding on the scheduling gate with the
+//     requested weight/class — exactly the paper's control flow
+//     ("the Plugin Manager or one of the user space daemons (RSVP or SSP)
+//     can create filters through calls to the AIU").
+//   - Both kinds of state are soft: they expire unless refreshed.
+//
+// Simplifications (documented per DESIGN.md): fixed-filter style —
+// one sender per session; flowspecs carry a DRR weight or an H-FSC class
+// name rather than token-bucket parameters; encoding is JSON.
+package rsvpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Port is the UDP port the daemon's messages ride on (the real protocol
+// is IP protocol 46; UDP encapsulation on port 3455 — RSVP's registered
+// UDP fallback — keeps the simulation inside the existing demux).
+const Port = 3455
+
+// Message is one RSVP message.
+type Message struct {
+	// Kind is "path" or "resv".
+	Kind string `json:"kind"`
+	// Session identifies the flow being reserved for: the receiver's
+	// address/port/protocol.
+	Session Session `json:"session"`
+	// Sender identifies the traffic source (fixed-filter style).
+	Sender Sender `json:"sender"`
+	// Hop is the RSVP_HOP: the address of the previous RSVP-capable
+	// node (rewritten at every hop for PATH; the next upstream hop for
+	// RESV).
+	Hop string `json:"hop"`
+	// Flowspec is the reservation request (RESV only).
+	Flowspec Flowspec `json:"flowspec,omitempty"`
+	// LifetimeSec bounds the soft state (default 30 s).
+	LifetimeSec int `json:"lifetime_sec,omitempty"`
+}
+
+// Session names the destination flow endpoint.
+type Session struct {
+	Dst   string `json:"dst"`
+	Port  uint16 `json:"port"`
+	Proto uint8  `json:"proto"`
+}
+
+// Sender names the traffic source.
+type Sender struct {
+	Src  string `json:"src"`
+	Port uint16 `json:"port"`
+}
+
+// Flowspec is the requested service.
+type Flowspec struct {
+	// Plugin and Instance name the scheduling instance to bind at each
+	// hop ("drr"/"drr0"). Weight applies to DRR, Class to H-FSC.
+	Plugin   string  `json:"plugin"`
+	Instance string  `json:"instance"`
+	Weight   float64 `json:"weight,omitempty"`
+	Class    string  `json:"class,omitempty"`
+}
+
+// Registrar is the slice of the router's control surface the daemon
+// needs: PCU message dispatch (the eisr facade satisfies it).
+type Registrar interface {
+	Register(plugin, instance string, args map[string]string) error
+	Deregister(plugin, instance, filter string) error
+}
+
+// Daemon is the per-router RSVP daemon.
+type Daemon struct {
+	core  *ipcore.Router
+	reg   Registrar
+	clock func() time.Time
+
+	mu    sync.Mutex
+	paths map[Session]*pathState
+	resvs map[Session]*resvState
+
+	// Local sessions: destinations this router terminates (receivers
+	// behind it); arriving PATH state for them triggers ResvHandler.
+	localDst func(a pkt.Addr) bool
+	// OnPath is invoked when PATH state for a local session arrives —
+	// the receiver application's hook to answer with Reserve.
+	OnPath func(m *Message)
+
+	// Counters.
+	PathsSeen int
+	ResvsSeen int
+}
+
+type pathState struct {
+	prevHop  pkt.Addr
+	inIf     int32
+	sender   Sender
+	deadline time.Time
+}
+
+type resvState struct {
+	filter   string
+	flow     Flowspec
+	deadline time.Time
+}
+
+// New builds a daemon. localDst reports whether an address is terminated
+// by this router (a receiver on its stub networks); nil means none.
+func New(core *ipcore.Router, reg Registrar, localDst func(a pkt.Addr) bool) *Daemon {
+	if localDst == nil {
+		localDst = func(pkt.Addr) bool { return false }
+	}
+	return &Daemon{
+		core: core, reg: reg, clock: time.Now,
+		paths: make(map[Session]*pathState), resvs: make(map[Session]*resvState),
+		localDst: localDst,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (d *Daemon) SetClock(f func() time.Time) { d.clock = f }
+
+// HandlePacket ingests a punted or locally delivered protocol packet.
+func (d *Daemon) HandlePacket(p *pkt.Packet) {
+	payload, err := udpPayload(p.Data)
+	if err != nil {
+		return
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return
+	}
+	switch m.Kind {
+	case "path":
+		d.handlePath(p, &m)
+	case "resv":
+		d.handleResv(&m)
+	}
+}
+
+func (d *Daemon) lifetime(m *Message) time.Duration {
+	if m.LifetimeSec > 0 {
+		return time.Duration(m.LifetimeSec) * time.Second
+	}
+	return 30 * time.Second
+}
+
+// handlePath records path state and forwards the message downstream with
+// a rewritten hop, or hands it to the receiver hook when the session
+// terminates here.
+func (d *Daemon) handlePath(p *pkt.Packet, m *Message) {
+	prev, err := pkt.ParseAddr(m.Hop)
+	if err != nil {
+		return
+	}
+	dst, err := pkt.ParseAddr(m.Session.Dst)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	d.PathsSeen++
+	d.paths[m.Session] = &pathState{
+		prevHop: prev, inIf: p.InIf, sender: m.Sender,
+		deadline: d.clock().Add(d.lifetime(m)),
+	}
+	d.mu.Unlock()
+
+	if d.localDst(dst) {
+		if d.OnPath != nil {
+			d.OnPath(m)
+		}
+		return
+	}
+	// Forward downstream: route toward the session destination, rewrite
+	// the hop to our outgoing interface address.
+	nh, ok := d.core.Routes().Lookup(dst, nil)
+	if !ok {
+		return
+	}
+	out := d.core.Interface(nh.IfIndex)
+	if out == nil {
+		return
+	}
+	fwd := *m
+	var zero pkt.Addr
+	if out.Addr != zero {
+		fwd.Hop = out.Addr.String()
+	}
+	d.send(out, dst, &fwd)
+}
+
+// handleResv installs the reservation at this hop and forwards the
+// message to the stored previous hop, until the path state says the
+// sender side is reached.
+func (d *Daemon) handleResv(m *Message) {
+	d.mu.Lock()
+	ps, ok := d.paths[m.Session]
+	d.mu.Unlock()
+	if !ok {
+		return // no path state: RSVP drops the reservation
+	}
+	filter := reservationFilter(m)
+	args := map[string]string{"filter": filter}
+	if m.Flowspec.Weight > 0 {
+		args["weight"] = fmt.Sprint(m.Flowspec.Weight)
+	}
+	if m.Flowspec.Class != "" {
+		args["class"] = m.Flowspec.Class
+	}
+	d.mu.Lock()
+	_, exists := d.resvs[m.Session]
+	d.mu.Unlock()
+	if !exists {
+		if err := d.reg.Register(m.Flowspec.Plugin, m.Flowspec.Instance, args); err != nil {
+			return
+		}
+	}
+	d.mu.Lock()
+	d.ResvsSeen++
+	d.resvs[m.Session] = &resvState{filter: filter, flow: m.Flowspec, deadline: d.clock().Add(d.lifetime(m))}
+	d.mu.Unlock()
+
+	// Forward upstream toward the previous hop recorded in path state,
+	// unless this router is the first hop (prev hop == the sender).
+	if ps.prevHop.String() == m.Sender.Src {
+		return
+	}
+	out := d.core.Interface(ps.inIf)
+	if out == nil {
+		return
+	}
+	d.send(out, ps.prevHop, m)
+}
+
+// reservationFilter derives the six-tuple for the session's flow —
+// fixed-filter style: fully specified by sender and session.
+func reservationFilter(m *Message) string {
+	return fmt.Sprintf("%s, %s, %d, %d, %d, *",
+		m.Sender.Src, m.Session.Dst, m.Session.Proto, m.Sender.Port, m.Session.Port)
+}
+
+// send emits a protocol message out an interface toward dst.
+func (d *Daemon) send(out interface {
+	Transmit(p *pkt.Packet) error
+}, dst pkt.Addr, m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	srcAddr, _ := pkt.ParseAddr(m.Hop)
+	data, err := pkt.BuildUDP(pkt.UDPSpec{
+		Src: srcAddr, Dst: dst, SrcPort: Port, DstPort: Port,
+		Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	p, err := pkt.NewPacket(data, -1)
+	if err != nil {
+		return err
+	}
+	return out.Transmit(p)
+}
+
+// OriginatePath injects PATH state establishment from the sender side:
+// called on the sender's first-hop router.
+func (d *Daemon) OriginatePath(session Session, sender Sender, lifetimeSec int) error {
+	dst, err := pkt.ParseAddr(session.Dst)
+	if err != nil {
+		return err
+	}
+	nh, ok := d.core.Routes().Lookup(dst, nil)
+	if !ok {
+		return fmt.Errorf("rsvpd: no route toward session %s", session.Dst)
+	}
+	out := d.core.Interface(nh.IfIndex)
+	if out == nil {
+		return fmt.Errorf("rsvpd: no interface %d", nh.IfIndex)
+	}
+	var zero pkt.Addr
+	hop := sender.Src
+	if out.Addr != zero {
+		hop = out.Addr.String()
+	}
+	m := &Message{
+		Kind: "path", Session: session, Sender: sender, Hop: hop,
+		LifetimeSec: lifetimeSec,
+	}
+	// Record local path state so a returning RESV can stop here.
+	d.mu.Lock()
+	d.paths[session] = &pathState{
+		prevHop: mustAddr(sender.Src), inIf: -1, sender: sender,
+		deadline: d.clock().Add(d.lifetime(m)),
+	}
+	d.mu.Unlock()
+	return d.send(out, dst, m)
+}
+
+// Reserve originates a RESV from the receiver side: called on the
+// receiver's router (typically from OnPath).
+func (d *Daemon) Reserve(session Session, flow Flowspec, lifetimeSec int) error {
+	m := &Message{Kind: "resv", Session: session, Flowspec: flow, LifetimeSec: lifetimeSec}
+	d.mu.Lock()
+	ps, ok := d.paths[session]
+	if ok {
+		m.Sender = ps.sender
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rsvpd: no path state for session %v", session)
+	}
+	d.handleResv(m)
+	return nil
+}
+
+// Expire tears down lapsed path and reservation state; expired
+// reservations are deregistered from the scheduler. It returns the
+// number of state blocks removed.
+func (d *Daemon) Expire() int {
+	now := d.clock()
+	n := 0
+	var drop []resvState
+	d.mu.Lock()
+	for s, ps := range d.paths {
+		if ps.deadline.Before(now) {
+			delete(d.paths, s)
+			n++
+		}
+	}
+	for s, rs := range d.resvs {
+		if rs.deadline.Before(now) {
+			drop = append(drop, *rs)
+			delete(d.resvs, s)
+			n++
+		}
+	}
+	d.mu.Unlock()
+	for _, rs := range drop {
+		d.reg.Deregister(rs.flow.Plugin, rs.flow.Instance, rs.filter)
+	}
+	return n
+}
+
+// State reports (paths, reservations) counts.
+func (d *Daemon) State() (int, int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.paths), len(d.resvs)
+}
+
+func mustAddr(s string) pkt.Addr {
+	a, _ := pkt.ParseAddr(s)
+	return a
+}
+
+// udpPayload extracts the UDP payload of an IPv4 datagram.
+func udpPayload(data []byte) ([]byte, error) {
+	h, err := pkt.ParseIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if h.Protocol != pkt.ProtoUDP {
+		return nil, fmt.Errorf("rsvpd: not UDP")
+	}
+	seg := data[h.HeaderLen():h.TotalLen]
+	if len(seg) < pkt.UDPHeaderLen {
+		return nil, pkt.ErrTruncated
+	}
+	return seg[pkt.UDPHeaderLen:], nil
+}
+
+// PuntInstance is the options-gate instance that diverts RSVP messages
+// to the local daemon at every router on the path — the router-alert
+// behavior. Bind it to the filter "<*, *, UDP, *, 3455, *>" at the
+// options gate.
+type PuntInstance struct {
+	Name string
+}
+
+// InstanceName implements pcu.Instance.
+func (i *PuntInstance) InstanceName() string {
+	if i.Name == "" {
+		return "rsvp-punt"
+	}
+	return i.Name
+}
+
+// HandlePacket implements pcu.Instance.
+func (i *PuntInstance) HandlePacket(p *pkt.Packet) error {
+	p.PuntLocal = true
+	return nil
+}
+
+// Ensure interface satisfaction.
+var _ pcu.Instance = (*PuntInstance)(nil)
+
+// BindPunt installs the punt instance at a router's options gate so PATH
+// and RESV messages reach the daemon hop by hop.
+func BindPunt(a *aiu.AIU) error {
+	f, err := aiu.ParseFilter(fmt.Sprintf("*, *, UDP, *, %d, *", Port))
+	if err != nil {
+		return err
+	}
+	_, err = a.Bind(pcu.TypeOptions, f, &PuntInstance{}, nil)
+	return err
+}

@@ -1,0 +1,245 @@
+package rsvpd_test
+
+// End-to-end RSVP tests over a three-router chain, built through the
+// public facade (the daemon needs the facade's Register dispatch, so the
+// test lives outside the package to avoid an import cycle).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/rsvpd"
+)
+
+// rig is a chain: sender(10.1.0.9) — A — B — C — receiver(10.3.0.9).
+type rig struct {
+	a, b, c    *eisr.Router
+	da, db, dc *rsvpd.Daemon
+}
+
+func buildChain(t *testing.T) *rig {
+	t.Helper()
+	mk := func() *eisr.Router {
+		r, err := eisr.New(eisr.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.LoadPlugin("drr"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b, c := mk(), mk(), mk()
+
+	// Interfaces: 0 stub, 1 toward next router, 2 toward previous.
+	addIf := func(r *eisr.Router, idx int32, addr string) {
+		if _, err := r.AddInterface(idx, fmt.Sprintf("if%d", idx), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addIf(a, 0, "10.1.0.1")
+	addIf(a, 1, "192.168.1.1")
+	addIf(b, 2, "192.168.1.2")
+	addIf(b, 1, "192.168.2.1")
+	addIf(c, 2, "192.168.2.2")
+	addIf(c, 0, "10.3.0.1")
+	eisr.Connect(a.Interface(1), b.Interface(2))
+	eisr.Connect(b.Interface(1), c.Interface(2))
+
+	// Static routes (the route daemon is tested elsewhere).
+	for _, rt := range []struct {
+		r    *eisr.Router
+		spec string
+	}{
+		{a, "10.3.0.0/16 dev 1 via 192.168.1.2"},
+		{a, "10.1.0.0/16 dev 0"},
+		{b, "10.3.0.0/16 dev 1 via 192.168.2.2"},
+		{b, "10.1.0.0/16 dev 2 via 192.168.1.1"},
+		{c, "10.3.0.0/16 dev 0"},
+		{c, "10.1.0.0/16 dev 2 via 192.168.2.1"},
+	} {
+		if err := rt.r.AddRoute(rt.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One DRR instance per router on its downstream interface.
+	for _, r := range []*eisr.Router{a, b, c} {
+		if _, err := r.CreateInstance("drr", map[string]string{"iface": "1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	da, err := a.EnableRSVP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.EnableRSVP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := c.EnableRSVP(func(addr pkt.Addr) bool {
+		return pkt.MustParsePrefix("10.3.0.0/16").Contains(addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{a: a, b: b, c: c, da: da, db: db, dc: dc}
+}
+
+func (r *rig) pump() {
+	for i := 0; i < 30; i++ {
+		if r.a.Core.Step()+r.b.Core.Step()+r.c.Core.Step() == 0 {
+			return
+		}
+	}
+}
+
+func session() rsvpd.Session {
+	return rsvpd.Session{Dst: "10.3.0.9", Port: 5004, Proto: pkt.ProtoUDP}
+}
+
+func sender() rsvpd.Sender {
+	return rsvpd.Sender{Src: "10.1.0.9", Port: 9000}
+}
+
+func TestRSVPPathEstablishment(t *testing.T) {
+	r := buildChain(t)
+	// The receiver answers PATH with a reservation automatically.
+	reserved := make(chan struct{}, 1)
+	r.dc.OnPath = func(m *rsvpd.Message) {
+		if err := r.dc.Reserve(m.Session, rsvpd.Flowspec{
+			Plugin: "drr", Instance: "drr0", Weight: 4,
+		}, 30); err != nil {
+			t.Error(err)
+		}
+		reserved <- struct{}{}
+	}
+	if err := r.da.OriginatePath(session(), sender(), 30); err != nil {
+		t.Fatal(err)
+	}
+	r.pump()
+	select {
+	case <-reserved:
+	default:
+		t.Fatal("receiver never saw PATH")
+	}
+	r.pump() // carry the RESV back upstream
+
+	// Path state exists at every hop; reservations installed at every
+	// hop.
+	for i, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+		paths, resvs := d.State()
+		if paths != 1 || resvs != 1 {
+			t.Errorf("hop %d state: paths=%d resvs=%d", i, paths, resvs)
+		}
+	}
+	// The filter binding is real: each router's sched gate has the
+	// session's fixed filter bound to its DRR instance with weight 4.
+	for i, rt := range []*eisr.Router{r.a, r.b, r.c} {
+		ft, _ := rt.AIU.Table(pcu.TypeSched)
+		recs := ft.Records()
+		if len(recs) != 1 {
+			t.Fatalf("hop %d: %d sched filters", i, len(recs))
+		}
+		want := "<10.1.0.9, 10.3.0.9, UDP, 9000, 5004, *>"
+		if recs[0].Filter.String() != want {
+			t.Errorf("hop %d filter = %s want %s", i, recs[0].Filter, want)
+		}
+	}
+
+	// And the data path honors it: the reserved flow dispatches to DRR
+	// at hop A.
+	data, _ := pkt.BuildUDP(pkt.UDPSpec{
+		Src: pkt.MustParseAddr("10.1.0.9"), Dst: pkt.MustParseAddr("10.3.0.9"),
+		SrcPort: 9000, DstPort: 5004, Payload: []byte("media"),
+	})
+	if err := r.a.Interface(0).Inject(data); err != nil {
+		t.Fatal(err)
+	}
+	r.pump()
+	if got := r.a.Core.Stats().SchedEnq; got != 1 {
+		t.Errorf("A scheduled %d packets through the reservation", got)
+	}
+}
+
+func TestRSVPNoPathNoResv(t *testing.T) {
+	r := buildChain(t)
+	// A RESV without prior PATH state is dropped (RSVP semantics).
+	if err := r.dc.Reserve(session(), rsvpd.Flowspec{Plugin: "drr", Instance: "drr0"}, 30); err == nil {
+		t.Error("Reserve without path state accepted")
+	}
+	_, resvs := r.dc.State()
+	if resvs != 0 {
+		t.Error("reservation state created without path")
+	}
+}
+
+func TestRSVPSoftStateExpiry(t *testing.T) {
+	r := buildChain(t)
+	now := time.Unix(50000, 0)
+	for _, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+		d.SetClock(func() time.Time { return now })
+	}
+	r.dc.OnPath = func(m *rsvpd.Message) {
+		r.dc.Reserve(m.Session, rsvpd.Flowspec{Plugin: "drr", Instance: "drr0", Weight: 2}, 10)
+	}
+	if err := r.da.OriginatePath(session(), sender(), 10); err != nil {
+		t.Fatal(err)
+	}
+	r.pump()
+	r.pump()
+	if _, resvs := r.db.State(); resvs != 1 {
+		t.Fatal("not converged")
+	}
+	// Time passes without refresh: state and filter bindings lapse.
+	now = now.Add(31 * time.Second)
+	for _, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+		if n := d.Expire(); n == 0 {
+			t.Error("nothing expired")
+		}
+	}
+	for i, rt := range []*eisr.Router{r.a, r.b, r.c} {
+		ft, _ := rt.AIU.Table(pcu.TypeSched)
+		if got := len(ft.Records()); got != 0 {
+			t.Errorf("hop %d: %d filters survive expiry", i, got)
+		}
+	}
+}
+
+func TestRSVPRefreshKeepsState(t *testing.T) {
+	r := buildChain(t)
+	now := time.Unix(90000, 0)
+	for _, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+		d.SetClock(func() time.Time { return now })
+	}
+	r.dc.OnPath = func(m *rsvpd.Message) {
+		r.dc.Reserve(m.Session, rsvpd.Flowspec{Plugin: "drr", Instance: "drr0", Weight: 2}, 20)
+	}
+	refresh := func() {
+		if err := r.da.OriginatePath(session(), sender(), 20); err != nil {
+			t.Fatal(err)
+		}
+		r.pump()
+		r.pump()
+	}
+	refresh()
+	// Periodic refresh keeps everything alive across several lifetimes.
+	for i := 0; i < 4; i++ {
+		now = now.Add(15 * time.Second)
+		refresh()
+		for _, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+			d.Expire()
+		}
+	}
+	for i, d := range []*rsvpd.Daemon{r.da, r.db, r.dc} {
+		paths, resvs := d.State()
+		if paths != 1 || resvs != 1 {
+			t.Errorf("hop %d lost state under refresh: paths=%d resvs=%d", i, paths, resvs)
+		}
+	}
+}

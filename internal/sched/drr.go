@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"fmt"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// DRR is the weighted Deficit Round Robin scheduler of §6.1 [Shreedhar &
+// Varghese, SIGCOMM'95]: per-flow queues served round-robin, each flow
+// accumulating a deficit of weight×quantum bytes per round. Because the
+// EISR architecture already classifies packets into flows, the scheduler
+// itself stays tiny (the paper's plugin is under 600 lines of C): callers
+// obtain a *DRRQueue per flow — the pointer the DRR plugin stores in the
+// flow table's per-flow soft-state slot — and enqueue against it.
+//
+// Weights: best-effort flows share a fixed default weight; reserved
+// flows get weights proportional to their reservation (recomputed by the
+// plugin when reservations change, as in the paper).
+type DRR struct {
+	quantum int // bytes per unit weight per round
+
+	// Active list: circular doubly linked list of backlogged queues.
+	active *DRRQueue
+	total  int // queued packets across all flows
+	limit  int // per-queue packet limit
+
+	// All live queues (including idle), for listing and teardown.
+	queues map[*DRRQueue]struct{}
+}
+
+// DRRQueue is one flow's queue. It is the per-flow soft state the DRR
+// plugin hangs off the flow record.
+type DRRQueue struct {
+	Weight  float64
+	fifo    FIFO
+	deficit int
+	// Served counts bytes dequeued for this flow (used by fairness
+	// experiments and the link-sharing demo).
+	Served uint64
+	Drops  uint64
+
+	next, prev *DRRQueue // active-list links; nil when idle
+	onList     bool
+	fresh      bool // next visit starts a new round (grants quantum)
+	parent     *DRR
+	// Label names the flow in demos and experiment output.
+	Label string
+}
+
+// NewDRR builds a DRR scheduler. quantum is the byte allowance per unit
+// weight per round (0 = 1500, one MTU-ish packet); perQueueLimit bounds
+// each flow queue (0 = 128 packets).
+func NewDRR(quantum, perQueueLimit int) *DRR {
+	if quantum <= 0 {
+		quantum = 1500
+	}
+	if perQueueLimit <= 0 {
+		perQueueLimit = 128
+	}
+	return &DRR{quantum: quantum, limit: perQueueLimit, queues: make(map[*DRRQueue]struct{})}
+}
+
+// NewQueue creates a flow queue with the given weight (<=0 means 1).
+func (d *DRR) NewQueue(label string, weight float64) *DRRQueue {
+	if weight <= 0 {
+		weight = 1
+	}
+	q := &DRRQueue{Weight: weight, parent: d, Label: label}
+	q.fifo = *NewFIFO(d.limit)
+	d.queues[q] = struct{}{}
+	return q
+}
+
+// RemoveQueue drops a flow queue and any packets it still holds (called
+// when the AIU evicts the flow or the instance is freed).
+func (d *DRR) RemoveQueue(q *DRRQueue) {
+	if q == nil || q.parent != d {
+		return
+	}
+	d.total -= q.fifo.Len()
+	if q.onList {
+		d.unlink(q)
+	}
+	delete(d.queues, q)
+	q.parent = nil
+}
+
+// EnqueueFlow admits a packet to a specific flow queue.
+func (d *DRR) EnqueueFlow(q *DRRQueue, p *pkt.Packet) error {
+	if q == nil || q.parent != d {
+		return fmt.Errorf("sched: queue does not belong to this DRR")
+	}
+	if err := q.fifo.Enqueue(p); err != nil {
+		q.Drops++
+		return err
+	}
+	d.total++
+	if !q.onList {
+		d.link(q)
+		q.deficit = 0
+		q.fresh = true
+	}
+	return nil
+}
+
+// Enqueue implements Scheduler by taking the flow queue from the
+// packet's FIX soft state; it exists so a bare DRR can sit behind the
+// generic link simulator. Packets without an associated queue are
+// rejected. The plugin layer normally calls EnqueueFlow directly.
+func (d *DRR) Enqueue(p *pkt.Packet) error {
+	q, _ := p.FIX.(*DRRQueue)
+	if q == nil {
+		return fmt.Errorf("sched: packet has no DRR queue")
+	}
+	return d.EnqueueFlow(q, p)
+}
+
+// Dequeue implements Scheduler: serve the active list round-robin. On
+// each new visit a queue's deficit grows by weight×quantum; packets are
+// served while the deficit covers them; a backlogged queue keeps its
+// remainder for the next round, an emptied queue forfeits it (the
+// Shreedhar & Varghese rules).
+func (d *DRR) Dequeue() *pkt.Packet {
+	for d.active != nil {
+		q := d.active
+		if q.fresh {
+			q.deficit += int(float64(d.quantum) * q.Weight)
+			q.fresh = false
+		}
+		if head := q.fifo.Head(); head != nil && len(head.Data) <= q.deficit {
+			p := q.fifo.Dequeue()
+			q.deficit -= len(p.Data)
+			q.Served += uint64(len(p.Data))
+			d.total--
+			if q.fifo.Len() == 0 {
+				q.deficit = 0
+				d.unlink(q)
+			}
+			return p
+		}
+		// Deficit exhausted for this visit: rotate to the next queue.
+		q.fresh = true
+		d.active = q.next
+	}
+	return nil
+}
+
+// Len implements Scheduler.
+func (d *DRR) Len() int { return d.total }
+
+// Queues lists live queues (stable order not guaranteed).
+func (d *DRR) Queues() []*DRRQueue {
+	out := make([]*DRRQueue, 0, len(d.queues))
+	for q := range d.queues {
+		out = append(out, q)
+	}
+	return out
+}
+
+func (d *DRR) link(q *DRRQueue) {
+	if d.active == nil {
+		q.next, q.prev = q, q
+		d.active = q
+	} else {
+		// Insert at the tail (just before active).
+		tail := d.active.prev
+		tail.next = q
+		q.prev = tail
+		q.next = d.active
+		d.active.prev = q
+	}
+	q.onList = true
+}
+
+func (d *DRR) unlink(q *DRRQueue) {
+	if q.next == q {
+		d.active = nil
+	} else {
+		q.prev.next = q.next
+		q.next.prev = q.prev
+		if d.active == q {
+			d.active = q.next
+		}
+	}
+	q.next, q.prev = nil, nil
+	q.onList = false
+}

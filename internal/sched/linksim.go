@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"math"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// LinkSim drives a scheduler against a simulated output link of a fixed
+// rate, producing per-run service traces. The fairness, link-sharing,
+// and delay experiments (§6, §7) all run on top of it.
+type LinkSim struct {
+	RateBps float64 // link rate in bytes/second
+	Now     float64 // simulation clock, seconds
+
+	// hfsc, when the scheduler is time-dependent, lets the simulator
+	// pass the clock and discover wake-up times.
+	hfsc *HFSC
+	s    Scheduler
+}
+
+// NewLinkSim builds a simulator for a plain scheduler.
+func NewLinkSim(s Scheduler, rateBps float64) *LinkSim {
+	return &LinkSim{RateBps: rateBps, s: s}
+}
+
+// NewHFSCLinkSim builds a simulator for an H-FSC scheduler.
+func NewHFSCLinkSim(h *HFSC, rateBps float64) *LinkSim {
+	return &LinkSim{RateBps: rateBps, hfsc: h}
+}
+
+// Sent is one transmitted packet with its departure time.
+type Sent struct {
+	Pkt  *pkt.Packet
+	Time float64 // departure completion time
+}
+
+// Run transmits until the scheduler drains or the clock passes tMax,
+// returning the departure trace.
+func (l *LinkSim) Run(tMax float64) []Sent {
+	var out []Sent
+	for l.Now < tMax {
+		var p *pkt.Packet
+		if l.hfsc != nil {
+			p = l.hfsc.DequeueAt(l.Now)
+			if p == nil {
+				next := l.hfsc.NextEventTime(l.Now)
+				if math.IsInf(next, 1) || next > tMax {
+					break
+				}
+				l.Now = next
+				continue
+			}
+		} else {
+			p = l.s.Dequeue()
+			if p == nil {
+				break
+			}
+		}
+		l.Now += float64(len(p.Data)) / l.RateBps
+		out = append(out, Sent{Pkt: p, Time: l.Now})
+	}
+	return out
+}
+
+// Step transmits a single packet, returning it and advancing the clock;
+// nil when nothing is eligible now (clock advanced to the next event if
+// one exists, else unchanged).
+func (l *LinkSim) Step() *pkt.Packet {
+	var p *pkt.Packet
+	if l.hfsc != nil {
+		p = l.hfsc.DequeueAt(l.Now)
+		if p == nil {
+			if next := l.hfsc.NextEventTime(l.Now); !math.IsInf(next, 1) {
+				l.Now = next
+				p = l.hfsc.DequeueAt(l.Now)
+			}
+		}
+	} else {
+		p = l.s.Dequeue()
+	}
+	if p == nil {
+		return nil
+	}
+	l.Now += float64(len(p.Data)) / l.RateBps
+	return p
+}

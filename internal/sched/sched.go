@@ -1,0 +1,85 @@
+// Package sched implements the packet scheduling algorithms of §6: the
+// weighted Deficit Round Robin plugin the authors wrote, the Hierarchical
+// Fair Service Curve scheduler they ported from CMU, the plain FIFO of a
+// best-effort kernel, an ALTQ-style monolithic DRR (the Table 3
+// baseline, with its own internal hash classifier), and the Hierarchical
+// Scheduling Framework of §8 (future work in the paper): H-FSC interior
+// nodes with DRR fair queuing inside leaf classes.
+//
+// Schedulers are pure queueing disciplines: Enqueue admits a packet,
+// Dequeue picks the next packet to transmit. Time-dependent disciplines
+// (H-FSC) take an explicit clock so simulations and tests are
+// deterministic.
+package sched
+
+import (
+	"errors"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// ErrQueueFull is returned when an enqueue exceeds a queue limit.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// Scheduler is the minimal queueing-discipline contract used by the
+// scheduling gate and the link simulator.
+type Scheduler interface {
+	// Enqueue admits a packet (classified by the caller into whatever
+	// flow/class state the discipline keeps on the packet's FIX).
+	Enqueue(p *pkt.Packet) error
+	// Dequeue returns the next packet to send, or nil if empty.
+	Dequeue() *pkt.Packet
+	// Len is the number of queued packets.
+	Len() int
+}
+
+// FIFO is the single-queue discipline of a best-effort router.
+type FIFO struct {
+	q     []*pkt.Packet
+	head  int
+	limit int
+}
+
+// NewFIFO builds a FIFO with a packet limit (0 = 512, the customary
+// ifqueue depth).
+func NewFIFO(limit int) *FIFO {
+	if limit <= 0 {
+		limit = 512
+	}
+	return &FIFO{limit: limit}
+}
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(p *pkt.Packet) error {
+	if f.Len() >= f.limit {
+		return ErrQueueFull
+	}
+	f.q = append(f.q, p)
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue() *pkt.Packet {
+	if f.head >= len(f.q) {
+		return nil
+	}
+	p := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	return p
+}
+
+// Len implements Scheduler.
+func (f *FIFO) Len() int { return len(f.q) - f.head }
+
+// Head returns the next packet without removing it.
+func (f *FIFO) Head() *pkt.Packet {
+	if f.head >= len(f.q) {
+		return nil
+	}
+	return f.q[f.head]
+}

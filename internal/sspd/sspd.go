@@ -1,0 +1,231 @@
+// Package sspd implements the SSP daemon of §3.1 — SSP, "a simplified
+// version of RSVP" [Adiseshu & Parulkar], is the state-setup protocol
+// the authors shipped with the system. Receivers (or an administrator)
+// send reservation requests; the daemon translates them into Router
+// Plugin Library calls that install filters and bind them to plugin
+// instances, and maintains them as *soft state*: a reservation expires
+// and is torn down unless refreshed within its lifetime, RSVP-style.
+package sspd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/ctl"
+)
+
+// Message is one SSP protocol message.
+type Message struct {
+	// Type is "reserve", "refresh", or "release".
+	Type string `json:"type"`
+	// Filter is the six-tuple filter spec identifying the flows.
+	Filter string `json:"filter"`
+	// Plugin and Instance name the binding target (e.g. "drr"/"drr0").
+	Plugin   string `json:"plugin"`
+	Instance string `json:"instance"`
+	// Args carries binding parameters (weight, class, ...).
+	Args map[string]string `json:"args,omitempty"`
+	// LifetimeSec is the soft-state lifetime (default 30 s).
+	LifetimeSec int `json:"lifetime_sec,omitempty"`
+}
+
+// Reply answers a message.
+type Reply struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// DefaultLifetime is the soft-state lifetime when none is requested.
+const DefaultLifetime = 30 * time.Second
+
+type reservation struct {
+	msg    Message
+	expiry time.Time
+}
+
+// Daemon is the SSP daemon: it serves the SSP protocol and programs the
+// router through the control client.
+type Daemon struct {
+	client *ctl.Client
+	clock  func() time.Time
+
+	mu    sync.Mutex
+	resv  map[string]*reservation // keyed by filter|plugin|instance
+	done  chan struct{}
+	state sync.Once
+}
+
+// New builds a daemon over a control connection.
+func New(client *ctl.Client) *Daemon {
+	return &Daemon{client: client, clock: time.Now, resv: make(map[string]*reservation), done: make(chan struct{})}
+}
+
+// SetClock overrides the time source (tests).
+func (d *Daemon) SetClock(f func() time.Time) { d.clock = f }
+
+func key(m *Message) string { return m.Filter + "|" + m.Plugin + "|" + m.Instance }
+
+// Handle processes one SSP message.
+func (d *Daemon) Handle(m *Message) error {
+	switch m.Type {
+	case "reserve":
+		lifetime := DefaultLifetime
+		if m.LifetimeSec > 0 {
+			lifetime = time.Duration(m.LifetimeSec) * time.Second
+		}
+		args := map[string]string{"filter": m.Filter}
+		for k, v := range m.Args {
+			args[k] = v
+		}
+		d.mu.Lock()
+		_, exists := d.resv[key(m)]
+		d.mu.Unlock()
+		if !exists {
+			if err := d.client.Register(m.Plugin, m.Instance, args); err != nil {
+				return err
+			}
+		}
+		d.mu.Lock()
+		d.resv[key(m)] = &reservation{msg: *m, expiry: d.clock().Add(lifetime)}
+		d.mu.Unlock()
+		return nil
+	case "refresh":
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		r, ok := d.resv[key(m)]
+		if !ok {
+			return fmt.Errorf("sspd: no reservation for %s", m.Filter)
+		}
+		lifetime := DefaultLifetime
+		if m.LifetimeSec > 0 {
+			lifetime = time.Duration(m.LifetimeSec) * time.Second
+		}
+		r.expiry = d.clock().Add(lifetime)
+		return nil
+	case "release":
+		d.mu.Lock()
+		_, ok := d.resv[key(m)]
+		delete(d.resv, key(m))
+		d.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("sspd: no reservation for %s", m.Filter)
+		}
+		return d.client.Deregister(m.Plugin, m.Instance, m.Filter)
+	default:
+		return fmt.Errorf("sspd: unknown message type %q", m.Type)
+	}
+}
+
+// Expire tears down reservations whose lifetime has lapsed; it returns
+// the number expired. The run loop calls it periodically; tests call it
+// directly with a synthetic clock.
+func (d *Daemon) Expire() int {
+	now := d.clock()
+	var lapsed []Message
+	d.mu.Lock()
+	for k, r := range d.resv {
+		if r.expiry.Before(now) {
+			lapsed = append(lapsed, r.msg)
+			delete(d.resv, k)
+		}
+	}
+	d.mu.Unlock()
+	for _, m := range lapsed {
+		// Best effort: the binding may already be gone.
+		d.client.Deregister(m.Plugin, m.Instance, m.Filter)
+	}
+	return len(lapsed)
+}
+
+// Reservations counts live reservations.
+func (d *Daemon) Reservations() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.resv)
+}
+
+// Serve accepts SSP connections until the listener closes, expiring
+// soft state every second.
+func (d *Daemon) Serve(l net.Listener) error {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.Expire()
+			case <-d.done:
+				return
+			}
+		}
+	}()
+	defer d.state.Do(func() { close(d.done) })
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go d.serveConn(conn)
+	}
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		reply := Reply{OK: true}
+		if err := d.Handle(&m); err != nil {
+			reply.OK = false
+			reply.Error = err.Error()
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// Client is the sender side of SSP for applications and tests.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// DialClient connects to an SSP daemon.
+func DialClient(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Send performs one SSP exchange.
+func (c *Client) Send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return err
+	}
+	var r Reply
+	if err := c.dec.Decode(&r); err != nil {
+		return err
+	}
+	if !r.OK {
+		return fmt.Errorf("sspd: %s", r.Error)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package sspd
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/ctl"
+)
+
+// fakeRouter records Router Plugin Library calls.
+type fakeRouter struct {
+	mu       sync.Mutex
+	bindings map[string]bool // filter -> present
+	failNext bool
+}
+
+func (f *fakeRouter) Control(req *ctl.Request) (any, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext {
+		f.failNext = false
+		return nil, errAny("scripted failure")
+	}
+	switch req.Op {
+	case ctl.OpRegister:
+		f.bindings[req.Args["filter"]] = true
+	case ctl.OpDeregister:
+		delete(f.bindings, req.Args["filter"])
+	}
+	return nil, nil
+}
+
+type errAny string
+
+func (e errAny) Error() string { return string(e) }
+
+func (f *fakeRouter) has(filter string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bindings[filter]
+}
+
+func newRig(t *testing.T) (*Daemon, *fakeRouter, func() time.Time, *time.Time) {
+	t.Helper()
+	fr := &fakeRouter{bindings: map[string]bool{}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ctl.NewServer(fr).Serve(ln)
+	client, err := ctl.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	now := time.Unix(5000, 0)
+	d := New(client)
+	d.SetClock(func() time.Time { return now })
+	return d, fr, func() time.Time { return now }, &now
+}
+
+func TestReserveRefreshExpire(t *testing.T) {
+	d, fr, _, now := newRig(t)
+	msg := &Message{
+		Type: "reserve", Filter: "F1", Plugin: "drr", Instance: "drr0",
+		Args: map[string]string{"weight": "2"}, LifetimeSec: 10,
+	}
+	if err := d.Handle(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.has("F1") {
+		t.Fatal("binding not installed")
+	}
+	if d.Reservations() != 1 {
+		t.Fatalf("reservations = %d", d.Reservations())
+	}
+	// Re-reserving is idempotent (soft-state refresh via reserve).
+	if err := d.Handle(msg); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reservations() != 1 {
+		t.Errorf("duplicate reserve created extra state")
+	}
+
+	*now = now.Add(8 * time.Second)
+	if err := d.Handle(&Message{Type: "refresh", Filter: "F1", Plugin: "drr", Instance: "drr0", LifetimeSec: 10}); err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(8 * time.Second)
+	if n := d.Expire(); n != 0 {
+		t.Errorf("refreshed reservation expired")
+	}
+	*now = now.Add(3 * time.Second)
+	if n := d.Expire(); n != 1 {
+		t.Errorf("expired = %d want 1", n)
+	}
+	if fr.has("F1") {
+		t.Error("binding survived expiry")
+	}
+	if d.Reservations() != 0 {
+		t.Error("reservation state survived expiry")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	d, fr, _, _ := newRig(t)
+	m := &Message{Type: "reserve", Filter: "F2", Plugin: "drr", Instance: "drr0"}
+	if err := d.Handle(m); err != nil {
+		t.Fatal(err)
+	}
+	rel := &Message{Type: "release", Filter: "F2", Plugin: "drr", Instance: "drr0"}
+	if err := d.Handle(rel); err != nil {
+		t.Fatal(err)
+	}
+	if fr.has("F2") {
+		t.Error("binding survived release")
+	}
+	if err := d.Handle(rel); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestRefreshUnknown(t *testing.T) {
+	d, _, _, _ := newRig(t)
+	if err := d.Handle(&Message{Type: "refresh", Filter: "nope", Plugin: "p", Instance: "i"}); err == nil {
+		t.Error("refresh of unknown reservation accepted")
+	}
+	if err := d.Handle(&Message{Type: "sideways"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestReserveRegisterFailure(t *testing.T) {
+	d, fr, _, _ := newRig(t)
+	fr.mu.Lock()
+	fr.failNext = true
+	fr.mu.Unlock()
+	err := d.Handle(&Message{Type: "reserve", Filter: "F3", Plugin: "drr", Instance: "drr0"})
+	if err == nil || !strings.Contains(err.Error(), "scripted failure") {
+		t.Errorf("register failure not propagated: %v", err)
+	}
+	if d.Reservations() != 0 {
+		t.Error("failed reservation kept state")
+	}
+}
+
+func TestServeWire(t *testing.T) {
+	d, fr, _, _ := newRig(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(ln)
+
+	c, err := DialClient("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(&Message{Type: "reserve", Filter: "W1", Plugin: "drr", Instance: "drr0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.has("W1") {
+		t.Error("wire reserve not installed")
+	}
+	// Errors round-trip.
+	if err := c.Send(&Message{Type: "release", Filter: "missing", Plugin: "p", Instance: "i"}); err == nil {
+		t.Error("wire error not propagated")
+	}
+}
+
+func TestMessageJSONShape(t *testing.T) {
+	// The wire format is stable JSON: field names matter for external
+	// clients.
+	m := Message{Type: "reserve", Filter: "F", Plugin: "drr", Instance: "drr0", LifetimeSec: 30}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"reserve"`, `"filter":"F"`, `"plugin":"drr"`, `"lifetime_sec":30`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("encoding %s missing %s", b, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package trafficgen synthesizes the workloads of the paper's
+// evaluation: the Table 3 measurement traffic (three concurrent 8 KB UDP
+// flows, 100 packets per flow, repeated 1000 times, against 16 installed
+// filters), flow-structured traffic with tunable locality for the
+// flow-cache experiments, and large flow-like filter populations for the
+// Table 2 classification experiment.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// FlowSpec names one synthetic UDP flow.
+type FlowSpec struct {
+	Src, Dst         pkt.Addr
+	SrcPort, DstPort uint16
+	PayloadBytes     int
+	IPv6             bool
+}
+
+// Datagram builds one datagram of the flow.
+func (f FlowSpec) Datagram() ([]byte, error) {
+	return pkt.BuildUDP(pkt.UDPSpec{
+		Src: f.Src, Dst: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Payload: make([]byte, f.PayloadBytes),
+	})
+}
+
+// Packet builds one parsed packet of the flow arriving on inIf.
+func (f FlowSpec) Packet(inIf int32) (*pkt.Packet, error) {
+	data, err := f.Datagram()
+	if err != nil {
+		return nil, err
+	}
+	return pkt.NewPacket(data, inIf)
+}
+
+// Table3Flows are the three concurrent flows of the §7.3 measurement:
+// 8 KB UDP datagrams (no fragmentation at the ATM MTU of 9180).
+func Table3Flows() []FlowSpec {
+	flows := make([]FlowSpec, 3)
+	for i := range flows {
+		flows[i] = FlowSpec{
+			Src:          pkt.AddrV4(0x0a000001 + uint32(i)), // 10.0.0.1..3
+			Dst:          pkt.AddrV4(0x14000001 + uint32(i)), // 20.0.0.1..3
+			SrcPort:      uint16(7000 + i),
+			DstPort:      uint16(9000 + i),
+			PayloadBytes: 8192 - pkt.UDPHeaderLen - pkt.IPv4HeaderLen, // 8 KB datagram
+		}
+	}
+	return flows
+}
+
+// Table3FlowsV6 is the IPv6 variant (the paper sent UDP/IPv6 without
+// using the flow label).
+func Table3FlowsV6() []FlowSpec {
+	flows := make([]FlowSpec, 3)
+	for i := range flows {
+		var s, d [16]byte
+		s[0], s[1], s[2], s[3] = 0x20, 0x01, 0x0d, 0xb8
+		d = s
+		s[15] = byte(1 + i)
+		d[14] = 1
+		d[15] = byte(1 + i)
+		flows[i] = FlowSpec{
+			Src: pkt.AddrFrom16(s), Dst: pkt.AddrFrom16(d),
+			SrcPort: uint16(7000 + i), DstPort: uint16(9000 + i),
+			PayloadBytes: 8192 - pkt.UDPHeaderLen - pkt.IPv6HeaderLen,
+			IPv6:         true,
+		}
+	}
+	return flows
+}
+
+// Interleave builds the per-round arrival order: count packets from each
+// flow, round-robin — "we sent 8 KByte UDP datagrams belonging to three
+// different flows concurrently through our router".
+func Interleave(flows []FlowSpec, count int, inIf int32) ([]*pkt.Packet, error) {
+	out := make([]*pkt.Packet, 0, len(flows)*count)
+	for i := 0; i < count; i++ {
+		for _, f := range flows {
+			p, err := f.Packet(inIf)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Table3Filters installs the measurement's 16 filters: flow filters that
+// do not match the test traffic (so the filter table has realistic
+// content) — the paper reports filtering "has a minor impact since it
+// happens only for the first packet of each flow".
+func Table3Filters() []aiu.Filter {
+	out := make([]aiu.Filter, 0, 16)
+	for i := 0; i < 16; i++ {
+		f := aiu.MatchAll()
+		f.Src = aiu.AddrIs(pkt.AddrV4(0xc0000000 + uint32(i))) // 192.0.0.x
+		f.Proto = aiu.ProtoIs(pkt.ProtoTCP)
+		out = append(out, f)
+	}
+	return out
+}
+
+// FlowLikeFilters generates n filters shaped like a reservation table:
+// ~90% fully specified end-to-end flow filters, ~10% prefix-wildcarded
+// policy filters. This is the population for the Table 2 experiment
+// (the paper quotes 50,000 filters).
+func FlowLikeFilters(rng *rand.Rand, n int, v6 bool) []aiu.Filter {
+	out := make([]aiu.Filter, 0, n)
+	mkAddr := func() pkt.Addr {
+		if v6 {
+			var b [16]byte
+			b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+			rng.Read(b[4:])
+			return pkt.AddrFrom16(b)
+		}
+		return pkt.AddrV4(rng.Uint32())
+	}
+	for i := 0; i < n; i++ {
+		f := aiu.MatchAll()
+		if rng.Intn(10) == 0 {
+			maxLen := 24
+			if v6 {
+				maxLen = 64
+			}
+			f.Src = aiu.AddrIn(pkt.PrefixFrom(mkAddr(), 8+rng.Intn(maxLen-7)))
+			f.Proto = aiu.ProtoIs(pkt.ProtoUDP)
+		} else {
+			f.Src = aiu.AddrIs(mkAddr())
+			f.Dst = aiu.AddrIs(mkAddr())
+			f.Proto = aiu.ProtoIs([]uint8{pkt.ProtoTCP, pkt.ProtoUDP}[rng.Intn(2)])
+			f.SrcPort = aiu.PortIs(uint16(1024 + rng.Intn(60000)))
+			f.DstPort = aiu.PortIs(uint16(1 + rng.Intn(1024)))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// RandomKeys draws n six-tuples from the same universe the filters use.
+func RandomKeys(rng *rand.Rand, n int, v6 bool) []pkt.Key {
+	out := make([]pkt.Key, n)
+	for i := range out {
+		var src, dst pkt.Addr
+		if v6 {
+			var a, b [16]byte
+			a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x0d, 0xb8
+			b = a
+			rng.Read(a[4:])
+			rng.Read(b[4:])
+			src, dst = pkt.AddrFrom16(a), pkt.AddrFrom16(b)
+		} else {
+			src, dst = pkt.AddrV4(rng.Uint32()), pkt.AddrV4(rng.Uint32())
+		}
+		out[i] = pkt.Key{
+			Src: src, Dst: dst,
+			Proto:   []uint8{pkt.ProtoTCP, pkt.ProtoUDP}[rng.Intn(2)],
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+		}
+	}
+	return out
+}
+
+// LocalityTrace generates an arrival sequence over nFlows flows where
+// consecutive packets stay in the same flow with probability
+// burstiness — the "flow-like characteristics of Internet traffic" the
+// flow cache exploits. It returns flow indices.
+func LocalityTrace(rng *rand.Rand, nFlows, nPackets int, burstiness float64) []int {
+	out := make([]int, nPackets)
+	cur := 0
+	for i := range out {
+		if i == 0 || rng.Float64() > burstiness {
+			cur = rng.Intn(nFlows)
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// ManyFlows builds nFlows distinct flow specs with the given payload.
+func ManyFlows(nFlows, payload int) []FlowSpec {
+	out := make([]FlowSpec, nFlows)
+	for i := range out {
+		out[i] = FlowSpec{
+			Src:     pkt.AddrV4(0x0a000000 + uint32(i+1)),
+			Dst:     pkt.AddrV4(0x14000000 + uint32(i%251+1)),
+			SrcPort: uint16(1024 + i%60000), DstPort: uint16(53),
+			PayloadBytes: payload,
+		}
+	}
+	return out
+}
+
+// String describes a flow for experiment output.
+func (f FlowSpec) String() string {
+	return fmt.Sprintf("%s:%d -> %s:%d (%dB)", f.Src, f.SrcPort, f.Dst, f.DstPort, f.PayloadBytes)
+}

@@ -1,0 +1,179 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func TestTable3Flows(t *testing.T) {
+	flows := Table3Flows()
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	seen := map[pkt.Key]bool{}
+	for _, f := range flows {
+		data, err := f.Datagram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's datagrams are 8 KB, under the ATM MTU of 9180.
+		if len(data) != 8192 {
+			t.Errorf("datagram size = %d want 8192", len(data))
+		}
+		if len(data) > 9180 {
+			t.Error("datagram exceeds ATM MTU")
+		}
+		p, err := f.Packet(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Key] {
+			t.Error("duplicate flow key")
+		}
+		seen[p.Key] = true
+	}
+}
+
+func TestTable3FlowsV6(t *testing.T) {
+	for _, f := range Table3FlowsV6() {
+		data, err := f.Datagram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[0]>>4 != 6 {
+			t.Error("not IPv6")
+		}
+		if len(data) != 8192 {
+			t.Errorf("v6 datagram size = %d", len(data))
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	flows := Table3Flows()
+	pkts, err := Interleave(flows, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 12 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	// Round-robin: consecutive packets belong to different flows.
+	for i := 0; i+1 < len(pkts); i++ {
+		if pkts[i].Key == pkts[i+1].Key {
+			t.Fatalf("packets %d,%d share a flow", i, i+1)
+		}
+	}
+	if pkts[0].InIf != 2 {
+		t.Errorf("InIf = %d", pkts[0].InIf)
+	}
+}
+
+func TestTable3Filters(t *testing.T) {
+	filters := Table3Filters()
+	if len(filters) != 16 {
+		t.Fatalf("filters = %d", len(filters))
+	}
+	// None of them match the measurement traffic (so filtering cost
+	// stays off the cached path, as in the paper).
+	for _, f := range Table3Flows() {
+		p, _ := f.Packet(0)
+		for _, flt := range filters {
+			if flt.Matches(p.Key) {
+				t.Errorf("filter %s matches measurement flow %s", flt, p.Key)
+			}
+		}
+	}
+}
+
+func TestFlowLikeFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	filters := FlowLikeFilters(rng, 500, false)
+	if len(filters) != 500 {
+		t.Fatalf("filters = %d", len(filters))
+	}
+	hosts, policies := 0, 0
+	for _, f := range filters {
+		if f.Src.Wild {
+			t.Error("source should never be fully wild")
+		}
+		if f.Src.Prefix.IsHost() {
+			hosts++
+		} else {
+			policies++
+		}
+	}
+	// Roughly 90/10.
+	if hosts < 400 || policies < 20 {
+		t.Errorf("mix = %d hosts / %d policies", hosts, policies)
+	}
+	// IPv6 variant stays in-family.
+	for _, f := range FlowLikeFilters(rng, 50, true) {
+		if !f.Src.Prefix.Addr.IsV6() {
+			t.Error("v6 filter with v4 source")
+		}
+	}
+}
+
+func TestLocalityTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trace := LocalityTrace(rng, 32, 10000, 0.9)
+	if len(trace) != 10000 {
+		t.Fatalf("trace = %d", len(trace))
+	}
+	same := 0
+	for i := 1; i < len(trace); i++ {
+		if trace[i] < 0 || trace[i] >= 32 {
+			t.Fatalf("flow index out of range: %d", trace[i])
+		}
+		if trace[i] == trace[i-1] {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(trace)-1)
+	// With burstiness 0.9, ~90% (plus 1/32 chance on redraws).
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("burstiness fraction = %.3f", frac)
+	}
+	// Zero burstiness: mostly switching.
+	cold := LocalityTrace(rng, 32, 10000, 0)
+	same = 0
+	for i := 1; i < len(cold); i++ {
+		if cold[i] == cold[i-1] {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(len(cold)-1); frac > 0.1 {
+		t.Errorf("cold trace self-transition = %.3f", frac)
+	}
+}
+
+func TestManyFlowsDistinct(t *testing.T) {
+	flows := ManyFlows(100, 64)
+	seen := map[string]bool{}
+	for _, f := range flows {
+		if seen[f.String()] {
+			t.Fatalf("duplicate flow %s", f)
+		}
+		seen[f.String()] = true
+		if _, err := f.Datagram(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomKeysFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range RandomKeys(rng, 100, false) {
+		if k.Src.IsV6() || k.Dst.IsV6() {
+			t.Fatal("v6 key in v4 set")
+		}
+	}
+	for _, k := range RandomKeys(rng, 100, true) {
+		if !k.Src.IsV6() || !k.Dst.IsV6() {
+			t.Fatal("v4 key in v6 set")
+		}
+	}
+}

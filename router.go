@@ -1,0 +1,334 @@
+// Package eisr is the public API of the Extended Integrated Services
+// Router: a Go reproduction of "Router Plugins: A Software Architecture
+// for Next Generation Routers" (Decasper, Dittia, Parulkar, Plattner —
+// SIGCOMM 1998).
+//
+// A Router bundles the stable IP core, the Plugin Control Unit (PCU),
+// the Association Identification Unit (AIU — the flow-caching packet
+// classifier), a forwarding table on a pluggable longest-prefix-match
+// engine, and simulated network interfaces. Plugins are loaded by name
+// (the analog of NetBSD's modload), configured into instances, and
+// bound to flows through six-tuple filters:
+//
+//	r, _ := eisr.New(eisr.Options{})
+//	r.AddInterface(0, "10.0.0.0/8 side", "192.0.2.1")
+//	r.AddInterface(1, "backbone", "")
+//	r.AddRoute("0.0.0.0/0 dev 1")
+//	r.LoadPlugin("drr")
+//	inst, _ := r.CreateInstance("drr", map[string]string{"iface": "1"})
+//	r.Register("drr", inst, map[string]string{"filter": "<129.*.*.*, *, TCP, *, *, *>", "weight": "4"})
+//
+// Packets injected into an interface (or delivered by a connected peer
+// router) then traverse the gates of the data path, and each flow is
+// dispatched to the plugin instances its filters selected.
+package eisr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/plugins"
+	"github.com/routerplugins/eisr/internal/ripd"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/rsvpd"
+	"github.com/routerplugins/eisr/internal/sched"
+)
+
+// Mode re-exports the kernel flavor.
+type Mode = ipcore.Mode
+
+// The kernel flavors.
+const (
+	ModeBestEffort = ipcore.ModeBestEffort
+	ModePlugin     = ipcore.ModePlugin
+)
+
+// Options configures a Router.
+type Options struct {
+	// Mode selects plugin (default) or monolithic best-effort.
+	Mode Mode
+	// UsePluginMode forces plugin mode explicitly when Mode's zero
+	// value (best effort) is not intended; New defaults to plugin mode
+	// unless BestEffort is set.
+	BestEffort bool
+	// Gates overrides the gate set (plugin mode). Defaults to the
+	// paper's four gates.
+	Gates []pcu.Type
+	// BMP selects the longest-prefix-match engine for classifier and
+	// routing ("linear", "patricia", "bspl", "cpe"; default bspl).
+	BMP string
+	// FlowBuckets / MaxFlows size the AIU flow cache.
+	FlowBuckets int
+	MaxFlows    int
+	// CollapseDAGNodes enables the §5.1.2 node-collapsing optimization.
+	CollapseDAGNodes bool
+	// ShareIdenticalTables enables the §5.1.2 inter-DAG optimization:
+	// gates with identical filter tables share classification results.
+	ShareIdenticalTables bool
+	// VerifyChecksums validates IPv4 header checksums on input.
+	VerifyChecksums bool
+	// SendICMPErrors makes the core answer TTL expiry and routing
+	// failures with ICMP errors, as a real router does.
+	SendICMPErrors bool
+	// MonoSched installs a hard-wired scheduler in best-effort mode
+	// (the ALTQ baseline).
+	MonoSched sched.Scheduler
+	// Clock overrides the time source (simulations).
+	Clock func() time.Time
+}
+
+// Router is the assembled EISR.
+type Router struct {
+	Core   *ipcore.Router
+	AIU    *aiu.AIU
+	PCU    *pcu.Registry
+	Routes *routing.Table
+	Env    *plugins.Env
+
+	mu            sync.Mutex
+	done          chan struct{}
+	running       bool
+	localHandlers map[uint16]func(*pkt.Packet)
+}
+
+// New assembles a router.
+func New(opts Options) (*Router, error) {
+	mode := ipcore.ModePlugin
+	if opts.BestEffort || opts.Mode == ipcore.ModeBestEffort && opts.MonoSched != nil {
+		mode = ipcore.ModeBestEffort
+	}
+	if opts.Mode == ipcore.ModePlugin {
+		mode = ipcore.ModePlugin
+	}
+	kind := bmp.Kind(opts.BMP)
+	if kind == "" {
+		kind = bmp.KindBSPL
+	}
+	routes, err := routing.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	gates := opts.Gates
+	if gates == nil {
+		gates = ipcore.DefaultGates
+	}
+	var a *aiu.AIU
+	if mode == ipcore.ModePlugin {
+		a = aiu.New(aiu.Config{
+			BMPKind:              kind,
+			CollapseNodes:        opts.CollapseDAGNodes,
+			FlowBuckets:          opts.FlowBuckets,
+			MaxFlows:             opts.MaxFlows,
+			ShareIdenticalTables: opts.ShareIdenticalTables,
+		}, gates...)
+	}
+	var r *Router
+	core, err := ipcore.New(ipcore.Config{
+		Mode: mode, Gates: gates, AIU: a, Routes: routes,
+		MonoSched: opts.MonoSched, VerifyChecksums: opts.VerifyChecksums,
+		SendICMPErrors: opts.SendICMPErrors,
+		Clock:          opts.Clock,
+		LocalSink:      func(p *pkt.Packet) { r.dispatchLocal(p) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	r = &Router{
+		Core: core, AIU: a, PCU: pcu.NewRegistry(), Routes: routes,
+		Env: &plugins.Env{Router: core, AIU: a, Clock: opts.Clock},
+	}
+	return r, nil
+}
+
+// AddLocalHandler registers a handler for locally delivered UDP traffic
+// on a port — the hook daemons (e.g. the route daemon) use to receive
+// their protocol packets.
+func (r *Router) AddLocalHandler(port uint16, h func(p *pkt.Packet)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.localHandlers == nil {
+		r.localHandlers = make(map[uint16]func(*pkt.Packet))
+	}
+	r.localHandlers[port] = h
+}
+
+// dispatchLocal routes locally delivered packets to registered handlers.
+func (r *Router) dispatchLocal(p *pkt.Packet) {
+	if r == nil || p.Key.Proto != pkt.ProtoUDP {
+		return
+	}
+	r.mu.Lock()
+	h := r.localHandlers[p.Key.DstPort]
+	r.mu.Unlock()
+	if h != nil {
+		h(p)
+	}
+}
+
+// AddInterface creates and attaches a simulated interface with an
+// optional own address; it returns the interface for wiring.
+func (r *Router) AddInterface(index int32, name, addr string) (*netdev.Interface, error) {
+	cfg := netdev.Config{Name: name}
+	if addr != "" {
+		a, err := pkt.ParseAddr(addr)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Addr = a
+	}
+	ifc := netdev.NewInterface(index, cfg)
+	r.Core.AddInterface(ifc)
+	return ifc, nil
+}
+
+// Interface returns an attached interface by index.
+func (r *Router) Interface(index int32) *netdev.Interface {
+	return r.Core.Interface(index)
+}
+
+// AddRoute installs a static route: "PREFIX dev N [via GW] [metric M]".
+func (r *Router) AddRoute(spec string) error {
+	rt, err := routing.ParseRoute(spec)
+	if err != nil {
+		return err
+	}
+	r.Routes.Add(rt.Prefix, rt.NextHop)
+	return nil
+}
+
+// DelRoute removes the route for a prefix.
+func (r *Router) DelRoute(prefix string) error {
+	p, err := pkt.ParsePrefix(prefix)
+	if err != nil {
+		return err
+	}
+	if !r.Routes.Del(p) {
+		return fmt.Errorf("eisr: no route for %s", p)
+	}
+	return nil
+}
+
+// CreateInstance creates a plugin instance and returns its name.
+func (r *Router) CreateInstance(plugin string, args map[string]string) (string, error) {
+	msg := &pcu.Message{Kind: pcu.MsgCreateInstance, Args: args}
+	if err := r.PCU.Send(plugin, msg); err != nil {
+		return "", err
+	}
+	inst, ok := msg.Reply.(pcu.Instance)
+	if !ok {
+		return "", fmt.Errorf("eisr: plugin %q returned no instance", plugin)
+	}
+	return inst.InstanceName(), nil
+}
+
+// FreeInstance frees a named instance.
+func (r *Router) FreeInstance(plugin, instance string) error {
+	inst, err := r.PCU.FindInstance(plugin, instance)
+	if err != nil {
+		return err
+	}
+	return r.PCU.Send(plugin, &pcu.Message{Kind: pcu.MsgFreeInstance, Instance: inst})
+}
+
+// Register binds a filter to an instance; args must include "filter"
+// plus any plugin-specific binding parameters (weight, class, SA...).
+func (r *Router) Register(plugin, instance string, args map[string]string) error {
+	inst, err := r.PCU.FindInstance(plugin, instance)
+	if err != nil {
+		return err
+	}
+	return r.PCU.Send(plugin, &pcu.Message{Kind: pcu.MsgRegisterInstance, Instance: inst, Args: args})
+}
+
+// Deregister removes a filter binding.
+func (r *Router) Deregister(plugin, instance, filter string) error {
+	inst, err := r.PCU.FindInstance(plugin, instance)
+	if err != nil {
+		return err
+	}
+	return r.PCU.Send(plugin, &pcu.Message{
+		Kind: pcu.MsgDeregisterInstance, Instance: inst,
+		Args: map[string]string{"filter": filter},
+	})
+}
+
+// Message sends a plugin-specific message and returns the reply.
+func (r *Router) Message(plugin, instance, verb string, args map[string]string) (any, error) {
+	var inst pcu.Instance
+	if instance != "" {
+		var err error
+		inst, err = r.PCU.FindInstance(plugin, instance)
+		if err != nil {
+			return nil, err
+		}
+	}
+	msg := &pcu.Message{Kind: pcu.MsgCustom, Verb: verb, Instance: inst, Args: args}
+	if err := r.PCU.Send(plugin, msg); err != nil {
+		return nil, err
+	}
+	return msg.Reply, nil
+}
+
+// Start launches the forwarding loop.
+func (r *Router) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return
+	}
+	r.done = make(chan struct{})
+	r.running = true
+	go r.Core.Run(r.done)
+}
+
+// Stop halts the forwarding loop.
+func (r *Router) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.running {
+		return
+	}
+	close(r.done)
+	r.running = false
+}
+
+// Connect wires an interface of this router to an interface of another
+// (or the same) router as a point-to-point link.
+func Connect(a *netdev.Interface, b *netdev.Interface) {
+	netdev.Connect(a, b)
+}
+
+// EnableRouteDaemon attaches a route daemon (the routed analog of §3.1)
+// to this router: it receives distance-vector updates on UDP port 520
+// and programs the forwarding table. Call Originate on the returned
+// daemon for each connected network, wire the topology, and either call
+// Tick from a simulation loop or run Serve in a goroutine.
+func (r *Router) EnableRouteDaemon() *ripd.Daemon {
+	d := ripd.New(r.Core, r.Routes)
+	r.AddLocalHandler(ripd.Port, d.HandlePacket)
+	return d
+}
+
+// EnableRSVP attaches the RSVP daemon (§3.1's in-progress daemon,
+// completed here): PATH/RESV messages are punted to it at the options
+// gate on every hop, and reservations install filter bindings on the
+// named scheduling instances. localDst reports which destinations this
+// router terminates (its receivers); pass nil for pure transit routers.
+func (r *Router) EnableRSVP(localDst func(a pkt.Addr) bool) (*rsvpd.Daemon, error) {
+	if r.AIU == nil {
+		return nil, fmt.Errorf("eisr: RSVP requires plugin mode")
+	}
+	d := rsvpd.New(r.Core, r, localDst)
+	if err := rsvpd.BindPunt(r.AIU); err != nil {
+		return nil, err
+	}
+	r.AddLocalHandler(rsvpd.Port, d.HandlePacket)
+	return d, nil
+}
