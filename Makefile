@@ -1,0 +1,37 @@
+GO ?= go
+BIN := $(CURDIR)/bin
+
+.PHONY: all build test lint race vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# eisrlint standalone over every package (tests included).
+lint:
+	$(GO) run ./cmd/eisrlint ./...
+
+# eisrlint through the go vet unitchecker protocol, plus stock vet.
+vet: $(BIN)/eisrlint
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(BIN)/eisrlint ./...
+
+# Race-detector pass over the packages with concurrent kernel state:
+# flow-table lookups and gate dispatch racing the PCU control path.
+race:
+	$(GO) test -race ./internal/aiu ./internal/pcu
+
+check: build test lint vet race
+
+$(BIN)/eisrlint: FORCE
+	$(GO) build -o $(BIN)/eisrlint ./cmd/eisrlint
+
+.PHONY: FORCE
+FORCE:
+
+clean:
+	rm -rf $(BIN)

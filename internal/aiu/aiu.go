@@ -135,9 +135,9 @@ func (a *AIU) FlowTable() *FlowTable { return a.flows }
 // filter-associated plugin state. It returns the installed record.
 func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*FilterRecord, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	ft, ok := a.tables[gate]
 	if !ok {
+		a.mu.Unlock()
 		return nil, fmt.Errorf("aiu: no gate %s", gate)
 	}
 	a.nextID++
@@ -148,8 +148,13 @@ func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*Fi
 	}
 	ft.records = append(ft.records, rec)
 	ft.dirty = true
+	a.mu.Unlock()
 	// Flows cached before this filter existed may now be misclassified;
-	// flush the ones the new filter matches so they reclassify.
+	// flush the ones the new filter matches so they reclassify. This runs
+	// after the AIU lock is dropped — the flush delivers evict callbacks
+	// into plugin code, which must never execute under an AIU mutex. A
+	// lookup racing the flush may briefly see the pre-filter binding;
+	// that is the flow cache's soft-state semantics (§3.2).
 	a.flows.FlushWhere(func(r *FlowRecord) bool { return f.Matches(r.Key) })
 	return rec, nil
 }
@@ -158,25 +163,33 @@ func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*Fi
 // deregister-instance path).
 func (a *AIU) Unbind(rec *FilterRecord) error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	ft, ok := a.tables[rec.Gate]
 	if !ok {
+		a.mu.Unlock()
 		return fmt.Errorf("aiu: no gate %s", rec.Gate)
 	}
+	found := false
 	for i, r := range ft.records {
 		if r == rec {
 			ft.records = append(ft.records[:i], ft.records[i+1:]...)
 			ft.dirty = true
-			if l, ok := rec.Instance.(FilterRemoveListener); ok {
-				l.FilterRemoved(rec)
-			}
-			a.flows.FlushWhere(func(fr *FlowRecord) bool {
-				return fr.Bind(a.slots[rec.Gate]).Rec == rec
-			})
-			return nil
+			found = true
+			break
 		}
 	}
-	return fmt.Errorf("aiu: record %d not installed", rec.ID)
+	slot := a.slots[rec.Gate]
+	a.mu.Unlock()
+	if !found {
+		return fmt.Errorf("aiu: record %d not installed", rec.ID)
+	}
+	// Notify and flush outside the AIU lock: both run plugin code.
+	if l, ok := rec.Instance.(FilterRemoveListener); ok {
+		l.FilterRemoved(rec)
+	}
+	a.flows.FlushWhere(func(fr *FlowRecord) bool {
+		return fr.Bind(slot).Rec == rec
+	})
+	return nil
 }
 
 // UnbindInstance removes every filter bound to an instance across all
@@ -185,22 +198,26 @@ func (a *AIU) Unbind(rec *FilterRecord) error {
 // to it are removed from the flow table and the filter table".
 func (a *AIU) UnbindInstance(inst pcu.Instance) int {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	n := 0
+	var removed []*FilterRecord
 	for _, ft := range a.tables {
 		kept := ft.records[:0]
 		for _, r := range ft.records {
 			if r.Instance == inst {
-				if l, ok := inst.(FilterRemoveListener); ok {
-					l.FilterRemoved(r)
-				}
-				n++
+				removed = append(removed, r)
 				ft.dirty = true
 				continue
 			}
 			kept = append(kept, r)
 		}
 		ft.records = kept
+	}
+	a.mu.Unlock()
+	// Listener callbacks and the cache flush run plugin code; deliver
+	// them only after the AIU lock is dropped.
+	if l, ok := inst.(FilterRemoveListener); ok {
+		for _, r := range removed {
+			l.FilterRemoved(r)
+		}
 	}
 	a.flows.FlushWhere(func(fr *FlowRecord) bool {
 		for i := 0; i < fr.Slots(); i++ {
@@ -210,7 +227,7 @@ func (a *AIU) UnbindInstance(inst pcu.Instance) int {
 		}
 		return false
 	})
-	return n
+	return len(removed)
 }
 
 // FilterRemoveListener is implemented by instances that keep hard state
@@ -299,9 +316,11 @@ func (a *AIU) ClassifyKey(gate pcu.Type, k pkt.Key, c *cycles.Counter) *FilterRe
 // LookupGate is the gate macro's entry point (§3.2): given a packet at a
 // gate, return the plugin instance bound to the packet's flow and the
 // flow record. The fast path reads the FIX cached in the packet; the next
-// path hits the flow table; the slow path classifies the packet against
-// every gate's filter table and installs a flow record so subsequent
-// packets take the fast paths.
+// path hits the flow table; the slow path (classifyAndInsert) classifies
+// the packet against every gate's filter table and installs a flow record
+// so subsequent packets take the fast paths.
+//
+//eisr:fastpath
 func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.Counter) (pcu.Instance, *FlowRecord) {
 	slot, ok := a.slots[gate]
 	if !ok {
@@ -327,12 +346,19 @@ func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.
 		a.cachedLookups.Add(1)
 		return rec.Bind(slot).Instance, rec
 	}
-	// Slow: classify at every gate ("the processing of the first packet
-	// of a new flow with n gates involves n filter table lookups to
-	// create a single entry in the flow table"), then install the record
-	// in one atomic step. With inter-DAG sharing on, gates whose filter
-	// tables are identical to an earlier gate's reuse its result with a
-	// single map access instead of another DAG walk.
+	return a.classifyAndInsert(p, slot, now, c)
+}
+
+// classifyAndInsert is the first-packet slow path: classify at every gate
+// ("the processing of the first packet of a new flow with n gates
+// involves n filter table lookups to create a single entry in the flow
+// table"), then install the record in one atomic step. With inter-DAG
+// sharing on, gates whose filter tables are identical to an earlier
+// gate's reuse its result with a single map access instead of another
+// DAG walk.
+//
+//eisr:slowpath
+func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycles.Counter) (pcu.Instance, *FlowRecord) {
 	a.mu.RLock()
 	binds := make([]GateBind, len(a.gates))
 	var shared map[uint64]*FilterRecord

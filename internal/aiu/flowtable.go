@@ -48,9 +48,10 @@ type FlowRecord struct {
 	// kernel gets from its single flow of control.
 	binds atomic.Pointer[[]GateBind]
 
-	// LastUse is the arrival time of the last packet that hit this
-	// record; the idle purge uses it.
-	LastUse time.Time
+	// lastUse is the arrival time (unix nanos) of the last packet that
+	// hit this record; the idle purge uses it. It is stored atomically
+	// because cache hits update it under the table's read lock.
+	lastUse atomic.Int64
 
 	hash uint32
 	next *FlowRecord // hash-chain link (§5.2: collisions on a singly linked list)
@@ -61,10 +62,23 @@ type FlowRecord struct {
 }
 
 // Bind returns the slot for a gate (indexed by the AIU's gate order).
+//
+//eisr:fastpath
 func (r *FlowRecord) Bind(slot int) *GateBind { return &(*r.binds.Load())[slot] }
 
 // Slots returns the number of gate slots in the record.
+//
+//eisr:fastpath
 func (r *FlowRecord) Slots() int { return len(*r.binds.Load()) }
+
+// LastUse returns the arrival time of the last packet that hit this
+// record.
+func (r *FlowRecord) LastUse() time.Time { return time.Unix(0, r.lastUse.Load()) }
+
+// touch stamps the record's last-use time. Safe under the read lock.
+//
+//eisr:fastpath
+func (r *FlowRecord) touch(now time.Time) { r.lastUse.Store(now.UnixNano()) }
 
 // FlowEvictListener is implemented by plugin instances that keep per-flow
 // soft state and need to reclaim it when the AIU removes or recycles a
@@ -72,8 +86,15 @@ func (r *FlowRecord) Slots() int { return len(*r.binds.Load()) }
 // "functions which are called by the AIU on removal of an entry in the
 // flow or filter table"; in Go the natural encoding is an optional
 // interface.
+//
+// FlowEvicted runs *after* the table lock is released (the lockscope
+// invariant: no plugin callback ever executes under an AIU mutex), so by
+// the time it runs the record may already have been recycled for a new
+// flow. The evicted flow's key and gate-slot contents are therefore
+// passed by value, captured at eviction time; no record pointer is
+// exposed.
 type FlowEvictListener interface {
-	FlowEvicted(rec *FlowRecord, slot int)
+	FlowEvicted(key pkt.Key, slot int, b GateBind)
 }
 
 // FlowStats counts flow-table events.
@@ -92,7 +113,7 @@ type FlowStats struct {
 // records come from a free list that grows exponentially up to a cap,
 // after which the oldest records are recycled.
 type FlowTable struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	buckets []*FlowRecord
 	mask    uint32
 	gates   int
@@ -105,7 +126,31 @@ type FlowTable struct {
 	newest   *FlowRecord
 	live     int
 
-	stats FlowStats
+	// hits and misses are atomics so the fast-path Lookup can count them
+	// under the read lock; the remaining counters only move under the
+	// write lock.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	stats  FlowStats
+}
+
+// evictNotice is a deferred FlowEvicted callback: eviction captures the
+// listener and the slot contents under the write lock, and the table
+// delivers the notice after the lock is released so plugin callbacks
+// never run under an AIU mutex.
+type evictNotice struct {
+	listener FlowEvictListener
+	key      pkt.Key
+	slot     int
+	bind     GateBind
+}
+
+// notify delivers deferred evict callbacks. Must be called with no table
+// lock held.
+func notify(notices []evictNotice) {
+	for _, n := range notices {
+		n.listener.FlowEvicted(n.key, n.slot, n.bind)
+	}
 }
 
 // NewFlowTable builds a flow table with the given bucket count (rounded
@@ -170,21 +215,27 @@ func HashKey(k pkt.Key) uint32 {
 
 // Lookup finds the record for a fully specified six-tuple. The counter is
 // charged one function-pointer load (the "index hash" row of Table 2) and
-// one memory access per chain element examined.
+// one memory access per chain element examined. Hits take only the read
+// lock, so concurrent per-packet lookups never serialize on each other;
+// the last-use stamp and the hit/miss counters are atomics for the same
+// reason.
+//
+//eisr:fastpath
 func (t *FlowTable) Lookup(k pkt.Key, now time.Time, c *cycles.Counter) *FlowRecord {
 	c.FnPointer()
 	h := HashKey(k)
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
 	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
 		c.Access(1)
 		if r.Key == k {
-			r.LastUse = now
-			t.stats.Hits++
+			r.touch(now)
+			t.mu.RUnlock()
+			t.hits.Add(1)
 			return r
 		}
 	}
-	t.stats.Misses++
+	t.mu.RUnlock()
+	t.misses.Add(1)
 	return nil
 }
 
@@ -197,22 +248,22 @@ func (t *FlowTable) Lookup(k pkt.Key, now time.Time, c *cycles.Counter) *FlowRec
 func (t *FlowTable) Insert(k pkt.Key, now time.Time, binds []GateBind) *FlowRecord {
 	h := HashKey(k)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	// Refresh an existing record for the same key, if any.
 	idx := h & t.mask
 	for r := t.buckets[idx]; r != nil; r = r.next {
 		if r.Key == k {
-			r.LastUse = now
+			r.touch(now)
 			if binds != nil {
 				r.publishBinds(binds, t.gates)
 			}
+			t.mu.Unlock()
 			return r
 		}
 	}
-	r := t.takeRecord()
+	r, notices := t.takeRecord()
 	r.Key = k
 	r.hash = h
-	r.LastUse = now
+	r.touch(now)
 	r.publishBinds(binds, t.gates)
 	r.live = true
 	r.next = t.buckets[idx]
@@ -220,12 +271,15 @@ func (t *FlowTable) Insert(k pkt.Key, now time.Time, binds []GateBind) *FlowReco
 	t.pushNewest(r)
 	t.live++
 	t.stats.Inserts++
+	t.mu.Unlock()
+	notify(notices)
 	return r
 }
 
-// takeRecord pops the free list, growing or recycling as needed.
-// Called with the lock held.
-func (t *FlowTable) takeRecord() *FlowRecord {
+// takeRecord pops the free list, growing or recycling as needed, and
+// returns deferred evict notices for any record it recycled. Called with
+// the write lock held.
+func (t *FlowTable) takeRecord() (*FlowRecord, []evictNotice) {
 	if t.free == nil && t.nAlloc < t.maxAlloc {
 		grow := t.nextGrow
 		t.nextGrow *= 2
@@ -235,7 +289,7 @@ func (t *FlowTable) takeRecord() *FlowRecord {
 		r := t.free
 		t.free = r.next
 		r.next = nil
-		return r
+		return r, nil
 	}
 	// Recycle the oldest live record.
 	r := t.oldest
@@ -244,27 +298,29 @@ func (t *FlowTable) takeRecord() *FlowRecord {
 		r := &FlowRecord{}
 		b := make([]GateBind, t.gates)
 		r.binds.Store(&b)
-		return r
+		return r, nil
 	}
-	t.evictLocked(r)
+	notices := t.evictLocked(r, nil)
 	t.stats.Recycled++
 	t.stats.Removed-- // evictLocked counted a removal; recycling is separate
 	r.next = nil
-	return r
+	return r, notices
 }
 
 // Remove deletes the record for a key, reporting whether it was present.
 func (t *FlowTable) Remove(k pkt.Key) bool {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	h := HashKey(k)
 	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
 		if r.Key == k {
-			t.evictLocked(r)
+			notices := t.evictLocked(r, nil)
 			t.freeLocked(r)
+			t.mu.Unlock()
+			notify(notices)
 			return true
 		}
 	}
+	t.mu.Unlock()
 	return false
 }
 
@@ -273,17 +329,19 @@ func (t *FlowTable) Remove(k pkt.Key) bool {
 // be removed"). It returns the number purged.
 func (t *FlowTable) PurgeIdle(before time.Time) int {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
+	var notices []evictNotice
 	for r := t.oldest; r != nil; {
 		next := r.newer
-		if r.LastUse.Before(before) {
-			t.evictLocked(r)
+		if r.LastUse().Before(before) {
+			notices = t.evictLocked(r, notices)
 			t.freeLocked(r)
 			n++
 		}
 		r = next
 	}
+	t.mu.Unlock()
+	notify(notices)
 	return n
 }
 
@@ -292,23 +350,27 @@ func (t *FlowTable) PurgeIdle(before time.Time) int {
 // survive in the cache.
 func (t *FlowTable) FlushWhere(pred func(*FlowRecord) bool) int {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
+	var notices []evictNotice
 	for r := t.oldest; r != nil; {
 		next := r.newer
 		if pred(r) {
-			t.evictLocked(r)
+			notices = t.evictLocked(r, notices)
 			t.freeLocked(r)
 			n++
 		}
 		r = next
 	}
+	t.mu.Unlock()
+	notify(notices)
 	return n
 }
 
-// evictLocked unlinks a live record from its chain and the age queue,
-// notifies evict listeners, and publishes a cleared bind set.
-func (t *FlowTable) evictLocked(r *FlowRecord) {
+// evictLocked unlinks a live record from its chain and the age queue and
+// publishes a cleared bind set. Listener callbacks are NOT invoked here:
+// they are appended to notices for the caller to deliver once the table
+// lock is dropped, so plugin code never runs under an AIU mutex.
+func (t *FlowTable) evictLocked(r *FlowRecord, notices []evictNotice) []evictNotice {
 	idx := r.hash & t.mask
 	for pp := &t.buckets[idx]; *pp != nil; pp = &(*pp).next {
 		if *pp == r {
@@ -322,11 +384,12 @@ func (t *FlowTable) evictLocked(r *FlowRecord) {
 	old := *r.binds.Load()
 	for slot := range old {
 		if l, ok := old[slot].Instance.(FlowEvictListener); ok {
-			l.FlowEvicted(r, slot)
+			notices = append(notices, evictNotice{listener: l, key: r.Key, slot: slot, bind: old[slot]})
 		}
 	}
 	r.publishBinds(nil, t.gates)
 	r.live = false
+	return notices
 }
 
 // publishBinds atomically replaces the record's gate slots with a fresh
@@ -371,16 +434,18 @@ func (t *FlowTable) popAge(r *FlowRecord) {
 
 // Len returns the number of live records.
 func (t *FlowTable) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.live
 }
 
-// Stats snapshots the table counters.
+// Stats snapshots the table counters, merging the fast-path atomics.
 func (t *FlowTable) Stats() FlowStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s := t.stats
+	s.Hits = t.hits.Load()
+	s.Misses = t.misses.Load()
 	s.Live = t.live
 	s.Alloc = t.nAlloc
 	return s

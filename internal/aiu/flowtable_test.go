@@ -86,8 +86,8 @@ type evictSpy struct {
 	evicted []pkt.Key
 }
 
-func (e *evictSpy) FlowEvicted(rec *FlowRecord, slot int) {
-	e.evicted = append(e.evicted, rec.Key)
+func (e *evictSpy) FlowEvicted(key pkt.Key, slot int, b GateBind) {
+	e.evicted = append(e.evicted, key)
 }
 
 func TestFlowTableRecycleOldest(t *testing.T) {

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	bare()
+	//eisr:allow(demo) justified: test fixture
+	above()
+	sameline() //eisr:allow(demo) justified on the same line
+	//eisr:allow(demo)
+	afterMalformed()
+	wrongName() //eisr:allow(other) suppresses a different analyzer
+}
+
+func bare()           {}
+func above()          {}
+func sameline()       {}
+func afterMalformed() {}
+func wrongName()      {}
+`
+
+// callPos finds the position of the call to the named function in f's body.
+func callPos(t *testing.T, f *ast.File, name string) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				pos = call.Pos()
+			}
+		}
+		return true
+	})
+	if !pos.IsValid() {
+		t.Fatalf("no call to %s in fixture", name)
+	}
+	return pos
+}
+
+func TestAllowSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "demo"},
+		Fset:     fset,
+		Files:    []*ast.File{file},
+	}
+	pass.buildAllows()
+
+	cases := []struct {
+		fn         string
+		suppressed bool
+	}{
+		{"bare", false},
+		{"above", true},           // allow on the preceding line
+		{"sameline", true},        // allow trailing the statement
+		{"afterMalformed", false}, // a reasonless allow grants nothing
+		{"wrongName", false},      // allow names a different analyzer
+	}
+	for _, c := range cases {
+		pos := callPos(t, file, c.fn)
+		if got := pass.suppressed(pos); got != c.suppressed {
+			t.Errorf("suppressed(%s) = %v, want %v", c.fn, got, c.suppressed)
+		}
+	}
+
+	if len(pass.barNote) != 1 {
+		t.Fatalf("malformed-allow notes = %d, want 1", len(pass.barNote))
+	}
+	if msg := pass.barNote[0].Message; !strings.Contains(msg, "malformed //eisr:allow") {
+		t.Errorf("malformed-allow message = %q", msg)
+	}
+
+	// Reportf must drop suppressed diagnostics and keep the rest.
+	pass.Reportf(callPos(t, file, "bare"), "bare finding")
+	pass.Reportf(callPos(t, file, "above"), "suppressed finding")
+	if len(pass.diags) != 1 || pass.diags[0].Message != "bare finding" {
+		t.Errorf("diags = %+v, want exactly the bare finding", pass.diags)
+	}
+}

@@ -1,0 +1,184 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "substr"`
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest.
+// Fixtures are typechecked against the real repository: they may import
+// any package in the module's dependency closure (the module's own
+// packages, sync, fmt, ...), resolved from go-list export data, so a
+// lifecycle fixture exercises the real pcu.Message types.
+//
+// Expectation syntax, one or more per line:
+//
+//	mu.Lock() // want "channel send while holding"
+//
+// Each quoted string must be a substring of exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by an
+// expectation.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	loader   *analysis.Loader
+	loadErr  error
+)
+
+// sharedLoader loads the repository's packages once per test binary so
+// every fixture check reuses the same export-data session.
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loader = &analysis.Loader{Dir: root}
+		if _, err := loader.Load("./..."); err != nil {
+			loadErr = err
+			loader = nil
+		}
+	})
+	if loadErr != nil {
+		t.Fatalf("analysistest: loading repository packages: %v", loadErr)
+	}
+	return loader
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// Run checks one analyzer against one fixture package: the directory
+// testdata/src/<fixture> relative to the test's working directory.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.Fset(), path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	// Fixtures get a dotted module-style path so analyzers classify them
+	// as user code, not stdlib (see analysis.IsStdlibPkg).
+	pkg, err := l.CheckFiles("fixture.test/"+fixture, nil, files)
+	if err != nil {
+		t.Fatalf("analysistest: typechecking %s: %v", fixture, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("analysistest: fixture %s: type error: %v", fixture, terr)
+	}
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	checkExpectations(t, l, a.Name, names, diags)
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+// checkExpectations compares diagnostics against // want comments.
+func checkExpectations(t *testing.T, l *analysis.Loader, name string, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+				sub := strings.ReplaceAll(q[1], `\"`, `"`)
+				wants = append(wants, &expectation{file: path, line: i + 1, sub: sub})
+			}
+		}
+	}
+	var unexpected []string
+	for _, d := range diags {
+		posn := l.Fset().Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || !sameFile(w.file, posn.Filename) || w.line != posn.Line {
+				continue
+			}
+			if strings.Contains(d.Message, w.sub) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected,
+				fmt.Sprintf("%s:%d: unexpected %s diagnostic: %s", posn.Filename, posn.Line, name, d.Message))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, name, w.sub)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}

@@ -1,0 +1,183 @@
+// Package errcheckctl rejects discarded errors on the control plane.
+// The paper's control path (PCU message dispatch, the plugin manager,
+// the daemons) is where misconfiguration must surface — a dropped error
+// from register-instance silently leaves a gate unbound. The pass flags
+// call statements whose error result is ignored and assignments that
+// discard an error into the blank identifier.
+//
+// Exemptions (the conventional ones): deferred calls (defer f.Close()),
+// fmt printing to stdout/stderr, and writers that cannot fail
+// (strings.Builder, bytes.Buffer). The driver applies this pass only to
+// control-plane packages (internal/ctl, internal/pcu, internal/sspd,
+// cmd/*); the data path is fastpath's concern.
+package errcheckctl
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+// Analyzer is the errcheck-ctl pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheckctl",
+	Doc:  "control-plane code must not discard returned errors",
+	Run:  run,
+}
+
+// ControlPlane reports whether a package path is part of the control
+// plane the driver applies this pass to.
+func ControlPlane(pkgPath string) bool {
+	switch {
+	case strings.Contains(pkgPath, "/internal/ctl"),
+		strings.Contains(pkgPath, "/internal/pcu"),
+		strings.Contains(pkgPath, "/internal/sspd"),
+		strings.Contains(pkgPath, "/cmd/"):
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false // defer f.Close() is accepted
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+				return false
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a call statement that returns an error nobody
+// reads.
+func checkDiscardedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	t, ok := pass.Info.Types[call]
+	if !ok || !returnsError(t.Type) {
+		return
+	}
+	if exempt(pass, call) {
+		return
+	}
+	name := calleeName(pass, call)
+	pass.Reportf(call.Pos(), "%s returns an error that is discarded (control-plane errors must surface)", name)
+}
+
+// checkBlankAssign flags `x, _ = f()` and `_ = f()` where the blank
+// swallows an error.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the multi-value form `a, _ := f()` and `_ = f()`: each RHS
+	// call's result tuple aligns with the LHS.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || exempt(pass, call) {
+		return
+	}
+	t, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	switch rt := t.Type.(type) {
+	case *types.Tuple:
+		if rt.Len() != len(as.Lhs) {
+			return
+		}
+		for i := 0; i < rt.Len(); i++ {
+			if !isErrorType(rt.At(i).Type()) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(as.Pos(), "%s: error result discarded into _ (control-plane errors must surface)",
+					calleeName(pass, call))
+			}
+		}
+	default:
+		if isErrorType(t.Type) && len(as.Lhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(as.Pos(), "%s: error discarded into _ (control-plane errors must surface)",
+					calleeName(pass, call))
+			}
+		}
+	}
+}
+
+func returnsError(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// exempt reports the conventional error-free sinks.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := analysis.CalleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() {
+	case "fmt":
+		// Printing to the standard streams: Print*, and Fprint* whose
+		// writer is os.Stdout/os.Stderr.
+		if strings.HasPrefix(callee.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(callee.Name(), "Fprint") && len(call.Args) > 0 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+					(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+					return true
+				}
+			}
+		}
+		return false
+	case "strings", "bytes":
+		if recv := analysis.RecvNamed(callee); recv != nil {
+			switch recv.Obj().Name() {
+			case "Builder", "Buffer":
+				return true // documented to never return a non-nil error
+			}
+		}
+	}
+	return false
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if callee := analysis.CalleeFunc(pass.Info, call); callee != nil {
+		if recv := analysis.RecvNamed(callee); recv != nil {
+			return recv.Obj().Name() + "." + callee.Name()
+		}
+		if callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+			return callee.Pkg().Name() + "." + callee.Name()
+		}
+		return callee.Name()
+	}
+	return "call"
+}

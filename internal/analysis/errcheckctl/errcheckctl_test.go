@@ -1,0 +1,12 @@
+package errcheckctl_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/errcheckctl"
+)
+
+func TestErrCheckCtl(t *testing.T) {
+	analysistest.Run(t, errcheckctl.Analyzer, "errchecktest")
+}

@@ -1,0 +1,49 @@
+// Package errchecktest is the errcheckctl analyzer fixture: discarded
+// error returns as bare statements, go statements, and blank
+// assignments (positive); deferred closes, standard-stream printing,
+// never-failing writers, checked errors, and allow suppression
+// (negative).
+package errchecktest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type conn struct{}
+
+func (conn) Close() error       { return nil }
+func (conn) Ping() (int, error) { return 0, nil }
+
+func fail() error { return errors.New("boom") }
+
+func discards(c conn) {
+	fail()    // want "fail returns an error that is discarded"
+	c.Close() // want "conn.Close returns an error that is discarded"
+	go fail() // want "fail returns an error that is discarded"
+
+	_ = fail()       // want "fail: error discarded into _"
+	n, _ := c.Ping() // want "conn.Ping: error result discarded into _"
+	_ = n
+}
+
+func clean(c conn) error {
+	defer c.Close() // exempt: deferred cleanup
+
+	if err := fail(); err != nil {
+		return err
+	}
+	fmt.Println("status")          // exempt: fmt printing
+	fmt.Fprintf(os.Stderr, "warn") // exempt: standard stream
+	var b strings.Builder
+	b.WriteString("log") // exempt: Builder writes never fail
+	_ = b.String()       // blank assign of a non-error is fine
+	return nil
+}
+
+func allowed(c conn) {
+	//eisr:allow(errcheckctl) best-effort close: fixture exercises suppression
+	c.Close()
+}

@@ -1,0 +1,128 @@
+// Package fastpath enforces the per-packet-path discipline of §3.2 and
+// §5.2: the gate macro and the flow-cache hit path must reach a plugin
+// instance in a handful of memory accesses — no formatting, no
+// allocation, no defer bookkeeping, no exclusive locks. Roots are
+// functions marked //eisr:fastpath; the pass walks the static call
+// graph inside the package from those roots (dynamic interface calls —
+// the plugin indirection itself — and cross-package calls are each
+// package's own responsibility: hot functions carry their own marker).
+// A call into an //eisr:slowpath function is the architectural
+// fast/slow split (first-packet classification, ICMP errors) and ends
+// traversal.
+package fastpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+// Analyzer is the fastpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fastpath",
+	Doc: "reject blocking and allocating constructs in //eisr:fastpath code: " +
+		"fmt/log calls, make and map/slice literals, defer, channel operations, " +
+		"and exclusive mutex acquisition (RLock is allowed)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.FuncDeclOf(pass)
+
+	// Seed the worklist from the marked roots.
+	var work []*types.Func
+	slow := make(map[*types.Func]bool)
+	for obj, fd := range decls {
+		if analysis.HasMarker(fd, "fastpath") {
+			work = append(work, obj)
+		}
+		if analysis.HasMarker(fd, "slowpath") {
+			slow[obj] = true
+		}
+	}
+
+	seen := make(map[*types.Func]bool)
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[obj] || slow[obj] {
+			continue
+		}
+		seen[obj] = true
+		fd := decls[obj]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		checkBody(pass, fd, func(callee *types.Func) {
+			if callee.Pkg() == pass.Pkg && decls[callee] != nil && !seen[callee] {
+				work = append(work, callee)
+			}
+		})
+	}
+	return nil
+}
+
+// checkBody flags forbidden constructs in one fast-path function and
+// feeds same-package static callees to the traversal.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, edge func(*types.Func)) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "%s: defer on the fast path (unlock explicitly; defer is per-packet bookkeeping)", name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "%s: channel send on the fast path (may block the data-path goroutine)", name)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "%s: channel receive on the fast path (may block the data-path goroutine)", name)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "%s: select on the fast path (may block the data-path goroutine)", name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s: goroutine launch on the fast path", name)
+		case *ast.CompositeLit:
+			switch pass.Info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s: map literal allocates on the fast path", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s: slice literal allocates on the fast path", name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, name, n, edge)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, edge func(*types.Func)) {
+	// Builtin make always allocates.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" || b.Name() == "new" {
+				pass.Reportf(call.Pos(), "%s: %s allocates on the fast path", name, b.Name())
+			}
+			return
+		}
+	}
+	callee := analysis.CalleeFunc(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "fmt", "log":
+		pass.Reportf(call.Pos(), "%s: calls %s.%s on the fast path (formats and allocates)",
+			name, callee.Pkg().Name(), callee.Name())
+		return
+	case "sync":
+		if recv := analysis.RecvNamed(callee); recv != nil {
+			switch recv.Obj().Name() + "." + callee.Name() {
+			case "Mutex.Lock", "RWMutex.Lock":
+				pass.Reportf(call.Pos(), "%s: acquires exclusive %s.%s on the fast path (cache hits must not serialize; use RLock or atomics)",
+					name, recv.Obj().Name(), callee.Name())
+			}
+		}
+		return
+	}
+	edge(callee)
+}

@@ -1,0 +1,12 @@
+package fastpath_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/fastpath"
+)
+
+func TestFastPath(t *testing.T) {
+	analysistest.Run(t, fastpath.Analyzer, "fastpathtest")
+}

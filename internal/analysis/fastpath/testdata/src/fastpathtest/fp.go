@@ -1,0 +1,67 @@
+// Package fastpathtest is the fastpath analyzer fixture: a marked root
+// exercising every forbidden construct, traversal into a same-package
+// helper, the slowpath boundary, the RLock exemption, and allow
+// suppression.
+package fastpathtest
+
+import (
+	"fmt"
+	"sync"
+)
+
+type pipeline struct {
+	mu sync.RWMutex
+	ch chan int
+	m  map[int]int
+}
+
+//eisr:fastpath
+func (p *pipeline) handle(n int) int {
+	defer p.release()     // want "defer on the fast path"
+	p.mu.Lock()           // want "acquires exclusive RWMutex.Lock on the fast path"
+	p.ch <- n             // want "channel send on the fast path"
+	v := <-p.ch           // want "channel receive on the fast path"
+	buf := make([]int, n) // want "make allocates on the fast path"
+	fmt.Println(n)        // want "calls fmt.Println on the fast path"
+	m := map[int]int{}    // want "map literal allocates on the fast path"
+	s := []int{n}         // want "slice literal allocates on the fast path"
+	go p.release()        // want "goroutine launch on the fast path"
+	return v + len(buf) + len(m) + len(s) + p.helper(n)
+}
+
+//eisr:fastpath
+func (p *pipeline) wait() {
+	select {} // want "select on the fast path"
+}
+
+func (p *pipeline) release() {}
+
+// helper is reachable from the handle root, so it is held to the same
+// discipline even without its own marker.
+func (p *pipeline) helper(n int) int {
+	x := new(int) // want "helper: new allocates on the fast path"
+	return n + *x
+}
+
+// slow is the declared fast/slow boundary; its body is not checked.
+//
+//eisr:slowpath
+func (p *pipeline) slow(n int) []int {
+	return make([]int, n)
+}
+
+//eisr:fastpath
+func (p *pipeline) readSide(n int) int {
+	p.mu.RLock() // negative: read locks are allowed on the fast path
+	v := p.m[n]
+	p.mu.RUnlock()
+	q := p.slow(n) // negative: calling into the slow path is the split
+	//eisr:allow(fastpath) instrumentation scratch space, compiled out in production builds
+	tmp := make([]int, 1)
+	return v + len(q) + len(tmp)
+}
+
+// unmarked is reachable from no root: anything goes.
+func unmarked(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,204 @@
+// Package lifecycle enforces the PCU contract of §4: every plugin
+// registered with the Plugin Control Unit must answer the standardized
+// message set — create-instance, free-instance, register-instance,
+// deregister-instance. In Go the contract funnels through a single
+// Callback(*pcu.Message) method, so the compiler only checks the
+// signature; this pass checks the semantics:
+//
+//  1. every Callback implementation must dispatch on all four
+//     standardized message kinds (a switch with the four Msg* cases, or
+//     delegation to another Callback);
+//  2. a package that sends register-instance messages must somewhere
+//     send deregister-instance (or call a Deregister/Unbind helper) —
+//     soft state that is installed but never removed is how daemons and
+//     tests leak filter bindings.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+// Analyzer is the lifecycle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc: "require plugin Callbacks to handle the full standardized PCU " +
+		"message set, and register-instance use to be paired with " +
+		"deregister-instance",
+	Run: run,
+}
+
+// The standardized message set (§4).
+var required = []string{
+	"MsgCreateInstance",
+	"MsgFreeInstance",
+	"MsgRegisterInstance",
+	"MsgDeregisterInstance",
+}
+
+func run(pass *analysis.Pass) error {
+	checkCallbacks(pass)
+	checkPairing(pass)
+	return nil
+}
+
+// isPCUObject reports whether an object is declared in the PCU package
+// (matched by package name so fixture stand-ins also qualify).
+func isPCUObject(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "pcu"
+}
+
+// checkCallbacks verifies rule 1 on every method named Callback whose
+// parameter is *pcu.Message.
+func checkCallbacks(pass *analysis.Pass) {
+	for obj, fd := range analysis.FuncDeclOf(pass) {
+		if obj.Name() != "Callback" || fd.Body == nil {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if sig.Recv() == nil || sig.Params().Len() != 1 {
+			continue
+		}
+		pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := pt.Elem().(*types.Named)
+		if !ok || named.Obj().Name() != "Message" || !isPCUObject(named.Obj()) {
+			continue
+		}
+
+		handled := make(map[string]bool)
+		delegates := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				collectKindCases(pass, n, handled)
+			case *ast.CallExpr:
+				// Delegation: forwarding the message to another
+				// Callback satisfies the contract transitively.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Callback" && len(n.Args) == 1 {
+					delegates = true
+				}
+			}
+			return true
+		})
+		if delegates {
+			continue
+		}
+		var missing []string
+		for _, k := range required {
+			if !handled[k] {
+				missing = append(missing, strings.TrimPrefix(k, "Msg"))
+			}
+		}
+		if len(missing) == len(required) {
+			pass.Reportf(fd.Name.Pos(),
+				"Callback on %s does not dispatch on pcu.MsgKind: every plugin must answer the standardized message set (§4)",
+				recvName(sig))
+		} else if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(fd.Name.Pos(),
+				"Callback on %s does not handle standardized message(s): %s",
+				recvName(sig), strings.Join(missing, ", "))
+		}
+	}
+}
+
+// recvName renders a method's receiver type for diagnostics.
+func recvName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// collectKindCases records which standardized kinds a switch over a
+// pcu.MsgKind expression dispatches on.
+func collectKindCases(pass *analysis.Pass, sw *ast.SwitchStmt, handled map[string]bool) {
+	if sw.Tag == nil {
+		return
+	}
+	t, ok := pass.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := t.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "MsgKind" || !isPCUObject(named.Obj()) {
+		return
+	}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch e := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			}
+			if id == nil {
+				continue
+			}
+			if obj := pass.Info.Uses[id]; isPCUObject(obj) {
+				handled[id.Name] = true
+			}
+		}
+	}
+}
+
+// checkPairing verifies rule 2 at package scope.
+func checkPairing(pass *analysis.Pass) {
+	var registers []ast.Node
+	deregisters := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.Info.Uses[n]
+				if !isPCUObject(obj) {
+					return true
+				}
+				switch n.Name {
+				case "MsgRegisterInstance":
+					registers = append(registers, n)
+				case "MsgDeregisterInstance":
+					deregisters = true
+				}
+			case *ast.CallExpr:
+				if callee := analysis.CalleeFunc(pass.Info, n); callee != nil {
+					lname := strings.ToLower(callee.Name())
+					if strings.Contains(lname, "deregister") || strings.Contains(lname, "unbind") ||
+						strings.Contains(lname, "teardown") || strings.Contains(lname, "cleanup") {
+						deregisters = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if deregisters || len(registers) == 0 {
+		return
+	}
+	// Declaring the constant (the pcu package itself) is not a use.
+	if pass.Pkg != nil && pass.Pkg.Name() == "pcu" {
+		return
+	}
+	for _, n := range registers {
+		pass.Reportf(n.Pos(),
+			"package %s sends register-instance but never deregister-instance: bindings installed here are never removed",
+			pass.Pkg.Name())
+	}
+}

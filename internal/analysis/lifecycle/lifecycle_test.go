@@ -1,0 +1,20 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/lifecycle"
+)
+
+func TestCallbackCoverage(t *testing.T) {
+	analysistest.Run(t, lifecycle.Analyzer, "lifecycletest")
+}
+
+func TestRegisterWithoutDeregister(t *testing.T) {
+	analysistest.Run(t, lifecycle.Analyzer, "lifecyclepair")
+}
+
+func TestRegisterPaired(t *testing.T) {
+	analysistest.Run(t, lifecycle.Analyzer, "lifecyclepaired")
+}

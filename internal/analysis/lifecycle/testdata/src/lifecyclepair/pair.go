@@ -1,0 +1,9 @@
+// Package lifecyclepair installs a binding via register-instance but
+// never sends deregister-instance: the pairing check must flag it.
+package lifecyclepair
+
+import "github.com/routerplugins/eisr/internal/pcu"
+
+func install(r *pcu.Registry, in pcu.Instance) error {
+	return r.Send("drr", &pcu.Message{Kind: pcu.MsgRegisterInstance, Instance: in}) // want "sends register-instance but never deregister-instance"
+}

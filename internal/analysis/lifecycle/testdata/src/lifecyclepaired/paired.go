@@ -1,0 +1,12 @@
+// Package lifecyclepaired registers and deregisters: balanced, clean.
+package lifecyclepaired
+
+import "github.com/routerplugins/eisr/internal/pcu"
+
+func install(r *pcu.Registry, in pcu.Instance) error {
+	return r.Send("drr", &pcu.Message{Kind: pcu.MsgRegisterInstance, Instance: in})
+}
+
+func teardown(r *pcu.Registry, in pcu.Instance) error {
+	return r.Send("drr", &pcu.Message{Kind: pcu.MsgDeregisterInstance, Instance: in})
+}

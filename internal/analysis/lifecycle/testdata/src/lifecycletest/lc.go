@@ -1,0 +1,55 @@
+// Package lifecycletest is the lifecycle analyzer fixture: Callback
+// implementations with full, partial, and missing coverage of the
+// standardized PCU message set, plus delegation and a non-lifecycle
+// Callback signature.
+package lifecycletest
+
+import "github.com/routerplugins/eisr/internal/pcu"
+
+// full handles the complete standardized set — no diagnostic.
+type full struct{}
+
+func (full) PluginName() string   { return "full" }
+func (full) PluginCode() pcu.Code { return pcu.MakeCode(pcu.TypeStats, 1) }
+
+func (full) Callback(m *pcu.Message) error {
+	switch m.Kind {
+	case pcu.MsgCreateInstance:
+	case pcu.MsgFreeInstance:
+	case pcu.MsgRegisterInstance, pcu.MsgDeregisterInstance:
+	}
+	return nil
+}
+
+// partial misses free-instance and deregister-instance.
+type partial struct{}
+
+func (partial) Callback(m *pcu.Message) error { // want "does not handle standardized message"
+	switch m.Kind {
+	case pcu.MsgCreateInstance:
+	case pcu.MsgRegisterInstance:
+	}
+	return nil
+}
+
+// none has no dispatch at all.
+type none struct{}
+
+func (none) Callback(m *pcu.Message) error { return nil } // want "does not dispatch on pcu.MsgKind"
+
+// delegate forwards to another Callback, which satisfies the contract
+// transitively — no diagnostic.
+type delegate struct{ inner full }
+
+func (d delegate) Callback(m *pcu.Message) error { return d.inner.Callback(m) }
+
+// otherSig is not the plugin lifecycle shape and is ignored.
+type otherSig struct{}
+
+func (otherSig) Callback(s string) error { return nil }
+
+// allowed violates the contract but carries a justification.
+type allowed struct{}
+
+//eisr:allow(lifecycle) fixture stub: exercises allow suppression for the lifecycle check
+func (allowed) Callback(m *pcu.Message) error { return nil }

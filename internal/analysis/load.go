@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked analysis unit. Test variants
+// ("pkg [pkg.test]") are merged into their base package by the go
+// command, so a unit's Files include in-package _test.go files.
+type Package struct {
+	// PkgPath is the base import path (test-variant decoration stripped).
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects non-fatal typecheck problems; analyzers still
+	// run on what typechecked.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` we consume.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and typechecks packages using the go command: `go list
+// -export` supplies file lists and compiler export data for every
+// dependency, and go/types checks our own packages from source against
+// that export data. This is the stdlib stand-in for go/packages.
+type Loader struct {
+	// Dir is the working directory for go list (module root). Empty
+	// means the current directory.
+	Dir string
+	// Tests includes in-package test files in each unit and external
+	// test packages as their own units.
+	Tests bool
+
+	fset    *token.FileSet
+	exports map[string]*listPkg // decorated import path -> metadata
+	gc      types.Importer
+	cache   map[string]*types.Package
+}
+
+// Load lists, parses, and typechecks the packages matching patterns,
+// returning one unit per non-dependency package in a stable order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,ForTest,Export,GoFiles,ImportMap,Standard,DepOnly,Incomplete,Error"}
+	if l.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+
+	l.fset = token.NewFileSet()
+	l.exports = make(map[string]*listPkg)
+	l.cache = make(map[string]*types.Package)
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := l.exports[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+
+	var roots []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		lp := p
+		l.exports[lp.ImportPath] = &lp
+		if !lp.DepOnly && !lp.Standard {
+			roots = append(roots, &lp)
+		}
+	}
+
+	// Pick analysis units: when tests are on, the go command emits both
+	// "p" and "p [p.test]" — the variant supersedes the base (its
+	// GoFiles already include the in-package test files). Synthesized
+	// test-main packages ("p.test") are never analyzed.
+	units := make(map[string]*listPkg)
+	for _, p := range roots {
+		base := basePath(p.ImportPath)
+		if strings.HasSuffix(base, ".test") {
+			continue
+		}
+		if prev, ok := units[base]; !ok || len(prev.GoFiles) < len(p.GoFiles) ||
+			(p.ForTest != "" && prev.ForTest == "") {
+			units[base] = p
+		}
+	}
+	order := make([]string, 0, len(units))
+	for k := range units {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+
+	var pkgs []*Package
+	for _, base := range order {
+		u := units[base]
+		pkg, err := l.check(base, u)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// basePath strips the " [pkg.test]" decoration from a test-variant
+// import path.
+func basePath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// check parses and typechecks one unit.
+func (l *Loader) check(base string, u *listPkg) (*Package, error) {
+	if u.Error != nil {
+		return nil, fmt.Errorf("%s: %s", u.ImportPath, u.Error.Err)
+	}
+	if len(u.GoFiles) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range u.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(u.Dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", u.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	return l.CheckFiles(base, u.ImportMap, files)
+}
+
+// CheckFiles typechecks an already-parsed file set as one package (used
+// by analysistest for fixture sources). importMap, when non-nil,
+// redirects import paths the way go list's ImportMap does.
+func (l *Loader) CheckFiles(pkgPath string, importMap map[string]string, files []*ast.File) (*Package, error) {
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Fset:    l.fset,
+		Files:   files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return l.importPath(path, importMap)
+		}),
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("%s: %v", pkgPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Fset exposes the loader's file set (one per load session).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// importPath resolves one import through the session's export data.
+func (l *Loader) importPath(path string, importMap map[string]string) (*types.Package, error) {
+	if m, ok := importMap[path]; ok {
+		path = m
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	p, err := l.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

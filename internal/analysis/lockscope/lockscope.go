@@ -1,0 +1,423 @@
+// Package lockscope enforces the deadlock discipline the AIU/PCU split
+// invites (§4, §5.2): no call into a plugin callback interface while a
+// mutex is held, and no mutex held across a channel operation. The PCU
+// forwards control messages to plugin callbacks and the AIU notifies
+// evict/remove listeners — if either happens under a registry or table
+// lock, a plugin that calls back into the kernel deadlocks it, which is
+// exactly the failure class the paper's single-kernel-thread design
+// never had to face.
+//
+// The pass simulates lock state through each function body in source
+// order: Lock/RLock acquire, Unlock/RUnlock release, `defer Unlock`
+// holds to function exit. Branches are analyzed separately and merged
+// (a branch ending in return/panic does not leak its state). Calls to
+// same-package functions made while a lock is held are descended into,
+// so helpers like `evictLocked` are checked under their callers' locks.
+package lockscope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+// Analyzer is the lockscope pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "reject plugin-callback interface calls and channel operations " +
+		"made while holding a mutex (the AIU/PCU deadlock shape)",
+	Run: run,
+}
+
+const maxDepth = 6
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.FuncDeclOf(pass)
+	c := &checker{pass: pass, decls: decls}
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		st := newState()
+		c.scanBlock(fd.Body, st, nil, 0)
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// state is the set of locks held at a program point, keyed by the
+// rendered receiver expression ("t.mu", "r.icmpMu").
+type state struct {
+	held      map[string]bool // lock key -> held
+	deferred  map[string]bool // released only at function exit
+	inherited []string        // locks held by callers (never released here)
+}
+
+func newState() *state {
+	return &state{held: map[string]bool{}, deferred: map[string]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k, v := range s.deferred {
+		c.deferred[k] = v
+	}
+	c.inherited = s.inherited
+	return c
+}
+
+func (s *state) anyHeld() (string, bool) {
+	for k, v := range s.held {
+		if v {
+			return k, true
+		}
+	}
+	if len(s.inherited) > 0 {
+		return s.inherited[0], true
+	}
+	return "", false
+}
+
+// merge unions lock state from branches that can fall through.
+func merge(into *state, branches ...*state) {
+	for k := range into.held {
+		into.held[k] = false
+	}
+	for _, b := range branches {
+		if b == nil {
+			continue
+		}
+		for k, v := range b.held {
+			if v {
+				into.held[k] = true
+			}
+		}
+		for k, v := range b.deferred {
+			if v {
+				into.deferred[k] = true
+			}
+		}
+	}
+}
+
+// terminates reports whether a block always leaves the function (or the
+// surrounding loop) at its end.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanBlock walks one block in source order, mutating st.
+// chain is the stack of functions descended through (cycle guard).
+func (c *checker) scanBlock(b *ast.BlockStmt, st *state, chain []*types.Func, depth int) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		c.scanStmt(s, st, chain, depth)
+	}
+}
+
+func (c *checker) scanStmt(s ast.Stmt, st *state, chain []*types.Func, depth int) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st, chain, depth)
+		}
+		c.scanExpr(s.Cond, st, chain, depth)
+		thenSt := st.clone()
+		c.scanBlock(s.Body, thenSt, chain, depth)
+		var elseSt *state
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt = st.clone()
+			c.scanBlock(e, elseSt, chain, depth)
+		case *ast.IfStmt:
+			elseSt = st.clone()
+			c.scanStmt(e, elseSt, chain, depth)
+		default:
+			elseSt = st.clone()
+		}
+		switch {
+		case terminates(s.Body) && s.Else == nil:
+			merge(st, elseSt)
+		case terminates(s.Body):
+			merge(st, elseSt)
+		default:
+			merge(st, thenSt, elseSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st, chain, depth)
+		}
+		c.scanExpr(s.Cond, st, chain, depth)
+		body := st.clone()
+		c.scanBlock(s.Body, body, chain, depth)
+		if s.Post != nil {
+			c.scanStmt(s.Post, body, chain, depth)
+		}
+		merge(st, st.clone(), body)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st, chain, depth)
+		if t, ok := c.pass.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				if lock, held := st.anyHeld(); held {
+					c.pass.Reportf(s.Pos(), "ranges over a channel while holding %s", lock)
+				}
+			}
+		}
+		body := st.clone()
+		c.scanBlock(s.Body, body, chain, depth)
+		merge(st, st.clone(), body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st, chain, depth)
+		}
+		c.scanExpr(s.Tag, st, chain, depth)
+		c.scanCases(s.Body, st, chain, depth)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, st, chain, depth)
+		}
+		c.scanStmt(s.Assign, st, chain, depth)
+		c.scanCases(s.Body, st, chain, depth)
+	case *ast.SelectStmt:
+		if lock, held := st.anyHeld(); held {
+			c.pass.Reportf(s.Pos(), "select while holding %s", lock)
+		}
+		c.scanCases(s.Body, st, chain, depth)
+	case *ast.SendStmt:
+		if lock, held := st.anyHeld(); held {
+			c.pass.Reportf(s.Pos(), "channel send while holding %s", lock)
+		}
+		c.scanExpr(s.Value, st, chain, depth)
+	case *ast.DeferStmt:
+		if key, op, ok := lockOp(c.pass.Info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			st.deferred[key] = true
+			return
+		}
+		c.scanExpr(s.Call, st, chain, depth)
+	case *ast.BlockStmt:
+		c.scanBlock(s, st, chain, depth)
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st, chain, depth)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, st, chain, depth)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, st, chain, depth)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs without the caller's locks.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.scanBlock(fl.Body, newState(), chain, depth)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.scanExpr(e, st, chain, depth)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, st, chain, depth)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st, chain, depth)
+	}
+}
+
+// scanCases walks a switch/select body: each clause starts from the
+// entry state; the fall-through union feeds the successor.
+func (c *checker) scanCases(body *ast.BlockStmt, st *state, chain []*types.Func, depth int) {
+	var outs []*state
+	for _, cl := range body.List {
+		cs := st.clone()
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, cs, chain, depth)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		for _, s2 := range stmts {
+			c.scanStmt(s2, cs, chain, depth)
+		}
+		outs = append(outs, cs)
+	}
+	outs = append(outs, st.clone())
+	merge(st, outs...)
+}
+
+// scanExpr looks for lock transitions, violations, and same-package
+// calls to descend into, in evaluation order (approximated by AST
+// order).
+func (c *checker) scanExpr(e ast.Expr, st *state, chain []*types.Func, depth int) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures are analyzed when invoked; skip their bodies
+			// here so a deferred closure's unlock is not misread as an
+			// immediate release.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if lock, held := st.anyHeld(); held {
+					c.pass.Reportf(n.Pos(), "channel receive while holding %s", lock)
+				}
+			}
+		case *ast.CallExpr:
+			c.call(n, st, chain, depth)
+		}
+		return true
+	})
+}
+
+// call handles one call expression: lock transitions, interface-call
+// violations, and descent into same-package callees.
+func (c *checker) call(call *ast.CallExpr, st *state, chain []*types.Func, depth int) {
+	if key, op, ok := lockOp(c.pass.Info, call); ok {
+		switch op {
+		case "Lock", "RLock":
+			st.held[key] = true
+		case "Unlock", "RUnlock":
+			if !st.deferred[key] {
+				st.held[key] = false
+			}
+		}
+		return
+	}
+	lock, held := st.anyHeld()
+	if !held {
+		return
+	}
+	if analysis.IsInterfaceCall(c.pass.Info, call) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		s := c.pass.Info.Selections[sel]
+		if iface, ok := callbackInterface(s.Recv()); ok {
+			c.pass.Reportf(call.Pos(),
+				"calls plugin callback %s.%s while holding %s (callbacks may re-enter the kernel; notify after unlocking)",
+				iface, sel.Sel.Name, lock)
+		}
+		return
+	}
+	callee := analysis.CalleeFunc(c.pass.Info, call)
+	if callee == nil || callee.Pkg() != c.pass.Pkg || depth >= maxDepth {
+		return
+	}
+	for _, f := range chain {
+		if f == callee {
+			return
+		}
+	}
+	fd := c.decls[callee]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	// Descend: the callee runs with the caller's locks inherited.
+	inner := newState()
+	for k, v := range st.held {
+		if v {
+			inner.inherited = append(inner.inherited, k)
+		}
+	}
+	inner.inherited = append(inner.inherited, st.inherited...)
+	c.scanBlock(fd.Body, inner, append(chain, callee), depth+1)
+}
+
+// callbackInterface reports whether an interface receiver type is a
+// plugin-facing callback contract: anything declared in the pcu package
+// (Plugin, Instance) or a *Listener interface (the AIU's evict/remove
+// hooks). Passive data-structure interfaces (bmp.Table, sched.Scheduler)
+// are deliberately not callbacks — they cannot re-enter the kernel.
+func callbackInterface(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	pkg, name := n.Obj().Pkg(), n.Obj().Name()
+	if analysis.IsStdlibPkg(pkg) {
+		return "", false
+	}
+	if pkg.Name() == "pcu" || strings.HasSuffix(name, "Listener") {
+		return pkg.Name() + "." + name, true
+	}
+	return "", false
+}
+
+// lockOp recognizes sync.Mutex / sync.RWMutex lock transitions and
+// returns the receiver key and operation name.
+func lockOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := analysis.RecvNamed(callee)
+	if recv == nil {
+		return "", "", false
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	switch callee.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprKey(sel.X), callee.Name(), true
+	}
+	return "", "", false
+}
+
+// exprKey renders a lock receiver expression as a stable key.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	default:
+		return "lock"
+	}
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "lockscopetest")
+}

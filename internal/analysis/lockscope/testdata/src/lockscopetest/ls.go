@@ -1,0 +1,122 @@
+// Package lockscopetest is the lockscope analyzer fixture: plugin
+// callbacks and channel operations under mutexes (positive), the
+// collect-then-notify pattern and branch-aware release (negative), and
+// descent into same-package helpers that run under the caller's lock.
+package lockscopetest
+
+import (
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/pcu"
+)
+
+// EvictListener matches the repo's callback-interface convention (a
+// non-stdlib interface whose name ends in Listener).
+type EvictListener interface {
+	Evicted(n int)
+}
+
+// store is a passive same-package interface: calling it under a lock is
+// fine, it is not a plugin boundary.
+type store interface {
+	Get(n int) int
+}
+
+type table struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	l   EvictListener
+	ins pcu.Instance
+	s   store
+	ch  chan int
+}
+
+func (t *table) badNotify() {
+	t.mu.Lock()
+	t.l.Evicted(1) // want "calls plugin callback lockscopetest.EvictListener.Evicted while holding t.mu"
+	t.mu.Unlock()
+}
+
+func (t *table) badPCU() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ins.InstanceName() // want "calls plugin callback pcu.Instance.InstanceName while holding t.mu"
+}
+
+func (t *table) badSend(n int) {
+	t.rw.Lock()
+	t.ch <- n // want "channel send while holding t.rw"
+	t.rw.Unlock()
+}
+
+func (t *table) badRecvDeferred() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want "channel receive while holding t.mu"
+}
+
+func (t *table) badSelect() {
+	t.mu.Lock()
+	select { // want "select while holding t.mu"
+	case <-t.ch:
+	default:
+	}
+	t.mu.Unlock()
+}
+
+func (t *table) badRange() {
+	t.mu.Lock()
+	for range t.ch { // want "ranges over a channel while holding t.mu"
+	}
+	t.mu.Unlock()
+}
+
+// goodNotify is the collect-then-notify pattern the kernel uses: snapshot
+// under the lock, deliver after releasing it.
+func (t *table) goodNotify() {
+	t.mu.Lock()
+	l := t.l
+	t.mu.Unlock()
+	l.Evicted(1)
+}
+
+// goodPassive: non-callback interfaces may be called under a lock.
+func (t *table) goodPassive(n int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.s.Get(n)
+}
+
+// branches: the analyzer tracks release on every path, so a callback
+// after an early-return branch that unlocked is clean.
+func (t *table) branches(cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+		t.l.Evicted(2)
+		return
+	}
+	t.mu.Unlock()
+	t.l.Evicted(3)
+}
+
+// callsHelper descends into notifyHelper, which inherits the held lock.
+func (t *table) callsHelper() {
+	t.mu.Lock()
+	t.notifyHelper()
+	t.mu.Unlock()
+}
+
+func (t *table) notifyHelper() {
+	t.l.Evicted(4) // want "calls plugin callback lockscopetest.EvictListener.Evicted while holding t.mu"
+}
+
+// goroutineBody: a goroutine launched under the lock starts with fresh
+// lock state, so its callback is clean (synchronisation is its problem).
+func (t *table) goroutineBody() {
+	t.mu.Lock()
+	go func() {
+		t.l.Evicted(5)
+	}()
+	t.mu.Unlock()
+}

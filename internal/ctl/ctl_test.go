@@ -127,6 +127,7 @@ func TestClientServerWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
 	go NewServer(echoBackend{}).Serve(ln)
 
 	c, err := Dial("tcp", ln.Addr().String())
@@ -172,6 +173,7 @@ func TestClientHelpers(t *testing.T) {
 		}
 		return nil, nil
 	})
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
 	go NewServer(backend).Serve(ln)
 	c, err := Dial("tcp", ln.Addr().String())
 	if err != nil {

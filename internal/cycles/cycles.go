@@ -33,6 +33,8 @@ type Counter struct {
 }
 
 // Access records n data memory accesses.
+//
+//eisr:fastpath
 func (c *Counter) Access(n int) {
 	if c != nil {
 		c.Mem += uint64(n)
@@ -40,6 +42,8 @@ func (c *Counter) Access(n int) {
 }
 
 // FnPointer records a function-pointer load.
+//
+//eisr:fastpath
 func (c *Counter) FnPointer() {
 	if c != nil {
 		c.FnPtr++

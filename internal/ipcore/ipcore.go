@@ -256,6 +256,8 @@ func (r *Router) Stats() Stats {
 // Forward runs one packet through the data path up to (and including)
 // output queueing. It returns true if the packet survived to an output
 // queue or local delivery.
+//
+//eisr:fastpath
 func (r *Router) Forward(p *pkt.Packet) bool {
 	if r.mode == ModeBestEffort {
 		return r.forwardMono(p)
@@ -265,6 +267,8 @@ func (r *Router) Forward(p *pkt.Packet) bool {
 
 // forwardMono is the unmodified best-effort kernel: a chain of direct
 // ("hardwired") function calls.
+//
+//eisr:fastpath
 func (r *Router) forwardMono(p *pkt.Packet) bool {
 	if !r.validate(p) {
 		return false
@@ -301,6 +305,8 @@ func (r *Router) forwardMono(p *pkt.Packet) bool {
 // delivered — the paper's "gate is inserted into the IP core code in
 // place of the traditional call to the kernel function responsible for
 // IPv6 security processing".
+//
+//eisr:fastpath
 func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 	if !r.validate(p) {
 		return false
@@ -498,7 +504,11 @@ func (r *Router) dropNoRoute(p *pkt.Packet) bool {
 
 // sendICMPError emits a rate-limited ICMP error about p back toward its
 // source, using the receiving interface's address as the router address.
-// Errors are never generated about ICMP errors (RFC 1122).
+// Errors are never generated about ICMP errors (RFC 1122). This is an
+// exception path: it allocates and takes the rate-limiter mutex, so it
+// is the fast/slow boundary.
+//
+//eisr:slowpath
 func (r *Router) sendICMPError(p *pkt.Packet, v4type, v6type, v4code, v6code uint8) {
 	if !r.cfg.SendICMPErrors || pkt.IsICMPError(p.Data) {
 		return
@@ -581,6 +591,8 @@ func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
 // serving plugin schedulers first, then the default FIFO (and, in
 // best-effort mode, the hard-wired scheduler). It returns the number of
 // packets transmitted.
+//
+//eisr:fastpath
 func (r *Router) TxDrain(ifIdx int32, budget int) int {
 	r.mu.RLock()
 	ifc := r.ifaces[ifIdx]

@@ -175,12 +175,24 @@ var (
 	ErrBadInstance = errors.New("pcu: message requires an instance")
 )
 
+// entry is one loaded plugin with its identity sampled at load time.
+// Caching name and code means no registry method ever calls into plugin
+// code (PluginName, PluginCode, Callback) while holding r.mu — a plugin
+// whose identity methods turned around and called the registry would
+// otherwise self-deadlock, and the lockscope analyzer forbids the shape
+// outright.
+type entry struct {
+	plugin Plugin
+	name   string
+	code   Code
+}
+
 // Registry is the PCU proper: the per-type tables of loaded plugins.
 // It is safe for concurrent use; all methods are control path.
 type Registry struct {
 	mu     sync.RWMutex
-	byCode map[Code]Plugin
-	byName map[string]Plugin
+	byCode map[Code]*entry
+	byName map[string]*entry
 	// instances tracks live instances per plugin code, in creation
 	// order, so free-instance and listings can find them.
 	instances map[Code][]Instance
@@ -189,8 +201,8 @@ type Registry struct {
 // NewRegistry returns an empty PCU.
 func NewRegistry() *Registry {
 	return &Registry{
-		byCode:    make(map[Code]Plugin),
-		byName:    make(map[string]Plugin),
+		byCode:    make(map[Code]*entry),
+		byName:    make(map[string]*entry),
 		instances: make(map[Code][]Instance),
 	}
 }
@@ -198,16 +210,18 @@ func NewRegistry() *Registry {
 // Load registers a plugin (the analog of modload + callback
 // registration). It fails if the code or name is already taken.
 func (r *Registry) Load(p Plugin) error {
+	// Sample the plugin's identity before taking the lock.
+	e := &entry{plugin: p, name: p.PluginName(), code: p.PluginCode()}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.byCode[p.PluginCode()]; ok {
-		return fmt.Errorf("%w: code %s", ErrDuplicate, p.PluginCode())
+	if _, ok := r.byCode[e.code]; ok {
+		return fmt.Errorf("%w: code %s", ErrDuplicate, e.code)
 	}
-	if _, ok := r.byName[p.PluginName()]; ok {
-		return fmt.Errorf("%w: name %q", ErrDuplicate, p.PluginName())
+	if _, ok := r.byName[e.name]; ok {
+		return fmt.Errorf("%w: name %q", ErrDuplicate, e.name)
 	}
-	r.byCode[p.PluginCode()] = p
-	r.byName[p.PluginName()] = p
+	r.byCode[e.code] = e
+	r.byName[e.name] = e
 	return nil
 }
 
@@ -216,16 +230,16 @@ func (r *Registry) Load(p Plugin) error {
 func (r *Registry) Unload(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	p, ok := r.byName[name]
+	e, ok := r.byName[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
 	}
-	if n := len(r.instances[p.PluginCode()]); n > 0 {
+	if n := len(r.instances[e.code]); n > 0 {
 		return fmt.Errorf("pcu: plugin %q still has %d live instances", name, n)
 	}
 	delete(r.byName, name)
-	delete(r.byCode, p.PluginCode())
-	delete(r.instances, p.PluginCode())
+	delete(r.byCode, e.code)
+	delete(r.instances, e.code)
 	return nil
 }
 
@@ -233,27 +247,38 @@ func (r *Registry) Unload(name string) error {
 func (r *Registry) Lookup(name string) (Plugin, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	p, ok := r.byName[name]
-	return p, ok
+	e, ok := r.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return e.plugin, true
 }
 
 // LookupCode finds a plugin by code.
 func (r *Registry) LookupCode(c Code) (Plugin, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	p, ok := r.byCode[c]
-	return p, ok
+	e, ok := r.byCode[c]
+	if !ok {
+		return nil, false
+	}
+	return e.plugin, true
 }
 
 // Plugins lists loaded plugins sorted by code.
 func (r *Registry) Plugins() []Plugin {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]Plugin, 0, len(r.byCode))
-	for _, p := range r.byCode {
-		out = append(out, p)
+	entries := make([]*entry, 0, len(r.byCode))
+	for _, e := range r.byCode {
+		entries = append(entries, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PluginCode() < out[j].PluginCode() })
+	r.mu.RUnlock()
+	// Sort on the cached codes outside the lock.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].code < entries[j].code })
+	out := make([]Plugin, len(entries))
+	for i, e := range entries {
+		out[i] = e.plugin
+	}
 	return out
 }
 
@@ -262,7 +287,7 @@ func (r *Registry) Plugins() []Plugin {
 // are tracked, freed instances forgotten.
 func (r *Registry) Send(name string, msg *Message) error {
 	r.mu.RLock()
-	p, ok := r.byName[name]
+	e, ok := r.byName[name]
 	r.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
@@ -273,7 +298,9 @@ func (r *Registry) Send(name string, msg *Message) error {
 			return fmt.Errorf("%w: %s to %s", ErrBadInstance, msg.Kind, name)
 		}
 	}
-	if err := p.Callback(msg); err != nil {
+	// The callback runs with no registry lock held: plugins are free to
+	// call back into the registry from their message handlers.
+	if err := e.plugin.Callback(msg); err != nil {
 		return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, name, err)
 	}
 	switch msg.Kind {
@@ -283,14 +310,14 @@ func (r *Registry) Send(name string, msg *Message) error {
 			return fmt.Errorf("pcu: plugin %s created no instance", name)
 		}
 		r.mu.Lock()
-		r.instances[p.PluginCode()] = append(r.instances[p.PluginCode()], inst)
+		r.instances[e.code] = append(r.instances[e.code], inst)
 		r.mu.Unlock()
 	case MsgFreeInstance:
 		r.mu.Lock()
-		list := r.instances[p.PluginCode()]
+		list := r.instances[e.code]
 		for i, in := range list {
 			if in == msg.Instance {
-				r.instances[p.PluginCode()] = append(list[:i], list[i+1:]...)
+				r.instances[e.code] = append(list[:i], list[i+1:]...)
 				break
 			}
 		}
@@ -307,14 +334,18 @@ func (r *Registry) Instances(c Code) []Instance {
 }
 
 // FindInstance locates an instance by plugin name and instance name.
+// The InstanceName calls happen on a snapshot, after the lock is
+// released.
 func (r *Registry) FindInstance(plugin, instance string) (Instance, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	p, ok := r.byName[plugin]
+	e, ok := r.byName[plugin]
 	if !ok {
+		r.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q", ErrNotLoaded, plugin)
 	}
-	for _, in := range r.instances[p.PluginCode()] {
+	list := append([]Instance(nil), r.instances[e.code]...)
+	r.mu.RUnlock()
+	for _, in := range list {
 		if in.InstanceName() == instance {
 			return in, nil
 		}

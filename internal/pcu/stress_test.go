@@ -1,0 +1,144 @@
+package pcu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stressPlugin answers the standardized message set with nothing but
+// atomic bookkeeping, so concurrent Sends from many goroutines are data-
+// race-free by construction and -race only checks the registry itself.
+type stressPlugin struct {
+	name  string
+	code  Code
+	calls atomic.Uint64
+	insts atomic.Int64
+}
+
+func (p *stressPlugin) PluginName() string { return p.name }
+func (p *stressPlugin) PluginCode() Code   { return p.code }
+
+func (p *stressPlugin) Callback(msg *Message) error {
+	p.calls.Add(1)
+	switch msg.Kind {
+	case MsgCreateInstance:
+		msg.Reply = &fakeInstance{name: fmt.Sprintf("%s-%d", p.name, p.insts.Add(1))}
+	case MsgFreeInstance:
+		p.insts.Add(-1)
+	case MsgRegisterInstance, MsgDeregisterInstance:
+		// Binding is the registry's bookkeeping; nothing to do here.
+	}
+	return nil
+}
+
+// TestRegistryConcurrentLifecycle churns plugin load/unload and the full
+// create/register/deregister/free instance cycle from several goroutines
+// while readers walk the registry. Under -race this exercises the
+// identity-caching design: no plugin method is ever called under r.mu,
+// so the only synchronization a plugin needs is its own.
+func TestRegistryConcurrentLifecycle(t *testing.T) {
+	r := NewRegistry()
+	stable := &stressPlugin{name: "stable", code: MakeCode(TypeSched, 1)}
+	if err := r.Load(stable); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		churnWorkers = 4
+		churnIters   = 200
+		readerIters  = 400
+	)
+	var wg sync.WaitGroup
+
+	// Churn workers: each owns one plugin name and cycles it through
+	// load → create → register → deregister → free → unload.
+	for w := 0; w < churnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%d", w)
+			code := MakeCode(TypeSecurity, uint16(w+2))
+			for i := 0; i < churnIters; i++ {
+				p := &stressPlugin{name: name, code: code}
+				if err := r.Load(p); err != nil {
+					t.Error(err)
+					return
+				}
+				msg := &Message{Kind: MsgCreateInstance}
+				if err := r.Send(name, msg); err != nil {
+					t.Error(err)
+					return
+				}
+				inst := msg.Reply.(Instance)
+				for _, kind := range []MsgKind{MsgRegisterInstance, MsgDeregisterInstance, MsgFreeInstance} {
+					if err := r.Send(name, &Message{Kind: kind, Instance: inst}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := r.Unload(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Instance churn on the always-loaded plugin: concurrent Sends to
+	// one callback.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churnIters; i++ {
+				msg := &Message{Kind: MsgCreateInstance}
+				if err := r.Send("stable", msg); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Send("stable", &Message{Kind: MsgFreeInstance, Instance: msg.Reply.(Instance)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: walk every lookup surface while the registry churns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < readerIters; i++ {
+			if _, ok := r.Lookup("stable"); !ok {
+				t.Error("stable plugin vanished")
+				return
+			}
+			r.LookupCode(stable.code)
+			r.Plugins()
+			r.Instances(stable.code)
+			if _, err := r.FindInstance("stable", "stable-1"); err != nil && !errors.Is(err, ErrBadInstance) {
+				// The instance set churns; absence is fine, but the
+				// plugin itself must resolve.
+				if errors.Is(err, ErrNotLoaded) {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	if stable.calls.Load() == 0 {
+		t.Error("stable plugin received no callbacks")
+	}
+	if _, ok := r.Lookup("stable"); !ok {
+		t.Error("stable plugin not loaded after churn")
+	}
+	if n := stable.insts.Load(); n != 0 {
+		t.Errorf("instance create/free imbalance: %d", n)
+	}
+}

@@ -1,6 +1,7 @@
 package plugins
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -117,31 +118,48 @@ func (i *DRRInstance) InstanceName() string { return i.name }
 // IfIndex reports the interface this instance schedules.
 func (i *DRRInstance) IfIndex() int32 { return i.ifIdx }
 
+// errNoFlowRecord is preallocated: HandlePacket runs per packet and must
+// not allocate an error on the drop path.
+var errNoFlowRecord = errors.New("drr: packet carries no flow record")
+
 // HandlePacket implements pcu.Instance: find (or create) the flow's
 // queue via the flow record's soft-state slot and enqueue. The per-flow
 // queue pointer lives exactly where the paper puts it — in the flow
 // table row ("used by the DRR plugin to store a pointer to a queue of
 // packets for each active flow").
+//
+//eisr:fastpath
 func (i *DRRInstance) HandlePacket(p *pkt.Packet) error {
 	rec, _ := p.FIX.(*aiu.FlowRecord)
 	if rec == nil {
-		return fmt.Errorf("drr: packet carries no flow record")
+		return errNoFlowRecord
 	}
 	b := rec.Bind(i.slot)
 	q, _ := b.Private.(*sched.DRRQueue)
+	//eisr:allow(fastpath) per-instance queue mutex, bounded critical section, never held across a plugin or channel boundary
 	i.mu.Lock()
-	defer i.mu.Unlock()
 	if q == nil {
-		weight := 1.0
-		if b.Rec != nil {
-			if res, ok := b.Rec.Private.(*Reservation); ok && res.Weight > 0 {
-				weight = res.Weight
-			}
-		}
-		q = i.drr.NewQueue(rec.Key.String(), weight)
-		b.Private = q
+		q = i.newFlowQueue(rec, b)
 	}
-	return i.drr.EnqueueFlow(q, p)
+	err := i.drr.EnqueueFlow(q, p)
+	i.mu.Unlock()
+	return err
+}
+
+// newFlowQueue lazily creates the flow's queue on its first packet — the
+// once-per-flow slow path. Called with i.mu held.
+//
+//eisr:slowpath
+func (i *DRRInstance) newFlowQueue(rec *aiu.FlowRecord, b *aiu.GateBind) *sched.DRRQueue {
+	weight := 1.0
+	if b.Rec != nil {
+		if res, ok := b.Rec.Private.(*Reservation); ok && res.Weight > 0 {
+			weight = res.Weight
+		}
+	}
+	q := i.drr.NewQueue(rec.Key.String(), weight)
+	b.Private = q
+	return q
 }
 
 // Drain implements ipcore.Drainer.
@@ -159,9 +177,12 @@ func (i *DRRInstance) Backlog() int {
 }
 
 // FlowEvicted implements aiu.FlowEvictListener: reclaim the per-flow
-// queue when the AIU recycles the flow record.
-func (i *DRRInstance) FlowEvicted(rec *aiu.FlowRecord, slot int) {
-	q, _ := rec.Bind(slot).Private.(*sched.DRRQueue)
+// queue when the AIU recycles the flow record. The evicted key and slot
+// contents arrive by value because the callback is delivered after the
+// table lock is dropped, by which point the record may already serve a
+// new flow.
+func (i *DRRInstance) FlowEvicted(key pkt.Key, slot int, b aiu.GateBind) {
+	q, _ := b.Private.(*sched.DRRQueue)
 	if q == nil {
 		return
 	}

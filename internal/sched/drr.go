@@ -1,9 +1,16 @@
 package sched
 
 import (
-	"fmt"
+	"errors"
 
 	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// Preallocated enqueue errors: the enqueue path runs per packet and must
+// not allocate error values.
+var (
+	ErrForeignQueue = errors.New("sched: queue does not belong to this DRR")
+	ErrNoQueue      = errors.New("sched: packet has no DRR queue")
 )
 
 // DRR is the weighted Deficit Round Robin scheduler of §6.1 [Shreedhar &
@@ -87,9 +94,11 @@ func (d *DRR) RemoveQueue(q *DRRQueue) {
 }
 
 // EnqueueFlow admits a packet to a specific flow queue.
+//
+//eisr:fastpath
 func (d *DRR) EnqueueFlow(q *DRRQueue, p *pkt.Packet) error {
 	if q == nil || q.parent != d {
-		return fmt.Errorf("sched: queue does not belong to this DRR")
+		return ErrForeignQueue
 	}
 	if err := q.fifo.Enqueue(p); err != nil {
 		q.Drops++
@@ -108,10 +117,12 @@ func (d *DRR) EnqueueFlow(q *DRRQueue, p *pkt.Packet) error {
 // packet's FIX soft state; it exists so a bare DRR can sit behind the
 // generic link simulator. Packets without an associated queue are
 // rejected. The plugin layer normally calls EnqueueFlow directly.
+//
+//eisr:fastpath
 func (d *DRR) Enqueue(p *pkt.Packet) error {
 	q, _ := p.FIX.(*DRRQueue)
 	if q == nil {
-		return fmt.Errorf("sched: packet has no DRR queue")
+		return ErrNoQueue
 	}
 	return d.EnqueueFlow(q, p)
 }
@@ -121,6 +132,8 @@ func (d *DRR) Enqueue(p *pkt.Packet) error {
 // served while the deficit covers them; a backlogged queue keeps its
 // remainder for the next round, an emptied queue forfeits it (the
 // Shreedhar & Varghese rules).
+//
+//eisr:fastpath
 func (d *DRR) Dequeue() *pkt.Packet {
 	for d.active != nil {
 		q := d.active

@@ -50,6 +50,8 @@ func NewFIFO(limit int) *FIFO {
 }
 
 // Enqueue implements Scheduler.
+//
+//eisr:fastpath
 func (f *FIFO) Enqueue(p *pkt.Packet) error {
 	if f.Len() >= f.limit {
 		return ErrQueueFull
@@ -59,6 +61,8 @@ func (f *FIFO) Enqueue(p *pkt.Packet) error {
 }
 
 // Dequeue implements Scheduler.
+//
+//eisr:fastpath
 func (f *FIFO) Dequeue() *pkt.Packet {
 	if f.head >= len(f.q) {
 		return nil

@@ -135,7 +135,9 @@ func (d *Daemon) Expire() int {
 	}
 	d.mu.Unlock()
 	for _, m := range lapsed {
-		// Best effort: the binding may already be gone.
+		// Best effort: the binding may already be gone, and expiry of the
+		// remaining reservations must proceed regardless.
+		//eisr:allow(errcheckctl) soft-state expiry is best-effort teardown; a failed deregister means the binding was already removed
 		d.client.Deregister(m.Plugin, m.Instance, m.Filter)
 	}
 	return len(lapsed)

@@ -51,13 +51,22 @@ func newRig(t *testing.T) (*Daemon, *fakeRouter, func() time.Time, *time.Time) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
+	t.Cleanup(func() {
+		if err := ln.Close(); err != nil {
+			t.Logf("close listener: %v", err)
+		}
+	})
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
 	go ctl.NewServer(fr).Serve(ln)
 	client, err := ctl.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { client.Close() })
+	t.Cleanup(func() {
+		if err := client.Close(); err != nil {
+			t.Logf("close client: %v", err)
+		}
+	})
 	now := time.Unix(5000, 0)
 	d := New(client)
 	d.SetClock(func() time.Time { return now })
@@ -156,6 +165,7 @@ func TestServeWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
 	go d.Serve(ln)
 
 	c, err := DialClient("tcp", ln.Addr().String())
