@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test lint race vet check clean
+.PHONY: all build test lint race vet check bench-smoke clean
 
 all: check
 
@@ -21,9 +21,15 @@ vet: $(BIN)/eisrlint
 	$(GO) vet -vettool=$(BIN)/eisrlint ./...
 
 # Race-detector pass over the packages with concurrent kernel state:
-# flow-table lookups and gate dispatch racing the PCU control path.
+# flow-table lookups and gate dispatch racing the PCU control path, and
+# metric registration/snapshot racing record calls.
 race:
-	$(GO) test -race ./internal/aiu ./internal/pcu
+	$(GO) test -race ./internal/aiu ./internal/pcu ./internal/telemetry
+
+# Overhead guard: the telemetry-off flow-cache hit path must stay
+# allocation-free and the disabled record calls under 2ns per packet.
+bench-smoke:
+	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu
 
 check: build test lint vet race
 

@@ -20,8 +20,8 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
-	"drrshare", "hfsc", "schedovh", "ablate-cache", "ablate-bmp",
-	"ablate-collapse", "ablate-interdag",
+	"drrshare", "hfsc", "schedovh", "telemetry", "ablate-cache",
+	"ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
 func main() {
@@ -111,6 +111,18 @@ func main() {
 			n = 1_000_000
 		}
 		fmt.Println(bench.SchedOverheadTable(bench.RunSchedOverhead(n)))
+	}
+	if run("telemetry") {
+		ran = true
+		n := 30_000
+		if *full {
+			n = 300_000
+		}
+		res, err := bench.RunTelemetry(n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.TelemetryTable(res))
 	}
 	if run("ablate-cache") {
 		ran = true

@@ -19,10 +19,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/routerplugins/eisr"
 )
@@ -36,12 +39,18 @@ func main() {
 	verify := flag.Bool("verify-checksums", true, "validate IPv4 header checksums")
 	routed := flag.Bool("routed", false, "run the distance-vector route daemon")
 	originate := flag.String("originate", "", "comma-separated PREFIX@IFINDEX list the route daemon originates")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (enables telemetry)")
+	traceBuf := flag.Int("trace-buffer", 0, "packet trace ring size (entries, 0 = default; needs -metrics)")
+	traceSample := flag.Int("trace-sample", 1, "trace every Nth packet (needs -metrics)")
 	flag.Parse()
 
 	r, err := eisr.New(eisr.Options{
 		BestEffort:      *bestEffort,
 		BMP:             *bmpKind,
 		VerifyChecksums: *verify,
+		Telemetry:       *metricsAddr != "",
+		TraceBuffer:     *traceBuf,
+		TraceSample:     *traceSample,
 	})
 	if err != nil {
 		log.Fatalf("eisrd: %v", err)
@@ -68,6 +77,28 @@ func main() {
 	}()
 	log.Printf("eisrd: control socket on %s, %d interfaces, %d plugin modules available",
 		ln.Addr(), *nIfaces, len(eisr.Modules()))
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := r.Telemetry.WritePrometheus(w); err != nil {
+				log.Printf("eisrd: /metrics: %v", err)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("eisrd: metrics server stopped: %v", err)
+			}
+		}()
+		log.Printf("eisrd: telemetry on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+	}
 
 	if *routed {
 		d := r.EnableRouteDaemon()

@@ -9,6 +9,8 @@
 //	pmgr msg drr drr0 stats
 //	pmgr route add 0.0.0.0/0 dev 1
 //	pmgr filters sched
+//	pmgr stats
+//	pmgr trace 16
 package main
 
 import (
@@ -32,7 +34,7 @@ commands:
   deregister PLUGIN INSTANCE filter=SPEC
   msg PLUGIN [INSTANCE] VERB [key=value ...]
   route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
-  filters GATE | stats | flows
+  filters GATE | stats | flows | trace [N]
 `)
 	}
 	flag.Parse()

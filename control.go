@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 
 	"github.com/routerplugins/eisr/internal/aiu"
 	"github.com/routerplugins/eisr/internal/ctl"
+	"github.com/routerplugins/eisr/internal/ipcore"
 	"github.com/routerplugins/eisr/internal/pcu"
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Control implements ctl.Backend: the router side of the control socket
@@ -93,15 +96,107 @@ func (r *Router) Control(req *ctl.Request) (any, error) {
 		}
 		return out, nil
 	case ctl.OpStats:
-		return r.Core.Stats(), nil
+		return r.StatsReport(), nil
 	case ctl.OpFlows:
 		if r.AIU == nil {
 			return nil, fmt.Errorf("eisr: no classifier in best-effort mode")
 		}
 		return r.AIU.FlowTable().Stats(), nil
+	case ctl.OpTrace:
+		if r.Telemetry == nil || r.Telemetry.Tracer() == nil {
+			return nil, fmt.Errorf("eisr: packet tracing requires Options.Telemetry")
+		}
+		max := 32
+		if req.Args != nil && req.Args["max"] != "" {
+			n, err := strconv.Atoi(req.Args["max"])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("eisr: trace wants a positive count, got %q", req.Args["max"])
+			}
+			max = n
+		}
+		return r.Telemetry.Tracer().Snapshot(max), nil
 	default:
 		return nil, fmt.Errorf("eisr: unknown op %q", req.Op)
 	}
+}
+
+// GateStat is one gate's dispatch accounting in a StatsReport.
+type GateStat struct {
+	Gate     string `json:"gate"`
+	Dispatch uint64 `json:"dispatch"`
+}
+
+// FlowCacheStat summarizes the AIU flow cache in a StatsReport.
+type FlowCacheStat struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Inserts   uint64  `json:"inserts"`
+	Evictions uint64  `json:"evictions"`
+	Live      int64   `json:"live"`
+}
+
+// PluginStat is one plugin's instance count in a StatsReport.
+type PluginStat struct {
+	Plugin    string `json:"plugin"`
+	Instances int64  `json:"instances"`
+}
+
+// StatsReport is the "pmgr stats" payload: the core counters always,
+// plus per-gate dispatch counts, flow-cache accounting, and per-plugin
+// instance counts when the router was assembled with Options.Telemetry.
+type StatsReport struct {
+	Core      ipcore.Stats   `json:"core"`
+	Gates     []GateStat     `json:"gates,omitempty"`
+	FlowCache *FlowCacheStat `json:"flow_cache,omitempty"`
+	Plugins   []PluginStat   `json:"plugins,omitempty"`
+}
+
+// StatsReport builds the stats payload from the live counters and, when
+// telemetry is attached, one registry snapshot.
+func (r *Router) StatsReport() StatsReport {
+	rep := StatsReport{Core: r.Core.Stats()}
+	if r.Telemetry == nil {
+		return rep
+	}
+	labelValue := func(m telemetry.MetricValue, key string) string {
+		for _, l := range m.Labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	var fc FlowCacheStat
+	sawCache := false
+	for _, m := range r.Telemetry.Snapshot() {
+		switch m.Family {
+		case "eisr_gate_dispatch_total":
+			rep.Gates = append(rep.Gates, GateStat{Gate: labelValue(m, "gate"), Dispatch: m.Counter})
+		case "eisr_flowcache_total":
+			sawCache = true
+			if labelValue(m, "result") == "hit" {
+				fc.Hits = m.Counter
+			} else {
+				fc.Misses = m.Counter
+			}
+		case "eisr_flowcache_inserts_total":
+			fc.Inserts = m.Counter
+		case "eisr_flowcache_evictions_total":
+			fc.Evictions = m.Counter
+		case "eisr_flowcache_live":
+			fc.Live = m.Gauge
+		case "eisr_plugin_instances":
+			rep.Plugins = append(rep.Plugins, PluginStat{Plugin: labelValue(m, "plugin"), Instances: m.Gauge})
+		}
+	}
+	if sawCache {
+		if total := fc.Hits + fc.Misses; total > 0 {
+			fc.HitRatio = float64(fc.Hits) / float64(total)
+		}
+		rep.FlowCache = &fc
+	}
+	return rep
 }
 
 // RunConfigScript executes a boot configuration script: pmgr commands,

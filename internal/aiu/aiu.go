@@ -11,6 +11,7 @@ import (
 	"github.com/routerplugins/eisr/internal/cycles"
 	"github.com/routerplugins/eisr/internal/pcu"
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Config tunes the AIU.
@@ -96,6 +97,15 @@ type AIU struct {
 	// uncached path; cachedLookups counts flow-cache hits.
 	firstPacketLookups atomic.Uint64
 	cachedLookups      atomic.Uint64
+
+	// Telemetry cells (SetTelemetry). Nil when telemetry is off; every
+	// record method on a nil cell is a no-op.
+	telFirstPkt *telemetry.Counter
+	telAccesses *telemetry.Counter
+	telFnPtr    *telemetry.Counter
+	telDepth    *telemetry.Histogram
+	telFilters  map[pcu.Type]*telemetry.Gauge
+	telDAGNodes map[pcu.Type]*telemetry.Gauge
 }
 
 // New builds an AIU serving the given gates, in gate order. The gate
@@ -148,6 +158,7 @@ func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*Fi
 	}
 	ft.records = append(ft.records, rec)
 	ft.dirty = true
+	a.filterGauge(gate).Set(int64(len(ft.records)))
 	a.mu.Unlock()
 	// Flows cached before this filter existed may now be misclassified;
 	// flush the ones the new filter matches so they reclassify. This runs
@@ -177,6 +188,7 @@ func (a *AIU) Unbind(rec *FilterRecord) error {
 			break
 		}
 	}
+	a.filterGauge(rec.Gate).Set(int64(len(ft.records)))
 	slot := a.slots[rec.Gate]
 	a.mu.Unlock()
 	if !found {
@@ -199,7 +211,7 @@ func (a *AIU) Unbind(rec *FilterRecord) error {
 func (a *AIU) UnbindInstance(inst pcu.Instance) int {
 	a.mu.Lock()
 	var removed []*FilterRecord
-	for _, ft := range a.tables {
+	for g, ft := range a.tables {
 		kept := ft.records[:0]
 		for _, r := range ft.records {
 			if r.Instance == inst {
@@ -210,6 +222,7 @@ func (a *AIU) UnbindInstance(inst pcu.Instance) int {
 			kept = append(kept, r)
 		}
 		ft.records = kept
+		a.filterGauge(g).Set(int64(len(ft.records)))
 	}
 	a.mu.Unlock()
 	// Listener callbacks and the cache flush run plugin code; deliver
@@ -293,6 +306,7 @@ func (a *AIU) dagFor(gate pcu.Type) *dag {
 				}
 			}
 			ft.dirty = false
+			a.telDAGNodes[gate].Set(int64(ft.dag.nodes))
 		}
 		a.mu.Unlock()
 		a.mu.RLock()
@@ -359,6 +373,10 @@ func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.
 //
 //eisr:slowpath
 func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycles.Counter) (pcu.Instance, *FlowRecord) {
+	// Accumulate this classification's accesses in a local counter so
+	// they can be attributed to the first-packet path (and to the packet
+	// trace via p.CacheMiss) before being merged into the caller's.
+	var lc cycles.Counter
 	a.mu.RLock()
 	binds := make([]GateBind, len(a.gates))
 	var shared map[uint64]*FilterRecord
@@ -370,7 +388,7 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 		ft := a.tables[g]
 		if a.cfg.ShareIdenticalTables {
 			if prev, ok := shared[ft.sig]; ok {
-				c.Access(1) // the inter-DAG pointer dereference
+				lc.Access(1) // the inter-DAG pointer dereference
 				var fr *FilterRecord
 				if prev != nil && prev.specIdx < len(ft.bySpecIdx) {
 					fr = ft.bySpecIdx[prev.specIdx]
@@ -381,7 +399,7 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 				continue
 			}
 		}
-		fr := d.lookup(p.Key, c)
+		fr := d.lookup(p.Key, &lc)
 		if fr != nil {
 			binds[i] = GateBind{Instance: fr.Instance, Rec: fr}
 		}
@@ -395,7 +413,13 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 	a.mu.RUnlock()
 	rec := a.flows.Insert(p.Key, now, binds)
 	a.firstPacketLookups.Add(1)
+	a.telFirstPkt.Inc()
+	a.telAccesses.Add(lc.Mem)
+	a.telFnPtr.Add(lc.FnPtr)
+	a.telDepth.Observe(lc.Total())
+	c.Merge(lc)
 	p.FIX = rec
+	p.CacheMiss = true
 	return rec.Bind(slot).Instance, rec
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/routerplugins/eisr/internal/cycles"
 	"github.com/routerplugins/eisr/internal/pcu"
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Flow-table sizing defaults from the paper (§5.2): the bucket array is
@@ -132,6 +133,15 @@ type FlowTable struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	stats  FlowStats
+
+	// Telemetry cells (SetTelemetry, assembly time). Nil when telemetry
+	// is off; record methods on nil cells are no-ops.
+	telHits      *telemetry.Counter
+	telMisses    *telemetry.Counter
+	telInserts   *telemetry.Counter
+	telEvictions *telemetry.Counter
+	telLive      *telemetry.Gauge
+	telChain     *telemetry.Histogram
 }
 
 // evictNotice is a deferred FlowEvicted callback: eviction captures the
@@ -224,18 +234,24 @@ func HashKey(k pkt.Key) uint32 {
 func (t *FlowTable) Lookup(k pkt.Key, now time.Time, c *cycles.Counter) *FlowRecord {
 	c.FnPointer()
 	h := HashKey(k)
+	var chain uint64
 	t.mu.RLock()
 	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
 		c.Access(1)
+		chain++
 		if r.Key == k {
 			r.touch(now)
 			t.mu.RUnlock()
 			t.hits.Add(1)
+			t.telHits.Inc()
+			t.telChain.Observe(chain)
 			return r
 		}
 	}
 	t.mu.RUnlock()
 	t.misses.Add(1)
+	t.telMisses.Inc()
+	t.telChain.Observe(chain)
 	return nil
 }
 
@@ -271,6 +287,8 @@ func (t *FlowTable) Insert(k pkt.Key, now time.Time, binds []GateBind) *FlowReco
 	t.pushNewest(r)
 	t.live++
 	t.stats.Inserts++
+	t.telInserts.Inc()
+	t.telLive.Set(int64(t.live))
 	t.mu.Unlock()
 	notify(notices)
 	return r
@@ -381,6 +399,8 @@ func (t *FlowTable) evictLocked(r *FlowRecord, notices []evictNotice) []evictNot
 	t.popAge(r)
 	t.live--
 	t.stats.Removed++
+	t.telEvictions.Inc()
+	t.telLive.Set(int64(t.live))
 	old := *r.binds.Load()
 	for slot := range old {
 		if l, ok := old[slot].Instance.(FlowEvictListener); ok {

@@ -1,0 +1,58 @@
+package aiu
+
+import (
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+// SetTelemetry attaches metric cells to the AIU and its flow table. Must
+// be called during router assembly, before data-path traffic starts: the
+// cell pointers are read lock-free on the per-packet path. With a nil
+// registry every cell stays nil and every record call is a no-op.
+//
+// The families map onto the paper's vocabulary: eisr_classifier_* counts
+// the Table 2 quantities (memory accesses per filter lookup) on the
+// first-packet slow path, eisr_flowcache_* accounts the §5.2 flow table
+// (hits are the cached lookups whose cost Table 3 measures), and
+// eisr_filters/eisr_dag_nodes size each gate's filter table and its
+// set-pruning DAG.
+func (a *AIU) SetTelemetry(t *telemetry.Telemetry) {
+	a.telFirstPkt = t.Counter("eisr_classifier_first_packet_total",
+		"first-packet classifications (full filter-table lookup at every gate)")
+	a.telAccesses = t.Counter("eisr_classifier_accesses_total",
+		"classifier memory accesses on first-packet lookups (Table 2 units)")
+	a.telFnPtr = t.Counter("eisr_classifier_fnptr_loads_total",
+		"function-pointer loads during classification (Table 2 accounts them separately)")
+	a.telDepth = t.Histogram("eisr_classifier_accesses_per_lookup",
+		"memory accesses per first-packet classification")
+	a.telFilters = make(map[pcu.Type]*telemetry.Gauge, len(a.gates))
+	a.telDAGNodes = make(map[pcu.Type]*telemetry.Gauge, len(a.gates))
+	for _, g := range a.gates {
+		l := telemetry.Label{Key: "gate", Value: g.String()}
+		a.telFilters[g] = t.Gauge("eisr_filters",
+			"installed filter records per gate", l)
+		a.telDAGNodes[g] = t.Gauge("eisr_dag_nodes",
+			"nodes in the gate's classification DAG", l)
+	}
+	a.flows.SetTelemetry(t)
+}
+
+// filterGauge returns the per-gate filter-count gauge (nil-safe).
+func (a *AIU) filterGauge(g pcu.Type) *telemetry.Gauge { return a.telFilters[g] }
+
+// SetTelemetry attaches flow-table metric cells. Same wiring contract as
+// AIU.SetTelemetry: assembly time only.
+func (t *FlowTable) SetTelemetry(reg *telemetry.Telemetry) {
+	t.telHits = reg.Counter("eisr_flowcache_total",
+		"flow-cache lookups by result", telemetry.Label{Key: "result", Value: "hit"})
+	t.telMisses = reg.Counter("eisr_flowcache_total",
+		"flow-cache lookups by result", telemetry.Label{Key: "result", Value: "miss"})
+	t.telInserts = reg.Counter("eisr_flowcache_inserts_total",
+		"flow records installed")
+	t.telEvictions = reg.Counter("eisr_flowcache_evictions_total",
+		"flow records evicted (recycled, purged, or flushed)")
+	t.telLive = reg.Gauge("eisr_flowcache_live",
+		"live flow records")
+	t.telChain = reg.Histogram("eisr_flowcache_chain_length",
+		"hash-chain elements examined per lookup")
+}

@@ -23,8 +23,32 @@ var Analyzer = &analysis.Analyzer{
 	Name: "fastpath",
 	Doc: "reject blocking and allocating constructs in //eisr:fastpath code: " +
 		"fmt/log calls, make and map/slice literals, defer, channel operations, " +
-		"and exclusive mutex acquisition (RLock is allowed)",
+		"and exclusive mutex acquisition (RLock is allowed); telemetry record " +
+		"methods are certified safe, telemetry registration/snapshot is not",
 	Run: run,
+}
+
+// telemetryPkg is the instrumentation package. Its per-packet record
+// methods are certified fast-path-safe here (each is itself an
+// //eisr:fastpath root analyzed in its own package: nil-safe, atomic,
+// allocation-free), so instrumented hot paths need no suppressions. The
+// rest of its surface — registration, snapshot, exposition — allocates
+// and takes locks, and belongs to assembly or control time.
+const telemetryPkg = "github.com/routerplugins/eisr/internal/telemetry"
+
+// telemetryFast is the certified record-method allowlist, keyed
+// "Type.Method".
+var telemetryFast = map[string]bool{
+	"Counter.Inc": true, "Counter.Add": true, "Counter.Value": true,
+	"Gauge.Set": true, "Gauge.Add": true, "Gauge.Inc": true,
+	"Gauge.Dec": true, "Gauge.Value": true,
+	"Histogram.Observe":          true,
+	"SchedMetrics.RecordEnqueue": true, "SchedMetrics.RecordDequeue": true,
+	"SchedMetrics.RecordDrop": true, "SchedMetrics.SetQueues": true,
+	"TraceEntry.RecordKey": true, "TraceEntry.RecordHop": true,
+	"TraceEntry.RecordClassify": true, "TraceEntry.Commit": true,
+	"TraceRing.Acquire": true, "TraceRing.Skipped": true,
+	"Telemetry.Tracer": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -121,6 +145,19 @@ func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, edge func(*
 				pass.Reportf(call.Pos(), "%s: acquires exclusive %s.%s on the fast path (cache hits must not serialize; use RLock or atomics)",
 					name, recv.Obj().Name(), callee.Name())
 			}
+		}
+		return
+	case telemetryPkg:
+		if callee.Pkg() == pass.Pkg {
+			break // analyzing telemetry itself: normal traversal
+		}
+		key := callee.Name()
+		if recv := analysis.RecvNamed(callee); recv != nil {
+			key = recv.Obj().Name() + "." + callee.Name()
+		}
+		if !telemetryFast[key] {
+			pass.Reportf(call.Pos(), "%s: calls telemetry.%s on the fast path (registration/snapshot allocates; wire cells at assembly time)",
+				name, key)
 		}
 		return
 	}

@@ -7,6 +7,8 @@ package fastpathtest
 import (
 	"fmt"
 	"sync"
+
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 type pipeline struct {
@@ -64,4 +66,33 @@ func (p *pipeline) readSide(n int) int {
 // unmarked is reachable from no root: anything goes.
 func unmarked(n int) []int {
 	return make([]int, n)
+}
+
+// meter holds telemetry cells wired at assembly time, the way the
+// instrumented core does.
+type meter struct {
+	pkts  *telemetry.Counter
+	depth *telemetry.Gauge
+	lat   *telemetry.Histogram
+	sched *telemetry.SchedMetrics
+	reg   *telemetry.Telemetry
+}
+
+//eisr:fastpath
+func (m *meter) record(ns uint64) {
+	m.pkts.Inc()                                   // negative: certified record method
+	m.pkts.Add(2)                                  // negative: certified record method
+	m.depth.Set(3)                                 // negative: certified record method
+	m.lat.Observe(ns)                              // negative: certified record method
+	m.sched.RecordEnqueue()                        // negative: certified record method
+	if te := m.reg.Tracer().Acquire(); te != nil { // negative: certified trace acquisition
+		te.RecordHop("sched", 1, "drr0", 5) // negative: certified record method
+		te.Commit("forwarded", "", 1, 9)    // negative: certified record method
+	}
+	m.reg.Counter("pkts", "help") // want "calls telemetry.Telemetry.Counter on the fast path"
+}
+
+//eisr:fastpath
+func (m *meter) export() int {
+	return len(m.reg.Snapshot()) // want "calls telemetry.Telemetry.Snapshot on the fast path"
 }

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/plugins"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/telemetry"
+	"github.com/routerplugins/eisr/internal/trafficgen"
+)
+
+// TelemetryResult reports the DRR workload of Table 3 with every figure
+// read back from the telemetry registry rather than ad-hoc benchmark
+// counters — the snapshot API is the measurement instrument.
+type TelemetryResult struct {
+	Packets         uint64
+	GateDispatch    []GateDispatch
+	CacheHits       uint64
+	CacheMisses     uint64
+	FirstPackets    uint64
+	Accesses        uint64 // classifier memory accesses (charged to misses)
+	FnPtrLoads      uint64
+	AccessesPerMiss float64
+	Forwarded       uint64
+	Traced          int
+	TraceSkipped    uint64
+	Samples         []telemetry.TraceSample
+}
+
+// GateDispatch is one gate's dispatch count.
+type GateDispatch struct {
+	Gate    string
+	Packets uint64
+}
+
+// RunTelemetry assembles a plugin-mode router with telemetry and packet
+// tracing enabled, pushes a multi-flow UDP workload through the DRR
+// configuration, and reads everything back through telemetry.Snapshot.
+func RunTelemetry(nPackets int) (TelemetryResult, error) {
+	if nPackets <= 0 {
+		nPackets = 30_000
+	}
+	routes, err := routing.New(bmp.KindBSPL)
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	routes.Add(pkt.MustParsePrefix("0.0.0.0/0"), routing.NextHop{IfIndex: 1})
+	routes.Add(pkt.MustParsePrefix("::/0"), routing.NextHop{IfIndex: 1})
+
+	tel := telemetry.New()
+	tel.EnableTrace(1024, 1)
+
+	gates := []pcu.Type{pcu.TypeSched}
+	a := aiu.New(aiu.Config{BMPKind: bmp.KindBSPL}, gates...)
+	a.SetTelemetry(tel)
+	r, err := ipcore.New(ipcore.Config{
+		Mode: ipcore.ModePlugin, Gates: gates, AIU: a, Routes: routes,
+		VerifyChecksums: true, Tel: tel,
+	})
+	if err != nil {
+		return TelemetryResult{}, err
+	}
+	r.Counter = &cycles.Counter{}
+	in := netdev.NewInterface(0, netdev.Config{})
+	out := netdev.NewInterface(1, netdev.Config{})
+	r.AddInterface(in)
+	r.AddInterface(out)
+
+	null := &plugins.NullInstance{}
+	for _, f := range trafficgen.Table3Filters() {
+		if _, err := a.Bind(gates[0], f, null, nil); err != nil {
+			return TelemetryResult{}, err
+		}
+	}
+	env := &plugins.Env{Router: r, AIU: a, Tel: tel}
+	drrPlugin := plugins.NewDRRPlugin(env)
+	msg := &pcu.Message{Kind: pcu.MsgCreateInstance, Args: map[string]string{"iface": "1", "quantum": "9180"}}
+	if err := drrPlugin.Callback(msg); err != nil {
+		return TelemetryResult{}, err
+	}
+	inst := msg.Reply.(*plugins.DRRInstance)
+	if _, err := a.Bind(pcu.TypeSched, aiu.MatchAll(), inst, nil); err != nil {
+		return TelemetryResult{}, err
+	}
+
+	flows := trafficgen.Table3Flows()
+	protos := make([][]byte, len(flows))
+	for i, f := range flows {
+		d, err := f.Datagram()
+		if err != nil {
+			return TelemetryResult{}, err
+		}
+		protos[i] = d
+	}
+	for i := 0; i < nPackets; i++ {
+		if err := in.Inject(protos[i%len(protos)]); err != nil {
+			return TelemetryResult{}, err
+		}
+		r.ProcessOne(in.Poll())
+	}
+
+	res := TelemetryResult{Packets: uint64(nPackets)}
+	labelValue := func(m telemetry.MetricValue, key string) string {
+		for _, l := range m.Labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	for _, m := range tel.Snapshot() {
+		switch m.Family {
+		case "eisr_gate_dispatch_total":
+			res.GateDispatch = append(res.GateDispatch, GateDispatch{Gate: labelValue(m, "gate"), Packets: m.Counter})
+		case "eisr_flowcache_total":
+			if labelValue(m, "result") == "hit" {
+				res.CacheHits = m.Counter
+			} else {
+				res.CacheMisses = m.Counter
+			}
+		case "eisr_classifier_first_packet_total":
+			res.FirstPackets = m.Counter
+		case "eisr_classifier_accesses_total":
+			res.Accesses = m.Counter
+		case "eisr_classifier_fnptr_loads_total":
+			res.FnPtrLoads = m.Counter
+		case "eisr_classifier_accesses_per_lookup":
+			if m.Hist != nil {
+				res.AccessesPerMiss = m.Hist.Mean()
+			}
+		case "eisr_verdicts_total":
+			if labelValue(m, "verdict") == "forwarded" {
+				res.Forwarded = m.Counter
+			}
+		}
+	}
+	samples := tel.Tracer().Snapshot(4)
+	res.Samples = samples
+	res.Traced = len(tel.Tracer().Snapshot(nPackets))
+	res.TraceSkipped = tel.Tracer().Skipped()
+	return res, nil
+}
+
+// TelemetryTable renders the result with the P6/233 conversions the
+// paper uses: memory accesses x 60 ns, expressed in 233 MHz cycles.
+func TelemetryTable(r TelemetryResult) *Table {
+	m := cycles.P6233
+	t := &Table{
+		Title:  "Telemetry (eisrtrace): data path observed through the metrics registry",
+		Header: []string{"metric", "value", "paper units (P6/233)"},
+	}
+	t.Add("packets offered", fmt.Sprintf("%d", r.Packets), "-")
+	for _, g := range r.GateDispatch {
+		t.Add(fmt.Sprintf("gate %s dispatches", g.Gate), fmt.Sprintf("%d", g.Packets), "-")
+	}
+	hitRatio := 0.0
+	if total := r.CacheHits + r.CacheMisses; total > 0 {
+		hitRatio = float64(r.CacheHits) / float64(total)
+	}
+	t.Add("flow-cache hits / misses", fmt.Sprintf("%d / %d (%.1f%% hit)", r.CacheHits, r.CacheMisses, hitRatio*100), "-")
+	t.Add("first-packet classifications", fmt.Sprintf("%d", r.FirstPackets), "-")
+	missTime := m.LookupTime(uint64(r.AccessesPerMiss + 0.5))
+	t.Add("classifier accesses / miss", fmt.Sprintf("%.1f", r.AccessesPerMiss),
+		fmt.Sprintf("%.0f cycles (%.2fus)", m.CyclesOf(missTime), float64(missTime.Nanoseconds())/1000))
+	t.Add("classifier accesses total", fmt.Sprintf("%d (+%d fn-ptr loads)", r.Accesses, r.FnPtrLoads),
+		fmt.Sprintf("%.0f cycles", m.CyclesOf(m.LookupTime(r.Accesses))))
+	t.Add("forwarded (verdict counter)", fmt.Sprintf("%d", r.Forwarded), "-")
+	t.Add("packets traced", fmt.Sprintf("%d in ring (%d sampled-out/busy)", r.Traced, r.TraceSkipped), "-")
+	for _, s := range r.Samples {
+		hops := ""
+		for i, h := range s.Hops {
+			if i > 0 {
+				hops += " > "
+			}
+			hops += fmt.Sprintf("%s:%s", h.Gate, h.Instance)
+		}
+		t.Add(fmt.Sprintf("  trace #%d %s", s.Seq, s.Flow),
+			fmt.Sprintf("%s hit=%v acc=%d out=%d", hops, s.CacheHit, s.Accesses, s.OutIf), "-")
+	}
+	t.Note("every figure above is read from telemetry.Snapshot / the trace ring, not from benchmark-local counters")
+	t.Note("paper units: memory accesses x 60ns on the 233MHz P6 testbed (Table 2 vocabulary)")
+	return t
+}

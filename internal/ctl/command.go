@@ -24,6 +24,7 @@ import (
 //	filters GATE
 //	stats
 //	flows
+//	trace [N]
 //
 // Filter specs contain commas and spaces; quote them or rely on the
 // key=value splitting, which only splits on the first '='.
@@ -110,6 +111,15 @@ func ParseCommand(args []string) (*Request, error) {
 		return &Request{Op: OpStats}, nil
 	case "flows":
 		return &Request{Op: OpFlows}, nil
+	case "trace":
+		switch len(rest) {
+		case 0:
+			return &Request{Op: OpTrace}, nil
+		case 1:
+			return &Request{Op: OpTrace, Args: map[string]string{"max": rest[0]}}, nil
+		default:
+			return nil, fmt.Errorf("ctl: trace [N]")
+		}
 	default:
 		return nil, fmt.Errorf("ctl: unknown command %q", cmd)
 	}

@@ -12,6 +12,7 @@ package ctl
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -38,6 +39,7 @@ const (
 	OpFilters    Op = "filters"    // list filters at a gate
 	OpStats      Op = "stats"      // router core statistics
 	OpFlows      Op = "flows"      // flow table statistics
+	OpTrace      Op = "trace"      // recent packet traces (telemetry)
 )
 
 // Request is one control message.
@@ -101,16 +103,23 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	enc := json.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
 		resp := Response{OK: true}
-		data, err := s.backend.Control(&req)
-		if err != nil {
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			// A malformed request must not tear down the connection: the
+			// framing is line-delimited, so the broken line is already
+			// consumed — answer with a structured error and keep serving.
+			resp.OK = false
+			resp.Error = fmt.Sprintf("ctl: bad request: %v", err)
+		} else if data, err := s.backend.Control(&req); err != nil {
 			resp.OK = false
 			resp.Error = err.Error()
 		} else if data != nil {

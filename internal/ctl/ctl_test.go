@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -43,6 +44,8 @@ func TestParseCommand(t *testing.T) {
 		{"filters sched", &Request{Op: OpFilters, Gate: "sched"}},
 		{"stats", &Request{Op: OpStats}},
 		{"flows", &Request{Op: OpFlows}},
+		{"trace", &Request{Op: OpTrace}},
+		{"trace 16", &Request{Op: OpTrace, Args: map[string]string{"max": "16"}}},
 	}
 	for _, tc := range cases {
 		got, err := ParseCommand(SplitLine(tc.in))
@@ -69,6 +72,7 @@ func TestParseCommandErrors(t *testing.T) {
 		{"route"},
 		{"route", "sideways", "x"},
 		{"filters"},
+		{"trace", "16", "32"},
 	}
 	for _, args := range bad {
 		if _, err := ParseCommand(args); err == nil {
@@ -220,3 +224,59 @@ func TestClientHelpers(t *testing.T) {
 type backendFunc func(req *Request) (any, error)
 
 func (f backendFunc) Control(req *Request) (any, error) { return f(req) }
+
+// TestMalformedRequestKeepsConnection is the regression test for the
+// error path: a request the server cannot parse must produce a
+// structured error response, not a closed connection.
+func TestMalformedRequestKeepsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
+	go NewServer(echoBackend{}).Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	readResp := func() Response {
+		t.Helper()
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("read response: %v", err)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("bad response %q: %v", line, err)
+		}
+		return resp
+	}
+
+	if _, err := fmt.Fprintln(conn, `{"op": not json at all`); err != nil {
+		t.Fatal(err)
+	}
+	resp := readResp()
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("malformed request: got %+v, want structured error", resp)
+	}
+
+	// The connection survives: a valid request on the same conn works.
+	if _, err := fmt.Fprintln(conn, `{"op":"load","plugin":"drr"}`); err != nil {
+		t.Fatal(err)
+	}
+	resp = readResp()
+	if !resp.OK {
+		t.Fatalf("valid request after malformed one failed: %+v", resp)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(resp.Data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["plugin"] != "drr" {
+		t.Errorf("echo after recovery = %v", got)
+	}
+}

@@ -50,6 +50,18 @@ func (c *Counter) FnPointer() {
 	}
 }
 
+// Merge folds another counter's counts into c — used when a stack-local
+// counter accumulates one packet's accesses before they are credited to
+// a shared per-router counter.
+//
+//eisr:fastpath
+func (c *Counter) Merge(o Counter) {
+	if c != nil {
+		c.Mem += o.Mem
+		c.FnPtr += o.FnPtr
+	}
+}
+
 // Total returns all accesses, data and function pointer together — the
 // quantity Table 2 totals.
 func (c *Counter) Total() uint64 {

@@ -25,6 +25,7 @@ import (
 	"github.com/routerplugins/eisr/internal/pkt"
 	"github.com/routerplugins/eisr/internal/routing"
 	"github.com/routerplugins/eisr/internal/sched"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // limitedBroadcast is 255.255.255.255.
@@ -109,6 +110,10 @@ type Config struct {
 	LocalSink func(p *pkt.Packet)
 	// Clock supplies the AIU's notion of now; defaults to time.Now.
 	Clock func() time.Time
+	// Tel, when non-nil, attaches the telemetry registry: per-gate
+	// dispatch counters, drop/verdict accounting, and (when a trace
+	// ring is enabled on the registry) per-packet path traces.
+	Tel *telemetry.Telemetry
 }
 
 // Router is the forwarding engine plus its attached interfaces.
@@ -138,6 +143,25 @@ type Router struct {
 	// Counter, when non-nil, accumulates classifier cost accounting for
 	// every forwarded packet (benchmark instrumentation).
 	Counter *cycles.Counter
+
+	// Telemetry cells. The slices are always allocated to gate length so
+	// the per-gate fast path can index them unconditionally; with
+	// telemetry off every cell is nil and every record call is a no-op.
+	tel             *telemetry.Telemetry
+	gateNames       []string
+	telGateDispatch []*telemetry.Counter
+	telGateNanos    []*telemetry.Histogram
+	telForwarded    *telemetry.Counter
+	telDelivered    *telemetry.Counter
+	telDropped      *telemetry.Counter
+	telDropChecksum *telemetry.Counter
+	telDropMalform  *telemetry.Counter
+	telDropTTL      *telemetry.Counter
+	telDropNoRoute  *telemetry.Counter
+	telDropPlugin   *telemetry.Counter
+	telDropQueue    *telemetry.Counter
+	telDropMTU      *telemetry.Counter
+	telPktNanos     *telemetry.Histogram
 }
 
 // New assembles a router.
@@ -174,7 +198,59 @@ func New(cfg Config) (*Router, error) {
 			r.gateSlots[i] = slot
 		}
 	}
+	r.initTelemetry(cfg.Tel)
 	return r, nil
+}
+
+// initTelemetry registers the core's metric cells. With t == nil the
+// per-gate slices still exist (so the fast path indexes them without a
+// branch) but every cell is nil and records nothing.
+func (r *Router) initTelemetry(t *telemetry.Telemetry) {
+	r.tel = t
+	r.gateNames = make([]string, len(r.gates))
+	r.telGateDispatch = make([]*telemetry.Counter, len(r.gates))
+	r.telGateNanos = make([]*telemetry.Histogram, len(r.gates))
+	for i, g := range r.gates {
+		r.gateNames[i] = g.String()
+	}
+	if t == nil {
+		return
+	}
+	for i, g := range r.gates {
+		l := telemetry.Label{Key: "gate", Value: g.String()}
+		r.telGateDispatch[i] = t.Counter("eisr_gate_dispatch_total",
+			"packets entering each gate", l)
+		r.telGateNanos[i] = t.Histogram("eisr_gate_ns",
+			"per-gate dispatch nanoseconds (traced packets only)", l)
+	}
+	verdict := func(v string) *telemetry.Counter {
+		return t.Counter("eisr_verdicts_total", "packet fates",
+			telemetry.Label{Key: "verdict", Value: v})
+	}
+	r.telForwarded = verdict("forwarded")
+	r.telDelivered = verdict("delivered")
+	r.telDropped = verdict("dropped")
+	reason := func(why string) *telemetry.Counter {
+		return t.Counter("eisr_drops_total", "packets dropped by reason",
+			telemetry.Label{Key: "reason", Value: why})
+	}
+	r.telDropChecksum = reason("bad-checksum")
+	r.telDropMalform = reason("malformed")
+	r.telDropTTL = reason("ttl-expired")
+	r.telDropNoRoute = reason("no-route")
+	r.telDropPlugin = reason("plugin")
+	r.telDropQueue = reason("queue-full")
+	r.telDropMTU = reason("mtu")
+	r.telPktNanos = t.Histogram("eisr_packet_ns",
+		"end-to-end data-path nanoseconds (traced packets only)")
+}
+
+// countDrop records the dropped verdict plus its reason cell.
+//
+//eisr:fastpath
+func (r *Router) countDrop(why *telemetry.Counter) {
+	r.telDropped.Inc()
+	why.Inc()
 }
 
 // AddInterface attaches an interface to the router.
@@ -288,10 +364,12 @@ func (r *Router) forwardMono(p *pkt.Packet) bool {
 	if r.cfg.MonoSched != nil {
 		if err := r.cfg.MonoSched.Enqueue(p); err != nil {
 			r.stats.dropped.Add(1)
+			r.countDrop(r.telDropQueue)
 			return false
 		}
 		r.stats.schedEnq.Add(1)
 		r.stats.forwarded.Add(1)
+		r.telForwarded.Inc()
 		return true
 	}
 	return r.enqueueFIFO(p)
@@ -308,6 +386,72 @@ func (r *Router) forwardMono(p *pkt.Packet) bool {
 //
 //eisr:fastpath
 func (r *Router) forwardPlugin(p *pkt.Packet) bool {
+	// Tracer() is one nil check plus an atomic load; Acquire returns nil
+	// unless tracing is enabled and this packet is sampled, so the
+	// untraced path pays a couple of predicted branches.
+	if te := r.tel.Tracer().Acquire(); te != nil {
+		return r.forwardTraced(p, te)
+	}
+	return r.forwardGates(p, r.Counter, nil)
+}
+
+// Preallocated verdict strings for trace commits (header-copy only).
+const (
+	verdictForwarded = "forwarded"
+	verdictDelivered = "delivered"
+	verdictDropped   = "dropped"
+)
+
+// forwardTraced is the traced variant of the plugin path: it runs the
+// same gate walk with a stack-local cycles counter so this packet's
+// classifier accesses can be attributed to its trace entry, then merges
+// them into the shared counter so benchmark accounting is unchanged.
+//
+//eisr:fastpath
+func (r *Router) forwardTraced(p *pkt.Packet, te *telemetry.TraceEntry) bool {
+	var cc cycles.Counter
+	start := r.clock()
+	ok := r.forwardGates(p, &cc, te)
+	elapsed := r.clock().Sub(start).Nanoseconds()
+	r.Counter.Merge(cc)
+	r.telPktNanos.Observe(uint64(elapsed))
+	te.RecordKey(p.Key, start.UnixNano())
+	te.RecordClassify(!p.CacheMiss, p.CacheMiss, cc.Mem, cc.FnPtr)
+	verdict, reason := verdictForwarded, ""
+	switch {
+	case !ok:
+		verdict, reason = verdictDropped, p.DropMsg
+	case p.OutIf < 0:
+		verdict = verdictDelivered
+	}
+	te.Commit(verdict, reason, p.OutIf, elapsed)
+	return ok
+}
+
+// hopIdentity resolves the plugin code and instance name recorded in a
+// trace hop. Instances that expose their plugin code (optional
+// interface) report it exactly; otherwise the gate's type occupies the
+// code's upper 16 bits with a zero implementation id.
+//
+//eisr:fastpath
+func hopIdentity(g pcu.Type, inst pcu.Instance) (uint32, string) {
+	code := uint32(g) << 16
+	if inst == nil {
+		return code, ""
+	}
+	if c, ok := inst.(interface{ PluginCode() pcu.Code }); ok {
+		code = uint32(c.PluginCode())
+	}
+	return code, inst.InstanceName()
+}
+
+// forwardGates is the gate walk shared by the traced and untraced plugin
+// paths. c receives the classifier cost accounting; te, when non-nil,
+// receives one hop per gate (with per-gate nanoseconds — the clock is
+// only read for traced packets).
+//
+//eisr:fastpath
+func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.TraceEntry) bool {
 	if !r.validate(p) {
 		return false
 	}
@@ -318,6 +462,11 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 	routed := false
 	schedHandled := false
 	for gi, g := range r.gates {
+		r.telGateDispatch[gi].Inc()
+		var gstart time.Time
+		if te != nil {
+			gstart = r.clock()
+		}
 		// The gate "macro": once the FIX is in the packet, fetch the
 		// instance with a single indirect load — no call into the AIU
 		// (§3.2: "macros implementing a gate can retrieve the instance
@@ -325,10 +474,10 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 		// in the packet").
 		var inst pcu.Instance
 		if rec, ok := p.FIX.(*aiu.FlowRecord); ok {
-			r.Counter.Access(1)
+			c.Access(1)
 			inst = rec.Bind(r.gateSlots[gi]).Instance
 		} else {
-			inst, _ = r.aiu.LookupGate(p, g, now, r.Counter)
+			inst, _ = r.aiu.LookupGate(p, g, now, c)
 		}
 		switch g {
 		case pcu.TypeRouting:
@@ -344,7 +493,7 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 				return true
 			}
 			if p.OutIf < 0 {
-				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
 				if !ok {
 					return r.dropNoRoute(p)
 				}
@@ -362,7 +511,7 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 				if r.deliverLocal(p) {
 					return true
 				}
-				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
 				if !ok {
 					return r.dropNoRoute(p)
 				}
@@ -383,6 +532,7 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 				schedHandled = true
 				r.stats.schedEnq.Add(1)
 				r.stats.forwarded.Add(1)
+				r.telForwarded.Inc()
 			}
 		default:
 			if inst != nil {
@@ -394,8 +544,15 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 				}
 			}
 		}
+		if te != nil {
+			ns := r.clock().Sub(gstart).Nanoseconds()
+			code, iname := hopIdentity(g, inst)
+			te.RecordHop(r.gateNames[gi], code, iname, ns)
+			r.telGateNanos[gi].Observe(uint64(ns))
+		}
 		if p.PuntLocal {
 			r.stats.delivered.Add(1)
+			r.telDelivered.Inc()
 			if r.cfg.LocalSink != nil {
 				r.cfg.LocalSink(p)
 			}
@@ -409,7 +566,7 @@ func (r *Router) forwardPlugin(p *pkt.Packet) bool {
 		if r.deliverLocal(p) {
 			return true
 		}
-		nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
+		nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
 		if !ok {
 			return r.dropNoRoute(p)
 		}
@@ -428,6 +585,7 @@ func (r *Router) pluginDrop(p *pkt.Packet, err error) bool {
 	}
 	r.stats.pluginDrops.Add(1)
 	r.stats.dropped.Add(1)
+	r.countDrop(r.telDropPlugin)
 	return false
 }
 
@@ -438,18 +596,21 @@ func (r *Router) validate(p *pkt.Packet) bool {
 		if r.cfg.VerifyChecksums && !pkt.VerifyIPv4Checksum(p.Data) {
 			r.stats.badChecksum.Add(1)
 			r.stats.dropped.Add(1)
+			r.countDrop(r.telDropChecksum)
 			return false
 		}
 	case 6:
 		// No header checksum in IPv6.
 	default:
 		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropMalform)
 		return false
 	}
 	if !p.KeyValid {
 		k, err := pkt.ExtractKey(p.Data, p.InIf)
 		if err != nil {
 			r.stats.dropped.Add(1)
+			r.countDrop(r.telDropMalform)
 			return false
 		}
 		p.Key, p.KeyValid = k, true
@@ -470,6 +631,7 @@ func (r *Router) deliverLocal(p *pkt.Packet) bool {
 		return false
 	}
 	r.stats.delivered.Add(1)
+	r.telDelivered.Inc()
 	if r.cfg.LocalSink != nil {
 		r.cfg.LocalSink(p)
 	}
@@ -487,6 +649,7 @@ func (r *Router) decTTL(p *pkt.Packet) bool {
 	if err != nil {
 		r.stats.ttlExpired.Add(1)
 		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropTTL)
 		r.sendICMPError(p, pkt.ICMPv4TimeExceeded, pkt.ICMPv6TimeExceeded, 0, 0)
 		return false
 	}
@@ -498,6 +661,7 @@ func (r *Router) decTTL(p *pkt.Packet) bool {
 func (r *Router) dropNoRoute(p *pkt.Packet) bool {
 	r.stats.noRoute.Add(1)
 	r.stats.dropped.Add(1)
+	r.countDrop(r.telDropNoRoute)
 	r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6DestUnreach, 0, 0)
 	return false
 }
@@ -577,13 +741,16 @@ func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
 	r.mu.RUnlock()
 	if q == nil {
 		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropQueue)
 		return false
 	}
 	if err := q.Enqueue(p); err != nil {
 		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropQueue)
 		return false
 	}
 	r.stats.forwarded.Add(1)
+	r.telForwarded.Inc()
 	return true
 }
 
@@ -658,6 +825,7 @@ func (r *Router) transmit(p *pkt.Packet) {
 			}
 		}
 		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropMTU)
 		r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6PacketTooBig, 4, 0)
 		return
 	}

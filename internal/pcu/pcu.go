@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Type is a plugin type, which corresponds one-to-one with a gate in the
@@ -196,6 +197,15 @@ type Registry struct {
 	// instances tracks live instances per plugin code, in creation
 	// order, so free-instance and listings can find them.
 	instances map[Code][]Instance
+
+	// tel, when set, records plugin lifecycle metrics. Set once at
+	// assembly time (SetTelemetry) before concurrent use; all metric
+	// cells are created lazily on the control path, which is the only
+	// path the registry serves.
+	tel        *telemetry.Telemetry
+	telLoaded  *telemetry.Gauge
+	telLoads   *telemetry.Counter
+	telUnloads *telemetry.Counter
 }
 
 // NewRegistry returns an empty PCU.
@@ -207,21 +217,42 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SetTelemetry attaches lifecycle metrics to the registry. Call once at
+// assembly time, before the registry is used concurrently.
+func (r *Registry) SetTelemetry(t *telemetry.Telemetry) {
+	r.tel = t
+	r.telLoaded = t.Gauge("eisr_plugins_loaded", "plugins currently loaded")
+	r.telLoads = t.Counter("eisr_plugin_loads_total", "plugin load operations")
+	r.telUnloads = t.Counter("eisr_plugin_unloads_total", "plugin unload operations")
+}
+
+// instanceGauge returns (creating if needed) the live-instance gauge for
+// a plugin. Control path only; nil-safe through the registry.
+func (r *Registry) instanceGauge(name string) *telemetry.Gauge {
+	return r.tel.Gauge("eisr_plugin_instances", "live plugin instances",
+		telemetry.Label{Key: "plugin", Value: name})
+}
+
 // Load registers a plugin (the analog of modload + callback
 // registration). It fails if the code or name is already taken.
 func (r *Registry) Load(p Plugin) error {
 	// Sample the plugin's identity before taking the lock.
 	e := &entry{plugin: p, name: p.PluginName(), code: p.PluginCode()}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.byCode[e.code]; ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: code %s", ErrDuplicate, e.code)
 	}
 	if _, ok := r.byName[e.name]; ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: name %q", ErrDuplicate, e.name)
 	}
 	r.byCode[e.code] = e
 	r.byName[e.name] = e
+	n := len(r.byName)
+	r.mu.Unlock()
+	r.telLoads.Inc()
+	r.telLoaded.Set(int64(n))
 	return nil
 }
 
@@ -229,17 +260,22 @@ func (r *Registry) Load(p Plugin) error {
 // its instances first (the router facade enforces this).
 func (r *Registry) Unload(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.byName[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
 	}
 	if n := len(r.instances[e.code]); n > 0 {
+		r.mu.Unlock()
 		return fmt.Errorf("pcu: plugin %q still has %d live instances", name, n)
 	}
 	delete(r.byName, name)
 	delete(r.byCode, e.code)
 	delete(r.instances, e.code)
+	n := len(r.byName)
+	r.mu.Unlock()
+	r.telUnloads.Inc()
+	r.telLoaded.Set(int64(n))
 	return nil
 }
 
@@ -290,28 +326,35 @@ func (r *Registry) Send(name string, msg *Message) error {
 	e, ok := r.byName[name]
 	r.mu.RUnlock()
 	if !ok {
+		r.countMessage(name, true)
 		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
 	}
+	r.countMessage(e.name, false)
 	switch msg.Kind {
 	case MsgFreeInstance, MsgRegisterInstance, MsgDeregisterInstance:
 		if msg.Instance == nil {
+			r.countError(e.name)
 			return fmt.Errorf("%w: %s to %s", ErrBadInstance, msg.Kind, name)
 		}
 	}
 	// The callback runs with no registry lock held: plugins are free to
 	// call back into the registry from their message handlers.
 	if err := e.plugin.Callback(msg); err != nil {
+		r.countError(e.name)
 		return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, name, err)
 	}
 	switch msg.Kind {
 	case MsgCreateInstance:
 		inst, ok := msg.Reply.(Instance)
 		if !ok {
+			r.countError(e.name)
 			return fmt.Errorf("pcu: plugin %s created no instance", name)
 		}
 		r.mu.Lock()
 		r.instances[e.code] = append(r.instances[e.code], inst)
+		n := len(r.instances[e.code])
 		r.mu.Unlock()
+		r.instanceGauge(e.name).Set(int64(n))
 	case MsgFreeInstance:
 		r.mu.Lock()
 		list := r.instances[e.code]
@@ -321,9 +364,37 @@ func (r *Registry) Send(name string, msg *Message) error {
 				break
 			}
 		}
+		n := len(r.instances[e.code])
 		r.mu.Unlock()
+		r.instanceGauge(e.name).Set(int64(n))
 	}
 	return nil
+}
+
+// countMessage records one control message to a plugin; failed sends to
+// unknown plugins are counted under plugin="?" so the error is visible
+// without creating a metric per bad name.
+func (r *Registry) countMessage(name string, unknown bool) {
+	if r.tel == nil {
+		return
+	}
+	if unknown {
+		name = "?"
+	}
+	r.tel.Counter("eisr_pcu_messages_total", "control messages dispatched",
+		telemetry.Label{Key: "plugin", Value: name}).Inc()
+	if unknown {
+		r.countError(name)
+	}
+}
+
+// countError records a failed control message.
+func (r *Registry) countError(name string) {
+	if r.tel == nil {
+		return
+	}
+	r.tel.Counter("eisr_pcu_errors_total", "control messages that failed",
+		telemetry.Label{Key: "plugin", Value: name}).Inc()
 }
 
 // Instances lists the live instances of a plugin code.

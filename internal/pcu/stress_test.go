@@ -3,9 +3,12 @@ package pcu
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // stressPlugin answers the standardized message set with nothing but
@@ -140,5 +143,90 @@ func TestRegistryConcurrentLifecycle(t *testing.T) {
 	}
 	if n := stable.insts.Load(); n != 0 {
 		t.Errorf("instance create/free imbalance: %d", n)
+	}
+}
+
+// TestRegistryTelemetryChurnRace churns plugin load/unload and instance
+// create/free with telemetry attached while readers snapshot and export
+// the registry concurrently. Under -race this covers the lazy metric
+// registration the control path performs (per-plugin instance gauges,
+// message counters) racing Snapshot and WritePrometheus.
+func TestRegistryTelemetryChurnRace(t *testing.T) {
+	tel := telemetry.New()
+	r := NewRegistry()
+	r.SetTelemetry(tel)
+	stable := &stressPlugin{name: "stable", code: MakeCode(TypeSched, 1)}
+	if err := r.Load(stable); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		churnWorkers = 3
+		churnIters   = 100
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < churnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%d", w)
+			code := MakeCode(TypeSecurity, uint16(w+2))
+			for i := 0; i < churnIters; i++ {
+				p := &stressPlugin{name: name, code: code}
+				if err := r.Load(p); err != nil {
+					t.Error(err)
+					return
+				}
+				msg := &Message{Kind: MsgCreateInstance}
+				if err := r.Send(name, msg); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Send(name, &Message{Kind: MsgFreeInstance, Instance: msg.Reply.(Instance)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.Unload(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Observers: snapshot and export while lifecycle metrics register.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2*churnIters; i++ {
+				for _, m := range tel.Snapshot() {
+					if m.Family == "" {
+						t.Error("snapshot returned unnamed metric")
+						return
+					}
+				}
+				if err := tel.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiesced: every churned load was matched by an unload, only the
+	// stable plugin remains, and the counters agree.
+	mv, ok := tel.Find("eisr_plugins_loaded")
+	if !ok || mv.Gauge != 1 {
+		t.Errorf("eisr_plugins_loaded = %+v, want 1", mv)
+	}
+	loads, _ := tel.Find("eisr_plugin_loads_total")
+	unloads, _ := tel.Find("eisr_plugin_unloads_total")
+	if want := uint64(churnWorkers*churnIters + 1); loads.Counter != want {
+		t.Errorf("loads counter = %d, want %d", loads.Counter, want)
+	}
+	if want := uint64(churnWorkers * churnIters); unloads.Counter != want {
+		t.Errorf("unloads counter = %d, want %d", unloads.Counter, want)
 	}
 }

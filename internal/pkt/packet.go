@@ -99,6 +99,12 @@ type Packet struct {
 	Drop    bool
 	DropMsg string
 
+	// CacheMiss records that this packet took the first-packet
+	// classification slow path (no flow-cache entry existed when it
+	// arrived). Telemetry uses it to attribute classifier cost to
+	// cache misses in packet traces.
+	CacheMiss bool
+
 	// PuntLocal asks the core to divert the packet to local delivery
 	// after the current gate — how hop-by-hop control protocols (RSVP
 	// PATH messages flagged by the router-alert option) reach their
@@ -132,5 +138,6 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = append([]byte(nil), p.Data...)
 	q.FIX = nil
+	q.CacheMiss = false
 	return &q
 }

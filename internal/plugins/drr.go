@@ -57,6 +57,7 @@ func (d *DRRPlugin) Callback(msg *pcu.Message) error {
 			name: d.namer.next(), env: d.env, ifIdx: ifIdx,
 			drr: sched.NewDRR(quantum, qlen),
 		}
+		inst.drr.Tel = d.env.Tel.SchedMetrics("drr", inst.name)
 		if slot, ok := d.env.AIU.Slot(pcu.TypeSched); ok {
 			inst.slot = slot
 		} else {

@@ -83,6 +83,7 @@ func (h *HFSCPlugin) Callback(msg *pcu.Message) error {
 			hfsc: sched.NewHFSC(rate), classes: make(map[string]*sched.Class),
 			epoch: h.env.now(),
 		}
+		inst.hfsc.Tel = h.env.Tel.SchedMetrics("hfsc", inst.name)
 		if slot, ok := h.env.AIU.Slot(pcu.TypeSched); ok {
 			inst.slot = slot
 		} else {

@@ -20,6 +20,7 @@ import (
 	"github.com/routerplugins/eisr/internal/aiu"
 	"github.com/routerplugins/eisr/internal/ipcore"
 	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Env gives plugins access to the kernel components they glue into: the
@@ -30,6 +31,10 @@ type Env struct {
 	Router *ipcore.Router
 	AIU    *aiu.AIU
 	Clock  func() time.Time
+	// Tel is the router's telemetry registry (nil when telemetry is
+	// off); plugin instances register their metric bundles against it
+	// at create time.
+	Tel *telemetry.Telemetry
 }
 
 func (e *Env) now() time.Time {

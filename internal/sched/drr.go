@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Preallocated enqueue errors: the enqueue path runs per packet and must
@@ -34,6 +35,12 @@ type DRR struct {
 
 	// All live queues (including idle), for listing and teardown.
 	queues map[*DRRQueue]struct{}
+
+	// Tel, when non-nil, records per-instance scheduler metrics
+	// (enqueue/dequeue/drop counts, backlog, live queues, deficit). Set
+	// by the owning plugin instance at create time, before traffic; a
+	// nil bundle no-ops every record call.
+	Tel *telemetry.SchedMetrics
 }
 
 // DRRQueue is one flow's queue. It is the per-flow soft state the DRR
@@ -76,6 +83,7 @@ func (d *DRR) NewQueue(label string, weight float64) *DRRQueue {
 	q := &DRRQueue{Weight: weight, parent: d, Label: label}
 	q.fifo = *NewFIFO(d.limit)
 	d.queues[q] = struct{}{}
+	d.Tel.SetQueues(len(d.queues))
 	return q
 }
 
@@ -90,6 +98,7 @@ func (d *DRR) RemoveQueue(q *DRRQueue) {
 		d.unlink(q)
 	}
 	delete(d.queues, q)
+	d.Tel.SetQueues(len(d.queues))
 	q.parent = nil
 }
 
@@ -102,9 +111,11 @@ func (d *DRR) EnqueueFlow(q *DRRQueue, p *pkt.Packet) error {
 	}
 	if err := q.fifo.Enqueue(p); err != nil {
 		q.Drops++
+		d.Tel.RecordDrop()
 		return err
 	}
 	d.total++
+	d.Tel.RecordEnqueue()
 	if !q.onList {
 		d.link(q)
 		q.deficit = 0
@@ -146,6 +157,7 @@ func (d *DRR) Dequeue() *pkt.Packet {
 			q.deficit -= len(p.Data)
 			q.Served += uint64(len(p.Data))
 			d.total--
+			d.Tel.RecordDequeue(q.deficit)
 			if q.fifo.Len() == 0 {
 				q.deficit = 0
 				d.unlink(q)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // HFSC implements the Hierarchical Fair Service Curve scheduler [Stoica,
@@ -26,6 +27,11 @@ type HFSC struct {
 	root   *Class
 	leaves []*Class
 	count  int // queued packets
+
+	// Tel, when non-nil, records per-instance scheduler metrics; the
+	// owning plugin instance sets it at create time. The deficit
+	// histogram does not apply to H-FSC (dequeues pass -1).
+	Tel *telemetry.SchedMetrics
 }
 
 // Curve is a two-piece linear service curve: slope M1 (bytes/second) for
@@ -131,6 +137,7 @@ func (h *HFSC) AddClass(name string, parent *Class, rt, ls, ul *Curve, queue Lea
 	cl.queue = queue
 	parent.child = append(parent.child, cl)
 	h.leaves = append(h.leaves, cl)
+	h.Tel.SetQueues(len(h.leaves))
 	return cl, nil
 }
 
@@ -142,9 +149,11 @@ func (h *HFSC) EnqueueClass(cl *Class, p *pkt.Packet, now float64) error {
 	wasEmpty := cl.queue.Len() == 0
 	if err := cl.queue.Enqueue(p); err != nil {
 		cl.Drops++
+		h.Tel.RecordDrop()
 		return err
 	}
 	h.count++
+	h.Tel.RecordEnqueue()
 	if wasEmpty {
 		if cl.rsc != nil {
 			cl.initED(now, float64(len(p.Data)))
@@ -201,6 +210,7 @@ func (h *HFSC) DequeueAt(now float64) *pkt.Packet {
 		return nil
 	}
 	h.count--
+	h.Tel.RecordDequeue(-1)
 	size := float64(len(p.Data))
 	cl.Served += uint64(len(p.Data))
 

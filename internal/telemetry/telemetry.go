@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension ("gate"="sched", "plugin"="drr").
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Kind discriminates metric types in snapshots and export.
+type Kind uint8
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// metric is one registered metric: a family name, its label set, and
+// exactly one live cell.
+type metric struct {
+	family string
+	labels []Label
+	full   string // family{k="v",...}
+	help   string
+	kind   Kind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Telemetry is the metric registry plus the optional trace ring. All
+// registration happens on the control path under a mutex; data-path
+// code holds direct pointers to the registered cells and never touches
+// the registry. A nil *Telemetry is the disabled mode: constructors
+// return nil cells whose record methods are no-ops.
+type Telemetry struct {
+	mu     sync.Mutex
+	order  []*metric
+	byFull map[string]*metric
+
+	trace atomic.Pointer[TraceRing]
+}
+
+// New builds an empty registry.
+func New() *Telemetry {
+	return &Telemetry{byFull: make(map[string]*metric)}
+}
+
+// renderFull renders the canonical full name: family{k="v",...} with
+// labels in the given order (callers use a stable order per family).
+func renderFull(family string, labels []Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var sb strings.Builder
+	sb.WriteString(family)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(l.Value)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// register resolves or creates the metric for full name. Returns nil on
+// a kind clash (the name is already taken by a different metric type),
+// which degrades that call site to a no-op rather than corrupting the
+// export.
+func (t *Telemetry) register(family, help string, kind Kind, labels []Label) *metric {
+	full := renderFull(family, labels)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok := t.byFull[full]; ok {
+		if m.kind != kind {
+			return nil
+		}
+		return m
+	}
+	m := &metric{
+		family: family, labels: append([]Label(nil), labels...),
+		full: full, help: help, kind: kind,
+	}
+	switch kind {
+	case KindCounter:
+		m.c = &Counter{}
+	case KindGauge:
+		m.g = &Gauge{}
+	case KindHistogram:
+		m.h = &Histogram{}
+	}
+	t.order = append(t.order, m)
+	t.byFull[full] = m
+	return m
+}
+
+// Counter registers (or finds) a counter. Nil-safe: a nil receiver
+// returns a nil *Counter, whose methods are no-ops.
+func (t *Telemetry) Counter(family, help string, labels ...Label) *Counter {
+	if t == nil {
+		return nil
+	}
+	m := t.register(family, help, KindCounter, labels)
+	if m == nil {
+		return nil
+	}
+	return m.c
+}
+
+// Gauge registers (or finds) a gauge.
+func (t *Telemetry) Gauge(family, help string, labels ...Label) *Gauge {
+	if t == nil {
+		return nil
+	}
+	m := t.register(family, help, KindGauge, labels)
+	if m == nil {
+		return nil
+	}
+	return m.g
+}
+
+// Histogram registers (or finds) a histogram.
+func (t *Telemetry) Histogram(family, help string, labels ...Label) *Histogram {
+	if t == nil {
+		return nil
+	}
+	m := t.register(family, help, KindHistogram, labels)
+	if m == nil {
+		return nil
+	}
+	return m.h
+}
+
+// EnableTrace installs a packet trace ring of the given size (rounded
+// up to a power of two), sampling every sample-th packet (<=1 traces
+// every packet). Safe to call before the data path starts; replacing a
+// live ring is atomic and old entries are abandoned to the collector.
+func (t *Telemetry) EnableTrace(size, sample int) {
+	if t == nil {
+		return
+	}
+	t.trace.Store(NewTraceRing(size, sample))
+}
+
+// Tracer returns the live trace ring, or nil when tracing is off (or
+// the receiver is nil). The data path calls this per packet: one atomic
+// load.
+//
+//eisr:fastpath
+func (t *Telemetry) Tracer() *TraceRing {
+	if t == nil {
+		return nil
+	}
+	return t.trace.Load()
+}
+
+// SchedMetrics bundles the per-scheduler-instance cells so queueing
+// disciplines carry a single nil-checkable pointer. Created on the
+// control path when a scheduling instance is built; a nil *SchedMetrics
+// no-ops every record method.
+type SchedMetrics struct {
+	enqueued *Counter
+	dequeued *Counter
+	drops    *Counter
+	backlog  *Gauge
+	queues   *Gauge
+	deficit  *Histogram
+}
+
+// SchedMetrics registers the scheduler metric set for one instance.
+func (t *Telemetry) SchedMetrics(plugin, instance string) *SchedMetrics {
+	if t == nil {
+		return nil
+	}
+	l := []Label{{"plugin", plugin}, {"instance", instance}}
+	return &SchedMetrics{
+		enqueued: t.Counter("eisr_sched_enqueued_total", "packets admitted by the scheduling discipline", l...),
+		dequeued: t.Counter("eisr_sched_dequeued_total", "packets handed to the link by the scheduling discipline", l...),
+		drops:    t.Counter("eisr_sched_drops_total", "packets rejected at enqueue (queue limit)", l...),
+		backlog:  t.Gauge("eisr_sched_backlog", "packets queued across all flows of the instance", l...),
+		queues:   t.Gauge("eisr_sched_queues", "live per-flow queues of the instance", l...),
+		deficit:  t.Histogram("eisr_sched_deficit_bytes", "DRR per-flow deficit observed at dequeue", l...),
+	}
+}
+
+// RecordEnqueue counts an admitted packet.
+//
+//eisr:fastpath
+func (m *SchedMetrics) RecordEnqueue() {
+	if m == nil {
+		return
+	}
+	m.enqueued.Inc()
+	m.backlog.Inc()
+}
+
+// RecordDequeue counts a transmitted packet and observes the serving
+// flow's remaining deficit (DRR's fairness state).
+//
+//eisr:fastpath
+func (m *SchedMetrics) RecordDequeue(deficit int) {
+	if m == nil {
+		return
+	}
+	m.dequeued.Inc()
+	m.backlog.Dec()
+	if deficit >= 0 {
+		m.deficit.Observe(uint64(deficit))
+	}
+}
+
+// RecordDrop counts an enqueue rejection.
+//
+//eisr:fastpath
+func (m *SchedMetrics) RecordDrop() {
+	if m == nil {
+		return
+	}
+	m.drops.Inc()
+}
+
+// SetQueues publishes the live per-flow queue count (control path:
+// queue create/remove).
+func (m *SchedMetrics) SetQueues(n int) {
+	if m == nil {
+		return
+	}
+	m.queues.Set(int64(n))
+}
+
+// snapshotMetrics copies the registration list under the lock.
+func (t *Telemetry) snapshotMetrics() []*metric {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*metric(nil), t.order...)
+}
+
+// sortedMetrics returns the registered metrics sorted by family then
+// full name, for deterministic export.
+func (t *Telemetry) sortedMetrics() []*metric {
+	ms := t.snapshotMetrics()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].full < ms[j].full
+	})
+	return ms
+}

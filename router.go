@@ -39,6 +39,7 @@ import (
 	"github.com/routerplugins/eisr/internal/routing"
 	"github.com/routerplugins/eisr/internal/rsvpd"
 	"github.com/routerplugins/eisr/internal/sched"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // Mode re-exports the kernel flavor.
@@ -82,6 +83,18 @@ type Options struct {
 	MonoSched sched.Scheduler
 	// Clock overrides the time source (simulations).
 	Clock func() time.Time
+	// Telemetry attaches the allocation-free metrics registry: per-gate
+	// dispatch counters, flow-cache accounting, plugin instance gauges,
+	// and the packet trace ring. Off by default — with it off the data
+	// path records nothing (nil cells, no-op calls).
+	Telemetry bool
+	// TraceBuffer sizes the packet trace ring (entries, rounded up to a
+	// power of two). 0 = the default size. Only meaningful with
+	// Telemetry.
+	TraceBuffer int
+	// TraceSample records every Nth packet in the trace ring (0 or 1 =
+	// every packet). Only meaningful with Telemetry.
+	TraceSample int
 }
 
 // Router is the assembled EISR.
@@ -91,6 +104,9 @@ type Router struct {
 	PCU    *pcu.Registry
 	Routes *routing.Table
 	Env    *plugins.Env
+	// Telemetry is the metrics registry (nil when Options.Telemetry was
+	// not set). Snapshot/WritePrometheus/Tracer hang off it.
+	Telemetry *telemetry.Telemetry
 
 	mu            sync.Mutex
 	done          chan struct{}
@@ -129,20 +145,38 @@ func New(opts Options) (*Router, error) {
 			ShareIdenticalTables: opts.ShareIdenticalTables,
 		}, gates...)
 	}
+	var tel *telemetry.Telemetry
+	if opts.Telemetry {
+		tel = telemetry.New()
+		size := opts.TraceBuffer
+		if size <= 0 {
+			size = telemetry.DefaultTraceSize
+		}
+		tel.EnableTrace(size, opts.TraceSample)
+		if a != nil {
+			a.SetTelemetry(tel)
+		}
+	}
 	var r *Router
 	core, err := ipcore.New(ipcore.Config{
 		Mode: mode, Gates: gates, AIU: a, Routes: routes,
 		MonoSched: opts.MonoSched, VerifyChecksums: opts.VerifyChecksums,
 		SendICMPErrors: opts.SendICMPErrors,
 		Clock:          opts.Clock,
+		Tel:            tel,
 		LocalSink:      func(p *pkt.Packet) { r.dispatchLocal(p) },
 	})
 	if err != nil {
 		return nil, err
 	}
+	reg := pcu.NewRegistry()
+	if tel != nil {
+		reg.SetTelemetry(tel)
+	}
 	r = &Router{
-		Core: core, AIU: a, PCU: pcu.NewRegistry(), Routes: routes,
-		Env: &plugins.Env{Router: core, AIU: a, Clock: opts.Clock},
+		Core: core, AIU: a, PCU: reg, Routes: routes,
+		Env:       &plugins.Env{Router: core, AIU: a, Clock: opts.Clock, Tel: tel},
+		Telemetry: tel,
 	}
 	return r, nil
 }
