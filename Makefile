@@ -21,15 +21,17 @@ vet: $(BIN)/eisrlint
 	$(GO) vet -vettool=$(BIN)/eisrlint ./...
 
 # Race-detector pass over the packages with concurrent kernel state:
-# flow-table lookups and gate dispatch racing the PCU control path, and
-# metric registration/snapshot racing record calls.
+# sharded flow-table lookups and gate dispatch racing the PCU control
+# path, the parallel forwarding pool and epoch reclamation, and metric
+# registration/snapshot racing record calls.
 race:
-	$(GO) test -race ./internal/aiu ./internal/pcu ./internal/telemetry
+	$(GO) test -race ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry
 
-# Overhead guard: the telemetry-off flow-cache hit path must stay
-# allocation-free and the disabled record calls under 2ns per packet.
+# Overhead guards: the telemetry-off flow-cache hit path must stay
+# allocation-free and the disabled record calls under 2ns per packet;
+# the 4-worker cache-hit path must scale (skips below 4 cores).
 bench-smoke:
-	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu
+	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench
 
 check: build test lint vet race
 

@@ -20,14 +20,15 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
-	"drrshare", "hfsc", "schedovh", "telemetry", "ablate-cache",
-	"ablate-bmp", "ablate-collapse", "ablate-interdag",
+	"drrshare", "hfsc", "schedovh", "telemetry", "parallel",
+	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (or 'all')")
 	full := flag.Bool("full", false, "paper-scale parameters (50k filters, 1000 reps)")
 	seed := flag.Int64("seed", 1998, "random seed")
+	workers := flag.Int("workers", 0, "max worker count for the parallel sweep (0 = 1,2,4)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
@@ -123,6 +124,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.TelemetryTable(res))
+	}
+	if run("parallel") {
+		ran = true
+		opts := bench.ParallelOptions{}
+		if *workers > 0 {
+			for w := 1; w <= *workers; w *= 2 {
+				opts.Workers = append(opts.Workers, w)
+			}
+		}
+		if *full {
+			opts.Flows, opts.PerFlow = 4096, 500
+		}
+		rows, err := bench.RunParallel(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.ParallelTable(rows))
 	}
 	if run("ablate-cache") {
 		ran = true

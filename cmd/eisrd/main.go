@@ -42,6 +42,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (enables telemetry)")
 	traceBuf := flag.Int("trace-buffer", 0, "packet trace ring size (entries, 0 = default; needs -metrics)")
 	traceSample := flag.Int("trace-sample", 1, "trace every Nth packet (needs -metrics)")
+	workers := flag.Int("workers", 0, "forwarding workers (0 or 1 = single-threaded; >1 steers packets by flow hash)")
 	flag.Parse()
 
 	r, err := eisr.New(eisr.Options{
@@ -51,6 +52,7 @@ func main() {
 		Telemetry:       *metricsAddr != "",
 		TraceBuffer:     *traceBuf,
 		TraceSample:     *traceSample,
+		Workers:         *workers,
 	})
 	if err != nil {
 		log.Fatalf("eisrd: %v", err)

@@ -28,6 +28,13 @@ type Config struct {
 	FlowBuckets  int
 	InitialFlows int
 	MaxFlows     int
+	// FlowShards is the flow-table shard count (rounded up to a power
+	// of two; 0 = DefaultFlowShards). Each shard has its own lock, free
+	// list, and recycle queue; the shard is picked from the top byte of
+	// the five-tuple hash, the same byte the ipcore worker pool steers
+	// by, so a power-of-two worker count gives every shard a single
+	// owning worker.
+	FlowShards int
 	// ShareIdenticalTables enables the §5.1.2 inter-DAG optimization:
 	// "often, the same or similar filters are installed in two or more
 	// filter tables. It is possible to exploit the information gleaned
@@ -52,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFlows == 0 {
 		c.MaxFlows = DefaultMaxFlows
+	}
+	if c.FlowShards == 0 {
+		c.FlowShards = DefaultFlowShards
 	}
 	return c
 }
@@ -123,7 +133,7 @@ func New(cfg Config, gates ...pcu.Type) *AIU {
 		a.slots[g] = i
 		a.tables[g] = &FilterTable{gate: g}
 	}
-	a.flows = NewFlowTable(cfg.FlowBuckets, cfg.InitialFlows, cfg.MaxFlows, len(gates))
+	a.flows = NewFlowTableSharded(cfg.FlowBuckets, cfg.InitialFlows, cfg.MaxFlows, len(gates), cfg.FlowShards)
 	return a
 }
 
@@ -340,12 +350,19 @@ func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.
 	if !ok {
 		return nil, nil
 	}
-	// Fastest: FIX already stored in the packet by an earlier gate.
+	// Fastest: FIX already stored in the packet by an earlier gate. The
+	// generation captured alongside it guards against the record having
+	// been recycled for a different flow since (oldest-first recycling,
+	// PurgeIdle, flushes); on mismatch the FIX is dropped and the packet
+	// reclassifies below instead of dispatching through the new flow's
+	// instances.
 	if p.FIX != nil {
 		rec := p.FIX.(*FlowRecord)
 		c.Access(1) // one indirect load through the FIX
-		b := rec.Bind(slot)
-		return b.Instance, rec
+		if b := rec.BindIfCurrent(slot, p.FIXGen); b != nil {
+			return b.Instance, rec
+		}
+		p.FIX = nil
 	}
 	if !p.KeyValid {
 		k, err := pkt.ExtractKey(p.Data, p.InIf)
@@ -354,11 +371,15 @@ func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.
 		}
 		p.Key, p.KeyValid = k, true
 	}
-	// Fast: flow-table hit.
-	if rec := a.flows.Lookup(p.Key, now, c); rec != nil {
-		p.FIX = rec
-		a.cachedLookups.Add(1)
-		return rec.Bind(slot).Instance, rec
+	// Fast: flow-table hit. The generation is captured under the shard
+	// lock, so a record evicted between the lookup and the bind read is
+	// detected rather than silently dispatched.
+	if rec, gen := a.flows.LookupGen(p.Key, now, c); rec != nil {
+		if b := rec.BindIfCurrent(slot, gen); b != nil {
+			p.FIX, p.FIXGen = rec, gen
+			a.cachedLookups.Add(1)
+			return b.Instance, rec
+		}
 	}
 	return a.classifyAndInsert(p, slot, now, c)
 }
@@ -411,16 +432,18 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 		}
 	}
 	a.mu.RUnlock()
-	rec := a.flows.Insert(p.Key, now, binds)
+	rec, gen := a.flows.InsertGen(p.Key, now, binds)
 	a.firstPacketLookups.Add(1)
 	a.telFirstPkt.Inc()
 	a.telAccesses.Add(lc.Mem)
 	a.telFnPtr.Add(lc.FnPtr)
 	a.telDepth.Observe(lc.Total())
 	c.Merge(lc)
-	p.FIX = rec
+	p.FIX, p.FIXGen = rec, gen
 	p.CacheMiss = true
-	return rec.Bind(slot).Instance, rec
+	// The instance comes from the binds slice just installed, not from
+	// the record, which a concurrent eviction may already have cleared.
+	return binds[slot].Instance, rec
 }
 
 // specSignature fingerprints the multiset of filter specs in a table

@@ -16,10 +16,20 @@ import (
 // flow records (default 1024) is preallocated on a free list and grown
 // exponentially (1024, 2048, 4096, ...) as demand arises; once a
 // configured maximum is reached, the oldest records are recycled.
+//
+// DefaultFlowShards is ours, not the paper's: the paper's table lives in
+// a uniprocessor kernel with a single flow of control, while this table
+// is split into power-of-two shards — each with its own lock, bucket
+// region, free list, and recycle queue — so per-packet lookups on
+// different cores never serialize. The shard is selected from the top
+// bits of the same five-tuple hash the buckets use, which lets the
+// worker pool steer packets so each shard is touched by one worker.
 const (
 	DefaultFlowBuckets  = 32768
 	DefaultInitialFlows = 1024
 	DefaultMaxFlows     = 65536
+	DefaultFlowShards   = 8
+	maxFlowShards       = 256 // shard index comes from the hash's top byte
 )
 
 // GateBind is one gate's slot in a flow record: the plugin instance the
@@ -43,21 +53,29 @@ type FlowRecord struct {
 	Key pkt.Key
 	// binds is published atomically: the data path reads gate slots
 	// lock-free through the FIX while the control path (eviction,
-	// recycling) swaps in a fresh slice under the table lock. A swap
+	// recycling) swaps in a fresh slice under the shard lock. A swap
 	// orphans the old slice, so in-flight readers see a consistent —
 	// if momentarily stale — view, the same guarantee the paper's
 	// kernel gets from its single flow of control.
 	binds atomic.Pointer[[]GateBind]
 
+	// gen is the record's generation: bumped every time the record is
+	// evicted (recycled, purged, or flushed). A packet captures the
+	// generation alongside the FIX; a mismatch at a gate means the
+	// record has been rebound to a different flow since the packet was
+	// classified, and the packet must reclassify instead of dispatching
+	// through the new flow's instances.
+	gen atomic.Uint64
+
 	// lastUse is the arrival time (unix nanos) of the last packet that
 	// hit this record; the idle purge uses it. It is stored atomically
-	// because cache hits update it under the table's read lock.
+	// because cache hits update it under the shard's read lock.
 	lastUse atomic.Int64
 
 	hash uint32
 	next *FlowRecord // hash-chain link (§5.2: collisions on a singly linked list)
 
-	// Creation-order queue link for oldest-first recycling.
+	// Creation-order queue link for oldest-first recycling (per shard).
 	older, newer *FlowRecord
 	live         bool
 }
@@ -66,6 +84,29 @@ type FlowRecord struct {
 //
 //eisr:fastpath
 func (r *FlowRecord) Bind(slot int) *GateBind { return &(*r.binds.Load())[slot] }
+
+// BindIfCurrent returns the slot for a gate only if the record still
+// belongs to the generation the caller captured at lookup time; nil
+// means the record was evicted (and possibly rebound to a new flow) in
+// the meantime and the caller must reclassify. The binds pointer is
+// loaded before the generation: eviction bumps the generation before
+// publishing the cleared binds, so a matching generation proves the
+// loaded slice predates the eviction (Go's sync/atomic operations are
+// sequentially consistent).
+//
+//eisr:fastpath
+func (r *FlowRecord) BindIfCurrent(slot int, gen uint64) *GateBind {
+	b := r.binds.Load()
+	if r.gen.Load() != gen {
+		return nil
+	}
+	return &(*b)[slot]
+}
+
+// Generation returns the record's current generation.
+//
+//eisr:fastpath
+func (r *FlowRecord) Generation() uint64 { return r.gen.Load() }
 
 // Slots returns the number of gate slots in the record.
 //
@@ -88,7 +129,7 @@ func (r *FlowRecord) touch(now time.Time) { r.lastUse.Store(now.UnixNano()) }
 // flow or filter table"; in Go the natural encoding is an optional
 // interface.
 //
-// FlowEvicted runs *after* the table lock is released (the lockscope
+// FlowEvicted runs *after* the shard lock is released (the lockscope
 // invariant: no plugin callback ever executes under an AIU mutex), so by
 // the time it runs the record may already have been recycled for a new
 // flow. The evicted flow's key and gate-slot contents are therefore
@@ -98,7 +139,7 @@ type FlowEvictListener interface {
 	FlowEvicted(key pkt.Key, slot int, b GateBind)
 }
 
-// FlowStats counts flow-table events.
+// FlowStats counts flow-table events, merged across shards.
 type FlowStats struct {
 	Hits     uint64
 	Misses   uint64
@@ -109,15 +150,15 @@ type FlowStats struct {
 	Alloc    int
 }
 
-// FlowTable is the hash-based flow cache. The hash covers the five header
-// fields <src, dst, proto, sport, dport>; chains resolve collisions;
-// records come from a free list that grows exponentially up to a cap,
-// after which the oldest records are recycled.
-type FlowTable struct {
+// flowShard is one independently locked slice of the flow table: its own
+// bucket region, free list, recycle (age) queue, and counters. Flows
+// never migrate between shards — the shard is a pure function of the
+// five-tuple hash — so two packets of one flow always contend on the
+// same shard (and, with hash steering, on the same worker).
+type flowShard struct {
 	mu      sync.RWMutex
 	buckets []*FlowRecord
 	mask    uint32
-	gates   int
 
 	free     *FlowRecord
 	nAlloc   int
@@ -133,9 +174,21 @@ type FlowTable struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	stats  FlowStats
+}
 
-	// Telemetry cells (SetTelemetry, assembly time). Nil when telemetry
-	// is off; record methods on nil cells are no-ops.
+// FlowTable is the hash-based flow cache. The hash covers the five header
+// fields <src, dst, proto, sport, dport>; the top byte of the hash picks
+// a shard, the low bits a bucket within it; chains resolve collisions;
+// records come from per-shard free lists that grow exponentially up to a
+// per-shard cap, after which the shard's oldest records are recycled.
+type FlowTable struct {
+	shards    []*flowShard
+	shardMask uint32
+	gates     int
+
+	// Telemetry cells (SetTelemetry, assembly time). Shared by every
+	// shard — the cells are themselves internally sharded. Nil when
+	// telemetry is off; record methods on nil cells are no-ops.
 	telHits      *telemetry.Counter
 	telMisses    *telemetry.Counter
 	telInserts   *telemetry.Counter
@@ -155,7 +208,7 @@ type evictNotice struct {
 	bind     GateBind
 }
 
-// notify delivers deferred evict callbacks. Must be called with no table
+// notify delivers deferred evict callbacks. Must be called with no shard
 // lock held.
 func notify(notices []evictNotice) {
 	for _, n := range notices {
@@ -164,15 +217,21 @@ func notify(notices []evictNotice) {
 }
 
 // NewFlowTable builds a flow table with the given bucket count (rounded
-// up to a power of two), initial and maximum record counts, and the
-// number of gate slots per record.
+// up to a power of two), initial and maximum record counts, the number
+// of gate slots per record, and the default shard count.
 func NewFlowTable(buckets, initial, max, gates int) *FlowTable {
+	return NewFlowTableSharded(buckets, initial, max, gates, 0)
+}
+
+// NewFlowTableSharded builds a flow table with an explicit shard count
+// (rounded up to a power of two, capped at 256; 0 selects the default).
+// The bucket, initial, and maximum counts are table-wide and divided
+// among the shards. A single-shard table has exactly the original
+// table's global recycling semantics; with more shards, recycling and
+// growth caps apply per shard.
+func NewFlowTableSharded(buckets, initial, max, gates, shards int) *FlowTable {
 	if buckets <= 0 {
 		buckets = DefaultFlowBuckets
-	}
-	n := 1
-	for n < buckets {
-		n <<= 1
 	}
 	if initial <= 0 {
 		initial = DefaultInitialFlows
@@ -180,26 +239,85 @@ func NewFlowTable(buckets, initial, max, gates int) *FlowTable {
 	if max < initial {
 		max = initial
 	}
-	t := &FlowTable{
-		buckets:  make([]*FlowRecord, n),
-		mask:     uint32(n - 1),
-		gates:    gates,
-		nextGrow: initial,
-		maxAlloc: max,
+	if shards <= 0 {
+		shards = DefaultFlowShards
 	}
-	t.grow(initial)
+	ns := 1
+	for ns < shards && ns < maxFlowShards {
+		ns <<= 1
+	}
+	perBuckets := pow2((buckets + ns - 1) / ns)
+	perInitial := (initial + ns - 1) / ns
+	if perInitial < 1 {
+		perInitial = 1
+	}
+	perMax := (max + ns - 1) / ns
+	if perMax < perInitial {
+		perMax = perInitial
+	}
+	t := &FlowTable{
+		shards:    make([]*flowShard, ns),
+		shardMask: uint32(ns - 1),
+		gates:     gates,
+	}
+	for i := range t.shards {
+		sh := &flowShard{
+			buckets:  make([]*FlowRecord, perBuckets),
+			mask:     uint32(perBuckets - 1),
+			nextGrow: perInitial,
+			maxAlloc: perMax,
+		}
+		sh.grow(perInitial, gates)
+		t.shards[i] = sh
+	}
 	return t
 }
 
-// grow allocates count records onto the free list.
-func (t *FlowTable) grow(count int) {
-	for i := 0; i < count && t.nAlloc < t.maxAlloc; i++ {
+// pow2 rounds n up to a power of two (minimum 1).
+func pow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (t *FlowTable) Shards() int { return len(t.shards) }
+
+// shardFor selects the shard from the hash's top byte. The worker pool
+// steers packets by the same byte (SteerWorker), so with a power-of-two
+// worker count no two workers ever contend on one shard.
+//
+//eisr:fastpath
+func (t *FlowTable) shardFor(h uint32) *flowShard {
+	return t.shards[(h>>24)&t.shardMask]
+}
+
+// SteerWorker maps a flow key to a worker index in [0, n): the top byte
+// of the five-tuple hash modulo the worker count. Packets of one flow
+// always map to the same worker (per-flow ordering), and because the
+// flow table's shard is selected from the same byte, a power-of-two
+// worker count gives each shard a single owning worker — zero
+// cross-worker lock contention on the cache-hit path.
+//
+//eisr:fastpath
+func SteerWorker(k pkt.Key, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((HashKey(k) >> 24) % uint32(n))
+}
+
+// grow allocates count records onto the shard's free list.
+func (sh *flowShard) grow(count, gates int) {
+	for i := 0; i < count && sh.nAlloc < sh.maxAlloc; i++ {
 		r := &FlowRecord{}
-		b := make([]GateBind, t.gates)
+		b := make([]GateBind, gates)
 		r.binds.Store(&b)
-		r.next = t.free
-		t.free = r
-		t.nAlloc++
+		r.next = sh.free
+		sh.free = r
+		sh.nAlloc++
 	}
 }
 
@@ -225,92 +343,114 @@ func HashKey(k pkt.Key) uint32 {
 
 // Lookup finds the record for a fully specified six-tuple. The counter is
 // charged one function-pointer load (the "index hash" row of Table 2) and
-// one memory access per chain element examined. Hits take only the read
-// lock, so concurrent per-packet lookups never serialize on each other;
-// the last-use stamp and the hit/miss counters are atomics for the same
-// reason.
+// one memory access per chain element examined. Hits take only the
+// shard's read lock, so concurrent per-packet lookups never serialize on
+// each other; the last-use stamp and the hit/miss counters are atomics
+// for the same reason.
 //
 //eisr:fastpath
 func (t *FlowTable) Lookup(k pkt.Key, now time.Time, c *cycles.Counter) *FlowRecord {
+	r, _ := t.LookupGen(k, now, c)
+	return r
+}
+
+// LookupGen is Lookup returning the record's generation as well,
+// captured under the shard lock so the caller can later detect that the
+// record was recycled for a different flow (BindIfCurrent).
+//
+//eisr:fastpath
+func (t *FlowTable) LookupGen(k pkt.Key, now time.Time, c *cycles.Counter) (*FlowRecord, uint64) {
 	c.FnPointer()
 	h := HashKey(k)
+	sh := t.shardFor(h)
 	var chain uint64
-	t.mu.RLock()
-	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
+	sh.mu.RLock()
+	for r := sh.buckets[h&sh.mask]; r != nil; r = r.next {
 		c.Access(1)
 		chain++
 		if r.Key == k {
 			r.touch(now)
-			t.mu.RUnlock()
-			t.hits.Add(1)
+			gen := r.gen.Load()
+			sh.mu.RUnlock()
+			sh.hits.Add(1)
 			t.telHits.Inc()
 			t.telChain.Observe(chain)
-			return r
+			return r, gen
 		}
 	}
-	t.mu.RUnlock()
-	t.misses.Add(1)
+	sh.mu.RUnlock()
+	sh.misses.Add(1)
 	t.telMisses.Inc()
 	t.telChain.Observe(chain)
-	return nil
+	return nil, 0
 }
 
 // Insert creates (or refreshes) the record for a six-tuple, taking a
-// record from the free list, growing it exponentially if exhausted, or
-// recycling the oldest live record once the allocation cap is reached.
-// binds, when non-nil, is copied into the record's gate slots under the
-// table lock, so a record can never be observed half-filled or recycled
-// between creation and fill.
+// record from the shard's free list, growing it exponentially if
+// exhausted, or recycling the shard's oldest live record once the
+// allocation cap is reached. binds, when non-nil, is copied into the
+// record's gate slots under the shard lock, so a record can never be
+// observed half-filled or recycled between creation and fill.
 func (t *FlowTable) Insert(k pkt.Key, now time.Time, binds []GateBind) *FlowRecord {
+	r, _ := t.InsertGen(k, now, binds)
+	return r
+}
+
+// InsertGen is Insert returning the record's generation, captured under
+// the shard lock (see LookupGen).
+func (t *FlowTable) InsertGen(k pkt.Key, now time.Time, binds []GateBind) (*FlowRecord, uint64) {
 	h := HashKey(k)
-	t.mu.Lock()
+	sh := t.shardFor(h)
+	sh.mu.Lock()
 	// Refresh an existing record for the same key, if any.
-	idx := h & t.mask
-	for r := t.buckets[idx]; r != nil; r = r.next {
+	idx := h & sh.mask
+	for r := sh.buckets[idx]; r != nil; r = r.next {
 		if r.Key == k {
 			r.touch(now)
 			if binds != nil {
 				r.publishBinds(binds, t.gates)
 			}
-			t.mu.Unlock()
-			return r
+			gen := r.gen.Load()
+			sh.mu.Unlock()
+			return r, gen
 		}
 	}
-	r, notices := t.takeRecord()
+	r, notices := sh.takeRecord(t)
 	r.Key = k
 	r.hash = h
 	r.touch(now)
 	r.publishBinds(binds, t.gates)
 	r.live = true
-	r.next = t.buckets[idx]
-	t.buckets[idx] = r
-	t.pushNewest(r)
-	t.live++
-	t.stats.Inserts++
+	r.next = sh.buckets[idx]
+	sh.buckets[idx] = r
+	sh.pushNewest(r)
+	sh.live++
+	sh.stats.Inserts++
+	gen := r.gen.Load()
 	t.telInserts.Inc()
-	t.telLive.Set(int64(t.live))
-	t.mu.Unlock()
+	t.telLive.Add(1)
+	sh.mu.Unlock()
 	notify(notices)
-	return r
+	return r, gen
 }
 
-// takeRecord pops the free list, growing or recycling as needed, and
-// returns deferred evict notices for any record it recycled. Called with
-// the write lock held.
-func (t *FlowTable) takeRecord() (*FlowRecord, []evictNotice) {
-	if t.free == nil && t.nAlloc < t.maxAlloc {
-		grow := t.nextGrow
-		t.nextGrow *= 2
-		t.grow(grow)
+// takeRecord pops the shard's free list, growing or recycling as needed,
+// and returns deferred evict notices for any record it recycled. Called
+// with the shard's write lock held.
+func (sh *flowShard) takeRecord(t *FlowTable) (*FlowRecord, []evictNotice) {
+	if sh.free == nil && sh.nAlloc < sh.maxAlloc {
+		grow := sh.nextGrow
+		sh.nextGrow *= 2
+		sh.grow(grow, t.gates)
 	}
-	if t.free != nil {
-		r := t.free
-		t.free = r.next
+	if sh.free != nil {
+		r := sh.free
+		sh.free = r.next
 		r.next = nil
 		return r, nil
 	}
-	// Recycle the oldest live record.
-	r := t.oldest
+	// Recycle the shard's oldest live record.
+	r := sh.oldest
 	if r == nil {
 		// Degenerate configuration (max 0); allocate anyway.
 		r := &FlowRecord{}
@@ -318,89 +458,100 @@ func (t *FlowTable) takeRecord() (*FlowRecord, []evictNotice) {
 		r.binds.Store(&b)
 		return r, nil
 	}
-	notices := t.evictLocked(r, nil)
-	t.stats.Recycled++
-	t.stats.Removed-- // evictLocked counted a removal; recycling is separate
+	notices := sh.evictLocked(t, r, nil)
+	sh.stats.Recycled++
+	sh.stats.Removed-- // evictLocked counted a removal; recycling is separate
 	r.next = nil
 	return r, notices
 }
 
 // Remove deletes the record for a key, reporting whether it was present.
 func (t *FlowTable) Remove(k pkt.Key) bool {
-	t.mu.Lock()
 	h := HashKey(k)
-	for r := t.buckets[h&t.mask]; r != nil; r = r.next {
+	sh := t.shardFor(h)
+	sh.mu.Lock()
+	for r := sh.buckets[h&sh.mask]; r != nil; r = r.next {
 		if r.Key == k {
-			notices := t.evictLocked(r, nil)
-			t.freeLocked(r)
-			t.mu.Unlock()
+			notices := sh.evictLocked(t, r, nil)
+			sh.freeLocked(r)
+			sh.mu.Unlock()
 			notify(notices)
 			return true
 		}
 	}
-	t.mu.Unlock()
+	sh.mu.Unlock()
 	return false
 }
 
 // PurgeIdle removes records idle since before the deadline (§3.2: "if a
 // cached flow remains idle for an extended period, its cached entry may
-// be removed"). It returns the number purged.
+// be removed"). Shards are purged one at a time — the janitor never
+// holds more than one shard lock — and evict callbacks for each shard
+// are delivered after its lock is dropped. It returns the number purged.
 func (t *FlowTable) PurgeIdle(before time.Time) int {
-	t.mu.Lock()
 	n := 0
-	var notices []evictNotice
-	for r := t.oldest; r != nil; {
-		next := r.newer
-		if r.LastUse().Before(before) {
-			notices = t.evictLocked(r, notices)
-			t.freeLocked(r)
-			n++
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		var notices []evictNotice
+		for r := sh.oldest; r != nil; {
+			next := r.newer
+			if r.LastUse().Before(before) {
+				notices = sh.evictLocked(t, r, notices)
+				sh.freeLocked(r)
+				n++
+			}
+			r = next
 		}
-		r = next
+		sh.mu.Unlock()
+		notify(notices)
 	}
-	t.mu.Unlock()
-	notify(notices)
 	return n
 }
 
 // FlushWhere removes every record for which pred returns true — used when
 // instances are freed or filters removed, so no stale instance pointers
-// survive in the cache.
+// survive in the cache. Same one-shard-at-a-time locking as PurgeIdle.
 func (t *FlowTable) FlushWhere(pred func(*FlowRecord) bool) int {
-	t.mu.Lock()
 	n := 0
-	var notices []evictNotice
-	for r := t.oldest; r != nil; {
-		next := r.newer
-		if pred(r) {
-			notices = t.evictLocked(r, notices)
-			t.freeLocked(r)
-			n++
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		var notices []evictNotice
+		for r := sh.oldest; r != nil; {
+			next := r.newer
+			if pred(r) {
+				notices = sh.evictLocked(t, r, notices)
+				sh.freeLocked(r)
+				n++
+			}
+			r = next
 		}
-		r = next
+		sh.mu.Unlock()
+		notify(notices)
 	}
-	t.mu.Unlock()
-	notify(notices)
 	return n
 }
 
-// evictLocked unlinks a live record from its chain and the age queue and
-// publishes a cleared bind set. Listener callbacks are NOT invoked here:
-// they are appended to notices for the caller to deliver once the table
-// lock is dropped, so plugin code never runs under an AIU mutex.
-func (t *FlowTable) evictLocked(r *FlowRecord, notices []evictNotice) []evictNotice {
-	idx := r.hash & t.mask
-	for pp := &t.buckets[idx]; *pp != nil; pp = &(*pp).next {
+// evictLocked unlinks a live record from its chain and the shard's age
+// queue, bumps its generation, and publishes a cleared bind set. The
+// generation moves first: a FIX holder that still reads the old
+// generation is guaranteed to see the pre-eviction binds (BindIfCurrent).
+// Listener callbacks are NOT invoked here: they are appended to notices
+// for the caller to deliver once the shard lock is dropped, so plugin
+// code never runs under an AIU mutex.
+func (sh *flowShard) evictLocked(t *FlowTable, r *FlowRecord, notices []evictNotice) []evictNotice {
+	idx := r.hash & sh.mask
+	for pp := &sh.buckets[idx]; *pp != nil; pp = &(*pp).next {
 		if *pp == r {
 			*pp = r.next
 			break
 		}
 	}
-	t.popAge(r)
-	t.live--
-	t.stats.Removed++
+	sh.popAge(r)
+	sh.live--
+	sh.stats.Removed++
 	t.telEvictions.Inc()
-	t.telLive.Set(int64(t.live))
+	t.telLive.Add(-1)
+	r.gen.Add(1)
 	old := *r.binds.Load()
 	for slot := range old {
 		if l, ok := old[slot].Instance.(FlowEvictListener); ok {
@@ -420,53 +571,65 @@ func (r *FlowRecord) publishBinds(src []GateBind, gates int) {
 	r.binds.Store(&b)
 }
 
-// freeLocked returns a record to the free list.
-func (t *FlowTable) freeLocked(r *FlowRecord) {
-	r.next = t.free
-	t.free = r
+// freeLocked returns a record to the shard's free list.
+func (sh *flowShard) freeLocked(r *FlowRecord) {
+	r.next = sh.free
+	sh.free = r
 }
 
-func (t *FlowTable) pushNewest(r *FlowRecord) {
-	r.older = t.newest
+func (sh *flowShard) pushNewest(r *FlowRecord) {
+	r.older = sh.newest
 	r.newer = nil
-	if t.newest != nil {
-		t.newest.newer = r
+	if sh.newest != nil {
+		sh.newest.newer = r
 	}
-	t.newest = r
-	if t.oldest == nil {
-		t.oldest = r
+	sh.newest = r
+	if sh.oldest == nil {
+		sh.oldest = r
 	}
 }
 
-func (t *FlowTable) popAge(r *FlowRecord) {
+func (sh *flowShard) popAge(r *FlowRecord) {
 	if r.older != nil {
 		r.older.newer = r.newer
-	} else if t.oldest == r {
-		t.oldest = r.newer
+	} else if sh.oldest == r {
+		sh.oldest = r.newer
 	}
 	if r.newer != nil {
 		r.newer.older = r.older
-	} else if t.newest == r {
-		t.newest = r.older
+	} else if sh.newest == r {
+		sh.newest = r.older
 	}
 	r.older, r.newer = nil, nil
 }
 
-// Len returns the number of live records.
+// Len returns the number of live records, summed one shard at a time.
 func (t *FlowTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += sh.live
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Stats snapshots the table counters, merging the fast-path atomics.
+// Stats snapshots the table counters, merging the per-shard structures
+// and the fast-path atomics. Shard locks are taken one at a time, so the
+// snapshot is per-shard consistent, not globally atomic — the usual
+// deal for sharded statistics.
 func (t *FlowTable) Stats() FlowStats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s := t.stats
-	s.Hits = t.hits.Load()
-	s.Misses = t.misses.Load()
-	s.Live = t.live
-	s.Alloc = t.nAlloc
+	var s FlowStats
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		s.Inserts += sh.stats.Inserts
+		s.Recycled += sh.stats.Recycled
+		s.Removed += sh.stats.Removed
+		s.Live += sh.live
+		s.Alloc += sh.nAlloc
+		sh.mu.RUnlock()
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+	}
 	return s
 }

@@ -91,7 +91,9 @@ func (e *evictSpy) FlowEvicted(key pkt.Key, slot int, b GateBind) {
 }
 
 func TestFlowTableRecycleOldest(t *testing.T) {
-	ft := NewFlowTable(64, 4, 8, 1)
+	// A single shard keeps the paper's exact global-oldest recycling;
+	// with multiple shards each shard recycles its own oldest record.
+	ft := NewFlowTableSharded(64, 4, 8, 1, 1)
 	now := time.Now()
 	spy := &evictSpy{}
 	for i := 0; i < 8; i++ {

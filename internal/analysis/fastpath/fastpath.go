@@ -42,7 +42,8 @@ var telemetryFast = map[string]bool{
 	"Counter.Inc": true, "Counter.Add": true, "Counter.Value": true,
 	"Gauge.Set": true, "Gauge.Add": true, "Gauge.Inc": true,
 	"Gauge.Dec": true, "Gauge.Value": true,
-	"Histogram.Observe":          true,
+	"Histogram.Observe": true,
+	"PerWorker.Inc":     true, "PerWorker.Add": true, "PerWorker.Value": true,
 	"SchedMetrics.RecordEnqueue": true, "SchedMetrics.RecordDequeue": true,
 	"SchedMetrics.RecordDrop": true, "SchedMetrics.SetQueues": true,
 	"TraceEntry.RecordKey": true, "TraceEntry.RecordHop": true,

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// The sweep must run correctly at any core count (correctness, not
+// speed): every packet is forwarded, rows are well-formed.
+func TestRunParallelSmall(t *testing.T) {
+	rows, err := RunParallel(ParallelOptions{Flows: 64, PerFlow: 20, Workers: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PPS <= 0 {
+			t.Errorf("workers=%d: pps = %f", r.Workers, r.PPS)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %f", rows[0].Speedup)
+	}
+	if s := ParallelTable(rows).String(); s == "" {
+		t.Error("empty table")
+	}
+}
+
+// Scaling guard for the parallel engine: with 4 cores available, 4
+// workers must deliver at least 2x the single-worker cache-hit
+// throughput (the acceptance target is 2.5x; the smoke threshold
+// leaves headroom for loaded CI machines). Run via `make bench-smoke`.
+func TestBenchSmokeParallelSpeedup(t *testing.T) {
+	if os.Getenv("EISR_BENCH_SMOKE") == "" {
+		t.Skip("timing guard; run via make bench-smoke (EISR_BENCH_SMOKE=1)")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need 4 cores for the speedup guard, have %d", runtime.NumCPU())
+	}
+	rows, err := RunParallel(ParallelOptions{Flows: 1024, PerFlow: 200, Workers: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := rows[len(rows)-1]
+	t.Logf("1 worker: %.0f pps; 4 workers: %.0f pps (%.2fx)",
+		rows[0].PPS, four.PPS, four.Speedup)
+	if four.Speedup < 2.0 {
+		t.Fatalf("4-worker speedup %.2fx, want >= 2.0x", four.Speedup)
+	}
+}

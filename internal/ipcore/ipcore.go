@@ -72,18 +72,58 @@ type Stats struct {
 
 // coreStats is the lock-free live counter set; Stats() snapshots it.
 // Per-packet counter updates must not take a mutex — the 8%-overhead
-// result depends on the data path being lean.
+// result depends on the data path being lean. The cells are sharded
+// telemetry counters rather than single atomics: with several workers
+// forwarding concurrently, a single cell per verdict would put one
+// contended cache line on every worker's hit path.
 type coreStats struct {
-	forwarded   atomic.Uint64
-	delivered   atomic.Uint64
-	dropped     atomic.Uint64
-	ttlExpired  atomic.Uint64
-	badChecksum atomic.Uint64
-	noRoute     atomic.Uint64
-	pluginDrops atomic.Uint64
-	schedEnq    atomic.Uint64
-	icmpSent    atomic.Uint64
-	fragmented  atomic.Uint64
+	forwarded   telemetry.Counter
+	delivered   telemetry.Counter
+	dropped     telemetry.Counter
+	ttlExpired  telemetry.Counter
+	badChecksum telemetry.Counter
+	noRoute     telemetry.Counter
+	pluginDrops telemetry.Counter
+	schedEnq    telemetry.Counter
+	icmpSent    telemetry.Counter
+	fragmented  telemetry.Counter
+}
+
+// ifaceState is one immutable generation of the router's interface
+// table: attached interfaces, the local-address set, per-interface
+// output queues, and registered drainers. Mutators copy, modify, and
+// republish; the data path reads it with a single atomic load.
+type ifaceState struct {
+	ifaces map[int32]*netdev.Interface
+	// list is the iteration order (attachment order) for Step/polling.
+	list     []*netdev.Interface
+	local    map[pkt.Addr]int32
+	outQ     map[int32]*sched.LockedFIFO
+	drainers map[int32][]Drainer
+}
+
+// clone deep-copies the maps (the interfaces themselves are shared).
+func (s *ifaceState) clone() *ifaceState {
+	ns := &ifaceState{
+		ifaces:   make(map[int32]*netdev.Interface, len(s.ifaces)+1),
+		list:     append([]*netdev.Interface(nil), s.list...),
+		local:    make(map[pkt.Addr]int32, len(s.local)+1),
+		outQ:     make(map[int32]*sched.LockedFIFO, len(s.outQ)+1),
+		drainers: make(map[int32][]Drainer, len(s.drainers)+1),
+	}
+	for k, v := range s.ifaces {
+		ns.ifaces[k] = v
+	}
+	for k, v := range s.local {
+		ns.local[k] = v
+	}
+	for k, v := range s.outQ {
+		ns.outQ[k] = v
+	}
+	for k, v := range s.drainers {
+		ns.drainers[k] = append([]Drainer(nil), v...)
+	}
+	return ns
 }
 
 // Config assembles a router core.
@@ -110,6 +150,18 @@ type Config struct {
 	LocalSink func(p *pkt.Packet)
 	// Clock supplies the AIU's notion of now; defaults to time.Now.
 	Clock func() time.Time
+	// Workers sizes the forwarding worker pool: Run steers ingress
+	// packets to Workers goroutines by flow hash, preserving per-flow
+	// ordering. 0 or 1 keeps the paper's single flow of control (Step
+	// and ProcessOne always run inline regardless).
+	Workers int
+	// OutQueueLen overrides the per-interface output FIFO depth
+	// (0 = 1024).
+	OutQueueLen int
+	// Reclaim, when non-nil, is the epoch reclaimer the worker pool
+	// announces quiescence to; wire the same instance into the PCU so
+	// free-instance destruction waits out in-flight dispatches.
+	Reclaim *pcu.Reclaimer
 	// Tel, when non-nil, attaches the telemetry registry: per-gate
 	// dispatch counters, drop/verdict accounting, and (when a trace
 	// ring is enabled on the registry) per-packet path traces.
@@ -126,11 +178,17 @@ type Router struct {
 	gateSlots []int
 	aiu       *aiu.AIU
 
-	mu       sync.RWMutex
-	ifaces   map[int32]*netdev.Interface
-	local    map[pkt.Addr]int32
-	outQ     map[int32]*sched.FIFO
-	drainers map[int32][]Drainer
+	// state is the copy-on-write interface table: the data path loads
+	// the snapshot with one atomic read and never takes a lock; control
+	// path mutators rebuild and republish under mu. This is the same
+	// discipline as the flow records' bind slices — in-flight readers
+	// may see the just-replaced snapshot, never a torn one.
+	mu    sync.Mutex // serializes state mutators
+	state atomic.Pointer[ifaceState]
+
+	// pool is the worker pool (nil unless Config.Workers > 1); Run
+	// steers through it instead of forwarding inline.
+	pool *Pool
 
 	stats coreStats
 
@@ -182,11 +240,16 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{
 		cfg: cfg, mode: cfg.Mode, gates: gates, aiu: cfg.AIU,
+		clock: clock,
+	}
+	r.state.Store(&ifaceState{
 		ifaces:   make(map[int32]*netdev.Interface),
 		local:    make(map[pkt.Addr]int32),
-		outQ:     make(map[int32]*sched.FIFO),
+		outQ:     make(map[int32]*sched.LockedFIFO),
 		drainers: make(map[int32][]Drainer),
-		clock:    clock,
+	})
+	if cfg.Workers > 1 {
+		r.pool = NewPool(r, cfg.Workers, cfg.Reclaim)
 	}
 	if cfg.AIU != nil {
 		r.gateSlots = make([]int, len(gates))
@@ -257,54 +320,62 @@ func (r *Router) countDrop(why *telemetry.Counter) {
 func (r *Router) AddInterface(ifc *netdev.Interface) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.ifaces[ifc.Index] = ifc
-	r.outQ[ifc.Index] = sched.NewFIFO(1024)
+	ns := r.state.Load().clone()
+	if _, seen := ns.ifaces[ifc.Index]; !seen {
+		ns.list = append(ns.list, ifc)
+	}
+	ns.ifaces[ifc.Index] = ifc
+	depth := r.cfg.OutQueueLen
+	if depth <= 0 {
+		depth = 1024
+	}
+	ns.outQ[ifc.Index] = sched.NewLockedFIFO(depth)
 	var zero pkt.Addr
 	if ifc.Addr != zero {
-		r.local[ifc.Addr] = ifc.Index
+		ns.local[ifc.Addr] = ifc.Index
 	}
+	r.state.Store(ns)
 }
 
 // Interface returns an attached interface.
 func (r *Router) Interface(idx int32) *netdev.Interface {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.ifaces[idx]
+	return r.state.Load().ifaces[idx]
 }
 
-// Interfaces lists attached interface indices.
+// Interfaces lists attached interfaces in attachment order.
 func (r *Router) Interfaces() []*netdev.Interface {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*netdev.Interface, 0, len(r.ifaces))
-	for _, i := range r.ifaces {
-		out = append(out, i)
-	}
-	return out
+	return append([]*netdev.Interface(nil), r.state.Load().list...)
 }
+
+// Pool returns the worker pool (nil in single-threaded configurations).
+func (r *Router) Pool() *Pool { return r.pool }
 
 // RegisterDrainer attaches a scheduling instance's output queue to an
 // interface (called by scheduler plugins on create-instance).
 func (r *Router) RegisterDrainer(ifIdx int32, d Drainer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.drainers[ifIdx] = append(r.drainers[ifIdx], d)
+	ns := r.state.Load().clone()
+	ns.drainers[ifIdx] = append(ns.drainers[ifIdx], d)
+	r.state.Store(ns)
 }
 
-// UnregisterDrainer detaches a drainer (free-instance). The slice is
-// rebuilt copy-on-write because TxDrain reads it after dropping the read
-// lock.
+// UnregisterDrainer detaches a drainer (free-instance). The whole state
+// is rebuilt copy-on-write: TxDrain walks the drainer slice with no lock
+// held, so the old slice must stay intact for in-flight readers.
 func (r *Router) UnregisterDrainer(ifIdx int32, d Drainer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	old := r.drainers[ifIdx]
+	ns := r.state.Load().clone()
+	old := ns.drainers[ifIdx]
 	list := make([]Drainer, 0, len(old))
 	for _, x := range old {
 		if x != d {
 			list = append(list, x)
 		}
 	}
-	r.drainers[ifIdx] = list
+	ns.drainers[ifIdx] = list
+	r.state.Store(ns)
 }
 
 // AIU exposes the classifier (plugin mode).
@@ -316,16 +387,16 @@ func (r *Router) Routes() *routing.Table { return r.cfg.Routes }
 // Stats snapshots the counters.
 func (r *Router) Stats() Stats {
 	return Stats{
-		Forwarded:   r.stats.forwarded.Load(),
-		Delivered:   r.stats.delivered.Load(),
-		Dropped:     r.stats.dropped.Load(),
-		TTLExpired:  r.stats.ttlExpired.Load(),
-		BadChecksum: r.stats.badChecksum.Load(),
-		NoRoute:     r.stats.noRoute.Load(),
-		PluginDrops: r.stats.pluginDrops.Load(),
-		SchedEnq:    r.stats.schedEnq.Load(),
-		ICMPSent:    r.stats.icmpSent.Load(),
-		Fragmented:  r.stats.fragmented.Load(),
+		Forwarded:   r.stats.forwarded.Value(),
+		Delivered:   r.stats.delivered.Value(),
+		Dropped:     r.stats.dropped.Value(),
+		TTLExpired:  r.stats.ttlExpired.Value(),
+		BadChecksum: r.stats.badChecksum.Value(),
+		NoRoute:     r.stats.noRoute.Value(),
+		PluginDrops: r.stats.pluginDrops.Value(),
+		SchedEnq:    r.stats.schedEnq.Value(),
+		ICMPSent:    r.stats.icmpSent.Value(),
+		Fragmented:  r.stats.fragmented.Value(),
 	}
 }
 
@@ -471,11 +542,19 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 		// instance with a single indirect load — no call into the AIU
 		// (§3.2: "macros implementing a gate can retrieve the instance
 		// pointers cached in the flow table by accessing the FIX stored
-		// in the packet").
+		// in the packet"). The generation captured with the FIX guards
+		// the load: a record recycled for a new flow between gates
+		// fails the check and the packet reclassifies (LookupGate)
+		// instead of dispatching through the new flow's instances.
 		var inst pcu.Instance
 		if rec, ok := p.FIX.(*aiu.FlowRecord); ok {
 			c.Access(1)
-			inst = rec.Bind(r.gateSlots[gi]).Instance
+			if b := rec.BindIfCurrent(r.gateSlots[gi], p.FIXGen); b != nil {
+				inst = b.Instance
+			} else {
+				p.FIX = nil
+				inst, _ = r.aiu.LookupGate(p, g, now, c)
+			}
 		} else {
 			inst, _ = r.aiu.LookupGate(p, g, now, c)
 		}
@@ -623,9 +702,7 @@ func (r *Router) validate(p *pkt.Packet) bool {
 func (r *Router) deliverLocal(p *pkt.Packet) bool {
 	mine := p.Key.Dst == limitedBroadcast
 	if !mine {
-		r.mu.RLock()
-		_, mine = r.local[p.Key.Dst]
-		r.mu.RUnlock()
+		_, mine = r.state.Load().local[p.Key.Dst]
 	}
 	if !mine {
 		return false
@@ -736,9 +813,7 @@ func (r *Router) takeICMPToken() bool {
 }
 
 func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
-	r.mu.RLock()
-	q := r.outQ[p.OutIf]
-	r.mu.RUnlock()
+	q := r.state.Load().outQ[p.OutIf]
 	if q == nil {
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropQueue)
@@ -761,11 +836,10 @@ func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
 //
 //eisr:fastpath
 func (r *Router) TxDrain(ifIdx int32, budget int) int {
-	r.mu.RLock()
-	ifc := r.ifaces[ifIdx]
-	q := r.outQ[ifIdx]
-	drainers := r.drainers[ifIdx] // read-only under the lock discipline below
-	r.mu.RUnlock()
+	st := r.state.Load()
+	ifc := st.ifaces[ifIdx]
+	q := st.outQ[ifIdx]
+	drainers := st.drainers[ifIdx] // immutable snapshot slice
 	if ifc == nil {
 		return 0
 	}
@@ -801,9 +875,7 @@ func (r *Router) TxDrain(ifIdx int32, budget int) int {
 }
 
 func (r *Router) transmit(p *pkt.Packet) {
-	r.mu.RLock()
-	ifc := r.ifaces[p.OutIf]
-	r.mu.RUnlock()
+	ifc := r.state.Load().ifaces[p.OutIf]
 	if ifc == nil {
 		return
 	}
@@ -849,14 +921,9 @@ func (r *Router) ProcessOne(p *pkt.Packet) bool {
 // Step polls every interface once, forwarding what arrived and draining
 // outputs; returns the number of packets forwarded. Run loops use it.
 func (r *Router) Step() int {
-	r.mu.RLock()
-	ifaces := make([]*netdev.Interface, 0, len(r.ifaces))
-	for _, i := range r.ifaces {
-		ifaces = append(ifaces, i)
-	}
-	r.mu.RUnlock()
+	st := r.state.Load()
 	n := 0
-	for _, ifc := range ifaces {
+	for _, ifc := range st.list {
 		for {
 			p := ifc.Poll()
 			if p == nil {
@@ -867,14 +934,42 @@ func (r *Router) Step() int {
 			}
 		}
 	}
-	for _, ifc := range ifaces {
+	for _, ifc := range st.list {
 		r.TxDrain(ifc.Index, 64)
 	}
 	return n
 }
 
-// Run processes packets until done closes.
+// stepSubmit is the parallel-engine variant of Step's ingress half: it
+// polls every interface and hands each packet to the worker pool, which
+// steers it by flow hash. Output draining stays on the run loop — the
+// per-interface queues serialize on the link anyway, and a single
+// drainer keeps transmit ordering deterministic.
+func (r *Router) stepSubmit() int {
+	st := r.state.Load()
+	n := 0
+	for _, ifc := range st.list {
+		for {
+			p := ifc.Poll()
+			if p == nil {
+				break
+			}
+			r.pool.Submit(p)
+			n++
+		}
+	}
+	return n
+}
+
+// Run processes packets until done closes. With Config.Workers > 1 it
+// runs the parallel engine: ingress packets are steered to the worker
+// pool by flow hash (per-flow ordering preserved), while this loop
+// drains outputs and collects deferred plugin reclamation.
 func (r *Router) Run(done <-chan struct{}) {
+	if r.pool != nil {
+		r.runParallel(done)
+		return
+	}
 	for {
 		select {
 		case <-done:
@@ -883,6 +978,31 @@ func (r *Router) Run(done <-chan struct{}) {
 		}
 		if r.Step() == 0 {
 			// Idle: yield briefly rather than spin hot.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// runParallel is Run's worker-pool flavor.
+func (r *Router) runParallel(done <-chan struct{}) {
+	r.pool.Start()
+	defer r.pool.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		submitted := r.stepSubmit()
+		drained := 0
+		st := r.state.Load()
+		for _, ifc := range st.list {
+			drained += r.TxDrain(ifc.Index, 64)
+		}
+		if rc := r.pool.Reclaimer(); rc != nil {
+			rc.Collect()
+		}
+		if submitted == 0 && drained == 0 {
 			time.Sleep(50 * time.Microsecond)
 		}
 	}

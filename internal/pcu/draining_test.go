@@ -1,0 +1,144 @@
+package pcu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBeginDrainBlocksCreate(t *testing.T) {
+	r := NewRegistry()
+	p := &lifecyclePlugin{name: "sched-a", code: MakeCode(TypeSched, 31)}
+	if err := r.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginDrain("sched-a"); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Send("sched-a", &Message{Kind: MsgCreateInstance})
+	if !errors.Is(err, ErrDraining) {
+		t.Errorf("create during drain: %v, want ErrDraining", err)
+	}
+	if p.created.Load() != 0 {
+		t.Error("draining plugin's create callback ran")
+	}
+	// Other message kinds still flow (frees must, or the drain could
+	// never complete).
+	msgOK := &Message{Kind: MsgCustom, Verb: "ping"}
+	if err := r.Send("sched-a", msgOK); err != nil {
+		t.Errorf("custom message during drain: %v", err)
+	}
+
+	r.CancelDrain("sched-a")
+	if err := r.Send("sched-a", &Message{Kind: MsgCreateInstance}); err != nil {
+		t.Errorf("create after CancelDrain: %v", err)
+	}
+}
+
+func TestBeginDrainUnknownPlugin(t *testing.T) {
+	r := NewRegistry()
+	if err := r.BeginDrain("ghost"); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("BeginDrain on missing plugin: %v", err)
+	}
+	r.CancelDrain("ghost") // must not panic
+}
+
+func TestFailedUnloadClearsDrain(t *testing.T) {
+	r := NewRegistry()
+	p := &lifecyclePlugin{name: "sched-b", code: MakeCode(TypeSched, 32)}
+	if err := r.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	msg := &Message{Kind: MsgCreateInstance}
+	if err := r.Send("sched-b", msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginDrain("sched-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Unload("sched-b"); err == nil {
+		t.Fatal("unload succeeded with a live instance")
+	}
+	// The failed unload must leave the plugin usable: the draining mark
+	// is cleared, so creates work again.
+	if err := r.Send("sched-b", &Message{Kind: MsgCreateInstance}); err != nil {
+		t.Errorf("create after failed unload: %v", err)
+	}
+}
+
+// The TOCTOU regression: a create whose (unlocked) plugin callback
+// completes while an unload wins the race must NOT publish the
+// instance — it would be orphaned past the unload's liveness check.
+// The registry rolls the creation back and reports ErrDraining.
+//
+// Run with -race: creates, frees, and unloads hammer one plugin, and
+// the final books must balance exactly.
+func TestCreateFreeUnloadRace(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		r := NewRegistry()
+		p := &lifecyclePlugin{name: "sched-r", code: MakeCode(TypeSched, 33)}
+		if err := r.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		// Creators: race creates against the unloader.
+		for c := 0; c < 3; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					msg := &Message{Kind: MsgCreateInstance}
+					err := r.Send("sched-r", msg)
+					switch {
+					case err == nil:
+						// Created and published: free it so the unloader
+						// can eventually win.
+						inst := msg.Reply.(Instance)
+						if ferr := r.Send("sched-r", &Message{Kind: MsgFreeInstance, Instance: inst}); ferr != nil &&
+							!errors.Is(ferr, ErrNotLoaded) {
+							t.Errorf("free: %v", ferr)
+						}
+					case errors.Is(err, ErrDraining) || errors.Is(err, ErrNotLoaded):
+						// Lost the race to the unloader; acceptable.
+					default:
+						t.Errorf("create: %v", err)
+					}
+				}
+			}()
+		}
+		// Unloader: drain-bracketed unload attempts until one sticks.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := r.BeginDrain("sched-r"); err != nil {
+					return // already unloaded
+				}
+				if err := r.Unload("sched-r"); err == nil {
+					return
+				}
+				r.CancelDrain("sched-r")
+			}
+		}()
+		wg.Wait()
+		// Make sure the unloader finished the job once creators stopped.
+		for {
+			if err := r.BeginDrain("sched-r"); err != nil {
+				break
+			}
+			if err := r.Unload("sched-r"); err == nil {
+				break
+			}
+			r.CancelDrain("sched-r")
+		}
+		// Invariant: every created instance was freed — published ones by
+		// the creators, rollback victims by the registry itself. An
+		// imbalance means an instance leaked past the unload.
+		if c, f := p.created.Load(), p.freed.Load(); c != f {
+			t.Fatalf("round %d: created %d != freed %d (orphaned instance)", round, c, f)
+		}
+		if _, ok := r.Lookup("sched-r"); ok {
+			t.Fatal("plugin still loaded after final unload")
+		}
+	}
+}

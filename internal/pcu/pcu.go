@@ -174,6 +174,11 @@ var (
 	ErrNotLoaded   = errors.New("pcu: plugin not loaded")
 	ErrNoSuchType  = errors.New("pcu: no plugin of that type")
 	ErrBadInstance = errors.New("pcu: message requires an instance")
+	// ErrDraining rejects create-instance while the plugin is being
+	// unloaded: the unload path marks the plugin draining before it
+	// frees instances, closing the window where a concurrent create
+	// could land between the last free and the unload and be orphaned.
+	ErrDraining = errors.New("pcu: plugin draining (unload in progress)")
 )
 
 // entry is one loaded plugin with its identity sampled at load time.
@@ -186,6 +191,10 @@ type entry struct {
 	plugin Plugin
 	name   string
 	code   Code
+	// draining, guarded by the registry mutex, marks an unload in
+	// progress: create-instance fails with ErrDraining until the unload
+	// completes or is cancelled.
+	draining bool
 }
 
 // Registry is the PCU proper: the per-type tables of loaded plugins.
@@ -197,6 +206,11 @@ type Registry struct {
 	// instances tracks live instances per plugin code, in creation
 	// order, so free-instance and listings can find them.
 	instances map[Code][]Instance
+
+	// reclaim, when set, defers free-instance callbacks until every
+	// forwarding worker has passed a quiescent point (SetReclaimer,
+	// assembly time). Nil keeps the synchronous semantics.
+	reclaim *Reclaimer
 
 	// tel, when set, records plugin lifecycle metrics. Set once at
 	// assembly time (SetTelemetry) before concurrent use; all metric
@@ -257,7 +271,8 @@ func (r *Registry) Load(p Plugin) error {
 }
 
 // Unload removes a plugin. The caller is responsible for having freed
-// its instances first (the router facade enforces this).
+// its instances first (the router facade enforces this, bracketing the
+// frees with BeginDrain so no concurrent create can slip in between).
 func (r *Registry) Unload(name string) error {
 	r.mu.Lock()
 	e, ok := r.byName[name]
@@ -266,6 +281,7 @@ func (r *Registry) Unload(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
 	}
 	if n := len(r.instances[e.code]); n > 0 {
+		e.draining = false
 		r.mu.Unlock()
 		return fmt.Errorf("pcu: plugin %q still has %d live instances", name, n)
 	}
@@ -278,6 +294,40 @@ func (r *Registry) Unload(name string) error {
 	r.telLoaded.Set(int64(n))
 	return nil
 }
+
+// BeginDrain marks a plugin draining: create-instance fails with
+// ErrDraining until Unload completes or CancelDrain is called. The
+// unload sequence is BeginDrain → free instances → Unload; without the
+// mark, a create racing the sequence could land between the last free
+// and the unload and leave an orphaned instance behind.
+func (r *Registry) BeginDrain(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotLoaded, name)
+	}
+	e.draining = true
+	return nil
+}
+
+// CancelDrain clears the draining mark after a failed unload, making the
+// plugin usable again.
+func (r *Registry) CancelDrain(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		e.draining = false
+	}
+}
+
+// SetReclaimer attaches the epoch reclaimer: free-instance callbacks are
+// deferred through it so a forwarding worker mid-dispatch never sees an
+// instance destroyed under it. Call once at assembly time.
+func (r *Registry) SetReclaimer(rc *Reclaimer) { r.reclaim = rc }
+
+// Reclaimer returns the attached reclaimer (nil if none).
+func (r *Registry) Reclaimer() *Reclaimer { return r.reclaim }
 
 // Lookup finds a plugin by name.
 func (r *Registry) Lookup(name string) (Plugin, bool) {
@@ -336,6 +386,19 @@ func (r *Registry) Send(name string, msg *Message) error {
 			r.countError(e.name)
 			return fmt.Errorf("%w: %s to %s", ErrBadInstance, msg.Kind, name)
 		}
+	case MsgCreateInstance:
+		// Fail fast while an unload is draining the plugin; the append
+		// below re-checks under the lock to close the TOCTOU window.
+		r.mu.RLock()
+		draining := e.draining
+		r.mu.RUnlock()
+		if draining {
+			r.countError(e.name)
+			return fmt.Errorf("%w: %q", ErrDraining, name)
+		}
+	}
+	if msg.Kind == MsgFreeInstance {
+		return r.freeInstance(e, msg)
 	}
 	// The callback runs with no registry lock held: plugins are free to
 	// call back into the registry from their message handlers.
@@ -343,19 +406,49 @@ func (r *Registry) Send(name string, msg *Message) error {
 		r.countError(e.name)
 		return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, name, err)
 	}
-	switch msg.Kind {
-	case MsgCreateInstance:
+	if msg.Kind == MsgCreateInstance {
 		inst, ok := msg.Reply.(Instance)
 		if !ok {
 			r.countError(e.name)
 			return fmt.Errorf("pcu: plugin %s created no instance", name)
 		}
 		r.mu.Lock()
+		// The callback ran unlocked; an unload may have started (or
+		// finished) meanwhile. Publishing the instance now would orphan
+		// it — delete(r.instances, e.code) has already run or is about
+		// to — so roll the creation back instead.
+		if r.byName[e.name] != e || e.draining {
+			r.mu.Unlock()
+			if rbErr := e.plugin.Callback(&Message{Kind: MsgFreeInstance, Instance: inst}); rbErr != nil {
+				r.countError(e.name)
+				return fmt.Errorf("%w: %q (rollback also failed: %v)", ErrDraining, name, rbErr)
+			}
+			r.countError(e.name)
+			return fmt.Errorf("%w: %q", ErrDraining, name)
+		}
 		r.instances[e.code] = append(r.instances[e.code], inst)
 		n := len(r.instances[e.code])
 		r.mu.Unlock()
 		r.instanceGauge(e.name).Set(int64(n))
-	case MsgFreeInstance:
+	}
+	return nil
+}
+
+// freeInstance handles MsgFreeInstance. Without a reclaimer the
+// callback runs synchronously and bookkeeping follows, as the paper's
+// single-threaded kernel would. With one, the instance is forgotten
+// immediately — it must already be unreachable from the data path (the
+// facade unbinds and flushes first) — and the destructive callback is
+// deferred until every worker online at this moment has quiesced.
+func (r *Registry) freeInstance(e *entry, msg *Message) error {
+	run := func() error {
+		if err := e.plugin.Callback(msg); err != nil {
+			r.countError(e.name)
+			return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, e.name, err)
+		}
+		return nil
+	}
+	forget := func() {
 		r.mu.Lock()
 		list := r.instances[e.code]
 		for i, in := range list {
@@ -368,7 +461,15 @@ func (r *Registry) Send(name string, msg *Message) error {
 		r.mu.Unlock()
 		r.instanceGauge(e.name).Set(int64(n))
 	}
-	return nil
+	if r.reclaim == nil {
+		if err := run(); err != nil {
+			return err
+		}
+		forget()
+		return nil
+	}
+	forget()
+	return r.reclaim.Defer(run)
 }
 
 // countMessage records one control message to a plugin; failed sends to

@@ -85,6 +85,14 @@ type Packet struct {
 	// just a pointer.
 	FIX any
 
+	// FIXGen is the generation of the flow-table row at the moment the
+	// FIX was stored. Flow records are recycled oldest-first when the
+	// table is full, so a FIX can outlive its flow: gates compare this
+	// against the record's current generation and reclassify on
+	// mismatch instead of dispatching through whatever flow now owns
+	// the row. Owned by the AIU, like FIX.
+	FIXGen uint64
+
 	// Stamp is the receive timestamp assigned by the device driver; the
 	// Table 3 measurement methodology timestamps packets on RX and
 	// compares against the cycle counter just before TX.
@@ -138,6 +146,7 @@ func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Data = append([]byte(nil), p.Data...)
 	q.FIX = nil
+	q.FIXGen = 0
 	q.CacheMiss = false
 	return &q
 }

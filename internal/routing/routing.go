@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/routerplugins/eisr/internal/bmp"
 	"github.com/routerplugins/eisr/internal/cycles"
@@ -41,10 +42,24 @@ type Route struct {
 // engine is one of the BMP plugins, selected at construction — exactly
 // the paper's arrangement, where BMP implementations are plugins used
 // "for packet classification and routing".
+//
+// Lookups are lock-free: mutators rebuild the BMP structure from the
+// route list under the control-path mutex, prime its lazily built
+// internals, and publish it atomically. Every worker of the parallel
+// forwarding engine performs a route lookup per routed packet, so even
+// a read lock here would put one shared cache line on every core's hit
+// path; copy-on-write moves the entire cost to route churn, which is
+// control-path by definition.
 type Table struct {
-	mu   sync.RWMutex
-	bmp  bmp.Table
+	mu   sync.Mutex // serializes mutators
+	kind bmp.Kind
 	list map[pkt.Prefix]NextHop
+	snap atomic.Pointer[tableSnap]
+}
+
+// tableSnap is one immutable published generation of the BMP structure.
+type tableSnap struct {
+	bmp bmp.Table
 }
 
 // New builds a table on the given BMP algorithm ("" = BSPL).
@@ -52,11 +67,31 @@ func New(kind bmp.Kind) (*Table, error) {
 	if kind == "" {
 		kind = bmp.KindBSPL
 	}
-	t, err := bmp.New(kind)
+	// Validate the kind and publish an empty structure.
+	b, err := bmp.New(kind)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{bmp: t, list: make(map[pkt.Prefix]NextHop)}, nil
+	t := &Table{kind: kind, list: make(map[pkt.Prefix]NextHop)}
+	t.snap.Store(&tableSnap{bmp: b})
+	return t, nil
+}
+
+// rebuildLocked constructs a fresh BMP structure from the route list,
+// primes every lazily built internal (the data path must never mutate
+// the published structure), and publishes it. Called with t.mu held.
+func (t *Table) rebuildLocked() {
+	b, err := bmp.New(t.kind)
+	if err != nil {
+		return // kind was validated at construction; unreachable
+	}
+	for p, nh := range t.list {
+		b.Insert(p, nh)
+	}
+	for p := range t.list {
+		b.Lookup(p.Addr, nil)
+	}
+	t.snap.Store(&tableSnap{bmp: b})
 }
 
 // Add installs or replaces a route. A route with a worse (higher) metric
@@ -69,9 +104,7 @@ func (t *Table) Add(p pkt.Prefix, nh NextHop) {
 		return
 	}
 	t.list[p] = nh
-	t.bmp.Insert(p, nh)
-	// Prime lazily built structures on the control path.
-	t.bmp.Lookup(p.Addr, nil)
+	t.rebuildLocked()
 }
 
 // Del removes a route, reporting whether it existed.
@@ -83,16 +116,16 @@ func (t *Table) Del(p pkt.Prefix) bool {
 		return false
 	}
 	delete(t.list, p)
-	t.bmp.Delete(p)
-	t.bmp.Lookup(p.Addr, nil)
+	t.rebuildLocked()
 	return true
 }
 
-// Lookup finds the longest-prefix route for a destination.
+// Lookup finds the longest-prefix route for a destination. Lock-free:
+// one atomic snapshot load, then a walk of an immutable structure.
+//
+//eisr:fastpath
 func (t *Table) Lookup(dst pkt.Addr, c *cycles.Counter) (NextHop, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	v, _, ok := t.bmp.Lookup(dst, c)
+	v, _, ok := t.snap.Load().bmp.Lookup(dst, c)
 	if !ok {
 		return NextHop{}, false
 	}
@@ -101,15 +134,15 @@ func (t *Table) Lookup(dst pkt.Addr, c *cycles.Counter) (NextHop, bool) {
 
 // Len returns the number of installed routes.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.list)
 }
 
 // Routes lists routes sorted by prefix string (stable for display).
 func (t *Table) Routes() []Route {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]Route, 0, len(t.list))
 	for p, nh := range t.list {
 		out = append(out, Route{Prefix: p, NextHop: nh})

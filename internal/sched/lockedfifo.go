@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"sync"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// LockedFIFO is a FIFO safe for concurrent producers and consumers: the
+// per-interface output queue of the parallel forwarding engine, where
+// several workers enqueue while the drain loop dequeues. The lock is
+// per interface — never shared across interfaces — so it serializes
+// only the packets that were going to serialize on the link anyway.
+// It is deliberately NOT marked fast-path: the analyzer forbids
+// exclusive locks there, and the enqueue is the last step of the
+// pipeline, past every gate.
+type LockedFIFO struct {
+	mu sync.Mutex
+	f  FIFO
+}
+
+// NewLockedFIFO builds a concurrent FIFO with a packet limit (0 = 512).
+func NewLockedFIFO(limit int) *LockedFIFO {
+	q := &LockedFIFO{}
+	q.f.limit = limit
+	if q.f.limit <= 0 {
+		q.f.limit = 512
+	}
+	return q
+}
+
+// Enqueue implements Scheduler.
+func (q *LockedFIFO) Enqueue(p *pkt.Packet) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Enqueue(p)
+}
+
+// Dequeue implements Scheduler.
+func (q *LockedFIFO) Dequeue() *pkt.Packet {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Dequeue()
+}
+
+// Len implements Scheduler.
+func (q *LockedFIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Len()
+}

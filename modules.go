@@ -65,9 +65,19 @@ func (r *Router) LoadPlugin(name string) error {
 	return r.PCU.Load(f(r))
 }
 
-// UnloadPlugin unloads a plugin (fails while instances are live).
+// UnloadPlugin unloads a plugin (fails while instances are live). The
+// unload is bracketed by a draining mark so a create-instance racing
+// the unload cannot land between the liveness check and the removal
+// and leave an orphaned instance; a failed unload clears the mark.
 func (r *Router) UnloadPlugin(name string) error {
-	return r.PCU.Unload(name)
+	if err := r.PCU.BeginDrain(name); err != nil {
+		return err
+	}
+	if err := r.PCU.Unload(name); err != nil {
+		r.PCU.CancelDrain(name)
+		return err
+	}
+	return nil
 }
 
 func gateByName(s string) pcu.Type {

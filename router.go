@@ -68,6 +68,16 @@ type Options struct {
 	// FlowBuckets / MaxFlows size the AIU flow cache.
 	FlowBuckets int
 	MaxFlows    int
+	// FlowShards sets the flow-table shard count (power of two; 0 = the
+	// default). More shards reduce lock contention between forwarding
+	// workers; with Workers a power of two ≤ FlowShards, each shard is
+	// touched by exactly one worker.
+	FlowShards int
+	// Workers sizes the parallel forwarding engine: Start runs Workers
+	// goroutines and steers each ingress packet to one by flow hash,
+	// preserving per-flow ordering. 0 or 1 keeps the paper's single
+	// flow of control.
+	Workers int
 	// CollapseDAGNodes enables the §5.1.2 node-collapsing optimization.
 	CollapseDAGNodes bool
 	// ShareIdenticalTables enables the §5.1.2 inter-DAG optimization:
@@ -142,6 +152,7 @@ func New(opts Options) (*Router, error) {
 			CollapseNodes:        opts.CollapseDAGNodes,
 			FlowBuckets:          opts.FlowBuckets,
 			MaxFlows:             opts.MaxFlows,
+			FlowShards:           opts.FlowShards,
 			ShareIdenticalTables: opts.ShareIdenticalTables,
 		}, gates...)
 	}
@@ -157,12 +168,22 @@ func New(opts Options) (*Router, error) {
 			a.SetTelemetry(tel)
 		}
 	}
+	// With a worker pool, free-instance destruction must wait out
+	// in-flight dispatches: one epoch reclaimer is shared between the
+	// pool (whose workers announce quiescence to it) and the PCU (which
+	// defers the destructive callbacks through it).
+	var rc *pcu.Reclaimer
+	if opts.Workers > 1 {
+		rc = pcu.NewReclaimer()
+	}
 	var r *Router
 	core, err := ipcore.New(ipcore.Config{
 		Mode: mode, Gates: gates, AIU: a, Routes: routes,
 		MonoSched: opts.MonoSched, VerifyChecksums: opts.VerifyChecksums,
 		SendICMPErrors: opts.SendICMPErrors,
 		Clock:          opts.Clock,
+		Workers:        opts.Workers,
+		Reclaim:        rc,
 		Tel:            tel,
 		LocalSink:      func(p *pkt.Packet) { r.dispatchLocal(p) },
 	})
@@ -172,6 +193,9 @@ func New(opts Options) (*Router, error) {
 	reg := pcu.NewRegistry()
 	if tel != nil {
 		reg.SetTelemetry(tel)
+	}
+	if rc != nil {
+		reg.SetReclaimer(rc)
 	}
 	r = &Router{
 		Core: core, AIU: a, PCU: reg, Routes: routes,
@@ -262,11 +286,21 @@ func (r *Router) CreateInstance(plugin string, args map[string]string) (string, 
 	return inst.InstanceName(), nil
 }
 
-// FreeInstance frees a named instance.
+// FreeInstance frees a named instance. The instance is first made
+// unreachable from the data path — its filters unbound and its cached
+// flows flushed — and only then is the plugin's destructive callback
+// issued; with a worker pool, the PCU additionally defers that callback
+// until every worker in flight at this moment has passed a quiescent
+// point. A worker that fetched the instance through a FIX an instant
+// before the flush therefore always completes its dispatch against a
+// live instance.
 func (r *Router) FreeInstance(plugin, instance string) error {
 	inst, err := r.PCU.FindInstance(plugin, instance)
 	if err != nil {
 		return err
+	}
+	if r.AIU != nil {
+		r.AIU.UnbindInstance(inst)
 	}
 	return r.PCU.Send(plugin, &pcu.Message{Kind: pcu.MsgFreeInstance, Instance: inst})
 }
