@@ -22,10 +22,12 @@ vet: $(BIN)/eisrlint
 
 # Race-detector pass over the packages with concurrent kernel state:
 # sharded flow-table lookups and gate dispatch racing the PCU control
-# path, the parallel forwarding pool and epoch reclamation, and metric
-# registration/snapshot racing record calls.
+# path, the parallel forwarding pool and epoch reclamation, metric
+# registration/snapshot racing record calls, the fault barrier and
+# quarantine path (root package), and the control server's
+# connection-teardown bookkeeping.
 race:
-	$(GO) test -race ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry
+	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl
 
 # Overhead guards: the telemetry-off flow-cache hit path must stay
 # allocation-free and the disabled record calls under 2ns per packet;

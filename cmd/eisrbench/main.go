@@ -20,7 +20,7 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
-	"drrshare", "hfsc", "schedovh", "telemetry", "parallel",
+	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "faults",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -141,6 +141,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.ParallelTable(rows))
+	}
+	if run("faults") {
+		ran = true
+		opts := bench.FaultsOptions{}
+		if *full {
+			opts.Packets = 2_000_000
+		}
+		rows, faults, err := bench.RunFaults(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FaultsTable(rows, faults))
 	}
 	if run("ablate-cache") {
 		ran = true

@@ -43,6 +43,9 @@ func main() {
 	traceBuf := flag.Int("trace-buffer", 0, "packet trace ring size (entries, 0 = default; needs -metrics)")
 	traceSample := flag.Int("trace-sample", 1, "trace every Nth packet (needs -metrics)")
 	workers := flag.Int("workers", 0, "forwarding workers (0 or 1 = single-threaded; >1 steers packets by flow hash)")
+	faultPolicy := flag.String("fault-policy", "drop", "packet fate when a plugin dispatch panics: drop|forward")
+	faultThreshold := flag.Int("fault-threshold", 0, "quarantine an instance after N faults in the window (0 = default 5; negative = never)")
+	faultWindow := flag.Duration("fault-window", 0, "sliding window for -fault-threshold (0 = default 10s)")
 	flag.Parse()
 
 	r, err := eisr.New(eisr.Options{
@@ -53,6 +56,9 @@ func main() {
 		TraceBuffer:     *traceBuf,
 		TraceSample:     *traceSample,
 		Workers:         *workers,
+		FaultPolicy:     *faultPolicy,
+		FaultThreshold:  *faultThreshold,
+		FaultWindow:     *faultWindow,
 	})
 	if err != nil {
 		log.Fatalf("eisrd: %v", err)

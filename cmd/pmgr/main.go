@@ -11,6 +11,8 @@
 //	pmgr filters sched
 //	pmgr stats
 //	pmgr trace 16
+//	pmgr health
+//	pmgr quarantine chaos-options chaos-options0
 package main
 
 import (
@@ -35,6 +37,7 @@ commands:
   msg PLUGIN [INSTANCE] VERB [key=value ...]
   route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
   filters GATE | stats | flows | trace [N]
+  health | quarantine PLUGIN INSTANCE
 `)
 	}
 	flag.Parse()

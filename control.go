@@ -97,6 +97,10 @@ func (r *Router) Control(req *ctl.Request) (any, error) {
 		return out, nil
 	case ctl.OpStats:
 		return r.StatsReport(), nil
+	case ctl.OpHealth:
+		return r.HealthReport(), nil
+	case ctl.OpQuarantine:
+		return nil, r.Quarantine(req.Plugin, req.Instance)
 	case ctl.OpFlows:
 		if r.AIU == nil {
 			return nil, fmt.Errorf("eisr: no classifier in best-effort mode")

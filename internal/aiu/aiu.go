@@ -74,6 +74,11 @@ type FilterTable struct {
 	records []*FilterRecord
 	dag     *dag
 	dirty   bool
+	// buildErr is the last rebuild failure. While set (and not dirty)
+	// lookups at this gate return no match instead of retrying the
+	// failed build per packet; the next control-path mutation re-dirties
+	// the table and retries.
+	buildErr error
 
 	// sig fingerprints the multiset of filter specs; tables with equal
 	// sig hold the same filters and can share classification results
@@ -102,6 +107,15 @@ type AIU struct {
 	flows  *FlowTable
 	nextID uint64
 	seq    uint64
+
+	// kindErr caches a bad BMPKind detected at construction so Bind can
+	// fail the control request up front instead of poisoning the next
+	// DAG rebuild.
+	kindErr error
+
+	// guard is the plugin fault barrier wrapped around classifier match
+	// walks (SetGuard, assembly time; nil-safe).
+	guard *pcu.Guard
 
 	// firstPacketLookups counts filter-table lookups taken on the
 	// uncached path; cachedLookups counts flow-cache hits.
@@ -134,8 +148,18 @@ func New(cfg Config, gates ...pcu.Type) *AIU {
 		a.tables[g] = &FilterTable{gate: g}
 	}
 	a.flows = NewFlowTableSharded(cfg.FlowBuckets, cfg.InitialFlows, cfg.MaxFlows, len(gates), cfg.FlowShards)
+	// Probe the BMP kind once: a bad kind would otherwise surface only
+	// deep inside the first DAG rebuild.
+	if _, err := bmp.New(cfg.BMPKind); err != nil {
+		a.kindErr = fmt.Errorf("aiu: %w", err)
+	}
 	return a
 }
+
+// SetGuard attaches the plugin fault barrier to the classifier: a
+// panicking match function is then contained and the lookup reports no
+// match instead of killing the router. Call once at assembly time.
+func (a *AIU) SetGuard(g *pcu.Guard) { a.guard = g }
 
 // Gates returns the gate order.
 func (a *AIU) Gates() []pcu.Type { return append([]pcu.Type(nil), a.gates...) }
@@ -154,6 +178,11 @@ func (a *AIU) FlowTable() *FlowTable { return a.flows }
 // register-instance message ultimately calls). private is the optional
 // filter-associated plugin state. It returns the installed record.
 func (a *AIU) Bind(gate pcu.Type, f Filter, inst pcu.Instance, private any) (*FilterRecord, error) {
+	if a.kindErr != nil {
+		// Fail the control request before mutating the table: the rebuild
+		// this bind would trigger cannot succeed.
+		return nil, a.kindErr
+	}
 	a.mu.Lock()
 	ft, ok := a.tables[gate]
 	if !ok {
@@ -286,19 +315,23 @@ func (a *AIU) Table(gate pcu.Type) (*FilterTable, bool) {
 }
 
 // dagFor returns the gate's DAG, rebuilding it if dirty. Caller must
-// hold at least the read lock; rebuilds upgrade briefly.
-func (a *AIU) dagFor(gate pcu.Type) *dag {
+// hold at least the read lock; rebuilds upgrade briefly. A failed
+// rebuild is remembered in the table (buildErr) so lookups do not
+// retry the broken build per packet; the next control-path mutation
+// re-dirties the table and retries.
+func (a *AIU) dagFor(gate pcu.Type) (*dag, error) {
 	ft := a.tables[gate]
 	if ft == nil {
-		return nil
+		return nil, nil
 	}
-	if ft.dirty || ft.dag == nil {
+	if ft.dirty || (ft.dag == nil && ft.buildErr == nil) {
 		// Upgrade to the write lock for the rebuild.
 		a.mu.RUnlock()
 		a.mu.Lock()
-		if ft.dirty || ft.dag == nil {
-			ft.dag = buildDAG(ft.records, dagConfig{bmpKind: a.cfg.BMPKind, collapse: a.cfg.CollapseNodes})
-			if a.cfg.ShareIdenticalTables {
+		if ft.dirty || (ft.dag == nil && ft.buildErr == nil) {
+			d, err := buildDAG(ft.records, dagConfig{bmpKind: a.cfg.BMPKind, collapse: a.cfg.CollapseNodes})
+			ft.dag, ft.buildErr = d, err
+			if err == nil && a.cfg.ShareIdenticalTables {
 				ft.sig = specSignature(ft.records)
 				// Rank records by rendered spec; twin tables (equal
 				// multisets) produce aligned ranks, so a record in one
@@ -316,25 +349,48 @@ func (a *AIU) dagFor(gate pcu.Type) *dag {
 				}
 			}
 			ft.dirty = false
-			a.telDAGNodes[gate].Set(int64(ft.dag.nodes))
+			if ft.dag != nil {
+				a.telDAGNodes[gate].Set(int64(ft.dag.nodes))
+			}
 		}
 		a.mu.Unlock()
 		a.mu.RLock()
 	}
-	return ft.dag
+	return ft.dag, ft.buildErr
+}
+
+// lookupGuarded walks one gate's DAG inside the fault barrier. The
+// match functions at address levels are plugin code (the paper's BMP
+// plugins); a panic there is captured — not delivered — because the
+// caller holds a.mu and the health hooks can re-enter it. Captured
+// faults go into *faults for delivery after the lock is dropped.
+func (a *AIU) lookupGuarded(d *dag, gate pcu.Type, k pkt.Key, c *cycles.Counter, faults *[]*pcu.PluginFault) *FilterRecord {
+	var rec *FilterRecord
+	if flt := a.guard.Capture(pcu.OriginClassifier, gate, nil, func() {
+		rec = d.lookup(k, c)
+	}); flt != nil {
+		*faults = append(*faults, flt)
+		return nil
+	}
+	return rec
 }
 
 // ClassifyKey performs a raw filter-table lookup at one gate — the slow
 // path the paper's Table 2 instruments. It does not consult or fill the
 // flow cache.
 func (a *AIU) ClassifyKey(gate pcu.Type, k pkt.Key, c *cycles.Counter) *FilterRecord {
+	var faults []*pcu.PluginFault
 	a.mu.RLock()
-	defer a.mu.RUnlock()
-	d := a.dagFor(gate)
-	if d == nil {
-		return nil
+	d, err := a.dagFor(gate)
+	var rec *FilterRecord
+	if err == nil && d != nil {
+		rec = a.lookupGuarded(d, gate, k, c, &faults)
 	}
-	return d.lookup(k, c)
+	a.mu.RUnlock()
+	for _, flt := range faults {
+		a.guard.Deliver(flt, nil)
+	}
+	return rec
 }
 
 // LookupGate is the gate macro's entry point (§3.2): given a packet at a
@@ -398,12 +454,15 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 	// they can be attributed to the first-packet path (and to the packet
 	// trace via p.CacheMiss) before being merged into the caller's.
 	var lc cycles.Counter
+	var faults []*pcu.PluginFault
 	a.mu.RLock()
 	binds := make([]GateBind, len(a.gates))
 	var shared map[uint64]*FilterRecord
 	for i, g := range a.gates {
-		d := a.dagFor(g)
-		if d == nil {
+		d, err := a.dagFor(g)
+		if err != nil || d == nil {
+			// A gate whose table failed to build classifies to no match:
+			// the flow degrades to the default path at that gate.
 			continue
 		}
 		ft := a.tables[g]
@@ -420,7 +479,7 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 				continue
 			}
 		}
-		fr := d.lookup(p.Key, &lc)
+		fr := a.lookupGuarded(d, g, p.Key, &lc, &faults)
 		if fr != nil {
 			binds[i] = GateBind{Instance: fr.Instance, Rec: fr}
 		}
@@ -432,6 +491,11 @@ func (a *AIU) classifyAndInsert(p *pkt.Packet, slot int, now time.Time, c *cycle
 		}
 	}
 	a.mu.RUnlock()
+	// Deliver classifier faults only now: the health hooks may unbind
+	// filters, which takes the write lock this goroutine just held.
+	for _, flt := range faults {
+		a.guard.Deliver(flt, nil)
+	}
 	rec, gen := a.flows.InsertGen(p.Key, now, binds)
 	a.firstPacketLookups.Add(1)
 	a.telFirstPkt.Inc()
@@ -473,7 +537,7 @@ func (a *AIU) Stats() (cached, firstPacket uint64) {
 func (a *AIU) DAGNodes(gate pcu.Type) int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	d := a.dagFor(gate)
+	d, _ := a.dagFor(gate)
 	if d == nil {
 		return 0
 	}

@@ -87,14 +87,22 @@ type dagConfig struct {
 	collapse bool
 }
 
-// buildDAG constructs the set-pruning DAG for a record set.
-func buildDAG(records []*FilterRecord, cfg dagConfig) *dag {
+// buildDAG constructs the set-pruning DAG for a record set. A non-nil
+// error (an unknown BMP kind, surfaced while instantiating an address
+// level's match table) leaves no partial DAG behind: the rebuild runs
+// on the control path, and the error fails the control request there
+// instead of panicking under a packet.
+func buildDAG(records []*FilterRecord, cfg dagConfig) (*dag, error) {
 	d := &dag{builtOf: len(records)}
 	if len(records) == 0 {
-		return d
+		return d, nil
 	}
 	b := &dagBuilder{cfg: cfg, memo: make(map[string]*dagNode)}
-	d.root = b.build(records, 0)
+	root, err := b.build(records, 0)
+	if err != nil {
+		return nil, err
+	}
+	d.root = root
 	d.nodes = b.nodes
 	// Force-build the lazily constructed BMP structures now, on the
 	// control path, so concurrent data-path lookups never trigger a
@@ -102,7 +110,7 @@ func buildDAG(records []*FilterRecord, cfg dagConfig) *dag {
 	for _, t := range b.tables {
 		t.Lookup(pkt.AddrV4(0), nil)
 	}
-	return d
+	return d, nil
 }
 
 type dagBuilder struct {
@@ -129,9 +137,9 @@ func memoKey(records []*FilterRecord, level int) string {
 	return sb.String()
 }
 
-func (b *dagBuilder) build(records []*FilterRecord, level int) *dagNode {
+func (b *dagBuilder) build(records []*FilterRecord, level int) (*dagNode, error) {
 	if len(records) == 0 {
-		return nil
+		return nil, nil
 	}
 	if b.cfg.collapse {
 		for level < numLevels && allWildAt(records, level) {
@@ -140,30 +148,34 @@ func (b *dagBuilder) build(records []*FilterRecord, level int) *dagNode {
 	}
 	key := memoKey(records, level)
 	if n, ok := b.memo[key]; ok {
-		return n
+		return n, nil
 	}
 	n := &dagNode{level: level}
 	b.memo[key] = n
 	b.nodes++
 	if level == numLevels {
 		n.leaf = bestRecord(records)
-		return n
+		return n, nil
 	}
+	var err error
 	switch level {
 	case 0, 1:
-		b.buildAddrLevel(n, records, level)
+		err = b.buildAddrLevel(n, records, level)
 	case 2:
-		b.buildExactLevel(n, records, level, func(r *FilterRecord) (int64, bool) {
+		err = b.buildExactLevel(n, records, level, func(r *FilterRecord) (int64, bool) {
 			return int64(r.Filter.Proto.Value), !r.Filter.Proto.Wild
 		})
 	case 3, 4:
-		b.buildPortLevel(n, records, level)
+		err = b.buildPortLevel(n, records, level)
 	case 5:
-		b.buildExactLevel(n, records, level, func(r *FilterRecord) (int64, bool) {
+		err = b.buildExactLevel(n, records, level, func(r *FilterRecord) (int64, bool) {
 			return int64(r.Filter.InIf.Index), !r.Filter.InIf.Wild
 		})
 	}
-	return n
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
 }
 
 func addrField(r *FilterRecord, level int) AddrSpec {
@@ -215,7 +227,7 @@ func allWildAt(records []*FilterRecord, level int) bool {
 // probes for IPv4, 129 for IPv6) instead of scanning all records, so
 // construction stays near-linear for the large mostly-host-filter
 // populations of the Table 2 experiment.
-func (b *dagBuilder) buildAddrLevel(n *dagNode, records []*FilterRecord, level int) {
+func (b *dagBuilder) buildAddrLevel(n *dagNode, records []*FilterRecord, level int) error {
 	type edge struct {
 		p    pkt.Prefix
 		subs []*FilterRecord
@@ -261,16 +273,22 @@ func (b *dagBuilder) buildAddrLevel(n *dagNode, records []*FilterRecord, level i
 		e.subs = append(e.subs, wildRecs...)
 	}
 	if len(edges) > 0 {
-		mk := func() bmp.Table {
+		// Historically bmp.New failure panicked here, killing the router
+		// from a control-path rebuild; now it aborts the build and fails
+		// the control request instead.
+		mk := func() (bmp.Table, error) {
 			t, err := bmp.New(b.cfg.bmpKind)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("aiu: filter-table rebuild: %w", err)
 			}
 			b.tables = append(b.tables, t)
-			return t
+			return t, nil
 		}
 		for _, e := range edges {
-			child := b.build(e.subs, level+1)
+			child, err := b.build(e.subs, level+1)
+			if err != nil {
+				return err
+			}
 			if child == nil {
 				continue
 			}
@@ -281,15 +299,24 @@ func (b *dagBuilder) buildAddrLevel(n *dagNode, records []*FilterRecord, level i
 				tab = &n.v4
 			}
 			if *tab == nil {
-				*tab = mk()
+				t, err := mk()
+				if err != nil {
+					return err
+				}
+				*tab = t
 			}
 			(*tab).Insert(e.p, child)
 		}
 	}
-	n.wild = b.build(wildRecs, level+1)
+	wild, err := b.build(wildRecs, level+1)
+	if err != nil {
+		return err
+	}
+	n.wild = wild
+	return nil
 }
 
-func (b *dagBuilder) buildExactLevel(n *dagNode, records []*FilterRecord, level int, field func(*FilterRecord) (int64, bool)) {
+func (b *dagBuilder) buildExactLevel(n *dagNode, records []*FilterRecord, level int, field func(*FilterRecord) (int64, bool)) error {
 	values := map[int64][]*FilterRecord{}
 	var wildRecs []*FilterRecord
 	for _, r := range records {
@@ -306,12 +333,21 @@ func (b *dagBuilder) buildExactLevel(n *dagNode, records []*FilterRecord, level 
 	if len(values) > 0 {
 		n.exact = make(map[int64]*dagNode, len(values))
 		for v, subs := range values {
-			if child := b.build(subs, level+1); child != nil {
+			child, err := b.build(subs, level+1)
+			if err != nil {
+				return err
+			}
+			if child != nil {
 				n.exact[v] = child
 			}
 		}
 	}
-	n.wild = b.build(wildRecs, level+1)
+	wild, err := b.build(wildRecs, level+1)
+	if err != nil {
+		return err
+	}
+	n.wild = wild
+	return nil
 }
 
 // buildPortLevel partitions 0..65535 into the elementary intervals
@@ -319,7 +355,7 @@ func (b *dagBuilder) buildExactLevel(n *dagNode, records []*FilterRecord, level 
 // sees exactly the same filter subset. This realizes the paper's "for
 // port numbers, matching can be done on ranges" with exact semantics even
 // for partially overlapping ranges.
-func (b *dagBuilder) buildPortLevel(n *dagNode, records []*FilterRecord, level int) {
+func (b *dagBuilder) buildPortLevel(n *dagNode, records []*FilterRecord, level int) error {
 	bounds := map[uint16]bool{0: true}
 	for _, r := range records {
 		pr := portField(r, level)
@@ -347,8 +383,13 @@ func (b *dagBuilder) buildPortLevel(n *dagNode, records []*FilterRecord, level i
 				subs = append(subs, r)
 			}
 		}
-		n.portChildren[i] = b.build(subs, level+1)
+		child, err := b.build(subs, level+1)
+		if err != nil {
+			return err
+		}
+		n.portChildren[i] = child
 	}
+	return nil
 }
 
 // bestRecord picks the most specific record, breaking ties by

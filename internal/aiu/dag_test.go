@@ -18,6 +18,18 @@ type testInstance struct {
 func (t *testInstance) InstanceName() string             { return t.name }
 func (t *testInstance) HandlePacket(p *pkt.Packet) error { return nil }
 
+// mustDAG builds a DAG, failing the test on a builder error (tests
+// here use valid BMP kinds; the error path has its own regression
+// tests).
+func mustDAG(t *testing.T, recs []*FilterRecord, cfg dagConfig) *dag {
+	t.Helper()
+	d, err := buildDAG(recs, cfg)
+	if err != nil {
+		t.Fatalf("buildDAG: %v", err)
+	}
+	return d
+}
+
 func mkRecords(filters []Filter) []*FilterRecord {
 	recs := make([]*FilterRecord, len(filters))
 	for i, f := range filters {
@@ -72,7 +84,7 @@ func paperTable1Filters() []Filter {
 // neighboring cases too.
 func TestPaperTable1(t *testing.T) {
 	recs := mkRecords(paperTable1Filters())
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindBSPL})
 
 	cases := []struct {
 		src, dst string
@@ -110,7 +122,7 @@ func TestPaperTable1(t *testing.T) {
 // more specific one must win inside the subset.
 func TestFilter2SubsetOfFilter4(t *testing.T) {
 	recs := mkRecords(paperTable1Filters())
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindPatricia})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindPatricia})
 	in2 := pkt.Key{
 		Src: pkt.MustParseAddr("128.252.153.1"), Dst: pkt.MustParseAddr("128.252.153.7"),
 		Proto: pkt.ProtoUDP,
@@ -230,7 +242,7 @@ func TestPropertyDAGMatchesNaive(t *testing.T) {
 		recs := mkRecords(filters)
 		kind := kinds[trial%len(kinds)]
 		collapse := trial%2 == 1
-		d := buildDAG(recs, dagConfig{bmpKind: kind, collapse: collapse})
+		d := mustDAG(t, recs, dagConfig{bmpKind: kind, collapse: collapse})
 		for probe := 0; probe < 500; probe++ {
 			k := randKey(rng)
 			want := naiveClassify(recs, k)
@@ -278,7 +290,7 @@ func TestPropertyDAGIPv6(t *testing.T) {
 			}
 			recs[i] = &FilterRecord{ID: uint64(i + 1), Filter: f, seq: uint64(i + 1)}
 		}
-		d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+		d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindBSPL})
 		for probe := 0; probe < 300; probe++ {
 			k := pkt.Key{Src: rand6(), Dst: rand6(), Proto: pkt.ProtoUDP, SrcPort: 53, DstPort: 53}
 			if probe%2 == 0 {
@@ -300,7 +312,7 @@ func TestMixedFamilies(t *testing.T) {
 		MustParseFilter("10.0.0.0/8, *, UDP, *, *, *"),
 		MustParseFilter("2001:db8::/32, *, UDP, *, *, *"),
 	})
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindBSPL})
 	k4 := pkt.Key{Src: pkt.MustParseAddr("10.1.1.1"), Dst: pkt.MustParseAddr("10.1.1.2"), Proto: pkt.ProtoUDP}
 	if got := d.lookup(k4, nil); got == nil || got.ID != 1 {
 		t.Errorf("v4 key: got %v", got)
@@ -326,7 +338,7 @@ func TestTable2Accounting(t *testing.T) {
 	// itself notes — and are exercised separately at small N.
 	filters := flowLikeFilters(rng, 3000, false)
 	recs := mkRecords(filters)
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindBSPL})
 	maxV4 := uint64(2*bmp.WorstCaseProbes(false) + 2 + 6)
 	var worst uint64
 	for i := 0; i < 3000; i++ {
@@ -358,13 +370,13 @@ func TestDAGSharing(t *testing.T) {
 		filters = append(filters, f)
 	}
 	recs := mkRecords(filters)
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindLinear})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindLinear})
 	// 16 distinct level-0 edges, but each edge's subtree contains just
 	// {that filter} — different sets, no sharing there. Add a wildcard
 	// filter matched everywhere to create shared sub-sets:
 	filters = append(filters, MustParseFilter("*, *, UDP, *, *, *"))
 	recs2 := mkRecords(filters)
-	d2 := buildDAG(recs2, dagConfig{bmpKind: bmp.KindLinear})
+	d2 := mustDAG(t, recs2, dagConfig{bmpKind: bmp.KindLinear})
 	if d2.nodes >= d.nodes+16*4 {
 		t.Errorf("no sharing evident: %d nodes before, %d after", d.nodes, d2.nodes)
 	}
@@ -378,8 +390,8 @@ func TestCollapseReducesAccesses(t *testing.T) {
 		MustParseFilter("10.0.0.0/8, *, *, *, *, *"),
 		MustParseFilter("11.0.0.0/8, *, *, *, *, *"),
 	})
-	flat := buildDAG(recs, dagConfig{bmpKind: bmp.KindLinear})
-	coll := buildDAG(recs, dagConfig{bmpKind: bmp.KindLinear, collapse: true})
+	flat := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindLinear})
+	coll := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindLinear, collapse: true})
 	k := pkt.Key{Src: pkt.MustParseAddr("10.1.1.1"), Dst: pkt.MustParseAddr("9.9.9.9"), Proto: pkt.ProtoUDP}
 	var cFlat, cColl cycles.Counter
 	rf := flat.lookup(k, &cFlat)
@@ -395,7 +407,7 @@ func TestCollapseReducesAccesses(t *testing.T) {
 
 // TestEmptyDAG ensures lookups against an empty table miss cleanly.
 func TestEmptyDAG(t *testing.T) {
-	d := buildDAG(nil, dagConfig{bmpKind: bmp.KindBSPL})
+	d := mustDAG(t, nil, dagConfig{bmpKind: bmp.KindBSPL})
 	if got := d.lookup(randKey(rand.New(rand.NewSource(1))), nil); got != nil {
 		t.Errorf("empty table matched %v", got)
 	}
@@ -408,7 +420,7 @@ func TestPortRangeEdges(t *testing.T) {
 		MustParseFilter("*, *, *, 150-300, *, *"),
 		MustParseFilter("*, *, *, 150, *, *"),
 	})
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindLinear})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindLinear})
 	cases := []struct {
 		port uint16
 		want uint64 // record id, 0 = none

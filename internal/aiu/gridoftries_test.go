@@ -159,7 +159,7 @@ func TestGridOfTriesMemoryAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := buildDAG(recs, dagConfig{bmpKind: bmp.KindBSPL})
+	d := mustDAG(t, recs, dagConfig{bmpKind: bmp.KindBSPL})
 	t.Logf("grid-of-tries nodes: %d; set-pruning DAG nodes: %d", g.Nodes(), d.nodes)
 	// The grid stores each filter once; results must still agree.
 	for probe := 0; probe < 300; probe++ {

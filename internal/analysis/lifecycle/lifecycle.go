@@ -11,7 +11,13 @@
 //  2. a package that sends register-instance messages must somewhere
 //     send deregister-instance (or call a Deregister/Unbind helper) —
 //     soft state that is installed but never removed is how daemons and
-//     tests leak filter bindings.
+//     tests leak filter bindings;
+//  3. outside package pcu, HandlePacket must never be dispatched raw:
+//     every data-path invocation goes through the fault barrier
+//     ((*pcu.Guard).Dispatch or Capture) so a plugin panic is contained
+//     instead of crashing the router. Test files are exempt (they drive
+//     instances directly by design), as are call sites carrying an
+//     //eisr:allow(lifecycle) justification.
 package lifecycle
 
 import (
@@ -27,8 +33,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lifecycle",
 	Doc: "require plugin Callbacks to handle the full standardized PCU " +
-		"message set, and register-instance use to be paired with " +
-		"deregister-instance",
+		"message set, register-instance use to be paired with " +
+		"deregister-instance, and HandlePacket dispatch to go through " +
+		"the fault barrier",
 	Run: run,
 }
 
@@ -43,6 +50,7 @@ var required = []string{
 func run(pass *analysis.Pass) error {
 	checkCallbacks(pass)
 	checkPairing(pass)
+	checkBarrier(pass)
 	return nil
 }
 
@@ -157,6 +165,66 @@ func collectKindCases(pass *analysis.Pass, sw *ast.SwitchStmt, handled map[strin
 			}
 		}
 	}
+}
+
+// checkBarrier verifies rule 3: no raw HandlePacket dispatch outside
+// the pcu package. The check is structural — any call to a method named
+// HandlePacket with the pcu.Instance shape (one *pkt.Packet parameter,
+// one error result) counts, whether dispatched through the interface or
+// on a concrete instance type — so a caller cannot dodge the rule by
+// holding the concrete type. Package pcu itself hosts the barrier (the
+// one legitimate raw call is inside Guard.Dispatch) and test files are
+// driver code, so both are exempt.
+func checkBarrier(pass *analysis.Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "pcu" {
+		return
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "HandlePacket" {
+				return true
+			}
+			if !isInstanceHandlePacket(pass.Info.Uses[sel.Sel]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"HandlePacket dispatched outside the fault barrier: route data-path dispatch through (*pcu.Guard).Dispatch so a plugin panic is contained, not fatal")
+			return true
+		})
+	}
+}
+
+// isInstanceHandlePacket reports whether a selected method has the
+// pcu.Instance HandlePacket shape: func(*pkt.Packet) error (pkt matched
+// by package name so fixture stand-ins qualify).
+func isInstanceHandlePacket(obj types.Object) bool {
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	pt, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := pt.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Packet" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "pkt" {
+		return false
+	}
+	res, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && res.Obj().Name() == "error" && res.Obj().Pkg() == nil
 }
 
 // checkPairing verifies rule 2 at package scope.

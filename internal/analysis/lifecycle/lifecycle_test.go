@@ -18,3 +18,7 @@ func TestRegisterWithoutDeregister(t *testing.T) {
 func TestRegisterPaired(t *testing.T) {
 	analysistest.Run(t, lifecycle.Analyzer, "lifecyclepaired")
 }
+
+func TestDispatchBarrier(t *testing.T) {
+	analysistest.Run(t, lifecycle.Analyzer, "lifecycledispatch")
+}

@@ -1,0 +1,45 @@
+// Package lifecycledispatch is the barrier-rule fixture: raw
+// HandlePacket dispatch — interface or concrete — must be flagged,
+// while guarded dispatch, justified call sites, and methods that merely
+// share the name are not.
+package lifecycledispatch
+
+import (
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+type inst struct{}
+
+func (inst) InstanceName() string             { return "i0" }
+func (inst) HandlePacket(p *pkt.Packet) error { return nil }
+
+// rawInterface dispatches through the pcu.Instance interface without
+// the barrier.
+func rawInterface(i pcu.Instance, p *pkt.Packet) error {
+	return i.HandlePacket(p) // want "outside the fault barrier"
+}
+
+// rawConcrete dodges the interface but not the rule.
+func rawConcrete(p *pkt.Packet) error {
+	i := inst{}
+	return i.HandlePacket(p) // want "outside the fault barrier"
+}
+
+// guarded routes dispatch through the barrier — no diagnostic.
+func guarded(g *pcu.Guard, i pcu.Instance, p *pkt.Packet) error {
+	err, _ := g.Dispatch(pcu.TypeSched, i, p)
+	return err
+}
+
+// allowed is a justified raw dispatch — suppressed.
+func allowed(i pcu.Instance, p *pkt.Packet) error {
+	return i.HandlePacket(p) //eisr:allow(lifecycle) fixture: measured baseline needs the unguarded call
+}
+
+// other shares the method name but not the Instance shape — ignored.
+type other struct{}
+
+func (other) HandlePacket(s string) error { return nil }
+
+func otherCall() error { return other{}.HandlePacket("x") }

@@ -1,0 +1,10 @@
+package lifecycledispatch
+
+import "github.com/routerplugins/eisr/internal/pkt"
+
+// Test files drive instances directly by design: this raw dispatch must
+// NOT be flagged (no want expectation here).
+func driveDirectly(p *pkt.Packet) error {
+	i := inst{}
+	return i.HandlePacket(p)
+}

@@ -25,6 +25,8 @@ import (
 //	stats
 //	flows
 //	trace [N]
+//	health
+//	quarantine PLUGIN INSTANCE
 //
 // Filter specs contain commas and spaces; quote them or rely on the
 // key=value splitting, which only splits on the first '='.
@@ -120,6 +122,13 @@ func ParseCommand(args []string) (*Request, error) {
 		default:
 			return nil, fmt.Errorf("ctl: trace [N]")
 		}
+	case "health":
+		return &Request{Op: OpHealth}, nil
+	case "quarantine":
+		if len(rest) != 2 {
+			return nil, fmt.Errorf("ctl: quarantine PLUGIN INSTANCE")
+		}
+		return &Request{Op: OpQuarantine, Plugin: rest[0], Instance: rest[1]}, nil
 	default:
 		return nil, fmt.Errorf("ctl: unknown command %q", cmd)
 	}

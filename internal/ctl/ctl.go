@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Op is a control operation.
@@ -40,6 +41,8 @@ const (
 	OpStats      Op = "stats"      // router core statistics
 	OpFlows      Op = "flows"      // flow table statistics
 	OpTrace      Op = "trace"      // recent packet traces (telemetry)
+	OpHealth     Op = "health"     // per-instance fault / quarantine report
+	OpQuarantine Op = "quarantine" // force an instance into quarantine
 )
 
 // Request is one control message.
@@ -66,16 +69,28 @@ type Backend interface {
 	Control(req *Request) (any, error)
 }
 
+// DefaultIdleTimeout bounds how long a control connection may sit idle
+// between requests before the server drops it.
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server accepts control connections and serves requests.
 type Server struct {
 	backend Backend
 
-	mu sync.Mutex
-	ln net.Listener
+	// IdleTimeout overrides the per-connection idle read deadline
+	// (0 = DefaultIdleTimeout; negative disables it). Set before Serve.
+	IdleTimeout time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
 // NewServer builds a server over a backend.
-func NewServer(b Backend) *Server { return &Server{backend: b} }
+func NewServer(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{})}
+}
 
 // Serve accepts connections on l until it is closed.
 func (s *Server) Serve(l net.Listener) error {
@@ -87,25 +102,71 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		// Register under the lock so Close sees every live connection; a
+		// conn accepted after Close started loses the race and is shut
+		// immediately instead of leaking past shutdown.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close() //eisr:allow(errcheckctl) rejecting a connection that raced shutdown; nothing to surface to
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener and closes every in-flight connection, so
+// their serveConn goroutines unblock and exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.closed = true
+	var err error
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
 	}
-	return nil
+	for conn := range s.conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// dropConn forgets a finished connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) idleTimeout() time.Duration {
+	if s.IdleTimeout == 0 {
+		return DefaultIdleTimeout
+	}
+	if s.IdleTimeout < 0 {
+		return 0
+	}
+	return s.IdleTimeout
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	defer s.dropConn(conn)
+	idle := s.idleTimeout()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	enc := json.NewEncoder(conn)
+	// Arm the idle deadline before every read: a client that dials and
+	// then stalls mid-request can otherwise pin this goroutine (and its
+	// connection) forever.
+	if idle > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return
+		}
+	}
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -133,6 +194,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
+		}
+		if idle > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package ctl
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// Close must tear down live connections, not just the listener: a hung
+// client used to pin its serveConn goroutine (and the process, at
+// router shutdown) forever.
+func TestCloseDisconnectsLiveConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(echoBackend{})
+	s.IdleTimeout = -1 // isolate Close behavior from the idle deadline
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+
+	// A client that connects and then goes silent.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One round-trip so the server has surely registered the conn.
+	c := NewClient(conn)
+	if _, err := c.Do(&Request{Op: OpStats}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// The hung client's connection is closed out from under it: the
+	// next read errors instead of blocking.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after server Close")
+	}
+}
+
+// A connection accepted after Close loses the race and is shut
+// immediately instead of leaking past shutdown.
+func TestAcceptAfterCloseRejected(t *testing.T) {
+	s := NewServer(echoBackend{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("closed server accepted and served a connection")
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-served
+}
+
+// A client that dials and stalls mid-request is dropped by the idle
+// read deadline instead of pinning its serveConn goroutine forever.
+func TestIdleConnDropped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	s := NewServer(echoBackend{})
+	s.IdleTimeout = 50 * time.Millisecond
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
+	go s.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request, then silence.
+	if _, err := conn.Write([]byte(`{"op":"st`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// The deadline flushes the half line through the scanner, so the
+	// server may answer the malformed fragment before dropping the
+	// conn; read until the connection dies.
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	// The drop is bookkept: no lingering conn in the server's set.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections still tracked after idle drop", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// An active client on a short idle timeout is never dropped as long as
+// it keeps issuing requests — the deadline re-arms per request.
+func TestIdleDeadlineRearms(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	s := NewServer(echoBackend{})
+	s.IdleTimeout = 250 * time.Millisecond
+	//eisr:allow(errcheckctl) Serve returns only when the listener closes at test teardown
+	go s.Serve(ln)
+
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if _, err := c.Do(&Request{Op: OpStats}); err != nil {
+			t.Fatalf("request %d after re-arm: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package ipcore
+
+import (
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/routing"
+)
+
+// A backwards clock step (NTP correction, manual set) must not drain
+// the ICMP token bucket below zero: the negative refill used to mute
+// ICMP error generation until wall time caught back up to the old
+// icmpLast.
+func TestICMPTokenBackwardsClock(t *testing.T) {
+	routes, _ := routing.New("")
+	now := time.Unix(1_000_000, 0)
+	r, err := New(Config{
+		Mode: ModeBestEffort, Routes: routes,
+		SendICMPErrors: true, ICMPRate: 10,
+		Clock: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !r.takeICMPToken() {
+		t.Fatal("first token refused on a full bucket")
+	}
+
+	// Clock steps back an hour. The bucket must keep dispensing its
+	// remaining tokens instead of going 36000 tokens into debt.
+	now = now.Add(-time.Hour)
+	for i := 0; i < 9; i++ {
+		if !r.takeICMPToken() {
+			t.Fatalf("token %d refused after backwards clock step", i)
+		}
+	}
+	if r.takeICMPToken() {
+		t.Fatal("bucket over-dispensed past the rate cap")
+	}
+
+	// Refill resumes from the stepped-back time, not the original one.
+	now = now.Add(time.Second)
+	if !r.takeICMPToken() {
+		t.Fatal("refill did not resume after the clock moved forward again")
+	}
+}
+
+// A forwards jump refills but never above the rate cap.
+func TestICMPTokenRefillCapped(t *testing.T) {
+	routes, _ := routing.New("")
+	now := time.Unix(1_000_000, 0)
+	r, err := New(Config{
+		Mode: ModeBestEffort, Routes: routes,
+		SendICMPErrors: true, ICMPRate: 3,
+		Clock: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !r.takeICMPToken() {
+			t.Fatalf("token %d refused", i)
+		}
+	}
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !r.takeICMPToken() {
+			t.Fatalf("token %d refused after refill", i)
+		}
+	}
+	if r.takeICMPToken() {
+		t.Fatal("an hour's idle refilled beyond the burst cap")
+	}
+}

@@ -58,16 +58,18 @@ type Drainer interface {
 
 // Stats counts core events.
 type Stats struct {
-	Forwarded   uint64
-	Delivered   uint64 // locally destined
-	Dropped     uint64
-	TTLExpired  uint64
-	BadChecksum uint64
-	NoRoute     uint64
-	PluginDrops uint64
-	SchedEnq    uint64
-	ICMPSent    uint64
-	Fragmented  uint64
+	Forwarded    uint64
+	Delivered    uint64 // locally destined
+	Dropped      uint64
+	TTLExpired   uint64
+	BadChecksum  uint64
+	NoRoute      uint64
+	PluginDrops  uint64
+	PluginFaults uint64 // plugin panics contained by the fault barrier
+	Degraded     uint64 // packets forwarded past a faulted gate (PolicyForward)
+	SchedEnq     uint64
+	ICMPSent     uint64
+	Fragmented   uint64
 }
 
 // coreStats is the lock-free live counter set; Stats() snapshots it.
@@ -84,6 +86,8 @@ type coreStats struct {
 	badChecksum telemetry.Counter
 	noRoute     telemetry.Counter
 	pluginDrops telemetry.Counter
+	faults      telemetry.Counter
+	degraded    telemetry.Counter
 	schedEnq    telemetry.Counter
 	icmpSent    telemetry.Counter
 	fragmented  telemetry.Counter
@@ -166,6 +170,11 @@ type Config struct {
 	// dispatch counters, drop/verdict accounting, and (when a trace
 	// ring is enabled on the registry) per-packet path traces.
 	Tel *telemetry.Telemetry
+	// Guard is the plugin fault barrier every gate dispatch runs
+	// through. A nil Guard still contains panics (the barrier methods
+	// are nil-receiver safe) with the default drop policy; wiring one
+	// adds the policy choice and per-instance health tracking.
+	Guard *pcu.Guard
 }
 
 // Router is the forwarding engine plus its attached interfaces.
@@ -189,6 +198,9 @@ type Router struct {
 	// pool is the worker pool (nil unless Config.Workers > 1); Run
 	// steers through it instead of forwarding inline.
 	pool *Pool
+
+	// guard is the plugin fault barrier (Config.Guard; nil-safe).
+	guard *pcu.Guard
 
 	stats coreStats
 
@@ -217,8 +229,10 @@ type Router struct {
 	telDropTTL      *telemetry.Counter
 	telDropNoRoute  *telemetry.Counter
 	telDropPlugin   *telemetry.Counter
+	telDropFault    *telemetry.Counter
 	telDropQueue    *telemetry.Counter
 	telDropMTU      *telemetry.Counter
+	telDegraded     *telemetry.Counter
 	telPktNanos     *telemetry.Histogram
 }
 
@@ -240,7 +254,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{
 		cfg: cfg, mode: cfg.Mode, gates: gates, aiu: cfg.AIU,
-		clock: clock,
+		clock: clock, guard: cfg.Guard,
 	}
 	r.state.Store(&ifaceState{
 		ifaces:   make(map[int32]*netdev.Interface),
@@ -302,8 +316,11 @@ func (r *Router) initTelemetry(t *telemetry.Telemetry) {
 	r.telDropTTL = reason("ttl-expired")
 	r.telDropNoRoute = reason("no-route")
 	r.telDropPlugin = reason("plugin")
+	r.telDropFault = reason("plugin-fault")
 	r.telDropQueue = reason("queue-full")
 	r.telDropMTU = reason("mtu")
+	r.telDegraded = t.Counter("eisr_degraded_packets_total",
+		"packets forwarded past a faulted gate under the forward policy")
 	r.telPktNanos = t.Histogram("eisr_packet_ns",
 		"end-to-end data-path nanoseconds (traced packets only)")
 }
@@ -387,16 +404,18 @@ func (r *Router) Routes() *routing.Table { return r.cfg.Routes }
 // Stats snapshots the counters.
 func (r *Router) Stats() Stats {
 	return Stats{
-		Forwarded:   r.stats.forwarded.Value(),
-		Delivered:   r.stats.delivered.Value(),
-		Dropped:     r.stats.dropped.Value(),
-		TTLExpired:  r.stats.ttlExpired.Value(),
-		BadChecksum: r.stats.badChecksum.Value(),
-		NoRoute:     r.stats.noRoute.Value(),
-		PluginDrops: r.stats.pluginDrops.Value(),
-		SchedEnq:    r.stats.schedEnq.Value(),
-		ICMPSent:    r.stats.icmpSent.Value(),
-		Fragmented:  r.stats.fragmented.Value(),
+		Forwarded:    r.stats.forwarded.Value(),
+		Delivered:    r.stats.delivered.Value(),
+		Dropped:      r.stats.dropped.Value(),
+		TTLExpired:   r.stats.ttlExpired.Value(),
+		BadChecksum:  r.stats.badChecksum.Value(),
+		NoRoute:      r.stats.noRoute.Value(),
+		PluginDrops:  r.stats.pluginDrops.Value(),
+		PluginFaults: r.stats.faults.Value(),
+		Degraded:     r.stats.degraded.Value(),
+		SchedEnq:     r.stats.schedEnq.Value(),
+		ICMPSent:     r.stats.icmpSent.Value(),
+		Fragmented:   r.stats.fragmented.Value(),
 	}
 }
 
@@ -564,8 +583,8 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 			// instance may set the output interface per flow. The
 			// destination table remains the fallback.
 			if inst != nil {
-				if err := inst.HandlePacket(p); err != nil {
-					return r.pluginDrop(p, err)
+				if cont, _ := r.gateDispatch(g, inst, p); !cont {
+					return false
 				}
 			}
 			if r.deliverLocal(p) {
@@ -602,23 +621,30 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 				routed = true
 			}
 			if inst != nil {
-				if err := inst.HandlePacket(p); err != nil {
-					return r.pluginDrop(p, err)
+				cont, faulted := r.gateDispatch(g, inst, p)
+				if !cont {
+					return false
 				}
-				if p.Drop {
-					return r.pluginDrop(p, nil)
+				// A faulted scheduler never enqueued the packet: skip the
+				// handled bookkeeping so it falls through to the default
+				// FIFO below instead of silently vanishing.
+				if !faulted {
+					if p.Drop {
+						return r.pluginDrop(p, nil)
+					}
+					schedHandled = true
+					r.stats.schedEnq.Add(1)
+					r.stats.forwarded.Add(1)
+					r.telForwarded.Inc()
 				}
-				schedHandled = true
-				r.stats.schedEnq.Add(1)
-				r.stats.forwarded.Add(1)
-				r.telForwarded.Inc()
 			}
 		default:
 			if inst != nil {
-				if err := inst.HandlePacket(p); err != nil {
-					return r.pluginDrop(p, err)
+				cont, faulted := r.gateDispatch(g, inst, p)
+				if !cont {
+					return false
 				}
-				if p.Drop {
+				if !faulted && p.Drop {
 					return r.pluginDrop(p, nil)
 				}
 			}
@@ -666,6 +692,38 @@ func (r *Router) pluginDrop(p *pkt.Packet, err error) bool {
 	r.stats.dropped.Add(1)
 	r.countDrop(r.telDropPlugin)
 	return false
+}
+
+// gateDispatch runs one gate's instance through the fault barrier and
+// applies the packet verdict. It returns cont (keep walking the gate
+// chain) and faulted: a faulted-but-continuing packet is *degraded* —
+// the caller must treat the gate as if no instance were bound (no
+// p.Drop honor, no sched bookkeeping), because the instance may have
+// panicked before doing any of its work. The no-fault path adds only
+// the barrier's open-coded defer; the fault arms below are cold.
+//
+//eisr:fastpath
+func (r *Router) gateDispatch(g pcu.Type, inst pcu.Instance, p *pkt.Packet) (cont, faulted bool) {
+	err, flt := r.guard.Dispatch(g, inst, p)
+	if flt == nil {
+		if err != nil {
+			return r.pluginDrop(p, err), false
+		}
+		return true, false
+	}
+	r.stats.faults.Add(1)
+	if r.guard.Policy() == pcu.PolicyForward {
+		p.Drop = false
+		r.stats.degraded.Add(1)
+		r.telDegraded.Inc()
+		return true, true
+	}
+	if !p.Drop {
+		p.MarkDrop(flt.Error())
+	}
+	r.stats.dropped.Add(1)
+	r.countDrop(r.telDropFault)
+	return false, true
 }
 
 // validate performs the version/checksum/sanity checks of ip_input.
@@ -800,7 +858,12 @@ func (r *Router) takeICMPToken() bool {
 		r.icmpLast = now
 		r.icmpTokens = rate
 	}
-	r.icmpTokens += now.Sub(r.icmpLast).Seconds() * rate
+	// Clamp the refill to non-negative: a backwards clock step (NTP,
+	// manual set) must not drain the bucket below zero and mute ICMP
+	// errors until the clock catches back up.
+	if dt := now.Sub(r.icmpLast).Seconds(); dt > 0 {
+		r.icmpTokens += dt * rate
+	}
 	if r.icmpTokens > rate {
 		r.icmpTokens = rate
 	}

@@ -1,0 +1,330 @@
+package pcu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// faultyInstance misbehaves on demand.
+type faultyInstance struct {
+	name     string
+	code     Code
+	err      error
+	panicVal any
+}
+
+func (i *faultyInstance) InstanceName() string { return i.name }
+
+func (i *faultyInstance) PluginCode() Code { return i.code }
+
+func (i *faultyInstance) HandlePacket(p *pkt.Packet) error {
+	if i.panicVal != nil {
+		panic(i.panicVal)
+	}
+	return i.err
+}
+
+// hostileInstance panics even in its identity methods — the barrier
+// must still produce a fault.
+type hostileInstance struct{}
+
+func (hostileInstance) InstanceName() string { panic("identity panic") }
+func (hostileInstance) HandlePacket(p *pkt.Packet) error {
+	panic("dispatch panic")
+}
+
+func TestDispatchNoFault(t *testing.T) {
+	g := NewGuard(PolicyDrop, NewHealth(HealthConfig{}))
+	want := errors.New("plugin says no")
+	err, flt := g.Dispatch(TypeSched, &faultyInstance{name: "i0", err: want}, nil)
+	if flt != nil {
+		t.Fatalf("no-fault dispatch produced fault %v", flt)
+	}
+	if err != want {
+		t.Fatalf("err = %v, want the instance's own error", err)
+	}
+	err, flt = g.Dispatch(TypeSched, &faultyInstance{name: "i0"}, nil)
+	if err != nil || flt != nil {
+		t.Fatalf("clean dispatch: err=%v flt=%v", err, flt)
+	}
+}
+
+func TestDispatchPanicContained(t *testing.T) {
+	h := NewHealth(HealthConfig{Threshold: -1})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "drr0", code: MakeCode(TypeSched, 3), panicVal: "boom"}
+	err, flt := g.Dispatch(TypeSched, inst, nil)
+	if flt == nil {
+		t.Fatal("panic not converted to fault")
+	}
+	if err == nil || err.Error() != flt.Error() {
+		t.Fatalf("err %v does not carry the fault %v", err, flt)
+	}
+	if flt.Origin != OriginGate || flt.Gate != TypeSched {
+		t.Fatalf("fault origin/gate = %s/%s", flt.Origin, flt.Gate)
+	}
+	if flt.Instance != "drr0" || flt.Code != MakeCode(TypeSched, 3) {
+		t.Fatalf("fault identity = %q/%s", flt.Instance, flt.Code)
+	}
+	if flt.Panic != "boom" || len(flt.Stack) == 0 || flt.When.IsZero() {
+		t.Fatalf("fault payload incomplete: %+v", flt)
+	}
+	if !strings.Contains(flt.Error(), "drr0") || !strings.Contains(flt.Error(), "boom") {
+		t.Fatalf("fault error %q lacks identity or panic value", flt.Error())
+	}
+	rep := h.Report()
+	if len(rep) != 1 || rep[0].Faults != 1 || rep[0].Instance != "drr0" {
+		t.Fatalf("fault not recorded: %+v", rep)
+	}
+}
+
+func TestNilGuardContainsPanics(t *testing.T) {
+	var g *Guard
+	err, flt := g.Dispatch(TypeSched, &faultyInstance{name: "i0", panicVal: "boom"}, nil)
+	if err == nil || flt == nil {
+		t.Fatalf("nil guard let a panic through: err=%v flt=%v", err, flt)
+	}
+	if g.Policy() != PolicyDrop || g.Health() != nil {
+		t.Fatalf("nil guard defaults: policy=%v health=%v", g.Policy(), g.Health())
+	}
+	if cerr := g.Control("p", 0, nil, func() error { panic("ctl") }); cerr == nil {
+		t.Fatal("nil guard let a control panic through")
+	}
+}
+
+func TestDispatchHostileIdentity(t *testing.T) {
+	g := NewGuard(PolicyDrop, NewHealth(HealthConfig{}))
+	err, flt := g.Dispatch(TypeOptions, hostileInstance{}, nil)
+	if err == nil || flt == nil {
+		t.Fatal("hostile instance escaped the barrier")
+	}
+	if flt.Instance != "" {
+		t.Fatalf("identity sampled from a panicking method: %q", flt.Instance)
+	}
+	// Identity fell back to the gate's generic code.
+	if flt.Code != MakeCode(TypeOptions, 0) {
+		t.Fatalf("fallback code = %s", flt.Code)
+	}
+}
+
+func TestControlBarrier(t *testing.T) {
+	h := NewHealth(HealthConfig{Threshold: -1})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "drr0"}
+	err := g.Control("drr", MakeCode(TypeSched, 3), inst, func() error { panic("control boom") })
+	var flt *PluginFault
+	if !errors.As(err, &flt) {
+		t.Fatalf("control panic not converted: %v", err)
+	}
+	if flt.Origin != OriginControl || flt.Gate != TypeInvalid {
+		t.Fatalf("control fault origin/gate = %s/%s", flt.Origin, flt.Gate)
+	}
+	if flt.Plugin != "drr" || flt.Code != MakeCode(TypeSched, 3) {
+		t.Fatalf("control fault identity = %q/%s", flt.Plugin, flt.Code)
+	}
+	rep := h.Report()
+	if len(rep) != 1 || rep[0].LastOrigin != string(OriginControl) {
+		t.Fatalf("control fault not recorded: %+v", rep)
+	}
+	// A clean callback passes its error through untouched.
+	want := errors.New("no")
+	if err := g.Control("drr", 0, nil, func() error { return want }); err != want {
+		t.Fatalf("clean control err = %v", err)
+	}
+}
+
+func TestCaptureDoesNotDeliver(t *testing.T) {
+	h := NewHealth(HealthConfig{})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "i0"}
+	flt := g.Capture(OriginClassifier, TypeSched, inst, func() { panic("match boom") })
+	if flt == nil || flt.Origin != OriginClassifier {
+		t.Fatalf("capture fault = %+v", flt)
+	}
+	if rep := h.Report(); len(rep) != 0 {
+		t.Fatalf("Capture delivered eagerly: %+v", rep)
+	}
+	g.Deliver(flt, inst)
+	if rep := h.Report(); len(rep) != 1 || rep[0].Faults != 1 {
+		t.Fatalf("Deliver did not record: %+v", rep)
+	}
+	if f := g.Capture(OriginClassifier, TypeSched, inst, func() {}); f != nil {
+		t.Fatalf("clean capture produced fault %v", f)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"", PolicyDrop, true},
+		{"drop", PolicyDrop, true},
+		{"forward", PolicyForward, true},
+		{"panic", PolicyDrop, false},
+	} {
+		got, err := ParsePolicy(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if PolicyDrop.String() != "drop" || PolicyForward.String() != "forward" {
+		t.Error("policy names changed")
+	}
+}
+
+// fakeClock is a settable time source for window tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func recordFault(h *Health, g *Guard, inst Instance) *PluginFault {
+	//eisr:allow(errcheckctl) the returned fault IS the error; tests inspect it directly
+	_, flt := g.Dispatch(TypeSched, inst, nil)
+	return flt
+}
+
+func TestHealthQuarantineThreshold(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var hooked []Instance
+	h := NewHealth(HealthConfig{
+		Threshold: 3, Window: 10 * time.Second, Clock: clk.Now,
+		OnQuarantine: func(inst Instance, f *PluginFault) {
+			if f == nil {
+				t.Error("threshold quarantine delivered nil fault")
+			}
+			hooked = append(hooked, inst)
+		},
+	})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "i0", panicVal: "boom"}
+	for i := 0; i < 2; i++ {
+		recordFault(h, g, inst)
+		clk.now = clk.now.Add(time.Second)
+	}
+	if h.IsQuarantined(inst) {
+		t.Fatal("quarantined below threshold")
+	}
+	recordFault(h, g, inst)
+	if !h.IsQuarantined(inst) {
+		t.Fatal("not quarantined at threshold")
+	}
+	if len(hooked) != 1 || hooked[0] != Instance(inst) {
+		t.Fatalf("OnQuarantine fired %d times", len(hooked))
+	}
+	// Further faults while quarantined must not re-fire the hook.
+	recordFault(h, g, inst)
+	if len(hooked) != 1 {
+		t.Fatalf("OnQuarantine re-fired: %d", len(hooked))
+	}
+	rep := h.Report()
+	if len(rep) != 1 || !rep[0].Quarantined || rep[0].Faults != 4 || rep[0].Manual {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestHealthWindowSlides(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	h := NewHealth(HealthConfig{Threshold: 3, Window: 5 * time.Second, Clock: clk.Now})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "i0", panicVal: "boom"}
+	// Faults spaced wider than the window never accumulate.
+	for i := 0; i < 10; i++ {
+		recordFault(h, g, inst)
+		clk.now = clk.now.Add(6 * time.Second)
+	}
+	if h.IsQuarantined(inst) {
+		t.Fatal("quarantined although faults never clustered inside the window")
+	}
+	rep := h.Report()
+	if len(rep) != 1 || rep[0].Faults != 10 || rep[0].Recent > 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestHealthThresholdNegativeNeverQuarantines(t *testing.T) {
+	h := NewHealth(HealthConfig{Threshold: -1})
+	g := NewGuard(PolicyDrop, h)
+	inst := &faultyInstance{name: "i0", panicVal: "boom"}
+	for i := 0; i < 100; i++ {
+		recordFault(h, g, inst)
+	}
+	if h.IsQuarantined(inst) {
+		t.Fatal("negative threshold must disable quarantining")
+	}
+}
+
+func TestManualQuarantineAndDrain(t *testing.T) {
+	fired := 0
+	h := NewHealth(HealthConfig{
+		OnQuarantine: func(inst Instance, f *PluginFault) {
+			if f != nil {
+				t.Error("manual quarantine delivered a fault")
+			}
+			fired++
+		},
+	})
+	inst := &faultyInstance{name: "i0"}
+	if !h.Quarantine(inst, "drr", "i0") {
+		t.Fatal("first manual quarantine refused")
+	}
+	if h.Quarantine(inst, "drr", "i0") {
+		t.Fatal("double quarantine accepted")
+	}
+	if fired != 1 || !h.IsQuarantined(inst) {
+		t.Fatalf("fired=%d quarantined=%v", fired, h.IsQuarantined(inst))
+	}
+	rep := h.Report()
+	if len(rep) != 1 || !rep[0].Manual || rep[0].Drained {
+		t.Fatalf("report before drain: %+v", rep)
+	}
+	h.MarkDrained(inst)
+	if rep := h.Report(); !rep[0].Drained {
+		t.Fatalf("report after drain: %+v", rep)
+	}
+	h.Forget(inst)
+	if len(h.Report()) != 0 || h.IsQuarantined(inst) {
+		t.Fatal("Forget did not drop the ledger")
+	}
+}
+
+func TestReportOrder(t *testing.T) {
+	h := NewHealth(HealthConfig{Threshold: -1})
+	g := NewGuard(PolicyDrop, h)
+	busy := &faultyInstance{name: "busy", panicVal: "boom"}
+	quiet := &faultyInstance{name: "quiet", panicVal: "boom"}
+	bad := &faultyInstance{name: "bad", panicVal: "boom"}
+	for i := 0; i < 5; i++ {
+		recordFault(h, g, busy)
+	}
+	recordFault(h, g, quiet)
+	recordFault(h, g, bad)
+	h.Quarantine(bad, "", "bad")
+	rep := h.Report()
+	if len(rep) != 3 || rep[0].Instance != "bad" || rep[1].Instance != "busy" || rep[2].Instance != "quiet" {
+		t.Fatalf("report order: %+v", rep)
+	}
+}
+
+func TestHooksRunInsideBarrier(t *testing.T) {
+	h := NewHealth(HealthConfig{
+		Threshold: 1,
+		OnFault:   func(*PluginFault) { panic("hook boom") },
+		OnQuarantine: func(Instance, *PluginFault) {
+			panic("quarantine hook boom")
+		},
+	})
+	g := NewGuard(PolicyDrop, h)
+	// Neither panicking hook may escape Record.
+	inst := &faultyInstance{name: "i1", panicVal: "boom"}
+	//eisr:allow(errcheckctl) the returned fault IS the error; the test inspects it directly
+	_, flt := g.Dispatch(TypeSched, inst, nil)
+	if flt == nil || !h.IsQuarantined(inst) {
+		t.Fatalf("panicking hooks broke recording: flt=%v quarantined=%v", flt, h.IsQuarantined(inst))
+	}
+}

@@ -212,6 +212,11 @@ type Registry struct {
 	// assembly time). Nil keeps the synchronous semantics.
 	reclaim *Reclaimer
 
+	// guard, when set, wraps every plugin Callback invocation in the
+	// fault barrier so a panicking control handler fails the request
+	// instead of crashing the router (SetGuard, assembly time).
+	guard *Guard
+
 	// tel, when set, records plugin lifecycle metrics. Set once at
 	// assembly time (SetTelemetry) before concurrent use; all metric
 	// cells are created lazily on the control path, which is the only
@@ -238,6 +243,27 @@ func (r *Registry) SetTelemetry(t *telemetry.Telemetry) {
 	r.telLoaded = t.Gauge("eisr_plugins_loaded", "plugins currently loaded")
 	r.telLoads = t.Counter("eisr_plugin_loads_total", "plugin load operations")
 	r.telUnloads = t.Counter("eisr_plugin_unloads_total", "plugin unload operations")
+}
+
+// SetGuard attaches the plugin fault barrier. Call once at assembly
+// time; a nil registry guard leaves callbacks unwrapped (a panic in a
+// control handler then propagates, the pre-isolation behavior).
+func (r *Registry) SetGuard(g *Guard) { r.guard = g }
+
+// Guard returns the attached fault barrier (nil when none is set).
+func (r *Registry) Guard() *Guard { return r.guard }
+
+// callback invokes a plugin's control callback through the fault
+// barrier when one is attached. Faults are attributed to the message's
+// target instance (when any) so repeated control-path panics quarantine
+// the instance like data-path panics do.
+func (r *Registry) callback(e *entry, msg *Message) error {
+	if r.guard == nil {
+		return e.plugin.Callback(msg)
+	}
+	return r.guard.Control(e.name, e.code, msg.Instance, func() error {
+		return e.plugin.Callback(msg)
+	})
 }
 
 // instanceGauge returns (creating if needed) the live-instance gauge for
@@ -402,7 +428,7 @@ func (r *Registry) Send(name string, msg *Message) error {
 	}
 	// The callback runs with no registry lock held: plugins are free to
 	// call back into the registry from their message handlers.
-	if err := e.plugin.Callback(msg); err != nil {
+	if err := r.callback(e, msg); err != nil {
 		r.countError(e.name)
 		return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, name, err)
 	}
@@ -419,7 +445,7 @@ func (r *Registry) Send(name string, msg *Message) error {
 		// to — so roll the creation back instead.
 		if r.byName[e.name] != e || e.draining {
 			r.mu.Unlock()
-			if rbErr := e.plugin.Callback(&Message{Kind: MsgFreeInstance, Instance: inst}); rbErr != nil {
+			if rbErr := r.callback(e, &Message{Kind: MsgFreeInstance, Instance: inst}); rbErr != nil {
 				r.countError(e.name)
 				return fmt.Errorf("%w: %q (rollback also failed: %v)", ErrDraining, name, rbErr)
 			}
@@ -442,13 +468,14 @@ func (r *Registry) Send(name string, msg *Message) error {
 // deferred until every worker online at this moment has quiesced.
 func (r *Registry) freeInstance(e *entry, msg *Message) error {
 	run := func() error {
-		if err := e.plugin.Callback(msg); err != nil {
+		if err := r.callback(e, msg); err != nil {
 			r.countError(e.name)
 			return fmt.Errorf("pcu: %s to %s: %w", msg.Kind, e.name, err)
 		}
 		return nil
 	}
 	forget := func() {
+		r.guard.Health().Forget(msg.Instance)
 		r.mu.Lock()
 		list := r.instances[e.code]
 		for i, in := range list {

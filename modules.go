@@ -47,17 +47,24 @@ func Modules() []string {
 
 // LoadPlugin loads a module by name into this router — the modload
 // analog. Names: "drr", "hfsc", "red", "ipsec", "firewall", "stats",
-// "tcpmon", "l4route", "options", and "null-<gate>" for the empty
-// plugins used in the overhead measurements.
+// "tcpmon", "l4route", "options", "null-<gate>" for the empty plugins
+// used in the overhead measurements, and "chaos-<gate>" for the
+// fault-injection plugin exercising the isolation layer.
 func (r *Router) LoadPlugin(name string) error {
 	modulesMu.RLock()
 	f, ok := modules[name]
 	modulesMu.RUnlock()
 	if !ok {
-		// The null plugin family is parameterized by gate type.
+		// The null and chaos plugin families are parameterized by gate
+		// type.
 		if g, found := strings.CutPrefix(name, "null-"); found {
 			if t := gateByName(g); t != pcu.TypeInvalid {
 				return r.PCU.Load(plugins.NewNullPlugin(r.Env, t))
+			}
+		}
+		if g, found := strings.CutPrefix(name, "chaos-"); found {
+			if t := gateByName(g); t != pcu.TypeInvalid {
+				return r.PCU.Load(plugins.NewChaosPlugin(r.Env, t))
 			}
 		}
 		return fmt.Errorf("eisr: no module %q (have %v)", name, Modules())

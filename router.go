@@ -105,6 +105,17 @@ type Options struct {
 	// TraceSample records every Nth packet in the trace ring (0 or 1 =
 	// every packet). Only meaningful with Telemetry.
 	TraceSample int
+	// FaultPolicy selects what happens to a packet whose plugin dispatch
+	// panicked: "drop" (default) discards it, "forward" continues past
+	// the faulted gate on the default path.
+	FaultPolicy string
+	// FaultThreshold quarantines an instance after this many contained
+	// faults inside FaultWindow (0 = the default of 5; negative
+	// disables quarantining, faults are still tracked and reported).
+	FaultThreshold int
+	// FaultWindow is the sliding window FaultThreshold counts within
+	// (0 = 10s).
+	FaultWindow time.Duration
 }
 
 // Router is the assembled EISR.
@@ -122,6 +133,12 @@ type Router struct {
 	done          chan struct{}
 	running       bool
 	localHandlers map[uint16]func(*pkt.Packet)
+
+	// guard/health are the plugin fault-isolation layer: every plugin
+	// invocation runs through guard's panic barrier, and health
+	// quarantines instances that fault repeatedly.
+	guard  *pcu.Guard
+	health *pcu.Health
 }
 
 // New assembles a router.
@@ -176,7 +193,26 @@ func New(opts Options) (*Router, error) {
 	if opts.Workers > 1 {
 		rc = pcu.NewReclaimer()
 	}
+	// The fault-isolation layer: policy decides the faulted packet's
+	// fate, health quarantines instances that keep faulting. The hook
+	// closes over r (assigned below) the same way LocalSink does.
+	policy, err := pcu.ParsePolicy(opts.FaultPolicy)
+	if err != nil {
+		return nil, err
+	}
 	var r *Router
+	health := pcu.NewHealth(pcu.HealthConfig{
+		Threshold: opts.FaultThreshold,
+		Window:    opts.FaultWindow,
+		Clock:     opts.Clock,
+		OnQuarantine: func(inst pcu.Instance, f *pcu.PluginFault) {
+			r.quarantineInstance(inst)
+		},
+	})
+	if tel != nil {
+		health.SetTelemetry(tel)
+	}
+	guard := pcu.NewGuard(policy, health)
 	core, err := ipcore.New(ipcore.Config{
 		Mode: mode, Gates: gates, AIU: a, Routes: routes,
 		MonoSched: opts.MonoSched, VerifyChecksums: opts.VerifyChecksums,
@@ -185,6 +221,7 @@ func New(opts Options) (*Router, error) {
 		Workers:        opts.Workers,
 		Reclaim:        rc,
 		Tel:            tel,
+		Guard:          guard,
 		LocalSink:      func(p *pkt.Packet) { r.dispatchLocal(p) },
 	})
 	if err != nil {
@@ -197,10 +234,16 @@ func New(opts Options) (*Router, error) {
 	if rc != nil {
 		reg.SetReclaimer(rc)
 	}
+	reg.SetGuard(guard)
+	if a != nil {
+		a.SetGuard(guard)
+	}
 	r = &Router{
 		Core: core, AIU: a, PCU: reg, Routes: routes,
 		Env:       &plugins.Env{Router: core, AIU: a, Clock: opts.Clock, Tel: tel},
 		Telemetry: tel,
+		guard:     guard,
+		health:    health,
 	}
 	return r, nil
 }
@@ -303,6 +346,51 @@ func (r *Router) FreeInstance(plugin, instance string) error {
 		r.AIU.UnbindInstance(inst)
 	}
 	return r.PCU.Send(plugin, &pcu.Message{Kind: pcu.MsgFreeInstance, Instance: inst})
+}
+
+// quarantineInstance is the health tracker's quarantine hook: make the
+// instance unreachable from the data path — unbind its filters and
+// flush its cached flow bindings — so its traffic re-classifies to the
+// default path, then mark it drained once every dispatch in flight at
+// this moment has passed a quiescent point. The instance itself is NOT
+// freed: its state stays inspectable ("pmgr health") and the operator
+// decides whether to free it.
+func (r *Router) quarantineInstance(inst pcu.Instance) {
+	if r.AIU != nil {
+		r.AIU.UnbindInstance(inst)
+	}
+	// With a worker pool, a worker may have fetched the instance through
+	// a FIX an instant before the flush; reuse the epoch reclaimer (the
+	// same mechanism free-instance uses) to observe when every such
+	// dispatch has quiesced.
+	if rc := r.PCU.Reclaimer(); rc != nil {
+		_ = rc.Defer(func() error {
+			r.health.MarkDrained(inst)
+			return nil
+		})
+		return
+	}
+	r.health.MarkDrained(inst)
+}
+
+// HealthReport snapshots per-instance fault and quarantine state (the
+// "pmgr health" payload).
+func (r *Router) HealthReport() []pcu.InstanceHealth {
+	return r.health.Report()
+}
+
+// Quarantine forces an instance into quarantine by operator request:
+// its filters are unbound and its flows flushed exactly as if it had
+// crossed the fault threshold.
+func (r *Router) Quarantine(plugin, instance string) error {
+	inst, err := r.PCU.FindInstance(plugin, instance)
+	if err != nil {
+		return err
+	}
+	if !r.health.Quarantine(inst, plugin, instance) {
+		return fmt.Errorf("eisr: %w: %s/%s", pcu.ErrQuarantined, plugin, instance)
+	}
+	return nil
 }
 
 // Register binds a filter to an instance; args must include "filter"
