@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test lint race vet check bench-smoke clean
+.PHONY: all build test lint race vet check bench-smoke wire-smoke clean
 
 all: check
 
@@ -24,16 +24,24 @@ vet: $(BIN)/eisrlint
 # sharded flow-table lookups and gate dispatch racing the PCU control
 # path, the parallel forwarding pool and epoch reclamation, metric
 # registration/snapshot racing record calls, the fault barrier and
-# quarantine path (root package), and the control server's
-# connection-teardown bookkeeping.
+# quarantine path plus the wire topology (root package), the control
+# server's connection-teardown bookkeeping, and the netio RX/TX
+# goroutines racing forwarding workers and Stop.
 race:
-	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl
+	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl ./internal/netio
 
 # Overhead guards: the telemetry-off flow-cache hit path must stay
 # allocation-free and the disabled record calls under 2ns per packet;
-# the 4-worker cache-hit path must scale (skips below 4 cores).
+# the 4-worker cache-hit path must scale (skips below 4 cores); the
+# netio wire RX and TX paths must stay allocation-free per packet.
 bench-smoke:
-	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench
+	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench ./internal/netio
+
+# End-to-end wire smoke: boot an eisrd with UDP overlay links, push 10k
+# datagrams through its gate/classifier path with eisrbench, verify
+# zero unexplained drops, and exercise `pmgr links`.
+wire-smoke:
+	./scripts/wire_smoke.sh
 
 check: build test lint vet race
 

@@ -21,6 +21,7 @@ import (
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
 	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "faults",
+	"wire",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -30,6 +31,10 @@ func main() {
 	seed := flag.Int64("seed", 1998, "random seed")
 	workers := flag.Int("workers", 0, "max worker count for the parallel sweep (0 = 1,2,4)")
 	list := flag.Bool("list", false, "list experiment ids")
+	wireDaemon := flag.String("wire-daemon", "", "wire: drive a live eisrd — its ingress -link socket address (default: in-process topology)")
+	wireSrc := flag.String("wire-src", "", "wire: sender socket bind address (default 127.0.0.1:0)")
+	wireSink := flag.String("wire-sink", "", "wire: sink socket bind address; in daemon mode must match the daemon's egress link peer")
+	wirePackets := flag.Int("wire-packets", 0, "wire: packet count (default 10000; 2000 under -exp all)")
 	flag.Parse()
 
 	if *list {
@@ -153,6 +158,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.FaultsTable(rows, faults))
+	}
+	if run("wire") {
+		ran = true
+		opts := bench.WireOptions{
+			Packets: *wirePackets, Daemon: *wireDaemon,
+			SrcBind: *wireSrc, SinkBind: *wireSink,
+		}
+		if opts.Packets == 0 && *exp == "all" {
+			opts.Packets = 2000
+		}
+		if *full && *wirePackets == 0 {
+			opts.Packets = 100_000
+		}
+		res, err := bench.RunWire(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.WireTable(res))
+		if res.Lost() > 0 {
+			fatal(fmt.Errorf("wire: lost %d of %d packets", res.Lost(), res.Packets))
+		}
 	}
 	if run("ablate-cache") {
 		ran = true

@@ -12,6 +12,13 @@
 //	create drr iface=1 quantum=1500
 //	register drr drr0 filter='<129.*.*.*, *, TCP, *, *, *>' weight=4
 //	route add 0.0.0.0/0 dev 1
+//
+// Interfaces can be backed by real sockets with -link (repeatable): each
+// entry binds a local UDP socket for one interface and carries its
+// traffic to a peer eisrd as UDP-encapsulated IP datagrams:
+//
+//	eisrd -ctl 127.0.0.1:4242 -link '0=127.0.0.1:9000,127.0.0.1:9100' \
+//	      -link '1=127.0.0.1:9001,127.0.0.1:9101'
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 	faultPolicy := flag.String("fault-policy", "drop", "packet fate when a plugin dispatch panics: drop|forward")
 	faultThreshold := flag.Int("fault-threshold", 0, "quarantine an instance after N faults in the window (0 = default 5; negative = never)")
 	faultWindow := flag.Duration("fault-window", 0, "sliding window for -fault-threshold (0 = default 10s)")
+	var links linkFlags
+	flag.Var(&links, "link", "back an interface with a UDP overlay link: IFINDEX=LOCAL,PEER (repeatable; PEER may be empty)")
 	flag.Parse()
 
 	r, err := eisr.New(eisr.Options{
@@ -67,6 +76,13 @@ func main() {
 		if _, err := r.AddInterface(int32(i), fmt.Sprintf("sim%d", i), ""); err != nil {
 			log.Fatalf("eisrd: interface %d: %v", i, err)
 		}
+	}
+	for _, lk := range links {
+		link, err := r.AttachUDPLink(lk.iface, lk.local, lk.peer)
+		if err != nil {
+			log.Fatalf("eisrd: link %d: %v", lk.iface, err)
+		}
+		log.Printf("eisrd: interface %d wired: %s -> %q", lk.iface, link.LocalAddr(), lk.peer)
 	}
 	if *config != "" {
 		if err := runScript(r, *config); err != nil {
@@ -139,6 +155,42 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Printf("eisrd: shutting down; core stats: %+v", r.Core.Stats())
+}
+
+// linkSpec is one parsed -link entry.
+type linkSpec struct {
+	iface int32
+	local string
+	peer  string
+}
+
+// linkFlags collects repeated -link IFINDEX=LOCAL,PEER flags.
+type linkFlags []linkSpec
+
+func (f *linkFlags) String() string {
+	var parts []string
+	for _, lk := range *f {
+		parts = append(parts, fmt.Sprintf("%d=%s,%s", lk.iface, lk.local, lk.peer))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (f *linkFlags) Set(v string) error {
+	idxStr, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want IFINDEX=LOCAL,PEER, got %q", v)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+	if err != nil {
+		return fmt.Errorf("bad interface index in %q", v)
+	}
+	local, peer, _ := strings.Cut(rest, ",")
+	local = strings.TrimSpace(local)
+	if local == "" {
+		return fmt.Errorf("want a local bind address in %q", v)
+	}
+	*f = append(*f, linkSpec{iface: int32(idx), local: local, peer: strings.TrimSpace(peer)})
+	return nil
 }
 
 // runScript executes a boot configuration script through the same

@@ -38,6 +38,7 @@ commands:
   route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
   filters GATE | stats | flows | trace [N]
   health | quarantine PLUGIN INSTANCE
+  links
 `)
 	}
 	flag.Parse()

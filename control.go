@@ -10,6 +10,7 @@ import (
 	"github.com/routerplugins/eisr/internal/aiu"
 	"github.com/routerplugins/eisr/internal/ctl"
 	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/netdev"
 	"github.com/routerplugins/eisr/internal/pcu"
 	"github.com/routerplugins/eisr/internal/pkt"
 	"github.com/routerplugins/eisr/internal/telemetry"
@@ -99,6 +100,8 @@ func (r *Router) Control(req *ctl.Request) (any, error) {
 		return r.StatsReport(), nil
 	case ctl.OpHealth:
 		return r.HealthReport(), nil
+	case ctl.OpLinks:
+		return r.LinksReport(), nil
 	case ctl.OpQuarantine:
 		return nil, r.Quarantine(req.Plugin, req.Instance)
 	case ctl.OpFlows:
@@ -146,20 +149,38 @@ type PluginStat struct {
 	Instances int64  `json:"instances"`
 }
 
-// StatsReport is the "pmgr stats" payload: the core counters always,
-// plus per-gate dispatch counts, flow-cache accounting, and per-plugin
-// instance counts when the router was assembled with Options.Telemetry.
+// IfaceStat is one interface's packet accounting in a StatsReport,
+// with drops broken down by reason.
+type IfaceStat struct {
+	Iface int32        `json:"iface"`
+	Name  string       `json:"name"`
+	Stats netdev.Stats `json:"stats"`
+}
+
+// StatsReport is the "pmgr stats" payload: the core counters and
+// per-interface accounting (drop reasons included) always, wire-link
+// counters when netio links are attached, plus per-gate dispatch
+// counts, flow-cache accounting, and per-plugin instance counts when
+// the router was assembled with Options.Telemetry.
 type StatsReport struct {
-	Core      ipcore.Stats   `json:"core"`
-	Gates     []GateStat     `json:"gates,omitempty"`
-	FlowCache *FlowCacheStat `json:"flow_cache,omitempty"`
-	Plugins   []PluginStat   `json:"plugins,omitempty"`
+	Core       ipcore.Stats      `json:"core"`
+	Interfaces []IfaceStat       `json:"interfaces,omitempty"`
+	Links      []netdev.LinkInfo `json:"links,omitempty"`
+	Gates      []GateStat        `json:"gates,omitempty"`
+	FlowCache  *FlowCacheStat    `json:"flow_cache,omitempty"`
+	Plugins    []PluginStat      `json:"plugins,omitempty"`
 }
 
 // StatsReport builds the stats payload from the live counters and, when
 // telemetry is attached, one registry snapshot.
 func (r *Router) StatsReport() StatsReport {
 	rep := StatsReport{Core: r.Core.Stats()}
+	for _, ifc := range r.Core.Interfaces() {
+		rep.Interfaces = append(rep.Interfaces, IfaceStat{
+			Iface: ifc.Index, Name: ifc.Name, Stats: ifc.Stats(),
+		})
+	}
+	rep.Links = r.LinksReport()
 	if r.Telemetry == nil {
 		return rep
 	}

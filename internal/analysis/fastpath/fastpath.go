@@ -13,6 +13,7 @@ package fastpath
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"github.com/routerplugins/eisr/internal/analysis"
@@ -23,8 +24,11 @@ var Analyzer = &analysis.Analyzer{
 	Name: "fastpath",
 	Doc: "reject blocking and allocating constructs in //eisr:fastpath code: " +
 		"fmt/log calls, make and map/slice literals, defer, channel operations, " +
-		"and exclusive mutex acquisition (RLock is allowed); telemetry record " +
-		"methods are certified safe, telemetry registration/snapshot is not",
+		"and exclusive mutex acquisition (RLock is allowed); a select with a " +
+		"default clause cannot block and is exempt, along with its case " +
+		"send/receive operations (the wire-driver backpressure idiom); " +
+		"telemetry record methods are certified safe, telemetry " +
+		"registration/snapshot is not",
 	Run: run,
 }
 
@@ -88,22 +92,74 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// nonblockingSelects records every select statement with a default
+// clause in the body, together with its case send/receive operations. A
+// default clause makes the whole statement non-blocking — the
+// poll/offer idiom the wire drivers use for ring backpressure — so none
+// of those nodes is a blocking hazard.
+func nonblockingSelects(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		exempt[sel] = true
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				exempt[comm] = true
+			case *ast.ExprStmt:
+				if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					exempt[u] = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						exempt[u] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
 // checkBody flags forbidden constructs in one fast-path function and
 // feeds same-package static callees to the traversal.
 func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, edge func(*types.Func)) {
 	name := fd.Name.Name
+	exempt := nonblockingSelects(fd.Body)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt:
 			pass.Reportf(n.Pos(), "%s: defer on the fast path (unlock explicitly; defer is per-packet bookkeeping)", name)
 		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "%s: channel send on the fast path (may block the data-path goroutine)", name)
+			if !exempt[n] {
+				pass.Reportf(n.Pos(), "%s: channel send on the fast path (may block the data-path goroutine)", name)
+			}
 		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
+			if n.Op == token.ARROW && !exempt[n] {
 				pass.Reportf(n.Pos(), "%s: channel receive on the fast path (may block the data-path goroutine)", name)
 			}
 		case *ast.SelectStmt:
-			pass.Reportf(n.Pos(), "%s: select on the fast path (may block the data-path goroutine)", name)
+			if !exempt[n] {
+				pass.Reportf(n.Pos(), "%s: select without a default clause on the fast path (may block the data-path goroutine)", name)
+			}
 		case *ast.GoStmt:
 			pass.Reportf(n.Pos(), "%s: goroutine launch on the fast path", name)
 		case *ast.CompositeLit:

@@ -33,7 +33,44 @@ func (p *pipeline) handle(n int) int {
 
 //eisr:fastpath
 func (p *pipeline) wait() {
-	select {} // want "select on the fast path"
+	select {} // want "select without a default clause on the fast path"
+}
+
+// offer and poll are the wire-driver backpressure idiom: a select with
+// a default clause cannot block, so the statement and its case
+// operations are exempt.
+//
+//eisr:fastpath
+func (p *pipeline) offer(n int) bool {
+	select {
+	case p.ch <- n: // negative: send inside a non-blocking select
+		return true
+	default:
+		return false
+	}
+}
+
+//eisr:fastpath
+func (p *pipeline) poll() (int, bool) {
+	select {
+	case v := <-p.ch: // negative: receive inside a non-blocking select
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+//eisr:fastpath
+func (p *pipeline) drainOne() {
+	select {
+	case <-p.ch: // negative: bare receive inside a non-blocking select
+	default:
+	}
+	select {
+	case v := <-p.ch: // negative: the exemption covers the comm clause only
+		p.ch <- v // want "channel send on the fast path"
+	default:
+	}
 }
 
 func (p *pipeline) release() {}

@@ -124,6 +124,8 @@ func ParseCommand(args []string) (*Request, error) {
 		}
 	case "health":
 		return &Request{Op: OpHealth}, nil
+	case "links":
+		return &Request{Op: OpLinks}, nil
 	case "quarantine":
 		if len(rest) != 2 {
 			return nil, fmt.Errorf("ctl: quarantine PLUGIN INSTANCE")

@@ -43,6 +43,7 @@ const (
 	OpTrace      Op = "trace"      // recent packet traces (telemetry)
 	OpHealth     Op = "health"     // per-instance fault / quarantine report
 	OpQuarantine Op = "quarantine" // force an instance into quarantine
+	OpLinks      Op = "links"      // wire-backed interfaces (netio)
 )
 
 // Request is one control message.

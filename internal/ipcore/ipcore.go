@@ -347,6 +347,14 @@ func (r *Router) AddInterface(ifc *netdev.Interface) {
 		depth = 1024
 	}
 	ns.outQ[ifc.Index] = sched.NewLockedFIFO(depth)
+	// With a worker pool a packet can sit in a worker's ingress queue
+	// long after it left the RX ring; extend the interface's mbuf pool to
+	// cover the total worker queue depth so a backlogged packet's buffer
+	// is not recycled underneath it.
+	if r.pool != nil {
+		ifc.ReserveMbufs(r.pool.n * poolQueueLen)
+	}
+	ifc.SetTelemetry(r.tel)
 	var zero pkt.Addr
 	if ifc.Addr != zero {
 		ns.local[ifc.Addr] = ifc.Index

@@ -1,18 +1,28 @@
-// Package netdev simulates the network hardware underneath the IP core:
+// Package netdev is the network hardware layer underneath the IP core:
 // interfaces with receive/transmit rings, link rate and MTU, and
 // point-to-point links wiring interfaces of different routers together.
 // It stands in for the ATM interfaces of the paper's testbed (MTU 9180);
 // the device driver timestamps every incoming packet exactly as the
 // paper's instrumented driver does for the Table 3 measurements.
+//
+// An interface is backed by one of two substrates. Without a Driver it
+// is fully simulated: Inject plays the role of the DMA engine and
+// Connect wires two interfaces memory-to-memory. With a Driver attached
+// (internal/netio provides the UDP overlay driver) the same rings are
+// fed by real OS sockets: the driver's RX goroutine pushes received
+// packets into the RX ring via InjectPacket, and Transmit hands egress
+// packets to the driver instead of the in-memory peer.
 package netdev
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // DefaultMTU matches the paper's ATM configuration.
@@ -25,7 +35,57 @@ var (
 	ErrDown     = errors.New("netdev: interface down")
 )
 
-// Stats counts per-interface packet events.
+// Driver backs an interface with a real transport (a "wire"). The
+// contract mirrors a kernel NIC driver: TransmitWire must never block
+// the forwarding worker — when the driver's TX ring is full it counts
+// the drop and returns ErrRingFull immediately. RX is push-based: the
+// driver delivers received packets into the interface's ring with
+// InjectPacket from its own goroutine(s) between Start and Stop.
+type Driver interface {
+	// Start launches the driver's RX/TX goroutines. Idempotent.
+	Start()
+	// Stop closes the wire and joins the driver goroutines. Idempotent.
+	Stop()
+	// TransmitWire queues one egress datagram on the wire. It must not
+	// block: ErrRingFull signals backpressure and the caller counts the
+	// packet as a TX drop.
+	TransmitWire(p *pkt.Packet) error
+}
+
+// LinkStats snapshots a wire driver's counters.
+type LinkStats struct {
+	RxPackets       uint64  `json:"rx_packets"`
+	RxBytes         uint64  `json:"rx_bytes"`
+	RxDropRing      uint64  `json:"rx_drop_ring"`      // RX ring full at delivery
+	RxDropTooBig    uint64  `json:"rx_drop_too_big"`   // datagram exceeded the MTU
+	RxDropMalformed uint64  `json:"rx_drop_malformed"` // key extraction failed
+	TxPackets       uint64  `json:"tx_packets"`
+	TxBytes         uint64  `json:"tx_bytes"`
+	TxDropRing      uint64  `json:"tx_drop_ring"` // TX ring full at enqueue
+	TxErrors        uint64  `json:"tx_errors"`    // socket write failures
+	Batches         uint64  `json:"rx_batches"`   // RX wakeups (one batched drain each)
+	AvgBatch        float64 `json:"rx_avg_batch"` // mean packets per RX batch
+}
+
+// LinkInfo describes a wire-backed interface for operator tooling (the
+// "pmgr links" payload).
+type LinkInfo struct {
+	Iface   int32     `json:"iface"`
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"`
+	Local   string    `json:"local"`
+	Peer    string    `json:"peer"`
+	Running bool      `json:"running"`
+	Stats   LinkStats `json:"stats"`
+}
+
+// LinkReporter is implemented by drivers that can describe their link.
+type LinkReporter interface {
+	LinkInfo() LinkInfo
+}
+
+// Stats counts per-interface packet events. The drop totals are broken
+// down by reason so overruns are distinguishable from policy drops.
 type Stats struct {
 	RxPackets uint64
 	RxBytes   uint64
@@ -33,31 +93,86 @@ type Stats struct {
 	TxPackets uint64
 	TxBytes   uint64
 	TxDrops   uint64
+
+	// RX drop reasons (sum to RxDrops).
+	RxDropRing      uint64
+	RxDropTooBig    uint64
+	RxDropDown      uint64
+	RxDropMalformed uint64
+	// TX drop reasons (sum to TxDrops).
+	TxDropRing   uint64
+	TxDropTooBig uint64
+	TxDropDown   uint64
 }
 
-// Interface is one simulated network interface. Packets received from
-// the attached link are queued on the RX ring for the router core to
-// drain; packets the core transmits go out on the TX ring and are
-// delivered to the peer interface, if any.
+// ifStats is the live counter set: lock-free atomics so the per-packet
+// paths (Inject, InjectPacket, Transmit — including the driver RX
+// goroutine racing the forwarding workers) never serialize on a mutex.
+type ifStats struct {
+	rxPackets atomic.Uint64
+	rxBytes   atomic.Uint64
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+
+	rxDropRing      atomic.Uint64
+	rxDropTooBig    atomic.Uint64
+	rxDropDown      atomic.Uint64
+	rxDropMalformed atomic.Uint64
+	txDropRing      atomic.Uint64
+	txDropTooBig    atomic.Uint64
+	txDropDown      atomic.Uint64
+}
+
+// ifTel is the optional registered metric set (SetTelemetry): the same
+// events as ifStats, exported on the Prometheus endpoint with an iface
+// label. Every cell is nil until a registry is attached; record calls
+// are nil-receiver no-ops.
+type ifTel struct {
+	rxPackets *telemetry.Counter
+	rxBytes   *telemetry.Counter
+	txPackets *telemetry.Counter
+	txBytes   *telemetry.Counter
+
+	rxDropRing      *telemetry.Counter
+	rxDropTooBig    *telemetry.Counter
+	rxDropDown      *telemetry.Counter
+	rxDropMalformed *telemetry.Counter
+	txDropRing      *telemetry.Counter
+	txDropTooBig    *telemetry.Counter
+	txDropDown      *telemetry.Counter
+}
+
+// Interface is one network interface. Packets received from the
+// attached link (or wire driver) are queued on the RX ring for the
+// router core to drain; packets the core transmits go out on the TX
+// path and are delivered to the peer interface or the wire.
 type Interface struct {
 	Index int32
 	Name  string
 	MTU   int
 
-	mu    sync.Mutex
-	up    bool
-	rx    chan *pkt.Packet
-	peer  *Interface
-	stats Stats
+	mu     sync.Mutex
+	up     bool
+	rx     chan *pkt.Packet
+	peer   *Interface
+	driver Driver
+
+	stats ifStats
+	tel   ifTel
 
 	// mbufs is the receive descriptor ring's buffer pool: Inject copies
 	// wire bytes into the next ring buffer, exactly like a DMA engine
-	// filling preallocated mbufs. Buffers recycle once the ring wraps,
-	// so a packet's data is valid while fewer than ring-size packets
+	// filling preallocated mbufs. Buffers recycle once the pool wraps,
+	// so a packet's data is valid while fewer than BufDepth packets
 	// arrive behind it — the same contract a real driver gives the
-	// stack.
-	mbufs   [][]byte
-	mbufSeq uint64
+	// stack. The pool is sized to the RX ring plus any reserve declared
+	// with ReserveMbufs: with a worker pool, a packet can sit in a
+	// worker's ingress queue long after it left the RX ring, so the
+	// reserve must cover the total worker queue depth or a backlogged
+	// worker would read a recycled buffer.
+	mbufs     [][]byte
+	mbufSeq   uint64
+	mbufExtra int
 
 	// Addr is the interface's own address (used by daemons and for
 	// locally destined traffic).
@@ -112,6 +227,49 @@ func (i *Interface) Up() bool {
 	return i.up
 }
 
+// AttachDriver backs the interface with a wire driver. The driver is
+// not started; the router facade starts and stops attached drivers from
+// Start/Stop so sockets open and close with the forwarding loop.
+func (i *Interface) AttachDriver(d Driver) {
+	i.mu.Lock()
+	i.driver = d
+	i.mu.Unlock()
+}
+
+// Driver returns the attached wire driver, or nil.
+func (i *Interface) Driver() Driver {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.driver
+}
+
+// SetTelemetry registers the interface's counters on a metrics registry
+// (Prometheus exposition). Nil-safe; call before traffic for complete
+// counts. Events recorded before attachment are visible in Stats but
+// not in the registry.
+func (i *Interface) SetTelemetry(t *telemetry.Telemetry) {
+	if t == nil {
+		return
+	}
+	l := telemetry.Label{Key: "iface", Value: i.Name}
+	dir := func(d string) telemetry.Label { return telemetry.Label{Key: "dir", Value: d} }
+	reason := func(why string) telemetry.Label { return telemetry.Label{Key: "reason", Value: why} }
+	i.tel = ifTel{
+		rxPackets: t.Counter("eisr_netdev_packets_total", "packets per interface and direction", l, dir("rx")),
+		txPackets: t.Counter("eisr_netdev_packets_total", "packets per interface and direction", l, dir("tx")),
+		rxBytes:   t.Counter("eisr_netdev_bytes_total", "bytes per interface and direction", l, dir("rx")),
+		txBytes:   t.Counter("eisr_netdev_bytes_total", "bytes per interface and direction", l, dir("tx")),
+
+		rxDropRing:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("ring-full")),
+		rxDropTooBig:    t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("too-big")),
+		rxDropDown:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("down")),
+		rxDropMalformed: t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("malformed")),
+		txDropRing:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("ring-full")),
+		txDropTooBig:    t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("too-big")),
+		txDropDown:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("down")),
+	}
+}
+
 // Connect wires two interfaces as a point-to-point link (both ways).
 func Connect(a, b *Interface) {
 	a.mu.Lock()
@@ -132,77 +290,118 @@ func (i *Interface) Inject(data []byte) error {
 	up := i.up
 	i.mu.Unlock()
 	if !up {
+		i.stats.rxDropDown.Add(1)
+		i.tel.rxDropDown.Inc()
 		return ErrDown
 	}
 	if len(data) > i.MTU {
-		i.mu.Lock()
-		i.stats.RxDrops++
-		i.mu.Unlock()
+		i.stats.rxDropTooBig.Add(1)
+		i.tel.rxDropTooBig.Inc()
 		return ErrTooBig
 	}
 	buf := i.nextMbuf(len(data))
 	copy(buf, data)
 	p, err := pkt.NewPacket(buf, i.Index)
 	if err != nil {
-		i.mu.Lock()
-		i.stats.RxDrops++
-		i.mu.Unlock()
+		i.stats.rxDropMalformed.Add(1)
+		i.tel.rxDropMalformed.Inc()
 		return err
 	}
 	p.Stamp = i.clock()
 	select {
 	case i.rx <- p:
-		i.mu.Lock()
-		i.stats.RxPackets++
-		i.stats.RxBytes += uint64(len(data))
-		i.mu.Unlock()
+		i.stats.rxPackets.Add(1)
+		i.stats.rxBytes.Add(uint64(len(data)))
+		i.tel.rxPackets.Inc()
+		i.tel.rxBytes.Add(uint64(len(data)))
 		return nil
 	default:
-		i.mu.Lock()
-		i.stats.RxDrops++
-		i.mu.Unlock()
+		i.stats.rxDropRing.Add(1)
+		i.tel.rxDropRing.Inc()
 		return ErrRingFull
 	}
 }
 
+// ReserveMbufs extends the receive buffer pool beyond the RX ring by
+// extra buffers. The core calls this when a worker pool is configured:
+// a packet steered to a worker can sit in that worker's ingress queue
+// while the RX ring keeps wrapping, so the pool must cover ring depth
+// plus the total worker queue depth or the backlogged packet's mbuf
+// would be overwritten underneath it. Control path only; an
+// already-allocated pool is regrown.
+func (i *Interface) ReserveMbufs(extra int) {
+	if extra < 0 {
+		extra = 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if extra <= i.mbufExtra {
+		return
+	}
+	i.mbufExtra = extra
+	if i.mbufs != nil {
+		i.mbufs = i.newPoolLocked()
+	}
+}
+
+// BufDepth reports the receive buffer pool depth: the number of packets
+// that can be in flight (RX ring, worker queues) before the oldest
+// buffer recycles. Wire drivers size their own pools from it.
+func (i *Interface) BufDepth() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return cap(i.rx) + i.mbufExtra + 1
+}
+
+// newPoolLocked builds the mbuf pool at the current target depth.
+// Buffers allocate lazily on first use so an interface that never sees
+// raw injection pays nothing.
+func (i *Interface) newPoolLocked() [][]byte {
+	return make([][]byte, cap(i.rx)+i.mbufExtra+1)
+}
+
 // nextMbuf hands out the next receive buffer from the descriptor ring,
-// growing the pool lazily to the ring depth.
+// growing the pool lazily to the configured depth.
 func (i *Interface) nextMbuf(n int) []byte {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.mbufs == nil {
-		depth := cap(i.rx) + 1
-		i.mbufs = make([][]byte, depth)
-		for j := range i.mbufs {
-			i.mbufs[j] = make([]byte, i.MTU)
-		}
+		i.mbufs = i.newPoolLocked()
 	}
-	b := i.mbufs[i.mbufSeq%uint64(len(i.mbufs))]
+	slot := i.mbufSeq % uint64(len(i.mbufs))
 	i.mbufSeq++
-	return b[:n]
+	if i.mbufs[slot] == nil {
+		i.mbufs[slot] = make([]byte, i.MTU)
+	}
+	return i.mbufs[slot][:n]
 }
 
-// InjectPacket enqueues an already-built packet (zero-copy path for the
-// benchmark harness). The caller must have set Data and InIf.
+// InjectPacket enqueues an already-built packet — the zero-copy,
+// allocation-free receive path used by the benchmark harness and by
+// wire drivers delivering from their own buffer pools. The caller must
+// have set Data and InIf.
+//
+//eisr:fastpath
 func (i *Interface) InjectPacket(p *pkt.Packet) error {
 	p.Stamp = i.clock()
 	select {
 	case i.rx <- p:
-		i.mu.Lock()
-		i.stats.RxPackets++
-		i.stats.RxBytes += uint64(len(p.Data))
-		i.mu.Unlock()
+		i.stats.rxPackets.Add(1)
+		i.stats.rxBytes.Add(uint64(len(p.Data)))
+		i.tel.rxPackets.Inc()
+		i.tel.rxBytes.Add(uint64(len(p.Data)))
 		return nil
 	default:
-		i.mu.Lock()
-		i.stats.RxDrops++
-		i.mu.Unlock()
+		i.stats.rxDropRing.Add(1)
+		i.tel.rxDropRing.Inc()
 		return ErrRingFull
 	}
 }
 
 // Poll drains one packet from the RX ring without blocking; nil when the
 // ring is empty.
+//
+//eisr:fastpath
 func (i *Interface) Poll() *pkt.Packet {
 	select {
 	case p := <-i.rx:
@@ -225,30 +424,43 @@ func (i *Interface) Recv(done <-chan struct{}) *pkt.Packet {
 // RxLen reports the RX ring occupancy.
 func (i *Interface) RxLen() int { return len(i.rx) }
 
-// Transmit sends a packet out this interface: it is accounted and, if a
-// peer is connected, delivered into the peer's RX ring. Without a peer
-// the packet is counted and discarded (a sink, as in the benchmark
-// harness where the ATM card loops to the measurement host).
+// Transmit sends a packet out this interface: it is accounted and then
+// handed to the wire driver if one is attached, else delivered into the
+// connected peer's RX ring. Without a driver or peer the packet is
+// counted and discarded (a sink, as in the benchmark harness where the
+// ATM card loops to the measurement host). A driver that reports
+// backpressure (ErrRingFull) turns into a counted TX drop — the
+// forwarding worker is never blocked on the wire.
 func (i *Interface) Transmit(p *pkt.Packet) error {
 	i.mu.Lock()
-	up, peer := i.up, i.peer
+	up, peer, driver := i.up, i.peer, i.driver
 	i.mu.Unlock()
 	if !up {
-		i.mu.Lock()
-		i.stats.TxDrops++
-		i.mu.Unlock()
+		i.stats.txDropDown.Add(1)
+		i.tel.txDropDown.Inc()
 		return ErrDown
 	}
 	if len(p.Data) > i.MTU {
-		i.mu.Lock()
-		i.stats.TxDrops++
-		i.mu.Unlock()
+		i.stats.txDropTooBig.Add(1)
+		i.tel.txDropTooBig.Inc()
 		return ErrTooBig
 	}
-	i.mu.Lock()
-	i.stats.TxPackets++
-	i.stats.TxBytes += uint64(len(p.Data))
-	i.mu.Unlock()
+	if driver != nil {
+		if err := driver.TransmitWire(p); err != nil {
+			i.stats.txDropRing.Add(1)
+			i.tel.txDropRing.Inc()
+			return err
+		}
+		i.stats.txPackets.Add(1)
+		i.stats.txBytes.Add(uint64(len(p.Data)))
+		i.tel.txPackets.Inc()
+		i.tel.txBytes.Add(uint64(len(p.Data)))
+		return nil
+	}
+	i.stats.txPackets.Add(1)
+	i.stats.txBytes.Add(uint64(len(p.Data)))
+	i.tel.txPackets.Inc()
+	i.tel.txBytes.Add(uint64(len(p.Data)))
 	if peer != nil {
 		q := &pkt.Packet{Data: p.Data, InIf: peer.Index, OutIf: -1, TOS: p.TOS}
 		if k, err := pkt.ExtractKey(q.Data, peer.Index); err == nil {
@@ -257,14 +469,13 @@ func (i *Interface) Transmit(p *pkt.Packet) error {
 		q.Stamp = peer.clock()
 		select {
 		case peer.rx <- q:
-			peer.mu.Lock()
-			peer.stats.RxPackets++
-			peer.stats.RxBytes += uint64(len(q.Data))
-			peer.mu.Unlock()
+			peer.stats.rxPackets.Add(1)
+			peer.stats.rxBytes.Add(uint64(len(q.Data)))
+			peer.tel.rxPackets.Inc()
+			peer.tel.rxBytes.Add(uint64(len(q.Data)))
 		default:
-			peer.mu.Lock()
-			peer.stats.RxDrops++
-			peer.mu.Unlock()
+			peer.stats.rxDropRing.Add(1)
+			peer.tel.rxDropRing.Inc()
 		}
 	}
 	return nil
@@ -272,7 +483,21 @@ func (i *Interface) Transmit(p *pkt.Packet) error {
 
 // Stats snapshots the interface counters.
 func (i *Interface) Stats() Stats {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	return i.stats
+	s := Stats{
+		RxPackets: i.stats.rxPackets.Load(),
+		RxBytes:   i.stats.rxBytes.Load(),
+		TxPackets: i.stats.txPackets.Load(),
+		TxBytes:   i.stats.txBytes.Load(),
+
+		RxDropRing:      i.stats.rxDropRing.Load(),
+		RxDropTooBig:    i.stats.rxDropTooBig.Load(),
+		RxDropDown:      i.stats.rxDropDown.Load(),
+		RxDropMalformed: i.stats.rxDropMalformed.Load(),
+		TxDropRing:      i.stats.txDropRing.Load(),
+		TxDropTooBig:    i.stats.txDropTooBig.Load(),
+		TxDropDown:      i.stats.txDropDown.Load(),
+	}
+	s.RxDrops = s.RxDropRing + s.RxDropTooBig + s.RxDropDown + s.RxDropMalformed
+	s.TxDrops = s.TxDropRing + s.TxDropTooBig + s.TxDropDown
+	return s
 }

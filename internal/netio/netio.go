@@ -1,0 +1,49 @@
+// Package netio backs netdev interfaces with real OS sockets — the
+// driver layer that turns the simulated router into a daemon serving
+// actual traffic. The first (and currently only) transport is the UDP
+// overlay link: the interface binds a local UDP socket and every
+// egress IP datagram is carried verbatim as the payload of one UDP
+// datagram to a configured peer, so two eisrd processes forward real
+// packets to each other over loopback or a LAN with zero privileges.
+//
+// The design follows the cost structure identified by the software
+// router literature (batching, buffer pooling, backpressure at the I/O
+// boundary):
+//
+//   - RX: one goroutine per link does batched socket reads — a blocking
+//     read opens each batch, then short-deadline reads drain the socket
+//     up to the batch cap — into a preallocated ring of receive slots
+//     (buffer + embedded packet header), so the steady-state receive
+//     path allocates nothing per packet. The slot ring is sized from
+//     the interface's buffer depth (RX ring + worker-queue reserve)
+//     plus slack, giving wire packets the same recycling contract as
+//     the in-memory mbuf pool.
+//   - TX: Transmit hands egress packets to the driver, which copies
+//     them into a fixed pool of wire buffers and queues them for a
+//     drain goroutine. The handoff is non-blocking: when the TX ring is
+//     full the packet is dropped and counted (netdev.ErrRingFull) —
+//     wire backpressure never blocks a forwarding worker.
+//   - Lifecycle: links start and stop with Router.Start/Stop. Stop
+//     closes the socket to unblock the RX read and joins both
+//     goroutines before returning, so sockets close cleanly and the
+//     epoch reclaimer can still quiesce.
+package netio
+
+import "time"
+
+// Defaults for Config zero values.
+const (
+	// DefaultTxRing is the wire-buffer count of the TX path (the depth
+	// of backpressure before egress drops).
+	DefaultTxRing = 512
+	// DefaultBatch caps how many datagrams one RX wakeup drains.
+	DefaultBatch = 64
+	// DefaultPoolSlack is the extra RX slots beyond the interface's
+	// buffer depth: covers the interface's out FIFO plus packets in
+	// hand between poll and dispatch.
+	DefaultPoolSlack = 1088
+	// batchDrainWindow is the read deadline applied after the blocking
+	// batch-head read: how long the RX loop lingers for the rest of a
+	// batch before declaring the socket dry.
+	batchDrainWindow = 500 * time.Microsecond
+)

@@ -1,0 +1,436 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+// Config parameterizes a UDP overlay link.
+type Config struct {
+	// Local is the bind address ("127.0.0.1:9001"; port 0 lets the OS
+	// pick — read it back with LocalAddr). Required.
+	Local string
+	// Peer is the remote link endpoint. Optional at construction (two
+	// port-0 links must exist before they can learn each other's
+	// addresses); settable later with SetPeer. Egress with no peer
+	// configured counts as a TX error.
+	Peer string
+	// TxRing is the wire-buffer count of the TX path (default
+	// DefaultTxRing).
+	TxRing int
+	// Batch caps datagrams drained per RX wakeup (default DefaultBatch).
+	Batch int
+	// PoolSlack is extra RX slots beyond the interface's buffer depth
+	// (default DefaultPoolSlack).
+	PoolSlack int
+	// Tel optionally registers the link's counters for Prometheus
+	// exposition (eisr_netio_* families, labeled by interface).
+	Tel *telemetry.Telemetry
+}
+
+// rxSlot is one receive descriptor: a wire buffer plus the packet
+// header delivered into the router, reset in place per datagram so the
+// steady-state RX path allocates nothing.
+type rxSlot struct {
+	buf []byte
+	p   pkt.Packet
+}
+
+// wireBuf is one TX descriptor: egress bytes are copied in by the
+// forwarding worker and written out by the drain goroutine.
+type wireBuf struct {
+	buf []byte
+	n   int
+}
+
+// linkStats is the live counter set (atomics; the RX goroutine, TX
+// drain, and forwarding workers all record concurrently).
+type linkStats struct {
+	rxPackets       atomic.Uint64
+	rxBytes         atomic.Uint64
+	rxDropRing      atomic.Uint64
+	rxDropTooBig    atomic.Uint64
+	rxDropMalformed atomic.Uint64
+	txPackets       atomic.Uint64
+	txBytes         atomic.Uint64
+	txDropRing      atomic.Uint64
+	txErrors        atomic.Uint64
+	batches         atomic.Uint64
+	batchedPkts     atomic.Uint64
+}
+
+// linkTel is the optional registered metric set; every cell is nil
+// without a registry, and record calls are nil-receiver no-ops.
+type linkTel struct {
+	rxPackets       *telemetry.Counter
+	rxBytes         *telemetry.Counter
+	rxDropRing      *telemetry.Counter
+	rxDropTooBig    *telemetry.Counter
+	rxDropMalformed *telemetry.Counter
+	txPackets       *telemetry.Counter
+	txBytes         *telemetry.Counter
+	txDropRing      *telemetry.Counter
+	txErrors        *telemetry.Counter
+	batchSize       *telemetry.Histogram
+}
+
+// UDPLink is a wire driver carrying an interface's traffic as UDP
+// datagrams to one peer. It implements netdev.Driver and
+// netdev.LinkReporter.
+type UDPLink struct {
+	ifc   *netdev.Interface
+	conn  *net.UDPConn
+	peer  atomic.Pointer[netip.AddrPort]
+	mtu   int
+	batch int
+
+	// slots is the RX descriptor ring; only the RX goroutine touches
+	// slotSeq.
+	slots   []rxSlot
+	slotSeq uint64
+
+	// free and txq together hold exactly TxRing wire buffers: a
+	// forwarding worker moves a buffer free→txq (non-blocking on both
+	// ends), the drain goroutine moves it back.
+	free chan *wireBuf
+	txq  chan *wireBuf
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	running atomic.Bool
+
+	stats linkStats
+	tel   linkTel
+}
+
+// NewUDPLink binds the local socket and builds the link for an
+// interface. The socket is bound immediately (so a port-0 bind can be
+// queried with LocalAddr before Start); I/O goroutines launch on Start.
+// The RX slot ring is sized from the interface's current BufDepth —
+// attach the interface to its core (which reserves worker-queue mbufs)
+// before creating the link.
+func NewUDPLink(ifc *netdev.Interface, cfg Config) (*UDPLink, error) {
+	if ifc == nil {
+		return nil, fmt.Errorf("netio: nil interface")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Local)
+	if err != nil {
+		return nil, fmt.Errorf("netio: local address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: bind %s: %w", cfg.Local, err)
+	}
+	txRing := cfg.TxRing
+	if txRing <= 0 {
+		txRing = DefaultTxRing
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	slack := cfg.PoolSlack
+	if slack <= 0 {
+		slack = DefaultPoolSlack
+	}
+	l := &UDPLink{
+		ifc: ifc, conn: conn, mtu: ifc.MTU, batch: batch,
+		slots: make([]rxSlot, ifc.BufDepth()+slack),
+		free:  make(chan *wireBuf, txRing),
+		txq:   make(chan *wireBuf, txRing),
+		done:  make(chan struct{}),
+	}
+	for i := range l.slots {
+		// One byte beyond the MTU so an oversized datagram is detectable
+		// (a read that fills MTU+1 bytes was too big) instead of being
+		// silently truncated at the buffer boundary.
+		l.slots[i].buf = make([]byte, l.mtu+1)
+	}
+	for i := 0; i < txRing; i++ {
+		l.free <- &wireBuf{buf: make([]byte, l.mtu)}
+	}
+	if cfg.Peer != "" {
+		if err := l.SetPeer(cfg.Peer); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if cfg.Tel != nil {
+		l.setTelemetry(cfg.Tel)
+	}
+	return l, nil
+}
+
+// setTelemetry registers the link's cells under the eisr_netio_*
+// families, labeled by interface name.
+func (l *UDPLink) setTelemetry(t *telemetry.Telemetry) {
+	lbl := telemetry.Label{Key: "iface", Value: l.ifc.Name}
+	dir := func(d string) telemetry.Label { return telemetry.Label{Key: "dir", Value: d} }
+	reason := func(why string) telemetry.Label { return telemetry.Label{Key: "reason", Value: why} }
+	l.tel = linkTel{
+		rxPackets: t.Counter("eisr_netio_packets_total", "wire packets per link and direction", lbl, dir("rx")),
+		txPackets: t.Counter("eisr_netio_packets_total", "wire packets per link and direction", lbl, dir("tx")),
+		rxBytes:   t.Counter("eisr_netio_bytes_total", "wire bytes per link and direction", lbl, dir("rx")),
+		txBytes:   t.Counter("eisr_netio_bytes_total", "wire bytes per link and direction", lbl, dir("tx")),
+
+		rxDropRing:      t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("ring-full")),
+		rxDropTooBig:    t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("too-big")),
+		rxDropMalformed: t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("malformed")),
+		txDropRing:      t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("tx"), reason("ring-full")),
+
+		txErrors:  t.Counter("eisr_netio_tx_errors_total", "socket write failures per link", lbl),
+		batchSize: t.Histogram("eisr_netio_rx_batch", "datagrams drained per RX wakeup", lbl),
+	}
+}
+
+// LocalAddr reports the bound socket address (resolves port 0).
+func (l *UDPLink) LocalAddr() string { return l.conn.LocalAddr().String() }
+
+// SetPeer points the link at its remote endpoint. Safe while running.
+func (l *UDPLink) SetPeer(addr string) error {
+	ap, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		// Accept hostnames too ("localhost:9001") by resolving once.
+		ua, rerr := net.ResolveUDPAddr("udp", addr)
+		if rerr != nil {
+			return fmt.Errorf("netio: peer address: %w", err)
+		}
+		ap = ua.AddrPort()
+	}
+	l.peer.Store(&ap)
+	return nil
+}
+
+// Start launches the RX and TX goroutines. Idempotent.
+func (l *UDPLink) Start() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.started || l.stopped {
+		return
+	}
+	l.started = true
+	l.running.Store(true)
+	l.wg.Add(2)
+	go l.rxLoop()
+	go l.txLoop()
+}
+
+// Stop closes the socket (unblocking the RX read) and joins the I/O
+// goroutines. Idempotent; the link cannot be restarted.
+func (l *UDPLink) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	started := l.started
+	l.mu.Unlock()
+	close(l.done)
+	l.conn.Close()
+	if started {
+		l.wg.Wait()
+	}
+	l.running.Store(false)
+}
+
+// rxLoop drains the socket batch by batch until the link stops.
+func (l *UDPLink) rxLoop() {
+	defer l.wg.Done()
+	for {
+		n, closed := l.rxBatch()
+		if n > 0 {
+			l.stats.batches.Add(1)
+			l.stats.batchedPkts.Add(uint64(n))
+			l.tel.batchSize.Observe(uint64(n))
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// rxBatch reads one batch: a blocking read for the batch head, then
+// short-deadline reads until the batch cap or the socket runs dry. At
+// saturation the cap is hit before the deadline, so the loop cycles
+// batches with no timeout errors and no allocations.
+func (l *UDPLink) rxBatch() (n int, closed bool) {
+	if err := l.conn.SetReadDeadline(time.Time{}); err != nil {
+		return 0, true
+	}
+	for n < l.batch {
+		slot := &l.slots[l.slotSeq%uint64(len(l.slots))]
+		cnt, _, err := l.conn.ReadFromUDPAddrPort(slot.buf)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return n, false
+			}
+			return n, true
+		}
+		l.slotSeq++
+		l.deliver(slot, cnt)
+		n++
+		if n == 1 {
+			// Batch head arrived; linger briefly for the rest.
+			if err := l.conn.SetReadDeadline(time.Now().Add(batchDrainWindow)); err != nil {
+				return n, true
+			}
+		}
+	}
+	return n, false
+}
+
+// deliver parses one received datagram and injects it into the
+// interface's RX ring, resetting the slot's embedded packet in place —
+// the per-packet receive work, allocation-free in steady state.
+//
+//eisr:fastpath
+func (l *UDPLink) deliver(slot *rxSlot, n int) {
+	if n > l.mtu {
+		l.stats.rxDropTooBig.Add(1)
+		l.tel.rxDropTooBig.Inc()
+		return
+	}
+	data := slot.buf[:n]
+	k, err := pkt.ExtractKey(data, l.ifc.Index)
+	if err != nil {
+		l.stats.rxDropMalformed.Add(1)
+		l.tel.rxDropMalformed.Inc()
+		return
+	}
+	p := &slot.p
+	*p = pkt.Packet{Data: data, InIf: l.ifc.Index, OutIf: -1, Key: k, KeyValid: true}
+	switch data[0] >> 4 {
+	case 4:
+		p.TOS = data[1]
+	case 6:
+		p.TOS = data[0]<<4 | data[1]>>4
+	}
+	if l.ifc.InjectPacket(p) != nil {
+		l.stats.rxDropRing.Add(1)
+		l.tel.rxDropRing.Inc()
+		return
+	}
+	l.stats.rxPackets.Add(1)
+	l.stats.rxBytes.Add(uint64(n))
+	l.tel.rxPackets.Inc()
+	l.tel.rxBytes.Add(uint64(n))
+}
+
+// TransmitWire queues one egress datagram: grab a wire buffer, copy the
+// packet, hand it to the drain goroutine. Non-blocking end to end — an
+// exhausted buffer pool is wire backpressure and the packet is dropped
+// and counted rather than stalling the forwarding worker.
+//
+//eisr:fastpath
+func (l *UDPLink) TransmitWire(p *pkt.Packet) error {
+	var wb *wireBuf
+	select {
+	case wb = <-l.free:
+	default:
+		l.stats.txDropRing.Add(1)
+		l.tel.txDropRing.Inc()
+		return netdev.ErrRingFull
+	}
+	wb.n = copy(wb.buf, p.Data)
+	select {
+	case l.txq <- wb:
+		return nil
+	default:
+	}
+	// Unreachable while the buffer conservation invariant holds (free
+	// and txq together hold exactly TxRing buffers), but never block.
+	select {
+	case l.free <- wb:
+	default:
+	}
+	l.stats.txDropRing.Add(1)
+	l.tel.txDropRing.Inc()
+	return netdev.ErrRingFull
+}
+
+// txLoop writes queued wire buffers to the socket until the link stops.
+func (l *UDPLink) txLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case wb := <-l.txq:
+			l.txOne(wb)
+		}
+	}
+}
+
+// txOne writes one wire buffer to the peer and recycles it — the
+// per-packet transmit work, allocation-free in steady state.
+//
+//eisr:fastpath
+func (l *UDPLink) txOne(wb *wireBuf) {
+	peer := l.peer.Load()
+	if peer == nil {
+		l.stats.txErrors.Add(1)
+		l.tel.txErrors.Inc()
+	} else if _, err := l.conn.WriteToUDPAddrPort(wb.buf[:wb.n], *peer); err != nil {
+		l.stats.txErrors.Add(1)
+		l.tel.txErrors.Inc()
+	} else {
+		l.stats.txPackets.Add(1)
+		l.stats.txBytes.Add(uint64(wb.n))
+		l.tel.txPackets.Inc()
+		l.tel.txBytes.Add(uint64(wb.n))
+	}
+	select {
+	case l.free <- wb:
+	default:
+	}
+}
+
+// Stats snapshots the link counters.
+func (l *UDPLink) Stats() netdev.LinkStats {
+	s := netdev.LinkStats{
+		RxPackets:       l.stats.rxPackets.Load(),
+		RxBytes:         l.stats.rxBytes.Load(),
+		RxDropRing:      l.stats.rxDropRing.Load(),
+		RxDropTooBig:    l.stats.rxDropTooBig.Load(),
+		RxDropMalformed: l.stats.rxDropMalformed.Load(),
+		TxPackets:       l.stats.txPackets.Load(),
+		TxBytes:         l.stats.txBytes.Load(),
+		TxDropRing:      l.stats.txDropRing.Load(),
+		TxErrors:        l.stats.txErrors.Load(),
+		Batches:         l.stats.batches.Load(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(l.stats.batchedPkts.Load()) / float64(s.Batches)
+	}
+	return s
+}
+
+// LinkInfo describes the link for operator tooling (pmgr links).
+func (l *UDPLink) LinkInfo() netdev.LinkInfo {
+	info := netdev.LinkInfo{
+		Iface:   l.ifc.Index,
+		Name:    l.ifc.Name,
+		Kind:    "udp",
+		Local:   l.LocalAddr(),
+		Running: l.running.Load(),
+		Stats:   l.Stats(),
+	}
+	if p := l.peer.Load(); p != nil {
+		info.Peer = p.String()
+	}
+	return info
+}

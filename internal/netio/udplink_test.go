@@ -1,0 +1,316 @@
+package netio
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+func buildUDP(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	data, err := pkt.BuildUDP(pkt.UDPSpec{
+		Src: pkt.MustParseAddr("10.0.0.1"), Dst: pkt.MustParseAddr("10.0.0.2"),
+		SrcPort: 1111, DstPort: 2222, Payload: payload, TTL: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// newLink builds a loopback-bound link on a fresh interface.
+func newLink(t testing.TB, ifcCfg netdev.Config, cfg Config) (*netdev.Interface, *UDPLink) {
+	t.Helper()
+	ifc := netdev.NewInterface(0, ifcCfg)
+	if cfg.Local == "" {
+		cfg.Local = "127.0.0.1:0"
+	}
+	l, err := NewUDPLink(ifc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Stop)
+	return ifc, l
+}
+
+// dialTo returns a socket aimed at the link's local address.
+func dialTo(t testing.TB, l *UDPLink) *net.UDPConn {
+	t.Helper()
+	raddr, err := net.ResolveUDPAddr("udp", l.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// pollFor drains the interface ring until a packet appears or the
+// deadline passes.
+func pollFor(ifc *netdev.Interface, d time.Duration) *pkt.Packet {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if p := ifc.Poll(); p != nil {
+			return p
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+func TestRxDeliversWirePackets(t *testing.T) {
+	ifc, l := newLink(t, netdev.Config{}, Config{})
+	l.Start()
+	src := dialTo(t, l)
+
+	data := buildUDP(t, []byte("over-the-wire"))
+	if _, err := src.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	p := pollFor(ifc, 2*time.Second)
+	if p == nil {
+		t.Fatal("wire packet never reached the RX ring")
+	}
+	if string(p.Data) != string(data) {
+		t.Error("payload corrupted in flight")
+	}
+	if !p.KeyValid || p.Key.Proto != pkt.ProtoUDP || p.Key.SrcPort != 1111 {
+		t.Errorf("key not extracted on RX: %+v", p.Key)
+	}
+	if p.InIf != ifc.Index || p.OutIf != -1 || p.Stamp.IsZero() {
+		t.Errorf("packet metadata: InIf=%d OutIf=%d stamp=%v", p.InIf, p.OutIf, p.Stamp)
+	}
+	// The batch counter records when the batch closes (after the drain
+	// window), a moment after delivery.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Batches == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := l.Stats(); s.RxPackets != 1 || s.RxBytes != uint64(len(data)) || s.Batches == 0 || s.AvgBatch != 1 {
+		t.Errorf("link stats: %+v", s)
+	}
+	if s := ifc.Stats(); s.RxPackets != 1 {
+		t.Errorf("iface stats: %+v", s)
+	}
+}
+
+func TestRxDropsMalformedAndOversize(t *testing.T) {
+	_, l := newLink(t, netdev.Config{MTU: 256}, Config{})
+	l.Start()
+	src := dialTo(t, l)
+
+	if _, err := src.Write([]byte{0xff, 0x01, 0x02}); err != nil { // bad version
+		t.Fatal(err)
+	}
+	if _, err := src.Write(make([]byte, 300)); err != nil { // beyond MTU
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s := l.Stats()
+		if s.RxDropMalformed == 1 && s.RxDropTooBig == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("drop counters never settled: %+v", l.Stats())
+}
+
+func TestRxRingFullCountsDrop(t *testing.T) {
+	ifc, l := newLink(t, netdev.Config{RxRing: 1}, Config{})
+	l.Start()
+	src := dialTo(t, l)
+
+	data := buildUDP(t, []byte("x"))
+	const sent = 8
+	for range [sent]struct{}{} {
+		if _, err := src.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s := l.Stats()
+		if s.RxPackets+s.RxDropRing == sent {
+			if s.RxDropRing == 0 {
+				t.Fatalf("ring of 1 absorbed %d packets without a drop", sent)
+			}
+			if ifc.RxLen() != 1 {
+				t.Errorf("ring occupancy = %d, want 1", ifc.RxLen())
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("RX never drained the burst: %+v", l.Stats())
+}
+
+func TestTransmitWireReachesPeer(t *testing.T) {
+	ifc, l := newLink(t, netdev.Config{}, Config{})
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := l.SetPeer(sink.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+
+	data := buildUDP(t, []byte("egress"))
+	// Through the interface: Transmit routes to the attached driver.
+	ifc.AttachDriver(l)
+	if err := ifc.Transmit(&pkt.Packet{Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	sink.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := sink.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != string(data) {
+		t.Error("wire payload differs from the transmitted datagram")
+	}
+	deadline := time.Now().Add(time.Second)
+	for l.Stats().TxPackets == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := l.Stats(); s.TxPackets != 1 || s.TxBytes != uint64(len(data)) {
+		t.Errorf("link TX stats: %+v", s)
+	}
+	if s := ifc.Stats(); s.TxPackets != 1 {
+		t.Errorf("iface TX stats: %+v", s)
+	}
+}
+
+func TestTransmitWireBackpressure(t *testing.T) {
+	// Tiny TX ring, link not started: the drain goroutine never runs, so
+	// the pool exhausts and further transmits must fail fast, not block.
+	_, l := newLink(t, netdev.Config{}, Config{TxRing: 2})
+	data := buildUDP(t, []byte("x"))
+	p := &pkt.Packet{Data: data}
+	for i := 0; i < 2; i++ {
+		if err := l.TransmitWire(p); err != nil {
+			t.Fatalf("transmit %d: %v", i, err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.TransmitWire(p) }()
+	select {
+	case err := <-done:
+		if err != netdev.ErrRingFull {
+			t.Fatalf("full TX ring error = %v, want ErrRingFull", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("TransmitWire blocked on a full TX ring")
+	}
+	if s := l.Stats(); s.TxDropRing != 1 {
+		t.Errorf("TX drop not counted: %+v", s)
+	}
+}
+
+func TestNoPeerCountsTxError(t *testing.T) {
+	_, l := newLink(t, netdev.Config{}, Config{})
+	l.Start()
+	if err := l.TransmitWire(&pkt.Packet{Data: buildUDP(t, []byte("x"))}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().TxErrors == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s := l.Stats(); s.TxErrors != 1 || s.TxPackets != 0 {
+		t.Errorf("peerless transmit stats: %+v", s)
+	}
+}
+
+func TestLifecycleIdempotent(t *testing.T) {
+	_, l := newLink(t, netdev.Config{}, Config{})
+	l.Start()
+	l.Start()
+	stopped := make(chan struct{})
+	go func() {
+		l.Stop()
+		l.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not join the I/O goroutines")
+	}
+	if l.LinkInfo().Running {
+		t.Error("link still reports running after Stop")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	_, l := newLink(t, netdev.Config{}, Config{})
+	l.Stop() // must not hang or panic
+}
+
+func TestLinkInfo(t *testing.T) {
+	ifc, l := newLink(t, netdev.Config{Name: "wan0"}, Config{Peer: "127.0.0.1:9999"})
+	l.Start()
+	info := l.LinkInfo()
+	if info.Iface != ifc.Index || info.Name != "wan0" || info.Kind != "udp" {
+		t.Errorf("LinkInfo identity: %+v", info)
+	}
+	if info.Peer != "127.0.0.1:9999" {
+		t.Errorf("peer = %q", info.Peer)
+	}
+	if !strings.HasPrefix(info.Local, "127.0.0.1:") || strings.HasSuffix(info.Local, ":0") {
+		t.Errorf("local = %q, want a resolved loopback port", info.Local)
+	}
+	if !info.Running {
+		t.Error("running link reports Running=false")
+	}
+}
+
+func TestHostnamePeerResolves(t *testing.T) {
+	_, l := newLink(t, netdev.Config{}, Config{})
+	if err := l.SetPeer("localhost:4242"); err != nil {
+		t.Fatalf("hostname peer rejected: %v", err)
+	}
+	if err := l.SetPeer("not an address"); err == nil {
+		t.Error("garbage peer accepted")
+	}
+}
+
+func TestTelemetryRegistersNetioFamilies(t *testing.T) {
+	tel := telemetry.New()
+	_, l := newLink(t, netdev.Config{Name: "wan0"}, Config{Tel: tel})
+	l.Start()
+	src := dialTo(t, l)
+	if _, err := src.Write(buildUDP(t, []byte("metered"))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if tel.CounterValue(`eisr_netio_packets_total{iface="wan0",dir="rx"}`) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := tel.CounterValue(`eisr_netio_packets_total{iface="wan0",dir="rx"}`); n != 1 {
+		t.Errorf("netio rx counter = %d, want 1", n)
+	}
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"eisr_netio_packets_total", "eisr_netio_drops_total", "eisr_netio_rx_batch"} {
+		if !strings.Contains(sb.String(), family) {
+			t.Errorf("Prometheus exposition is missing %s", family)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/routerplugins/eisr/internal/bmp"
 	"github.com/routerplugins/eisr/internal/ipcore"
 	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/netio"
 	"github.com/routerplugins/eisr/internal/pcu"
 	"github.com/routerplugins/eisr/internal/pkt"
 	"github.com/routerplugins/eisr/internal/plugins"
@@ -294,6 +295,46 @@ func (r *Router) Interface(index int32) *netdev.Interface {
 	return r.Core.Interface(index)
 }
 
+// AttachUDPLink backs an attached interface with a netio UDP overlay
+// link: the interface binds local and carries its traffic to peer as
+// UDP-encapsulated IP datagrams. peer may be empty and set later with
+// SetPeer on the returned link. The link's lifecycle follows the
+// router: if the router is already running the link starts
+// immediately, otherwise Start launches it with the forwarding loop,
+// and Stop closes its socket and joins its goroutines.
+func (r *Router) AttachUDPLink(index int32, local, peer string) (*netio.UDPLink, error) {
+	ifc := r.Core.Interface(index)
+	if ifc == nil {
+		return nil, fmt.Errorf("eisr: no interface %d", index)
+	}
+	link, err := netio.NewUDPLink(ifc, netio.Config{
+		Local: local, Peer: peer, Tel: r.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ifc.AttachDriver(link)
+	r.mu.Lock()
+	running := r.running
+	r.mu.Unlock()
+	if running {
+		link.Start()
+	}
+	return link, nil
+}
+
+// LinksReport snapshots every wire-backed interface (the "pmgr links"
+// payload).
+func (r *Router) LinksReport() []netdev.LinkInfo {
+	var out []netdev.LinkInfo
+	for _, ifc := range r.Core.Interfaces() {
+		if rep, ok := ifc.Driver().(netdev.LinkReporter); ok {
+			out = append(out, rep.LinkInfo())
+		}
+	}
+	return out
+}
+
 // AddRoute installs a static route: "PREFIX dev N [via GW] [metric M]".
 func (r *Router) AddRoute(spec string) error {
 	rt, err := routing.ParseRoute(spec)
@@ -442,9 +483,17 @@ func (r *Router) Start() {
 	r.done = make(chan struct{})
 	r.running = true
 	go r.Core.Run(r.done)
+	for _, ifc := range r.Core.Interfaces() {
+		if d := ifc.Driver(); d != nil {
+			d.Start()
+		}
+	}
 }
 
-// Stop halts the forwarding loop.
+// Stop halts the forwarding loop, then stops the wire drivers: the
+// core's Run loop (and worker pool) wind down first so the epoch
+// reclaimer quiesces, then each driver closes its socket and joins its
+// I/O goroutines.
 func (r *Router) Stop() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -453,6 +502,11 @@ func (r *Router) Stop() {
 	}
 	close(r.done)
 	r.running = false
+	for _, ifc := range r.Core.Interfaces() {
+		if d := ifc.Driver(); d != nil {
+			d.Stop()
+		}
+	}
 }
 
 // Connect wires an interface of this router to an interface of another
