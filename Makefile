@@ -11,9 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# eisrlint standalone over every package (tests included).
-lint:
-	$(GO) run ./cmd/eisrlint ./...
+# eisrlint standalone over every package (tests included), with the
+# per-analyzer findings/timing summary. Exit status is distinct per
+# failure class: 0 clean, 1 findings, 2 load or usage error.
+lint: $(BIN)/eisrlint
+	$(BIN)/eisrlint -summary ./...
 
 # eisrlint through the go vet unitchecker protocol, plus stock vet.
 vet: $(BIN)/eisrlint
@@ -25,10 +27,11 @@ vet: $(BIN)/eisrlint
 # path, the parallel forwarding pool and epoch reclamation, metric
 # registration/snapshot racing record calls, the fault barrier and
 # quarantine path plus the wire topology (root package), the control
-# server's connection-teardown bookkeeping, and the netio RX/TX
-# goroutines racing forwarding workers and Stop.
+# server's connection-teardown bookkeeping, the netio RX/TX goroutines
+# racing forwarding workers and Stop, and the analyzer suite (whose
+# shared fixture loader is hit from parallel tests).
 race:
-	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl ./internal/netio
+	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl ./internal/netio ./internal/analysis/...
 
 # Overhead guards: the telemetry-off flow-cache hit path must stay
 # allocation-free and the disabled record calls under 2ns per packet;

@@ -32,21 +32,55 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/routerplugins/eisr/internal/analysis"
 	"github.com/routerplugins/eisr/internal/analysis/errcheckctl"
 	"github.com/routerplugins/eisr/internal/analysis/fastpath"
 	"github.com/routerplugins/eisr/internal/analysis/lifecycle"
+	"github.com/routerplugins/eisr/internal/analysis/lockorder"
 	"github.com/routerplugins/eisr/internal/analysis/lockscope"
+	"github.com/routerplugins/eisr/internal/analysis/mbufown"
+	"github.com/routerplugins/eisr/internal/analysis/snapdiscipline"
 )
 
 // analyzers is the EISR suite. errcheckctl is scoped to control-plane
-// packages; the rest run everywhere.
+// packages; the rest run everywhere. lockorder additionally gets a
+// whole-program resolution pass in standalone mode (go vet runs one
+// process per package, so there it stays per-package).
 var analyzers = []*analysis.Analyzer{
 	fastpath.Analyzer,
 	lockscope.Analyzer,
 	lifecycle.Analyzer,
 	errcheckctl.Analyzer,
+	mbufown.Analyzer,
+	lockorder.Analyzer,
+	snapdiscipline.Analyzer,
+}
+
+// output modes (standalone only; go vet never routes these flags).
+var (
+	jsonOut    bool
+	githubOut  bool
+	summaryOut bool
+)
+
+// suiteStats accumulates per-analyzer findings and wall time across
+// packages for the -summary report.
+type suiteStat struct {
+	findings int
+	dur      time.Duration
+}
+
+var suiteStats = map[string]*suiteStat{}
+
+func statFor(name string) *suiteStat {
+	s := suiteStats[name]
+	if s == nil {
+		s = &suiteStat{}
+		suiteStats[name] = s
+	}
+	return s
 }
 
 func main() {
@@ -79,6 +113,9 @@ func main() {
 	flags := flag.NewFlagSet("eisrlint", flag.ExitOnError)
 	noTests := flags.Bool("skip-tests", false, "do not include _test.go files in the analysis")
 	list := flags.Bool("list", false, "list the analyzers and exit")
+	flags.BoolVar(&jsonOut, "json", false, "emit diagnostics as a JSON array on stdout")
+	flags.BoolVar(&githubOut, "github", false, "emit GitHub Actions ::error annotations on stdout")
+	flags.BoolVar(&summaryOut, "summary", false, "print a per-analyzer findings/duration summary")
 	flags.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: eisrlint [packages]\n       go vet -vettool=$(which eisrlint) [packages]\n\nanalyzers:\n")
 		for _, a := range analyzers {
@@ -121,12 +158,56 @@ func main() {
 		os.Exit(2)
 	}
 	var diags []analysis.Diagnostic
+	prog := lockorder.NewProgram()
 	for _, pkg := range pkgs {
 		diags = append(diags, runSuite(pkg)...)
+		prog.Add(lockorder.CollectPackage(pkg))
 	}
+	diags = append(diags, wholeProgramCycles(prog, diags)...)
 	printDiags(loader.Fset(), diags)
+	if summaryOut {
+		printSummary()
+	}
 	if len(diags) > 0 {
 		os.Exit(1)
+	}
+}
+
+// wholeProgramCycles resolves the joined lock graph and returns the
+// cycles the per-package pass could not see (those whose edges span
+// packages); cycles already reported per-package are skipped.
+func wholeProgramCycles(prog *lockorder.Program, already []analysis.Diagnostic) []analysis.Diagnostic {
+	t0 := time.Now()
+	seen := make(map[string]bool)
+	for _, d := range already {
+		if d.Analyzer == lockorder.Analyzer.Name {
+			seen[d.Message] = true
+		}
+	}
+	var out []analysis.Diagnostic
+	for _, f := range prog.CycleFindings() {
+		if seen[f.Message] {
+			continue
+		}
+		out = append(out, analysis.Diagnostic{
+			Pos:      f.Pos,
+			Analyzer: lockorder.Analyzer.Name,
+			Message:  f.Message,
+		})
+	}
+	st := statFor(lockorder.Analyzer.Name)
+	st.dur += time.Since(t0)
+	st.findings += len(out)
+	return out
+}
+
+// printSummary writes the one-line-per-analyzer report (name, findings,
+// wall time) in suite order.
+func printSummary() {
+	for _, a := range analyzers {
+		st := statFor(a.Name)
+		fmt.Fprintf(os.Stderr, "eisrlint: %-14s %4d findings  %8.1fms\n",
+			a.Name, st.findings, float64(st.dur.Microseconds())/1000)
 	}
 }
 
@@ -137,14 +218,27 @@ func runSuite(pkg *analysis.Package) []analysis.Diagnostic {
 		if a == errcheckctl.Analyzer && !errcheckctl.ControlPlane(pkg.PkgPath) {
 			continue
 		}
+		t0 := time.Now()
 		ds, err := analysis.RunAnalyzer(a, pkg)
+		st := statFor(a.Name)
+		st.dur += time.Since(t0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eisrlint: %v\n", err)
 			continue
 		}
+		st.findings += len(ds)
 		out = append(out, ds...)
 	}
 	return out
+}
+
+// jsonDiag is the -json wire row.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
@@ -158,15 +252,51 @@ func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
 		}
 		return diags[i].Message < diags[j].Message
 	})
+	// Every analyzer notes a malformed //eisr:allow at the same spot;
+	// keep position-identical messages once.
+	kept := diags[:0]
 	for i, d := range diags {
-		// Every analyzer notes a malformed //eisr:allow at the same spot;
-		// print position-identical messages once.
 		if i > 0 && d.Pos == diags[i-1].Pos && d.Message == diags[i-1].Message {
 			continue
 		}
+		kept = append(kept, d)
+	}
+	if jsonOut {
+		rows := make([]jsonDiag, 0, len(kept))
+		for _, d := range kept {
+			posn := fset.Position(d.Pos)
+			rows = append(rows, jsonDiag{
+				File: posn.Filename, Line: posn.Line, Col: posn.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "eisrlint: %v\n", err)
+		}
+		return
+	}
+	for _, d := range kept {
 		posn := fset.Position(d.Pos)
+		if githubOut {
+			// GitHub Actions annotation; '%' , '\r', '\n' must be escaped
+			// per the workflow-command quoting rules.
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				posn.Filename, posn.Line, posn.Column,
+				ghEscape(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)))
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", posn, d.Analyzer, d.Message)
 	}
+}
+
+// ghEscape applies GitHub's workflow-command data escaping.
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // vetConfig is the JSON the go command hands a -vettool per package

@@ -143,6 +143,7 @@ func main() {
 	// Save a copy for the replay attack, then deliver to B.
 	replay := append([]byte(nil), wire.Data...)
 	gwB.Core.ProcessOne(wire)
+	//eisr:allow(mbufown) demo inspects the delivered packet; GC reclaims it
 	inner := hostB.Poll()
 	if inner == nil {
 		log.Fatal("FAIL: inner packet not delivered to site B")

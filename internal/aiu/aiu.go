@@ -401,6 +401,7 @@ func (a *AIU) ClassifyKey(gate pcu.Type, k pkt.Key, c *cycles.Counter) *FilterRe
 // so subsequent packets take the fast paths.
 //
 //eisr:fastpath
+//eisr:allow(snapdiscipline) deliberate second binds load: a stale FIX falls through to the flow-table path and reads a (possibly different) record's binds, each load generation-guarded by BindIfCurrent
 func (a *AIU) LookupGate(p *pkt.Packet, gate pcu.Type, now time.Time, c *cycles.Counter) (pcu.Instance, *FlowRecord) {
 	slot, ok := a.slots[gate]
 	if !ok {

@@ -408,7 +408,7 @@ func (t *FlowTable) InsertGen(k pkt.Key, now time.Time, binds []GateBind) (*Flow
 		if r.Key == k {
 			r.touch(now)
 			if binds != nil {
-				r.publishBinds(binds, t.gates)
+				r.publishBindsLocked(binds, t.gates)
 			}
 			gen := r.gen.Load()
 			sh.mu.Unlock()
@@ -419,7 +419,7 @@ func (t *FlowTable) InsertGen(k pkt.Key, now time.Time, binds []GateBind) (*Flow
 	r.Key = k
 	r.hash = h
 	r.touch(now)
-	r.publishBinds(binds, t.gates)
+	r.publishBindsLocked(binds, t.gates)
 	r.live = true
 	r.next = sh.buckets[idx]
 	sh.buckets[idx] = r
@@ -558,14 +558,16 @@ func (sh *flowShard) evictLocked(t *FlowTable, r *FlowRecord, notices []evictNot
 			notices = append(notices, evictNotice{listener: l, key: r.Key, slot: slot, bind: old[slot]})
 		}
 	}
-	r.publishBinds(nil, t.gates)
+	r.publishBindsLocked(nil, t.gates)
 	r.live = false
 	return notices
 }
 
-// publishBinds atomically replaces the record's gate slots with a fresh
-// slice (zeroed, or a copy of src).
-func (r *FlowRecord) publishBinds(src []GateBind, gates int) {
+// publishBindsLocked atomically replaces the record's gate slots with a
+// fresh slice (zeroed, or a copy of src). Callers hold the record's
+// shard lock: concurrent publishers would otherwise race read-copy-
+// update cycles and lose slots.
+func (r *FlowRecord) publishBindsLocked(src []GateBind, gates int) {
 	b := make([]GateBind, gates)
 	copy(b, src)
 	r.binds.Store(&b)

@@ -1,0 +1,467 @@
+// Package dataflow is the control-flow/dataflow substrate of the v2
+// analyzers. The v1 suite (fastpath, lockscope, lifecycle, errcheckctl)
+// gets by with structured AST walks; the ownership and snapshot
+// invariants of the parallel engine are path properties — "every path
+// releases the buffer exactly once", "no path loads the snapshot
+// twice" — and need a real control-flow graph with a fixpoint solver.
+// Upstream this would be golang.org/x/tools/go/cfg plus buildssa; both
+// are reimplemented here in miniature, against the standard library
+// only, mirroring how the analysis framework itself stands in for
+// go/analysis.
+//
+// The graph is a basic-block CFG over one function body. Structured
+// statements (if/for/range/switch/select) are decomposed into blocks
+// and edges; the statements that remain inside a block are "simple"
+// (assignments, expression statements, sends, returns, defers, go).
+// Two shapes carry extra meaning for clients:
+//
+//   - A block with a non-nil Cond has exactly two successors,
+//     [true-branch, false-branch], and solvers may refine the state
+//     along each edge (nil-check refinement is how an ownership pass
+//     understands `if p == nil { return }`).
+//   - A select statement becomes one block per communication clause;
+//     the clause's comm operation is the first node of its block, so a
+//     send that only happens on one arm is only seen on that arm.
+//
+// Limitations, deliberate and documented: defer bodies are analyzed at
+// their syntactic position (the fast path bans defer anyway), function
+// literals are not inlined (clients treat captures explicitly), and
+// panic/os.Exit terminate a path without reaching the exit block.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Nodes are the block's statements and expressions in evaluation
+	// order. Only simple statements appear; bare ast.Expr nodes carry
+	// case-clause expressions and range operands.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the branch condition: Succs[0] is taken
+	// when it evaluates true, Succs[1] when false.
+	Cond ast.Expr
+	// Succs are the successor blocks.
+	Succs []*Block
+	// Index is the block's position in Graph.Blocks (stable identity).
+	Index int
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single synthetic exit block: every return statement
+	// and the natural end of the body flow into it. A path that panics
+	// does not reach Exit.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// builder carries the construction state.
+type builder struct {
+	g *Graph
+	// cur is the block under construction; nil after a terminator.
+	cur *Block
+	// break/continue target stacks; the label entries ("" = innermost)
+	// resolve labeled branches.
+	breaks    []target
+	continues []target
+	// labeled goto resolution: label -> header block, with forward
+	// gotos patched at the end.
+	labelBlocks map[string]*Block
+	gotoPatch   []gotoFix
+}
+
+type target struct {
+	label string
+	block *Block
+}
+
+type gotoFix struct {
+	from  *Block
+	label string
+}
+
+// Build constructs the CFG for a function body.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labelBlocks: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	for _, fix := range b.gotoPatch {
+		if dst := b.labelBlocks[fix.label]; dst != nil {
+			b.edge(fix.from, dst)
+		} else {
+			// Unresolvable goto (label outside the analyzed body):
+			// treat as function exit so paths stay terminated.
+			b.edge(fix.from, g.Exit)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock finishes cur (edge to next) and makes next current.
+func (b *builder) jump(next *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, next)
+	}
+	b.cur = next
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findTarget resolves a break/continue target by label.
+func findTarget(stack []target, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable code after a terminator still gets a block so
+		// its nodes are visited (diagnostics may live there), but no
+		// predecessor edge: solvers see it with bottom input.
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		header := b.newBlock()
+		b.labelBlocks[s.Label.Name] = header
+		b.jump(header)
+		b.labeledStmt(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		b.switchStmt("", s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt("", s)
+	case *ast.SelectStmt:
+		b.selectStmt("", s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminates(s) {
+			b.cur = nil // panic/os.Exit: path ends, not via Exit
+		}
+	default:
+		// Assign, Send, IncDec, Decl, Defer, Go, Empty.
+		b.add(s)
+	}
+}
+
+// labeledStmt dispatches a labeled statement so loops and switches see
+// their own label for break/continue resolution.
+func (b *builder) labeledStmt(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(label, s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(label, s)
+	case *ast.SelectStmt:
+		b.selectStmt(label, s)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	condBlock := b.newBlock()
+	b.jump(condBlock)
+	// The condition is both a node (its side effects — calls, sends —
+	// happen on every path through the block) and the branch condition
+	// (edge refinement).
+	condBlock.Cond = s.Cond
+	b.add(s.Cond)
+
+	thenBlock := b.newBlock()
+	join := b.newBlock()
+	b.edge(condBlock, thenBlock) // true
+
+	var elseEntry *Block
+	if s.Else != nil {
+		elseEntry = b.newBlock()
+		b.edge(condBlock, elseEntry) // false
+	} else {
+		b.edge(condBlock, join) // false falls through
+	}
+
+	b.cur = thenBlock
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+
+	if s.Else != nil {
+		b.cur = elseEntry
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	b.jump(header)
+	body := b.newBlock()
+	exit := b.newBlock()
+	if s.Cond != nil {
+		header.Cond = s.Cond
+		header.Nodes = append(header.Nodes, s.Cond)
+		b.edge(header, body) // true
+		b.edge(header, exit) // false
+	} else {
+		b.edge(header, body)
+	}
+
+	post := b.newBlock()
+	b.pushLoop(label, exit, post)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.popLoop()
+	if b.cur != nil {
+		b.edge(b.cur, post)
+	}
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, header) // back edge
+	}
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(label string, s *ast.RangeStmt) {
+	// Evaluate the range operand once, then loop: the header re-binds
+	// the iteration variables each time around. The RangeStmt node
+	// itself is placed in the per-iteration block so clients see the
+	// re-binding (a channel range is an acquisition per element).
+	b.add(s.X)
+	header := b.newBlock()
+	b.jump(header)
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.edge(header, body)
+	b.edge(header, exit)
+
+	b.cur = body
+	b.add(s) // iteration-variable binding, visited once per iteration
+	b.pushLoop(label, exit, header)
+	b.stmts(s.Body.List)
+	b.popLoop()
+	if b.cur != nil {
+		b.edge(b.cur, header)
+	}
+	b.cur = exit
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, target{label: label, block: brk}, target{label: "", block: brk})
+	b.continues = append(b.continues, target{label: label, block: cont}, target{label: "", block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+}
+
+func (b *builder) switchStmt(label string, s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(label, s.Body)
+}
+
+func (b *builder) typeSwitchStmt(label string, s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(label, s.Body)
+}
+
+// caseClauses builds the case bodies of a switch: every clause entered
+// from the dispatch point, fallthrough chaining to the next clause
+// body, break (and natural end) to the join.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt) {
+	dispatch := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, target{label: label, block: join}, target{label: "", block: join})
+
+	hasDefault := false
+	// Pre-create entry blocks so fallthrough can target clause i+1.
+	entries := make([]*Block, len(body.List))
+	for i := range body.List {
+		entries[i] = b.newBlock()
+	}
+	for i, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(dispatch, entries[i])
+		b.cur = entries[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		ft := false
+		for _, st := range cc.Body {
+			if br, isBr := st.(*ast.BranchStmt); isBr && br.Tok == token.FALLTHROUGH {
+				ft = true
+				break
+			}
+			b.stmt(st)
+		}
+		if ft && i+1 < len(entries) {
+			if b.cur != nil {
+				b.edge(b.cur, entries[i+1])
+			}
+		} else if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		// No default: the tag may match nothing and fall through.
+		b.edge(dispatch, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.cur = join
+}
+
+func (b *builder) selectStmt(label string, s *ast.SelectStmt) {
+	dispatch := b.cur
+	join := b.newBlock()
+	b.breaks = append(b.breaks, target{label: label, block: join}, target{label: "", block: join})
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		clause := b.newBlock()
+		b.edge(dispatch, clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			// The comm operation happens only on this arm.
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	if len(s.Body.List) == 0 {
+		// Empty select blocks forever: no successor.
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.cur = join
+	if len(s.Body.List) == 0 {
+		b.cur = nil
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.gotoPatch = append(b.gotoPatch, gotoFix{from: b.cur, label: label})
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; a stray fallthrough ends the path.
+		b.cur = nil
+	}
+}
+
+// terminates recognizes statements that end a path without reaching
+// the function exit: panic and the conventional process terminators.
+func terminates(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			full := base.Name + "." + fun.Sel.Name
+			switch full {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}

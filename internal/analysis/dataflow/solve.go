@@ -1,0 +1,86 @@
+package dataflow
+
+import "go/ast"
+
+// Problem describes a forward dataflow problem over a Graph. The state
+// type S is opaque to the solver; clients supply the lattice
+// operations. Transfer must not mutate its input state (return a fresh
+// or structurally shared value).
+type Problem[S any] struct {
+	// Init is the state at function entry.
+	Init S
+	// Bottom is the state for blocks never reached from entry
+	// (unreachable code); it is also the identity for Join.
+	Bottom S
+	// Transfer computes the block's output state from its input.
+	Transfer func(b *Block, in S) S
+	// Join merges two predecessor states.
+	Join func(a, b S) S
+	// Refine, when non-nil, specializes the state along a conditional
+	// edge: cond is the branch condition, branch its truth value on
+	// this edge. Used for nil-check refinement. May return its input.
+	Refine func(cond ast.Expr, branch bool, s S) S
+	// Equal reports whether two states are equal (fixpoint test).
+	Equal func(a, b S) bool
+}
+
+// Result holds the solved per-block states.
+type Result[S any] struct {
+	// In is the state at each block's entry.
+	In []S
+	// Out is the state at each block's exit (after Transfer).
+	Out []S
+}
+
+// Solve runs a worklist iteration to fixpoint and returns per-block
+// input and output states, indexed by Block.Index. The lattice must
+// have finite height for termination (the analyzers here use small
+// bitflag or bounded-counter states).
+func Solve[S any](g *Graph, p Problem[S]) Result[S] {
+	n := len(g.Blocks)
+	res := Result[S]{In: make([]S, n), Out: make([]S, n)}
+	seeded := make([]bool, n)
+	for i := range res.In {
+		res.In[i] = p.Bottom
+		res.Out[i] = p.Bottom
+	}
+	res.In[g.Entry.Index] = p.Init
+	seeded[g.Entry.Index] = true
+
+	// Predecessor counts let unreachable blocks keep Bottom without
+	// special-casing; the worklist starts at entry.
+	work := []*Block{g.Entry}
+	inWork := make([]bool, n)
+	inWork[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		out := p.Transfer(b, res.In[b.Index])
+		res.Out[b.Index] = out
+
+		for si, succ := range b.Succs {
+			edgeState := out
+			if p.Refine != nil && b.Cond != nil && len(b.Succs) == 2 {
+				edgeState = p.Refine(b.Cond, si == 0, out)
+			}
+			var merged S
+			if !seeded[succ.Index] {
+				merged = edgeState
+			} else {
+				merged = p.Join(res.In[succ.Index], edgeState)
+			}
+			if !seeded[succ.Index] || !p.Equal(merged, res.In[succ.Index]) {
+				res.In[succ.Index] = merged
+				seeded[succ.Index] = true
+				if !inWork[succ.Index] {
+					work = append(work, succ)
+					inWork[succ.Index] = true
+				}
+			}
+		}
+	}
+	return res
+}

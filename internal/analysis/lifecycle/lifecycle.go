@@ -183,9 +183,30 @@ func checkBarrier(pass *analysis.Pass) {
 		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}
+		// Closures handed to (*pcu.Guard).Capture run inside the panic
+		// barrier, so a raw HandlePacket there is already contained.
+		// ast.Inspect visits the Capture call before the closure body, so
+		// the exempt ranges are recorded before the inner calls are seen.
+		var exempt []ast.Node
+		inExempt := func(n ast.Node) bool {
+			for _, r := range exempt {
+				if r.Pos() <= n.Pos() && n.End() <= r.End() {
+					return true
+				}
+			}
+			return false
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if isGuardCapture(pass.Info, call) {
+				for _, arg := range call.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						exempt = append(exempt, fl)
+					}
+				}
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -195,11 +216,26 @@ func checkBarrier(pass *analysis.Pass) {
 			if !isInstanceHandlePacket(pass.Info.Uses[sel.Sel]) {
 				return true
 			}
+			if inExempt(call) {
+				return true
+			}
 			pass.Reportf(call.Pos(),
 				"HandlePacket dispatched outside the fault barrier: route data-path dispatch through (*pcu.Guard).Dispatch so a plugin panic is contained, not fatal")
 			return true
 		})
 	}
+}
+
+// isGuardCapture reports whether a call is (*pcu.Guard).Capture — the
+// fault barrier's closure form (pcu matched by package name so fixture
+// stand-ins qualify).
+func isGuardCapture(info *types.Info, call *ast.CallExpr) bool {
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil || callee.Name() != "Capture" || !isPCUObject(callee) {
+		return false
+	}
+	recv := analysis.RecvNamed(callee)
+	return recv != nil && recv.Obj().Name() == "Guard"
 }
 
 // isInstanceHandlePacket reports whether a selected method has the

@@ -32,6 +32,47 @@ func guarded(g *pcu.Guard, i pcu.Instance, p *pkt.Packet) error {
 	return err
 }
 
+// captured dispatches inside a (*pcu.Guard).Capture closure: the call
+// runs under the panic barrier, so it is as contained as Dispatch and
+// draws no diagnostic.
+func captured(g *pcu.Guard, i pcu.Instance, p *pkt.Packet) error {
+	var err error
+	g.Capture(pcu.OriginGate, pcu.TypeSched, i, func() {
+		err = i.HandlePacket(p)
+	})
+	return err
+}
+
+// stashedClosure is the negative for the Capture exemption: a closure
+// that merely looks like barrier code but is never handed to Capture
+// offers no containment.
+func stashedClosure(i pcu.Instance, p *pkt.Packet) func() {
+	return func() {
+		_ = i.HandlePacket(p) // want "outside the fault barrier"
+	}
+}
+
+// capturedThenRaw: only the closure passed to Capture is exempt; a raw
+// dispatch after the Capture call is still flagged.
+func capturedThenRaw(g *pcu.Guard, i pcu.Instance, p *pkt.Packet) error {
+	g.Capture(pcu.OriginGate, pcu.TypeSched, i, func() {
+		_ = i.HandlePacket(p)
+	})
+	return i.HandlePacket(p) // want "outside the fault barrier"
+}
+
+// otherCapture shares the method name but not the Guard receiver, so
+// its closure earns no exemption.
+type fakeGuard struct{}
+
+func (fakeGuard) Capture(fn func()) { fn() }
+
+func fakeCaptured(i pcu.Instance, p *pkt.Packet) {
+	fakeGuard{}.Capture(func() {
+		_ = i.HandlePacket(p) // want "outside the fault barrier"
+	})
+}
+
 // allowed is a justified raw dispatch — suppressed.
 func allowed(i pcu.Instance, p *pkt.Packet) error {
 	return i.HandlePacket(p) //eisr:allow(lifecycle) fixture: measured baseline needs the unguarded call

@@ -1,0 +1,783 @@
+// Package lockorder derives the program's lock-acquisition order and
+// reports cycles — the static complement to -race, which only sees
+// orders that actually interleave during a test run. The parallel
+// engine of PRs 4–5 multiplied the lock population (AIU shard locks,
+// the PCU health registry, per-link netio mutexes, the telemetry
+// registry), and the repo's deadlock discipline so far lives in
+// comments ("collect under the lock, fire after"). This pass makes it
+// checkable:
+//
+//   - every Lock/RLock of a sync.Mutex or sync.RWMutex field is keyed
+//     by its owning type ("aiu.flowShard.mu"), so all instances of a
+//     shard share one node;
+//   - an acquisition while another lock is held adds the edge
+//     held -> acquired;
+//   - calls into same-package functions are descended (helpers like
+//     evictLocked are charged under their caller's locks);
+//   - calls into other packages while holding a lock are recorded and
+//     resolved by the whole-program Program, which joins per-package
+//     graphs with transitive may-acquire summaries.
+//
+// A cycle in the resulting graph is a potential deadlock and is
+// reported; the acyclic order is rendered by Golden() and pinned as a
+// reviewable file under testdata (see lockorder_golden_test.go).
+//
+// Limits, stated honestly: function literals are skipped (goroutine
+// bodies run without the spawner's locks; other closures are rare on
+// lock paths), interface calls cannot be resolved to callees, and in
+// go-vet mode (one process per package) only intra-package cycles are
+// visible — the whole-program graph needs the standalone driver or the
+// golden test.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+)
+
+// Analyzer is the lockorder pass (per-package view).
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "derive the lock acquisition graph and report ordering cycles " +
+		"(potential deadlocks)",
+	Run: run,
+}
+
+const maxDepth = 6
+
+// Edge is one held->acquired observation.
+type Edge struct {
+	// Pos is the acquisition site of the first observation (valid in
+	// the FileSet the graph was collected under).
+	Pos token.Pos
+	// Site is the same position rendered "file:line" for cross-fset
+	// consumers (the golden file).
+	Site string
+}
+
+// Graph is one package's contribution to the program lock order.
+type Graph struct {
+	PkgPath string
+	// Edges maps (from, to) lock-key pairs to their first site.
+	Edges map[[2]string]Edge
+	// Acquires maps a function (types.Func FullName) to the lock keys
+	// it may take, directly or through same-package callees.
+	Acquires map[string]map[string]bool
+	// Calls maps a function to the cross-package functions it calls
+	// (candidates for transitive acquisition).
+	Calls map[string]map[string]bool
+	// Pending records cross-package calls made while holding a lock;
+	// the Program resolves them against callee summaries.
+	Pending []Pending
+}
+
+// Pending is a cross-package call under a held lock.
+type Pending struct {
+	Held   string
+	Callee string
+	Edge   Edge
+}
+
+func run(pass *analysis.Pass) error {
+	g := collect(pass)
+	reportCycles(pass.Reportf, g.Edges, cyclesIn(g.Edges))
+	return nil
+}
+
+// CollectPackage builds the lock graph of one loaded package, for the
+// whole-program driver and the golden test.
+func CollectPackage(pkg *analysis.Package) *Graph {
+	pass := &analysis.Pass{
+		Analyzer: Analyzer,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	return collect(pass)
+}
+
+// reportCycles emits one diagnostic per cycle, anchored at the first
+// edge of the canonical rotation.
+func reportCycles(reportf func(token.Pos, string, ...any), edges map[[2]string]Edge, cycles [][]string) {
+	for _, cyc := range cycles {
+		e, ok := edges[[2]string{cyc[0], cyc[1]}]
+		if !ok {
+			continue
+		}
+		reportf(e.Pos, "lock order cycle: %s (acquisition order must be consistent program-wide)",
+			strings.Join(cyc, " -> "))
+	}
+}
+
+// collector walks one package.
+type collector struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	g     *Graph
+	// fn is the FullName of the function whose body is being walked
+	// (the outermost one during descent — acquisitions are charged to
+	// the root so summaries reflect the caller-visible behavior).
+	fn string
+}
+
+func collect(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		PkgPath:  pass.Pkg.Path(),
+		Edges:    make(map[[2]string]Edge),
+		Acquires: make(map[string]map[string]bool),
+		Calls:    make(map[string]map[string]bool),
+	}
+	c := &collector{pass: pass, decls: analysis.FuncDeclOf(pass), g: g}
+	// Deterministic function order: files then declaration order.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.fn = obj.FullName()
+			c.walk(fd.Body, nil, nil, 0)
+		}
+	}
+	return g
+}
+
+func (c *collector) edge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := c.g.Edges[key]; ok {
+		return
+	}
+	c.g.Edges[key] = Edge{Pos: pos, Site: site(c.pass.Fset, pos)}
+}
+
+func site(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndex(name, "/internal/"); i >= 0 {
+		name = name[i+1:]
+	} else if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+func (c *collector) acquired(lock string) {
+	m := c.g.Acquires[c.fn]
+	if m == nil {
+		m = make(map[string]bool)
+		c.g.Acquires[c.fn] = m
+	}
+	m[lock] = true
+}
+
+func (c *collector) crossCall(callee *types.Func) {
+	m := c.g.Calls[c.fn]
+	if m == nil {
+		m = make(map[string]bool)
+		c.g.Calls[c.fn] = m
+	}
+	m[callee.FullName()] = true
+}
+
+// walk processes statements in source order with the ordered held-lock
+// stack. chain guards recursive same-package descent.
+func (c *collector) walk(n ast.Node, held []string, chain []*types.Func, depth int) []string {
+	switch n := n.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			held = c.walk(s, held, chain, depth)
+		}
+		return held
+	case *ast.IfStmt:
+		held = c.walk(n.Init, held, chain, depth)
+		held = c.scanExpr(n.Cond, held, chain, depth)
+		// Branches see the entry state; lock transitions inside a
+		// branch stay in the branch (the pass wants acquisition pairs,
+		// not exact exit states, so the common pattern of a branch
+		// that unlocks-and-returns needs no special casing).
+		c.walk(n.Body, held, chain, depth)
+		c.walk(n.Else, held, chain, depth)
+		return held
+	case *ast.ForStmt:
+		held = c.walk(n.Init, held, chain, depth)
+		held = c.scanExpr(n.Cond, held, chain, depth)
+		c.walk(n.Body, held, chain, depth)
+		c.walk(n.Post, held, chain, depth)
+		return held
+	case *ast.RangeStmt:
+		held = c.scanExpr(n.X, held, chain, depth)
+		c.walk(n.Body, held, chain, depth)
+		return held
+	case *ast.SwitchStmt:
+		held = c.walk(n.Init, held, chain, depth)
+		held = c.scanExpr(n.Tag, held, chain, depth)
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				h := held
+				for _, e := range cc.List {
+					h = c.scanExpr(e, h, chain, depth)
+				}
+				for _, s := range cc.Body {
+					h = c.walk(s, h, chain, depth)
+				}
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		held = c.walk(n.Init, held, chain, depth)
+		held = c.walk(n.Assign, held, chain, depth)
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				h := held
+				for _, s := range cc.Body {
+					h = c.walk(s, h, chain, depth)
+				}
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				h := held
+				h = c.walk(cc.Comm, h, chain, depth)
+				for _, s := range cc.Body {
+					h = c.walk(s, h, chain, depth)
+				}
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return c.walk(n.Stmt, held, chain, depth)
+	case *ast.ExprStmt:
+		return c.scanExpr(n.X, held, chain, depth)
+	case *ast.SendStmt:
+		held = c.scanExpr(n.Chan, held, chain, depth)
+		return c.scanExpr(n.Value, held, chain, depth)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			held = c.scanExpr(e, held, chain, depth)
+		}
+		for _, e := range n.Lhs {
+			held = c.scanExpr(e, held, chain, depth)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			held = c.scanExpr(e, held, chain, depth)
+		}
+		return held
+	case *ast.IncDecStmt:
+		return c.scanExpr(n.X, held, chain, depth)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() holds to function exit: no state change.
+		// Other deferred calls are charged at the defer site — they
+		// run with whatever is held at return, which the source-order
+		// approximation equates with the defer point.
+		if _, op, ok := LockMethod(c.pass.Info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return held
+		}
+		return c.scanExpr(n.Call, held, chain, depth)
+	case *ast.GoStmt:
+		// The goroutine runs without the spawner's locks; its body is
+		// walked when its function is (FuncDecl) — literals are
+		// skipped by policy.
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = c.scanExpr(e, held, chain, depth)
+					}
+				}
+			}
+		}
+		return held
+	case ast.Stmt:
+		return held
+	}
+	return held
+}
+
+// scanExpr finds calls (lock transitions, descents, cross-package
+// records) in evaluation order.
+func (c *collector) scanExpr(e ast.Expr, held []string, chain []*types.Func, depth int) []string {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			held = c.call(n, held, chain, depth)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// call applies one call's effect on the held stack.
+func (c *collector) call(call *ast.CallExpr, held []string, chain []*types.Func, depth int) []string {
+	// Arguments evaluate first.
+	for _, a := range call.Args {
+		held = c.scanExpr(a, held, chain, depth)
+	}
+	if key, op, ok := LockMethod(c.pass.Info, call); ok {
+		switch op {
+		case "Lock", "RLock":
+			// Self-edges (same key re-acquired while held) are recorded
+			// too: same-instance nesting deadlocks outright, and
+			// two-instance hand-over-hand needs an explicit ordering
+			// argument (an //eisr:allow with the invariant).
+			for _, h := range held {
+				c.edge(h, key, call.Pos())
+			}
+			c.acquired(key)
+			return append(append([]string(nil), held...), key)
+		case "Unlock", "RUnlock":
+			out := make([]string, 0, len(held))
+			for _, h := range held {
+				if h != key {
+					out = append(out, h)
+				}
+			}
+			return out
+		}
+		return held
+	}
+	callee := analysis.CalleeFunc(c.pass.Info, call)
+	if callee == nil || callee.Pkg() == nil || analysis.IsStdlibPkg(callee.Pkg()) {
+		return held
+	}
+	if callee.Pkg() != c.pass.Pkg {
+		c.crossCall(callee)
+		for _, h := range held {
+			c.g.Pending = append(c.g.Pending, Pending{
+				Held:   h,
+				Callee: callee.FullName(),
+				Edge:   Edge{Pos: call.Pos(), Site: site(c.pass.Fset, call.Pos())},
+			})
+		}
+		return held
+	}
+	if depth >= maxDepth {
+		return held
+	}
+	for _, f := range chain {
+		if f == callee {
+			return held
+		}
+	}
+	fd := c.decls[callee]
+	if fd == nil || fd.Body == nil {
+		return held
+	}
+	c.walk(fd.Body, held, append(chain, callee), depth+1)
+	return held
+}
+
+// LockMethod recognizes sync.Mutex/RWMutex transitions and returns the
+// type-qualified lock key.
+func LockMethod(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := analysis.RecvNamed(callee)
+	if recv == nil {
+		return "", "", false
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	switch callee.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	k, known := lockKey(info, sel.X)
+	if !known {
+		return "", "", false
+	}
+	return k, callee.Name(), true
+}
+
+// lockKey canonicalizes a mutex receiver expression: a struct field is
+// keyed by its owning type ("netio.UDPLink.mu" — every instance is one
+// node), a package-level var by its package. Local mutexes have no
+// cross-function identity and are skipped.
+func lockKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		// x.mu: key by x's named type.
+		tv, ok := info.Types[e.X]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name, true
+	case *ast.Ident:
+		obj, ok := info.ObjectOf(e).(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return "", false
+		}
+		// Package-level mutex var.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return "", false
+	case *ast.StarExpr:
+		return lockKey(info, e.X)
+	case *ast.IndexExpr:
+		return lockKey(info, e.X)
+	}
+	return "", false
+}
+
+// ---- whole-program resolution ----
+
+// Program joins per-package graphs and resolves cross-package edges.
+type Program struct {
+	edges    map[[2]string]Edge
+	acquires map[string]map[string]bool
+	calls    map[string]map[string]bool
+	pending  []Pending
+	resolved bool
+}
+
+// NewProgram returns an empty program graph.
+func NewProgram() *Program {
+	return &Program{
+		edges:    make(map[[2]string]Edge),
+		acquires: make(map[string]map[string]bool),
+		calls:    make(map[string]map[string]bool),
+	}
+}
+
+// Add merges one package graph. Test-variant packages repeat the base
+// package's functions; first observation wins.
+func (p *Program) Add(g *Graph) {
+	for k, e := range g.Edges {
+		if _, ok := p.edges[k]; !ok {
+			p.edges[k] = e
+		}
+	}
+	for fn, locks := range g.Acquires {
+		m := p.acquires[fn]
+		if m == nil {
+			m = make(map[string]bool)
+			p.acquires[fn] = m
+		}
+		for l := range locks {
+			m[l] = true
+		}
+	}
+	for fn, callees := range g.Calls {
+		m := p.calls[fn]
+		if m == nil {
+			m = make(map[string]bool)
+			p.calls[fn] = m
+		}
+		for cal := range callees {
+			m[cal] = true
+		}
+	}
+	p.pending = append(p.pending, g.Pending...)
+}
+
+// Resolve closes may-acquire summaries over the cross-package call
+// graph, then materializes pending held-lock calls as edges.
+func (p *Program) Resolve() {
+	if p.resolved {
+		return
+	}
+	p.resolved = true
+	// Fixpoint: S[f] ∪= S[g] for every callee g.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range p.calls {
+			for cal := range callees {
+				for lock := range p.acquires[cal] {
+					m := p.acquires[fn]
+					if m == nil {
+						m = make(map[string]bool)
+						p.acquires[fn] = m
+					}
+					if !m[lock] {
+						m[lock] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, pend := range p.pending {
+		for lock := range p.acquires[pend.Callee] {
+			key := [2]string{pend.Held, lock}
+			if _, ok := p.edges[key]; !ok {
+				p.edges[key] = pend.Edge
+			}
+		}
+	}
+}
+
+// Cycles returns the lock-order cycles of the resolved graph.
+func (p *Program) Cycles() [][]string {
+	p.Resolve()
+	return cyclesIn(p.edges)
+}
+
+// CycleFinding is one whole-program cycle with its anchor site.
+type CycleFinding struct {
+	// Pos is valid in the FileSet the graphs were collected under.
+	Pos  token.Pos
+	Site string
+	// Message matches the per-package Run's diagnostic text, so
+	// drivers can dedup cycles both views discover.
+	Message string
+}
+
+// CycleFindings returns each cycle of the resolved graph with the
+// anchor position of its first canonical edge.
+func (p *Program) CycleFindings() []CycleFinding {
+	var out []CycleFinding
+	for _, cyc := range p.Cycles() {
+		e := p.edges[[2]string{cyc[0], cyc[1]}]
+		out = append(out, CycleFinding{
+			Pos:  e.Pos,
+			Site: e.Site,
+			Message: fmt.Sprintf("lock order cycle: %s (acquisition order must be consistent program-wide)",
+				strings.Join(cyc, " -> ")),
+		})
+	}
+	return out
+}
+
+// ReportCycles renders each cycle as "site: message".
+func (p *Program) ReportCycles() []string {
+	var out []string
+	for _, f := range p.CycleFindings() {
+		out = append(out, fmt.Sprintf("%s: %s", f.Site, f.Message))
+	}
+	return out
+}
+
+// Golden renders the resolved graph deterministically: the derived
+// acquisition order (topological where acyclic), then every edge with
+// its first observation site. Committed under testdata so changes to
+// the program's lock order show up as reviewable diffs.
+func (p *Program) Golden() string {
+	p.Resolve()
+	var sb strings.Builder
+	sb.WriteString("# eisrlint lockorder: derived whole-program lock acquisition order.\n")
+	sb.WriteString("# An edge A -> B means A is held while B is acquired somewhere in the tree.\n")
+	sb.WriteString("# Regenerate: go test ./internal/analysis/lockorder -run TestGoldenLockOrder -update\n")
+	sb.WriteString("\norder:\n")
+	for _, lock := range p.topoOrder() {
+		sb.WriteString("  " + lock + "\n")
+	}
+	sb.WriteString("\nedges:\n")
+	keys := make([][2]string, 0, len(p.edges))
+	for k := range p.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		sb.WriteString(fmt.Sprintf("  %s -> %s  (%s)\n", k[0], k[1], p.edges[k].Site))
+	}
+	for _, line := range p.ReportCycles() {
+		sb.WriteString("\ncycle: " + line + "\n")
+	}
+	return sb.String()
+}
+
+// topoOrder lists every lock in dependency order (sources first); ties
+// and cycle members fall back to name order.
+func (p *Program) topoOrder() []string {
+	nodes := map[string]bool{}
+	indeg := map[string]int{}
+	for k := range p.edges {
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	for k := range p.edges {
+		indeg[k[1]]++
+	}
+	var order []string
+	remaining := make(map[string]bool, len(nodes))
+	for n := range nodes {
+		remaining[n] = true
+	}
+	for len(remaining) > 0 {
+		var ready []string
+		for n := range remaining {
+			if indeg[n] == 0 {
+				ready = append(ready, n)
+			}
+		}
+		if len(ready) == 0 {
+			// Cycle: emit the rest alphabetically.
+			for n := range remaining {
+				ready = append(ready, n)
+			}
+			sort.Strings(ready)
+			order = append(order, ready...)
+			break
+		}
+		sort.Strings(ready)
+		order = append(order, ready...)
+		for _, n := range ready {
+			delete(remaining, n)
+			for k := range p.edges {
+				if k[0] == n && remaining[k[1]] {
+					indeg[k[1]]--
+				}
+			}
+		}
+	}
+	return order
+}
+
+// cyclesIn finds elementary cycles via SCC decomposition: every SCC
+// with more than one node (or a self-edge) yields one canonical cycle
+// walk, rotated to start at its smallest lock.
+func cyclesIn(edges map[[2]string]Edge) [][]string {
+	adj := map[string][]string{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	sccs := tarjan(adj)
+	var cycles [][]string
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			n := scc[0]
+			if _, self := edges[[2]string{n, n}]; !self {
+				continue
+			}
+			cycles = append(cycles, []string{n, n})
+			continue
+		}
+		sort.Strings(scc)
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Canonical walk: greedy smallest-successor tour from the
+		// smallest node back to itself.
+		start := scc[0]
+		walk := []string{start}
+		seen := map[string]bool{start: true}
+		cur := start
+		for {
+			next := ""
+			for _, s := range adj[cur] {
+				if in[s] && (s == start || !seen[s]) {
+					next = s
+					break
+				}
+			}
+			if next == "" || next == start {
+				walk = append(walk, start)
+				break
+			}
+			seen[next] = true
+			walk = append(walk, next)
+			cur = next
+		}
+		if len(walk) > 2 {
+			cycles = append(cycles, walk)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return strings.Join(cycles[i], "|") < strings.Join(cycles[j], "|")
+	})
+	return cycles
+}
+
+// tarjan computes strongly connected components.
+func tarjan(adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

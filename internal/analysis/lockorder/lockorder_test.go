@@ -1,0 +1,101 @@
+package lockorder_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/lockorder"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/lockorder.golden from the current tree")
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockordertest")
+}
+
+// TestGoldenLockOrder derives the whole-program lock graph from the
+// real repository and pins it to testdata/lockorder.golden. A failure
+// here means the tree's lock order changed: inspect the diff, and if
+// the new order is intentional (and acyclic), regenerate with -update.
+func TestGoldenLockOrder(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader := &analysis.Loader{Dir: root}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	prog := lockorder.NewProgram()
+	for _, pkg := range pkgs {
+		prog.Add(lockorder.CollectPackage(pkg))
+	}
+	if cycles := prog.ReportCycles(); len(cycles) > 0 {
+		for _, c := range cycles {
+			t.Errorf("repository lock graph has a cycle: %s", c)
+		}
+	}
+	got := prog.Golden()
+	golden := filepath.Join("testdata", "lockorder.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("lock order drifted from testdata/lockorder.golden:\n%s\n"+
+			"If intentional, regenerate: go test ./internal/analysis/lockorder -run TestGoldenLockOrder -update",
+			diff(string(want), got))
+	}
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// diff renders a minimal line diff (golden files are small).
+func diff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	inWant := make(map[string]bool, len(wl))
+	for _, l := range wl {
+		inWant[l] = true
+	}
+	inGot := make(map[string]bool, len(gl))
+	for _, l := range gl {
+		inGot[l] = true
+	}
+	var sb strings.Builder
+	for _, l := range wl {
+		if !inGot[l] {
+			sb.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range gl {
+		if !inWant[l] {
+			sb.WriteString("+ " + l + "\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+// Fixture for the lockorder analyzer: seeded ordering cycles plus
+// negative cases that must stay silent.
+package lockordertest
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// lockAB and lockBA acquire A and B in opposite orders: a classic
+// AB/BA deadlock. The cycle is reported once, at the first edge of the
+// canonical rotation (A.mu -> B.mu, i.e. here).
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock order cycle: lockordertest.A.mu -> lockordertest.B.mu -> lockordertest.A.mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C/D cycle through a same-package helper: the C->D edge is observed
+// inside helperLockD while lockCD's C.mu is held, so the report lands
+// on the helper's acquisition site.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func helperLockD(d *D) {
+	d.mu.Lock() // want "lock order cycle: lockordertest.C.mu -> lockordertest.D.mu -> lockordertest.C.mu"
+	d.mu.Unlock()
+}
+
+func lockCD(c *C, d *D) {
+	c.mu.Lock()
+	helperLockD(d)
+	c.mu.Unlock()
+}
+
+func lockDC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// RLock and Lock share one key: a read-side R->S order against a
+// write-side S->R order still deadlocks (RWMutex writers block new
+// readers), and is reported as one cycle.
+type R struct{ mu sync.RWMutex }
+type S struct{ mu sync.Mutex }
+
+func rlockThenS(r *R, s *S) {
+	r.mu.RLock()
+	s.mu.Lock() // want "lock order cycle: lockordertest.R.mu -> lockordertest.S.mu -> lockordertest.R.mu"
+	s.mu.Unlock()
+	r.mu.RUnlock()
+}
+
+func lockSThenWriteR(r *R, s *S) {
+	s.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Same-key nesting: two instances of one type locked hand-over-hand.
+// All instances share a node, so this is a self-edge — flagged because
+// the instance order is invisible to the analysis and must be argued
+// in an allow comment if intentional.
+type X struct{ mu sync.Mutex }
+
+func handOver(x1, x2 *X) {
+	x1.mu.Lock()
+	x2.mu.Lock() // want "lock order cycle: lockordertest.X.mu -> lockordertest.X.mu"
+	x2.mu.Unlock()
+	x1.mu.Unlock()
+}
+
+// ---- negatives: everything below must produce no diagnostics ----
+
+// Consistent order in both functions: an E->F edge exists but no
+// reverse edge, so no cycle.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func lockEF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func lockEFAgain(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// A goroutine does not inherit the spawner's locks: only the H->G
+// edge from reversedGH exists, which alone is acyclic.
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+func lockH(h *H) {
+	h.mu.Lock()
+	h.mu.Unlock()
+}
+
+func spawn(g *G, h *H) {
+	g.mu.Lock()
+	go lockH(h)
+	g.mu.Unlock()
+}
+
+func reversedGH(g *G, h *H) {
+	h.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// Function-local mutexes have no cross-function identity and are not
+// tracked, even nested under a field lock.
+func localMutex(e *E) {
+	var mu sync.Mutex
+	e.mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	e.mu.Unlock()
+}
+
+// A package-level registry mutex is tracked (key lockordertest.regMu)
+// but used in one consistent position: no cycle.
+var regMu sync.Mutex
+
+func registry(e *E) {
+	regMu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	regMu.Unlock()
+}
+
+// Sequential reacquisition is not nesting: the first lock is released
+// before the second acquisition, so no self-edge forms.
+func sequential(x1, x2 *X) {
+	x1.mu.Lock()
+	x1.mu.Unlock()
+	x2.mu.Lock()
+	x2.mu.Unlock()
+}

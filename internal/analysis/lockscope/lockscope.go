@@ -203,7 +203,11 @@ func (c *checker) scanStmt(s ast.Stmt, st *state, chain []*types.Func, depth int
 		c.scanStmt(s.Assign, st, chain, depth)
 		c.scanCases(s.Body, st, chain, depth)
 	case *ast.SelectStmt:
-		if lock, held := st.anyHeld(); held {
+		// A select with a default clause is non-blocking: it cannot park
+		// the goroutine, so holding a lock across it is safe. This is the
+		// guarded-dispatch shape the parallel engine uses to hand packets
+		// to workers without stalling the caller under the shard lock.
+		if lock, held := st.anyHeld(); held && !hasDefault(s.Body) {
 			c.pass.Reportf(s.Pos(), "select while holding %s", lock)
 		}
 		c.scanCases(s.Body, st, chain, depth)
@@ -250,6 +254,17 @@ func (c *checker) scanStmt(s ast.Stmt, st *state, chain []*types.Func, depth int
 	case *ast.IncDecStmt:
 		c.scanExpr(s.X, st, chain, depth)
 	}
+}
+
+// hasDefault reports whether a select body contains a default clause
+// (a CommClause with no communication), making the select non-blocking.
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // scanCases walks a switch/select body: each clause starts from the

@@ -59,9 +59,35 @@ func (t *table) badSelect() {
 	t.mu.Lock()
 	select { // want "select while holding t.mu"
 	case <-t.ch:
-	default:
+	case t.ch <- 0:
 	}
 	t.mu.Unlock()
+}
+
+// goodNonblockingSelect: a select with a default clause cannot park the
+// goroutine, so holding a lock across it is fine — this is the guarded
+// dispatch shape the parallel engine uses to hand off packets.
+func (t *table) goodNonblockingSelect(n int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.ch <- n:
+		return true
+	default:
+		return false
+	}
+}
+
+// badNestedInDefault: the exemption covers only the select itself; a
+// blocking operation inside a clause body is still a violation.
+func (t *table) badNestedInDefault(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case t.ch <- n:
+	default:
+		t.ch <- n // want "channel send while holding t.mu"
+	}
 }
 
 func (t *table) badRange() {

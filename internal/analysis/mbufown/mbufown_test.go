@@ -1,0 +1,12 @@
+package mbufown_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/mbufown"
+)
+
+func TestMbufOwnership(t *testing.T) {
+	analysistest.Run(t, mbufown.Analyzer, "mbufowntest")
+}

@@ -1,0 +1,232 @@
+// Package mbufowntest exercises the mbufown linear-ownership pass:
+// pool-acquired buffers must be transmitted, freed, or enqueued on
+// every path.
+package mbufowntest
+
+import "github.com/routerplugins/eisr/internal/pkt"
+
+// buf is a package-local owned buffer, like netio's wireBuf.
+//
+//eisr:mbuf
+type buf struct {
+	b []byte
+	n int
+}
+
+// plain is an unmarked struct: pointers to it are not tracked.
+type plain struct{ n int }
+
+type ring struct {
+	free chan *buf
+	txq  chan *buf
+	pq   chan *pkt.Packet
+}
+
+func (r *ring) Dequeue() *buf           { return <-r.free }
+func (r *ring) PollPacket() *pkt.Packet { return <-r.pq }
+func (r *ring) freeBuf(b *buf)          { r.free <- b }
+func transmit(b *buf)                   { _ = b }
+func enqueue(p *pkt.Packet)             { _ = p }
+func inspect(b *buf)                    { _ = b }
+func forwardOne(p *pkt.Packet)          { _ = p }
+
+// leakOnErrorPath drops the buffer on the failure arm — the netio TX
+// bug shape.
+func (r *ring) leakOnErrorPath(fail bool) {
+	wb := <-r.free // want "packet buffer wb may leak"
+	if fail {
+		return
+	}
+	transmit(wb)
+}
+
+// leakSelectDefault loses the buffer when the queue is full.
+func (r *ring) leakSelectDefault() {
+	var wb *buf
+	select {
+	case wb = <-r.free: // want "packet buffer wb may leak"
+	default:
+		return
+	}
+	select {
+	case r.txq <- wb:
+	default:
+	}
+}
+
+// cleanHandoff releases on every path: no finding.
+func (r *ring) cleanHandoff(fail bool) {
+	wb := <-r.free
+	if fail {
+		r.freeBuf(wb)
+		return
+	}
+	transmit(wb)
+}
+
+// cleanNilCheck: a nil poll result owns nothing.
+func (r *ring) cleanNilCheck() {
+	p := r.PollPacket()
+	if p == nil {
+		return
+	}
+	enqueue(p)
+}
+
+// leakNilCheckInverted still owns the buffer on the non-nil path.
+func (r *ring) leakNilCheckInverted() {
+	p := r.PollPacket() // want "packet buffer p may leak"
+	if p == nil {
+		return
+	}
+	_ = p.Data
+}
+
+// doubleRelease frees the same buffer twice.
+func (r *ring) doubleRelease() {
+	wb := <-r.free
+	r.freeBuf(wb)
+	r.freeBuf(wb) // want "packet buffer wb released twice"
+}
+
+// useAfterHandoff touches the buffer after the queue owns it.
+func (r *ring) useAfterHandoff() {
+	wb := <-r.free
+	r.txq <- wb
+	inspect(wb) // want "use of packet buffer wb after handoff"
+}
+
+// branchRelease is clean: one release per path, then exit.
+func (r *ring) branchRelease(left bool) {
+	wb := <-r.free
+	if left {
+		r.txq <- wb
+	} else {
+		r.freeBuf(wb)
+	}
+}
+
+// conditionalDouble releases once on a branch and then again on the
+// join: a may-double, only reported when release is certain — here the
+// join release fires after both arms released, so it reports.
+func (r *ring) conditionalDouble(left bool) {
+	wb := <-r.free
+	if left {
+		r.freeBuf(wb)
+	} else {
+		r.txq <- wb
+	}
+	r.freeBuf(wb) // want "packet buffer wb released twice"
+}
+
+// rangeWorker is the forwarding-pool shape: per-iteration acquisition,
+// handoff before the next element rebinds. Clean.
+func rangeWorker(q chan *pkt.Packet) {
+	for p := range q {
+		forwardOne(p)
+	}
+}
+
+// rangeLeak forgets the handoff on the oversize arm.
+func rangeLeak(q chan *pkt.Packet, mtu int) {
+	for p := range q { // want "packet buffer p may leak"
+		if len(p.Data) > mtu {
+			continue
+		}
+		forwardOne(p)
+	}
+}
+
+// okGuard is the drain-the-queue idiom: ok==false means no buffer.
+func okGuard(q chan *pkt.Packet) {
+	for {
+		p, ok := <-q
+		if !ok {
+			return
+		}
+		forwardOne(p)
+	}
+}
+
+// moveTransfersOwnership: the second variable carries the obligation.
+func (r *ring) moveTransfersOwnership() {
+	wb := <-r.free
+	held := wb
+	transmit(held)
+}
+
+// moveLeak: moving does not release — the destination still leaks.
+func (r *ring) moveLeak() {
+	wb := <-r.free // want "packet buffer wb may leak"
+	held := wb
+	_ = held
+}
+
+// returnTransfers: returning hands ownership to the caller.
+func (r *ring) returnTransfers() *buf {
+	wb := <-r.free
+	return wb
+}
+
+// storeEscapes: a heap store is a handoff, and later reads are flagged.
+type holder struct{ parked *buf }
+
+func (h *holder) storeEscapes(r *ring) {
+	wb := <-r.free
+	h.parked = wb
+	inspect(wb) // want "use of packet buffer wb after handoff"
+}
+
+// goroutineCapture: the spawned goroutine takes over the buffer.
+func (r *ring) goroutineCapture() {
+	wb := <-r.free
+	go func() { transmit(wb) }()
+}
+
+// paramsAreBorrows: parameters carry no obligation.
+func paramsAreBorrows(p *pkt.Packet, mtu int) {
+	if len(p.Data) > mtu {
+		return
+	}
+	enqueue(p)
+}
+
+// unmarkedUntracked: plain pointers are never tracked.
+func unmarkedUntracked(ch chan *plain) {
+	q := <-ch
+	_ = q
+}
+
+// loopRebindClean: released before the loop rebinds — no overwrite.
+func loopRebindClean(q chan *pkt.Packet, done chan struct{}) {
+	for {
+		select {
+		case p := <-q:
+			forwardOne(p)
+		case <-done:
+			return
+		}
+	}
+}
+
+// loopRebindLeak: the select loop re-receives while still owning.
+func loopRebindLeak(q chan *pkt.Packet, done chan struct{}) {
+	for {
+		select {
+		case p := <-q: // want "packet buffer p may leak"
+			_ = p.Data
+		case <-done:
+			return
+		}
+	}
+}
+
+// allowSuppresses: a justified allow silences the finding.
+func (r *ring) allowSuppresses(fail bool) {
+	//eisr:allow(mbufown) intentionally parked for a later flush in this fixture
+	wb := <-r.free
+	if fail {
+		return
+	}
+	transmit(wb)
+}

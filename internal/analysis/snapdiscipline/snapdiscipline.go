@@ -1,0 +1,741 @@
+// Package snapdiscipline checks the repo's copy-on-write snapshot
+// protocol around atomic.Pointer fields (routing.Table.snap,
+// ipcore.Router.state, aiu.FlowRecord.binds, telemetry.Telemetry.trace,
+// netio.UDPLink.peer). The protocol has three clauses, each a rule:
+//
+//  1. Single load per invocation. A fast-path handler must Load a
+//     snapshot at most once and thread the loaded pointer through its
+//     helpers; two Loads in one invocation can observe two different
+//     generations and mix their state (half the packet forwarded on the
+//     old interface table, half on the new). Counted path-sensitively
+//     on the dataflow CFG — max over paths, so an early-return branch
+//     and its fall-through do not sum — with memoized same-package
+//     callee summaries; an //eisr:slowpath callee is a boundary.
+//
+//  2. No snapshot escape. A loaded snapshot (and a plugin instance, in
+//     fast-path code) is invocation-scoped: storing it to a struct
+//     field, a package variable, or a channel, or capturing it in a
+//     spawned goroutine, extends its life past the epoch that made it
+//     safe. Returning it to the caller stays within the invocation and
+//     is allowed.
+//
+//  3. Publication under the update lock. Store/Swap/CompareAndSwap on a
+//     snapshot field must run (a) while a mutex of the same package is
+//     held, (b) in a function following the *Locked naming convention
+//     (the caller holds the lock — lockscope audits that side), or
+//     (c) on a freshly constructed receiver (constructors). Unlocked
+//     writers race with each other's read-copy-update cycles and lose
+//     updates.
+//
+// Rules 1 and 2 are enforced in functions marked //eisr:fastpath (the
+// same roots the fastpath analyzer uses); rule 3 everywhere. Cross-
+// package calls are not descended (export data carries no bodies): a
+// root's count covers its own package, which is where every snapshot
+// and its readers live today.
+package snapdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/routerplugins/eisr/internal/analysis"
+	"github.com/routerplugins/eisr/internal/analysis/dataflow"
+	"github.com/routerplugins/eisr/internal/analysis/lockorder"
+)
+
+// Analyzer is the snapdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapdiscipline",
+	Doc: "enforce the snapshot protocol on atomic.Pointer fields: one Load " +
+		"per fastpath invocation, no snapshot/instance escapes, writers " +
+		"publish under the update lock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:      pass,
+		decls:     analysis.FuncDeclOf(pass),
+		summaries: make(map[*types.Func]counts),
+		inFlight:  make(map[*types.Func]bool),
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if analysis.HasMarker(fd, "fastpath") {
+				c.checkRoot(fd, obj)
+				c.checkEscapes(fd)
+			}
+			c.checkStores(fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]counts
+	inFlight  map[*types.Func]bool
+}
+
+// ---- snapshot field recognition ----
+
+// atomicPtrMethod reports a call of the form x.f.Load() (or Store/Swap/
+// CompareAndSwap) on an atomic.Pointer, with the canonical field key.
+func atomicPtrMethod(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return "", "", false
+	}
+	recv := analysis.RecvNamed(callee)
+	if recv == nil || recv.Obj().Name() != "Pointer" {
+		return "", "", false
+	}
+	switch callee.Name() {
+	case "Load", "Store", "Swap", "CompareAndSwap":
+	default:
+		return "", "", false
+	}
+	k, known := fieldKey(info, sel.X)
+	if !known {
+		return "", "", false
+	}
+	return k, callee.Name(), true
+}
+
+// fieldKey canonicalizes the atomic field expression like lockorder's
+// lock keys: owning type for struct fields, package for top-level vars.
+// Function-local atomics have no cross-invocation identity: skipped.
+func fieldKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[e.X]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name, true
+	case *ast.Ident:
+		obj, ok := info.ObjectOf(e).(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return "", false
+	case *ast.StarExpr:
+		return fieldKey(info, e.X)
+	case *ast.IndexExpr:
+		return fieldKey(info, e.X)
+	}
+	return "", false
+}
+
+// ---- rule 1: single load per invocation ----
+
+// counts is the dataflow state: loads of each snapshot field on the
+// current path, saturating at 2 ("more than once").
+type counts map[string]uint8
+
+func (c counts) clone() counts {
+	out := make(counts, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+func addCount(s counts, key string, n uint8) counts {
+	if n == 0 {
+		return s
+	}
+	out := s.clone()
+	v := out[key] + n
+	if v > 2 {
+		v = 2
+	}
+	out[key] = v
+	return out
+}
+
+func joinCounts(a, b counts) counts {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for k, v := range b {
+		if v > out[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalCounts(a, b counts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRoot reports fastpath roots whose worst path loads a snapshot
+// field more than once.
+func (c *checker) checkRoot(fd *ast.FuncDecl, obj *types.Func) {
+	exit := c.exitCounts(fd, obj)
+	var keys []string
+	for k, v := range exit {
+		if v >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.pass.Reportf(fd.Name.Pos(),
+			"fastpath root %s may load snapshot %s more than once per invocation; "+
+				"load it once and thread the pointer through the call chain",
+			obj.Name(), k)
+	}
+}
+
+// exitCounts solves the load-count problem over fd's CFG: the state at
+// the exit block is the worst path's per-field load count.
+func (c *checker) exitCounts(fd *ast.FuncDecl, obj *types.Func) counts {
+	g := dataflow.Build(fd.Body)
+	res := dataflow.Solve(g, dataflow.Problem[counts]{
+		Init:   counts{},
+		Bottom: nil,
+		Transfer: func(b *dataflow.Block, in counts) counts {
+			s := in
+			if s == nil {
+				s = counts{}
+			}
+			for _, n := range b.Nodes {
+				s = c.countNode(n, s)
+			}
+			return s
+		},
+		Join:  joinCounts,
+		Equal: equalCounts,
+	})
+	return res.In[g.Exit.Index]
+}
+
+// countNode adds one CFG node's loads (direct and through same-package
+// callees) to the path state.
+func (c *checker) countNode(n ast.Node, s counts) counts {
+	if _, isGo := n.(*ast.GoStmt); isGo {
+		// The spawned goroutine is its own invocation.
+		return s
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := atomicPtrMethod(c.pass.Info, x); ok {
+				if op == "Load" {
+					s = addCount(s, key, 1)
+				}
+				return true // scan arguments
+			}
+			if callee := analysis.CalleeFunc(c.pass.Info, x); callee != nil && callee.Pkg() == c.pass.Pkg {
+				for key, n := range c.summary(callee) {
+					s = addCount(s, key, n)
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// summary memoizes a callee's worst-path load counts. Recursion (via
+// inFlight) and //eisr:slowpath callees contribute nothing.
+func (c *checker) summary(fn *types.Func) counts {
+	if s, ok := c.summaries[fn]; ok {
+		return s
+	}
+	if c.inFlight[fn] {
+		return nil
+	}
+	fd := c.decls[fn]
+	if fd == nil || fd.Body == nil || analysis.HasMarker(fd, "slowpath") {
+		c.summaries[fn] = nil
+		return nil
+	}
+	c.inFlight[fn] = true
+	s := c.exitCounts(fd, fn)
+	delete(c.inFlight, fn)
+	c.summaries[fn] = s
+	return s
+}
+
+// ---- rule 2: no snapshot / instance escape from fastpath code ----
+
+// escapeKind classifies why a value is tracked.
+type escapeKind string
+
+const (
+	kindSnapshot escapeKind = "snapshot"
+	kindInstance escapeKind = "plugin instance"
+)
+
+// checkEscapes flags snapshot pointers (idents bound from a Load) and
+// plugin-instance values leaving the invocation inside one fastpath
+// function body. Purely local: no descent, returns allowed.
+func (c *checker) checkEscapes(fd *ast.FuncDecl) {
+	tracked := make(map[*types.Var]escapeKind)
+	// Pass 1: find tracked bindings.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v, ok := c.pass.Info.ObjectOf(id).(*types.Var)
+			if !ok {
+				continue
+			}
+			if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+				if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+					if _, op, isAtomic := atomicPtrMethod(c.pass.Info, call); isAtomic && op == "Load" {
+						tracked[v] = kindSnapshot
+						continue
+					}
+				}
+			}
+			if isInstanceType(v.Type()) {
+				tracked[v] = kindInstance
+			}
+		}
+		return true
+	})
+	// Parameters of instance type are invocation-scoped too.
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if v, ok := c.pass.Info.ObjectOf(name).(*types.Var); ok && isInstanceType(v.Type()) {
+					tracked[v] = kindInstance
+				}
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	trackedIdent := func(e ast.Expr) (*types.Var, escapeKind, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		v, ok := c.pass.Info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return nil, "", false
+		}
+		kind, isTracked := tracked[v]
+		return v, kind, isTracked
+	}
+	// Pass 2: find escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				v, kind, ok := trackedIdent(rhs)
+				if !ok {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					// Storing into any struct field outlives the
+					// invocation unless the struct itself is the
+					// packet (FIX caching) — packet fields travel
+					// with the packet's own lifecycle, audited by
+					// mbufown, not here.
+					if !c.isPacketField(lhs) {
+						c.pass.Reportf(n.Pos(), "%s %s escapes the fastpath invocation: stored to a struct field", kind, v.Name())
+					}
+				case *ast.Ident:
+					if obj, isVar := c.pass.Info.ObjectOf(lhs).(*types.Var); isVar && obj.Parent() == c.pass.Pkg.Scope() {
+						c.pass.Reportf(n.Pos(), "%s %s escapes the fastpath invocation: stored to a package variable", kind, v.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if v, kind, ok := trackedIdent(n.Value); ok {
+				c.pass.Reportf(n.Pos(), "%s %s escapes the fastpath invocation: sent on a channel", kind, v.Name())
+			}
+		case *ast.GoStmt:
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(x ast.Node) bool {
+					if id, ok := x.(*ast.Ident); ok {
+						if v, isVar := c.pass.Info.ObjectOf(id).(*types.Var); isVar {
+							if kind, isTracked := tracked[v]; isTracked {
+								c.pass.Reportf(id.Pos(), "%s %s escapes the fastpath invocation: captured by a spawned goroutine", kind, v.Name())
+								return false
+							}
+						}
+					}
+					return true
+				})
+			}
+			for _, a := range n.Call.Args {
+				if v, kind, ok := trackedIdent(a); ok {
+					c.pass.Reportf(a.Pos(), "%s %s escapes the fastpath invocation: passed to a spawned goroutine", kind, v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isInstanceType reports whether t is the plugin-instance interface
+// (pcu.Instance) or a pointer to it.
+func isInstanceType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Name() == "pcu" && named.Obj().Name() == "Instance"
+}
+
+// isPacketField reports whether sel is a field of *pkt.Packet (the FIX
+// cache is a sanctioned per-packet escape with its own generation
+// guard).
+func (c *checker) isPacketField(sel *ast.SelectorExpr) bool {
+	tv, ok := c.pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Name() == "pkt" && named.Obj().Name() == "Packet"
+}
+
+// ---- rule 3: publication discipline ----
+
+// checkStores walks one function in source order tracking held locks
+// (lockorder's recognizer) and flags Store/Swap/CompareAndSwap on
+// snapshot fields outside the discipline.
+func (c *checker) checkStores(fd *ast.FuncDecl) {
+	st := &storeState{
+		c:          c,
+		fresh:      c.freshVars(fd),
+		lockedName: strings.HasSuffix(fd.Name.Name, "Locked"),
+	}
+	st.walk(fd.Body, nil)
+}
+
+type storeState struct {
+	c          *checker
+	fresh      map[*types.Var]bool
+	lockedName bool
+}
+
+// walk processes statements in source order; branch bodies see the
+// entry state (good enough for publication sites, which sit in
+// straight-line critical sections).
+func (s *storeState) walk(n ast.Node, held []string) []string {
+	switch n := n.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		for _, x := range n.List {
+			held = s.walk(x, held)
+		}
+		return held
+	case *ast.IfStmt:
+		held = s.walk(n.Init, held)
+		held = s.expr(n.Cond, held)
+		s.walk(n.Body, held)
+		s.walk(n.Else, held)
+		return held
+	case *ast.ForStmt:
+		held = s.walk(n.Init, held)
+		held = s.expr(n.Cond, held)
+		s.walk(n.Body, held)
+		s.walk(n.Post, held)
+		return held
+	case *ast.RangeStmt:
+		held = s.expr(n.X, held)
+		s.walk(n.Body, held)
+		return held
+	case *ast.SwitchStmt:
+		held = s.walk(n.Init, held)
+		held = s.expr(n.Tag, held)
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				h := held
+				for _, e := range cc.List {
+					h = s.expr(e, h)
+				}
+				for _, x := range cc.Body {
+					h = s.walk(x, h)
+				}
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		held = s.walk(n.Init, held)
+		held = s.walk(n.Assign, held)
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				h := held
+				for _, x := range cc.Body {
+					h = s.walk(x, h)
+				}
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				h := s.walk(cc.Comm, held)
+				for _, x := range cc.Body {
+					h = s.walk(x, h)
+				}
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return s.walk(n.Stmt, held)
+	case *ast.ExprStmt:
+		return s.expr(n.X, held)
+	case *ast.SendStmt:
+		held = s.expr(n.Chan, held)
+		return s.expr(n.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			held = s.expr(e, held)
+		}
+		for _, e := range n.Lhs {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			held = s.expr(e, held)
+		}
+		return held
+	case *ast.IncDecStmt:
+		return s.expr(n.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock to function end.
+		if _, op, ok := lockorder.LockMethod(s.c.pass.Info, n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			return held
+		}
+		return s.expr(n.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs later, without these locks; its stores
+		// are checked when its FuncDecl is (literals by rule 2).
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = s.expr(e, held)
+					}
+				}
+			}
+		}
+		return held
+	case ast.Stmt:
+		return held
+	}
+	return held
+}
+
+func (s *storeState) expr(e ast.Expr, held []string) []string {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			held = s.call(n, held)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+func (s *storeState) call(call *ast.CallExpr, held []string) []string {
+	for _, a := range call.Args {
+		held = s.expr(a, held)
+	}
+	if key, op, ok := lockorder.LockMethod(s.c.pass.Info, call); ok {
+		switch op {
+		case "Lock", "RLock":
+			return append(append([]string(nil), held...), key)
+		case "Unlock", "RUnlock":
+			out := make([]string, 0, len(held))
+			for _, h := range held {
+				if h != key {
+					out = append(out, h)
+				}
+			}
+			return out
+		}
+		return held
+	}
+	if key, op, ok := atomicPtrMethod(s.c.pass.Info, call); ok && op != "Load" {
+		if s.lockedName || samePkgHeld(held, key) || s.freshReceiver(call) {
+			return held
+		}
+		s.c.pass.Reportf(call.Pos(),
+			"snapshot field %s published without its update lock: hold the "+
+				"guarding mutex, publish from a *Locked helper, or construct "+
+				"the value fresh", key)
+	}
+	return held
+}
+
+// samePkgHeld reports whether any held lock lives in the same package
+// as the stored field (keys are "pkg.Type.field" or "pkg.var").
+func samePkgHeld(held []string, fieldKey string) bool {
+	pkg, _, _ := strings.Cut(fieldKey, ".")
+	for _, h := range held {
+		if hp, _, _ := strings.Cut(h, "."); hp == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// freshReceiver reports whether the store's base receiver was
+// constructed in this function (constructor publishing initial state).
+func (s *storeState) freshReceiver(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base := baseIdent(sel.X)
+	if base == nil {
+		return false
+	}
+	v, ok := s.c.pass.Info.ObjectOf(base).(*types.Var)
+	return ok && s.fresh[v]
+}
+
+// baseIdent descends a selector/index/deref chain to its root ident.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// freshVars collects variables bound to freshly constructed values
+// (&T{...}, T{...}, new(T)) anywhere in the function.
+func (c *checker) freshVars(fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := c.pass.Info.ObjectOf(id).(*types.Var)
+		if !ok {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			fresh[v] = true
+		case *ast.UnaryExpr:
+			if r.Op == token.AND {
+				if _, isLit := ast.Unparen(r.X).(*ast.CompositeLit); isLit {
+					fresh[v] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && id.Name == "new" {
+				if _, isBuiltin := c.pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					fresh[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}

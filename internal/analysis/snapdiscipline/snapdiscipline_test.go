@@ -1,0 +1,12 @@
+package snapdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/analysis/analysistest"
+	"github.com/routerplugins/eisr/internal/analysis/snapdiscipline"
+)
+
+func TestSnapDiscipline(t *testing.T) {
+	analysistest.Run(t, snapdiscipline.Analyzer, "snapdisctest")
+}

@@ -1,0 +1,227 @@
+// Fixture for the snapdiscipline analyzer: violations of each of the
+// three snapshot-protocol rules plus negatives that must stay silent.
+package snapdisctest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+type snap struct{ gen int }
+
+type R struct {
+	mu    sync.Mutex
+	state atomic.Pointer[snap]
+}
+
+// ---- rule 1: single load per invocation ----
+
+//eisr:fastpath
+func (r *R) doubleLoad() int { // want "fastpath root doubleLoad may load snapshot snapdisctest.R.state more than once per invocation"
+	a := r.state.Load().gen
+	b := r.state.Load().gen
+	return a + b
+}
+
+//eisr:fastpath
+func (r *R) singleLoad() int {
+	st := r.state.Load()
+	return st.gen + st.gen
+}
+
+// Two loads on mutually exclusive branches are one per path.
+//
+//eisr:fastpath
+func (r *R) branchLoads(x bool) int {
+	if x {
+		return r.state.Load().gen
+	}
+	return r.state.Load().gen
+}
+
+// An early-return branch does not sum with the fall-through.
+//
+//eisr:fastpath
+func (r *R) earlyReturn(x bool) int {
+	if x {
+		return r.state.Load().gen
+	}
+	return 0
+}
+
+// A load inside a loop is loop-carried: the second iteration can see a
+// newer generation than the first.
+//
+//eisr:fastpath
+func (r *R) loopLoad(n int) int { // want "fastpath root loopLoad may load snapshot snapdisctest.R.state more than once per invocation"
+	t := 0
+	for i := 0; i < n; i++ {
+		t += r.state.Load().gen
+	}
+	return t
+}
+
+func (r *R) helperLoad() int { return r.state.Load().gen }
+
+// Loads are counted through same-package helpers.
+//
+//eisr:fastpath
+func (r *R) viaHelperTwice() int { // want "fastpath root viaHelperTwice may load snapshot snapdisctest.R.state more than once per invocation"
+	return r.helperLoad() + r.helperLoad()
+}
+
+//eisr:fastpath
+func (r *R) viaHelperOnce() int {
+	return r.helperLoad()
+}
+
+// A declared slow-path callee is a boundary: its own loads are a fresh
+// epoch, not part of this invocation's.
+//
+//eisr:slowpath
+func (r *R) slowRefresh() int {
+	a := r.state.Load().gen
+	b := r.state.Load().gen
+	return a + b
+}
+
+//eisr:fastpath
+func (r *R) callsSlow() int {
+	st := r.state.Load()
+	return st.gen + r.slowRefresh()
+}
+
+// A spawned goroutine is its own invocation.
+//
+//eisr:fastpath
+func (r *R) spawns() int {
+	go r.refresh()
+	return r.state.Load().gen
+}
+
+func (r *R) refresh() { _ = r.state.Load() }
+
+// ---- rule 2: no snapshot / instance escape ----
+
+type cacheBox struct{ last *snap }
+
+var globalSnap *snap
+
+//eisr:fastpath
+func (r *R) escapeField(c *cacheBox) {
+	st := r.state.Load()
+	c.last = st // want "snapshot st escapes the fastpath invocation: stored to a struct field"
+}
+
+//eisr:fastpath
+func (r *R) escapeGlobal() {
+	st := r.state.Load()
+	globalSnap = st // want "snapshot st escapes the fastpath invocation: stored to a package variable"
+}
+
+//eisr:fastpath
+func (r *R) escapeChan(ch chan *snap) {
+	st := r.state.Load()
+	ch <- st // want "snapshot st escapes the fastpath invocation: sent on a channel"
+}
+
+//eisr:fastpath
+func (r *R) escapeGoroutine() {
+	st := r.state.Load()
+	go func() {
+		_ = st // want "snapshot st escapes the fastpath invocation: captured by a spawned goroutine"
+	}()
+}
+
+// Returning the snapshot stays within the invocation (the caller's
+// accounting covers it).
+//
+//eisr:fastpath
+func (r *R) accessor() *snap { return r.state.Load() }
+
+func use(s *snap) int { return s.gen }
+
+// Passing a snapshot down the call chain is the threading the pass
+// wants to see.
+//
+//eisr:fastpath
+func (r *R) threads() int {
+	st := r.state.Load()
+	return use(st)
+}
+
+var stash pcu.Instance
+
+//eisr:fastpath
+func stashInstance(inst pcu.Instance) {
+	stash = inst // want "plugin instance inst escapes the fastpath invocation: stored to a package variable"
+}
+
+// Packet fields travel with the packet's own lifecycle (the FIX cache
+// pattern): sanctioned, audited by mbufown instead.
+//
+//eisr:fastpath
+func cachePerPacket(p *pkt.Packet, r *R) {
+	st := r.state.Load()
+	p.FIX = st
+}
+
+// ---- rule 3: publication discipline ----
+
+func (r *R) badPublish(s *snap) {
+	r.state.Store(s) // want "snapshot field snapdisctest.R.state published without its update lock"
+}
+
+func (r *R) badCAS(old, next *snap) {
+	r.state.CompareAndSwap(old, next) // want "snapshot field snapdisctest.R.state published without its update lock"
+}
+
+func (r *R) goodPublish(s *snap) {
+	r.mu.Lock()
+	r.state.Store(s)
+	r.mu.Unlock()
+}
+
+func (r *R) goodDeferPublish(s *snap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state.Store(s)
+}
+
+// The *Locked naming convention asserts the caller holds the lock
+// (lockscope audits that callers actually do).
+func (r *R) publishLocked(s *snap) {
+	r.state.Store(s)
+}
+
+// Constructors publish initial state on a value no other goroutine can
+// reach yet.
+func newR() *R {
+	r := &R{}
+	r.state.Store(&snap{})
+	return r
+}
+
+var (
+	pkgMu    sync.Mutex
+	pkgState atomic.Pointer[snap]
+)
+
+func badGlobalPublish(s *snap) {
+	pkgState.Store(s) // want "snapshot field snapdisctest.pkgState published without its update lock"
+}
+
+func goodGlobalPublish(s *snap) {
+	pkgMu.Lock()
+	pkgState.Store(s)
+	pkgMu.Unlock()
+}
+
+// Deliberate single-writer exception, justified in place.
+func (r *R) allowedPublish(s *snap) {
+	//eisr:allow(snapdiscipline) configured before the data path starts; single writer
+	r.state.Store(s)
+}

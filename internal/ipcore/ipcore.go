@@ -431,23 +431,29 @@ func (r *Router) Stats() Stats {
 // output queueing. It returns true if the packet survived to an output
 // queue or local delivery.
 //
+// The interface-state snapshot is loaded exactly once here and threaded
+// through the whole walk: a packet is forwarded against one coherent
+// generation of the interface/queue tables even if the control plane
+// publishes a new one mid-flight (snapdiscipline enforces this).
+//
 //eisr:fastpath
 func (r *Router) Forward(p *pkt.Packet) bool {
+	st := r.state.Load()
 	if r.mode == ModeBestEffort {
-		return r.forwardMono(p)
+		return r.forwardMono(p, st)
 	}
-	return r.forwardPlugin(p)
+	return r.forwardPlugin(p, st)
 }
 
 // forwardMono is the unmodified best-effort kernel: a chain of direct
 // ("hardwired") function calls.
 //
 //eisr:fastpath
-func (r *Router) forwardMono(p *pkt.Packet) bool {
+func (r *Router) forwardMono(p *pkt.Packet, st *ifaceState) bool {
 	if !r.validate(p) {
 		return false
 	}
-	if r.deliverLocal(p) {
+	if r.deliverLocal(p, st) {
 		return true
 	}
 	nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, r.Counter)
@@ -470,7 +476,7 @@ func (r *Router) forwardMono(p *pkt.Packet) bool {
 		r.telForwarded.Inc()
 		return true
 	}
-	return r.enqueueFIFO(p)
+	return r.enqueueFIFO(p, st)
 }
 
 // forwardPlugin is the EISR data path: gates in order, classification
@@ -483,14 +489,14 @@ func (r *Router) forwardMono(p *pkt.Packet) bool {
 // IPv6 security processing".
 //
 //eisr:fastpath
-func (r *Router) forwardPlugin(p *pkt.Packet) bool {
+func (r *Router) forwardPlugin(p *pkt.Packet, st *ifaceState) bool {
 	// Tracer() is one nil check plus an atomic load; Acquire returns nil
 	// unless tracing is enabled and this packet is sampled, so the
 	// untraced path pays a couple of predicted branches.
 	if te := r.tel.Tracer().Acquire(); te != nil {
-		return r.forwardTraced(p, te)
+		return r.forwardTraced(p, te, st)
 	}
-	return r.forwardGates(p, r.Counter, nil)
+	return r.forwardGates(p, r.Counter, nil, st)
 }
 
 // Preallocated verdict strings for trace commits (header-copy only).
@@ -506,10 +512,10 @@ const (
 // them into the shared counter so benchmark accounting is unchanged.
 //
 //eisr:fastpath
-func (r *Router) forwardTraced(p *pkt.Packet, te *telemetry.TraceEntry) bool {
+func (r *Router) forwardTraced(p *pkt.Packet, te *telemetry.TraceEntry, st *ifaceState) bool {
 	var cc cycles.Counter
 	start := r.clock()
-	ok := r.forwardGates(p, &cc, te)
+	ok := r.forwardGates(p, &cc, te, st)
 	elapsed := r.clock().Sub(start).Nanoseconds()
 	r.Counter.Merge(cc)
 	r.telPktNanos.Observe(uint64(elapsed))
@@ -549,7 +555,7 @@ func hopIdentity(g pcu.Type, inst pcu.Instance) (uint32, string) {
 // only read for traced packets).
 //
 //eisr:fastpath
-func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.TraceEntry) bool {
+func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.TraceEntry, st *ifaceState) bool {
 	if !r.validate(p) {
 		return false
 	}
@@ -595,7 +601,7 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 					return false
 				}
 			}
-			if r.deliverLocal(p) {
+			if r.deliverLocal(p, st) {
 				return true
 			}
 			if p.OutIf < 0 {
@@ -614,7 +620,7 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 			if !routed {
 				// A gate set without an explicit routing gate still
 				// needs a forwarding decision before output.
-				if r.deliverLocal(p) {
+				if r.deliverLocal(p, st) {
 					return true
 				}
 				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
@@ -676,7 +682,7 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 		return true
 	}
 	if !routed {
-		if r.deliverLocal(p) {
+		if r.deliverLocal(p, st) {
 			return true
 		}
 		nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
@@ -689,7 +695,7 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 			return false
 		}
 	}
-	return r.enqueueFIFO(p)
+	return r.enqueueFIFO(p, st)
 }
 
 func (r *Router) pluginDrop(p *pkt.Packet, err error) bool {
@@ -765,10 +771,12 @@ func (r *Router) validate(p *pkt.Packet) bool {
 
 // deliverLocal punts packets addressed to the router itself, including
 // the limited broadcast (255.255.255.255), which is never forwarded.
-func (r *Router) deliverLocal(p *pkt.Packet) bool {
+// st is the caller's interface-state snapshot (loaded once per
+// invocation at the fastpath root).
+func (r *Router) deliverLocal(p *pkt.Packet, st *ifaceState) bool {
 	mine := p.Key.Dst == limitedBroadcast
 	if !mine {
-		_, mine = r.state.Load().local[p.Key.Dst]
+		_, mine = st.local[p.Key.Dst]
 	}
 	if !mine {
 		return false
@@ -849,7 +857,9 @@ func (r *Router) sendICMPError(p *pkt.Packet, v4type, v6type, v4code, v6code uin
 	}
 	q.OutIf = nh.IfIndex
 	q.NextHop = nh.Gateway
-	r.enqueueFIFO(q)
+	// Slow-path boundary: the error packet is a fresh invocation with
+	// its own snapshot, not part of the triggering packet's epoch.
+	r.enqueueFIFO(q, r.state.Load())
 	r.stats.icmpSent.Add(1)
 }
 
@@ -883,8 +893,8 @@ func (r *Router) takeICMPToken() bool {
 	return true
 }
 
-func (r *Router) enqueueFIFO(p *pkt.Packet) bool {
-	q := r.state.Load().outQ[p.OutIf]
+func (r *Router) enqueueFIFO(p *pkt.Packet, st *ifaceState) bool {
+	q := st.outQ[p.OutIf]
 	if q == nil {
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropQueue)
@@ -928,7 +938,7 @@ func (r *Router) TxDrain(ifIdx int32, budget int) int {
 			} else if candidate != nil {
 				// Mis-targeted packet (single shared mono scheduler):
 				// transmit on its own interface.
-				r.transmit(candidate)
+				r.transmit(candidate, st)
 				sent++
 				continue
 			}
@@ -939,14 +949,16 @@ func (r *Router) TxDrain(ifIdx int32, budget int) int {
 		if p == nil {
 			break
 		}
-		r.transmit(p)
+		r.transmit(p, st)
 		sent++
 	}
 	return sent
 }
 
-func (r *Router) transmit(p *pkt.Packet) {
-	ifc := r.state.Load().ifaces[p.OutIf]
+// transmit puts one packet on the wire via the caller's snapshot: a
+// whole TxDrain batch transmits against one interface-table generation.
+func (r *Router) transmit(p *pkt.Packet, st *ifaceState) {
+	ifc := st.ifaces[p.OutIf]
 	if ifc == nil {
 		return
 	}

@@ -75,7 +75,7 @@ func TestNetioTxZeroAlloc(t *testing.T) {
 		if err := l.TransmitWire(p); err != nil {
 			t.Fatal(err)
 		}
-		l.txOne(<-l.txq)
+		l.transmitOne(<-l.txq)
 	})
 	if allocs != 0 {
 		t.Fatalf("TX path allocated %v per packet", allocs)
@@ -101,7 +101,7 @@ func BenchmarkNetioTx(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if l.TransmitWire(p) == nil {
-			l.txOne(<-l.txq)
+			l.transmitOne(<-l.txq)
 		}
 	}
 }

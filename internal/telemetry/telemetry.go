@@ -166,7 +166,12 @@ func (t *Telemetry) EnableTrace(size, sample int) {
 	if t == nil {
 		return
 	}
+	// Serialize against concurrent EnableTrace calls so two replacements
+	// cannot interleave with registration reads; the data path loads the
+	// pointer atomically and never stores it.
+	t.mu.Lock()
 	t.trace.Store(NewTraceRing(size, sample))
+	t.mu.Unlock()
 }
 
 // Tracer returns the live trace ring, or nil when tracing is off (or
