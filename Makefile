@@ -36,9 +36,11 @@ race:
 # Overhead guards: the telemetry-off flow-cache hit path must stay
 # allocation-free and the disabled record calls under 2ns per packet;
 # the 4-worker cache-hit path must scale (skips below 4 cores); the
-# netio wire RX and TX paths must stay allocation-free per packet.
+# netio wire RX and TX paths must stay allocation-free per packet; the
+# path-trace origin check with sampling disabled must cost 0 allocs and
+# < 2ns per packet.
 bench-smoke:
-	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench ./internal/netio
+	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench ./internal/netio ./internal/telemetry
 
 # End-to-end wire smoke: boot an eisrd with UDP overlay links, push 10k
 # datagrams through its gate/classifier path with eisrbench, verify

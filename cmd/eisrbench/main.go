@@ -21,7 +21,7 @@ import (
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
 	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "faults",
-	"wire",
+	"wire", "pathtrace",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -178,6 +178,24 @@ func main() {
 		fmt.Println(bench.WireTable(res))
 		if res.Lost() > 0 {
 			fatal(fmt.Errorf("wire: lost %d of %d packets", res.Lost(), res.Packets))
+		}
+	}
+	if run("pathtrace") {
+		ran = true
+		opts := bench.PathTraceOptions{}
+		if *exp == "all" {
+			opts.Packets = 1000
+		}
+		if *full {
+			opts.Packets = 20_000
+		}
+		res, err := bench.RunPathTrace(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.PathTraceTable(res))
+		if res.BadSpans > 0 {
+			fatal(fmt.Errorf("pathtrace: %d malformed spans", res.BadSpans))
 		}
 	}
 	if run("ablate-cache") {

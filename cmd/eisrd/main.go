@@ -49,6 +49,8 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (enables telemetry)")
 	traceBuf := flag.Int("trace-buffer", 0, "packet trace ring size (entries, 0 = default; needs -metrics)")
 	traceSample := flag.Int("trace-sample", 1, "trace every Nth packet (needs -metrics)")
+	routerID := flag.Uint("router-id", 0, "router id stamped into in-band path-trace hop records (needs -metrics)")
+	pathSample := flag.Int("path-sample", 0, "give 1-in-N packets an in-band trace context at this router (0 = off; runtime-settable via 'pmgr pathtrace N'; needs -metrics)")
 	workers := flag.Int("workers", 0, "forwarding workers (0 or 1 = single-threaded; >1 steers packets by flow hash)")
 	faultPolicy := flag.String("fault-policy", "drop", "packet fate when a plugin dispatch panics: drop|forward")
 	faultThreshold := flag.Int("fault-threshold", 0, "quarantine an instance after N faults in the window (0 = default 5; negative = never)")
@@ -64,6 +66,8 @@ func main() {
 		Telemetry:       *metricsAddr != "",
 		TraceBuffer:     *traceBuf,
 		TraceSample:     *traceSample,
+		RouterID:        uint32(*routerID),
+		PathSample:      *pathSample,
 		Workers:         *workers,
 		FaultPolicy:     *faultPolicy,
 		FaultThreshold:  *faultThreshold,
@@ -109,6 +113,17 @@ func main() {
 			if err := r.Telemetry.WritePrometheus(w); err != nil {
 				log.Printf("eisrd: /metrics: %v", err)
 			}
+		})
+		// Readiness: 200 only while the router is serving (past Start,
+		// not yet into Stop). Scripts poll this instead of sleeping.
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			// Status code only: probes (curl -f, CI scripts) read the
+			// code, and a body write error has nowhere to surface.
+			if r.Serving() {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

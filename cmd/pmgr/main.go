@@ -11,16 +11,23 @@
 //	pmgr filters sched
 //	pmgr stats
 //	pmgr trace 16
+//	pmgr spans 8
+//	pmgr events -f
+//	pmgr pathtrace 64
 //	pmgr health
 //	pmgr quarantine chaos-options chaos-options0
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"github.com/routerplugins/eisr/internal/ctl"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +44,7 @@ commands:
   msg PLUGIN [INSTANCE] VERB [key=value ...]
   route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
   filters GATE | stats | flows | trace [N]
+  spans [N] | events [-f] [since=K] [max=N] | pathtrace [N]
   health | quarantine PLUGIN INSTANCE
   links
 `)
@@ -46,9 +54,16 @@ commands:
 		flag.Usage()
 		os.Exit(2)
 	}
-	req, err := ctl.ParseCommand(flag.Args())
+	// "events -f" follows the journal: the -f token is pmgr-side (the
+	// wire op is plain "events" polled with a since= cursor).
+	args, follow := stripFollow(flag.Args())
+	req, err := ctl.ParseCommand(args)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmgr:", err)
+		os.Exit(2)
+	}
+	if follow && req.Op != ctl.OpEvents {
+		fmt.Fprintln(os.Stderr, "pmgr: -f only applies to events")
 		os.Exit(2)
 	}
 	c, err := ctl.Dial("tcp", *server)
@@ -57,10 +72,60 @@ commands:
 		os.Exit(1)
 	}
 	defer c.Close()
+	if follow {
+		if err := followEvents(c, req); err != nil {
+			fmt.Fprintln(os.Stderr, "pmgr:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	data, err := c.Do(req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmgr:", err)
 		os.Exit(1)
 	}
 	fmt.Println(ctl.FormatData(data))
+}
+
+// stripFollow removes a "-f" token following the command word.
+func stripFollow(args []string) ([]string, bool) {
+	out := args[:0:0]
+	follow := false
+	for _, a := range args {
+		if a == "-f" {
+			follow = true
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, follow
+}
+
+// eventsReply mirrors the router's events payload.
+type eventsReply struct {
+	Next   uint64                  `json:"next"`
+	Events []telemetry.EventSample `json:"events"`
+}
+
+// followEvents polls the journal with a since cursor, printing one line
+// per event, until the connection drops or the user interrupts.
+func followEvents(c *ctl.Client, req *ctl.Request) error {
+	if req.Args == nil {
+		req.Args = map[string]string{}
+	}
+	for {
+		data, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		var rep eventsReply
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return err
+		}
+		for _, ev := range rep.Events {
+			fmt.Printf("%s  %-18s %s\n", ev.Time.Format(time.RFC3339Nano), ev.Kind, ev.Detail)
+		}
+		req.Args["since"] = strconv.FormatUint(rep.Next, 10)
+		time.Sleep(500 * time.Millisecond)
+	}
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
+	"strings"
 
 	"github.com/routerplugins/eisr/internal/aiu"
 	"github.com/routerplugins/eisr/internal/ctl"
@@ -17,8 +19,37 @@ import (
 )
 
 // Control implements ctl.Backend: the router side of the control socket
-// that pmgr and the daemons speak to.
+// that pmgr and the daemons speak to. Successful mutating operations
+// are recorded in the event journal (plugin load/unload journal their
+// own lifecycle events instead).
 func (r *Router) Control(req *ctl.Request) (any, error) {
+	out, err := r.control(req)
+	if err == nil {
+		switch req.Op {
+		case ctl.OpCreate, ctl.OpFree, ctl.OpRegister, ctl.OpDeregister,
+			ctl.OpRouteAdd, ctl.OpRouteDel, ctl.OpQuarantine:
+			r.Telemetry.Journal().Record(telemetry.EvConfig, configDetail(req))
+		}
+	}
+	return out, err
+}
+
+// configDetail renders a mutating request for the journal.
+func configDetail(req *ctl.Request) string {
+	parts := []string{string(req.Op)}
+	if req.Plugin != "" {
+		parts = append(parts, req.Plugin)
+	}
+	if req.Instance != "" {
+		parts = append(parts, req.Instance)
+	}
+	if req.Route != "" {
+		parts = append(parts, req.Route)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (r *Router) control(req *ctl.Request) (any, error) {
 	switch req.Op {
 	case ctl.OpLoad:
 		return nil, r.LoadPlugin(req.Plugin)
@@ -122,6 +153,60 @@ func (r *Router) Control(req *ctl.Request) (any, error) {
 			max = n
 		}
 		return r.Telemetry.Tracer().Snapshot(max), nil
+	case ctl.OpSpans:
+		pt := r.Telemetry.PathTracer()
+		if pt == nil {
+			return nil, fmt.Errorf("eisr: path tracing requires Options.Telemetry")
+		}
+		max := 32
+		if req.Args != nil && req.Args["max"] != "" {
+			n, err := strconv.Atoi(req.Args["max"])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("eisr: spans wants a positive count, got %q", req.Args["max"])
+			}
+			max = n
+		}
+		return pt.SnapshotSpans(max), nil
+	case ctl.OpEvents:
+		j := r.Telemetry.Journal()
+		if j == nil {
+			return nil, fmt.Errorf("eisr: the event journal requires Options.Telemetry")
+		}
+		var since uint64
+		max := 64
+		if req.Args != nil && req.Args["since"] != "" {
+			n, err := strconv.ParseUint(req.Args["since"], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("eisr: events wants since=SEQ, got %q", req.Args["since"])
+			}
+			since = n
+		}
+		if req.Args != nil && req.Args["max"] != "" {
+			n, err := strconv.Atoi(req.Args["max"])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("eisr: events wants a positive max, got %q", req.Args["max"])
+			}
+			max = n
+		}
+		type eventsReply struct {
+			Next   uint64                  `json:"next"`
+			Events []telemetry.EventSample `json:"events"`
+		}
+		return eventsReply{Next: j.NextSeq(), Events: j.Snapshot(since, max)}, nil
+	case ctl.OpPathTrace:
+		pt := r.Telemetry.PathTracer()
+		if pt == nil {
+			return nil, fmt.Errorf("eisr: path tracing requires Options.Telemetry")
+		}
+		if req.Args != nil && req.Args["sample"] != "" {
+			n, err := strconv.Atoi(req.Args["sample"])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("eisr: pathtrace wants a sampling rate >= 0, got %q", req.Args["sample"])
+			}
+			pt.SetSampleRate(n)
+			r.Telemetry.Journal().Record(telemetry.EvPathSample, "sample="+req.Args["sample"])
+		}
+		return pt.Status(), nil
 	default:
 		return nil, fmt.Errorf("eisr: unknown op %q", req.Op)
 	}
@@ -221,6 +306,10 @@ func (r *Router) StatsReport() StatsReport {
 		}
 		rep.FlowCache = &fc
 	}
+	// The registry snapshot iterates a map; order the derived lists so
+	// repeated "pmgr stats" calls (and CI assertions) are deterministic.
+	sort.Slice(rep.Gates, func(i, j int) bool { return rep.Gates[i].Gate < rep.Gates[j].Gate })
+	sort.Slice(rep.Plugins, func(i, j int) bool { return rep.Plugins[i].Plugin < rep.Plugins[j].Plugin })
 	return rep
 }
 

@@ -54,6 +54,10 @@ var telemetryFast = map[string]bool{
 	"TraceEntry.RecordClassify": true, "TraceEntry.Commit": true,
 	"TraceRing.Acquire": true, "TraceRing.Skipped": true,
 	"Telemetry.Tracer": true,
+	"Telemetry.PathTracer": true, "PathTracer.Enabled": true,
+	"PathTracer.Origin": true, "PathTracer.Router": true,
+	"PathTracer.Fold": true,
+	"Telemetry.Journal": true, "Journal.Record": true,
 }
 
 func run(pass *analysis.Pass) error {

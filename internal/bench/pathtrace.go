@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/routerplugins/eisr"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+// PathTraceOptions parameterizes the pathtrace experiment.
+type PathTraceOptions struct {
+	// Packets is the number of datagrams injected at the origin router
+	// (default 2000).
+	Packets int
+	// Sample is the origin's 1-in-N sampling rate (default 1: every
+	// packet carries a context, so every delivery folds a span).
+	Sample int
+	// Workers sizes each router's forwarding pool.
+	Workers int
+}
+
+// PathTraceResult is the pathtrace experiment outcome.
+type PathTraceResult struct {
+	Packets int
+	Sample  int
+	// Sampled is the origin's sampled-context count, Folded the
+	// terminating router's span count.
+	Sampled uint64
+	Folded  uint64
+	Elapsed time.Duration
+	// Latency summarizes the terminating router's per-hop-count span
+	// latency histogram (three-hop paths on the line topology).
+	LatencyCount uint64
+	LatencyMean  float64
+	// Spans holds a few exported spans for display.
+	Spans []telemetry.SpanSample
+	// BadSpans counts folded spans that did not show exactly one hop
+	// per router in path order — zero in a healthy run.
+	BadSpans int
+}
+
+// RunPathTrace assembles a three-router line (A -> wire -> B -> wire ->
+// C, with the destination local to C), originates in-band trace
+// contexts at A, and reads the folded spans back at C: every delivered
+// sampled packet must carry exactly one hop record per router, with the
+// per-hop residencies summing to the span total.
+func RunPathTrace(opts PathTraceOptions) (PathTraceResult, error) {
+	if opts.Packets <= 0 {
+		opts.Packets = 2000
+	}
+	if opts.Sample <= 0 {
+		opts.Sample = 1
+	}
+	res := PathTraceResult{Packets: opts.Packets, Sample: opts.Sample}
+
+	mk := func(id uint32, sample int, localAddr string) (*eisr.Router, error) {
+		r, err := eisr.New(eisr.Options{
+			VerifyChecksums: true, Workers: opts.Workers,
+			Telemetry: true, RouterID: id, PathSample: sample,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.AddInterface(0, "lan", localAddr); err != nil {
+			return nil, err
+		}
+		if _, err := r.AddInterface(1, "wan", ""); err != nil {
+			return nil, err
+		}
+		if err := r.AddRoute("0.0.0.0/0 dev 1"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	a, err := mk(1, opts.Sample, "")
+	if err != nil {
+		return res, err
+	}
+	b, err := mk(2, 0, "")
+	if err != nil {
+		return res, err
+	}
+	// The destination address lives on C, so routing delivers locally
+	// there and C terminates (folds) every span.
+	c, err := mk(3, 0, "30.0.0.1")
+	if err != nil {
+		return res, err
+	}
+	linkA, err := a.AttachUDPLink(1, "127.0.0.1:0", "")
+	if err != nil {
+		return res, err
+	}
+	linkBIn, err := b.AttachUDPLink(0, "127.0.0.1:0", "")
+	if err != nil {
+		return res, err
+	}
+	linkBOut, err := b.AttachUDPLink(1, "127.0.0.1:0", "")
+	if err != nil {
+		return res, err
+	}
+	linkCIn, err := c.AttachUDPLink(0, "127.0.0.1:0", "")
+	if err != nil {
+		return res, err
+	}
+	if err := linkA.SetPeer(linkBIn.LocalAddr()); err != nil {
+		return res, err
+	}
+	if err := linkBOut.SetPeer(linkCIn.LocalAddr()); err != nil {
+		return res, err
+	}
+	for _, r := range []*eisr.Router{a, b, c} {
+		r.Start()
+		defer r.Stop()
+	}
+
+	pt := c.Telemetry.PathTracer()
+	ingress := a.Interface(0)
+	start := time.Now()
+	for i := 0; i < opts.Packets; i++ {
+		// Window on the terminating router's fold count so the UDP
+		// links are never driven far past their rings. Wire drops mean
+		// the window may never close; bound the wait.
+		windowDeadline := time.Now().Add(100 * time.Millisecond)
+		for uint64(i)-pt.Status().Spans >= 256 && time.Now().Before(windowDeadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		data, err := pathTraceDatagram(uint32(i))
+		if err != nil {
+			return res, err
+		}
+		for {
+			err := ingress.Inject(data)
+			if err != netdev.ErrRingFull {
+				if err != nil {
+					return res, fmt.Errorf("pathtrace: inject %d: %w", i, err)
+				}
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	// Drain: UDP delivery is best-effort, so wait for quiescence rather
+	// than an exact count.
+	deadline := time.Now().Add(10 * time.Second)
+	last := uint64(0)
+	for time.Now().Before(deadline) {
+		n := pt.Status().Spans
+		if n == uint64(opts.Packets) {
+			break
+		}
+		if n == last && n > 0 {
+			break
+		}
+		last = n
+		time.Sleep(100 * time.Millisecond)
+	}
+	res.Elapsed = time.Since(start)
+	res.Sampled = a.Telemetry.PathTracer().Status().Sampled
+	res.Folded = pt.Status().Spans
+
+	spans := pt.SnapshotSpans(0)
+	for _, s := range spans {
+		ok := len(s.Hops) == 3 &&
+			s.Hops[0].Router == 1 && s.Hops[1].Router == 2 && s.Hops[2].Router == 3 &&
+			s.Hops[0].Verdict == "forwarded" && s.Hops[1].Verdict == "forwarded" &&
+			s.Hops[2].Verdict == "delivered"
+		var sum uint64
+		for _, h := range s.Hops {
+			sum += uint64(h.TotalNs)
+		}
+		if !ok || sum != s.TotalNs {
+			res.BadSpans++
+		}
+	}
+	if len(spans) > 3 {
+		spans = spans[len(spans)-3:]
+	}
+	res.Spans = spans
+	if m, ok := c.Telemetry.Find(`eisr_path_latency_ns{hops="3"}`); ok && m.Hist != nil {
+		res.LatencyCount = m.Hist.Count
+		res.LatencyMean = m.Hist.Mean()
+	}
+	return res, nil
+}
+
+// pathTraceDatagram builds one probe datagram addressed to the
+// terminating router. Several source ports spread the probes over
+// multiple flows (sampling is per-flow-hash; with sample=1 all hit).
+func pathTraceDatagram(seq uint32) ([]byte, error) {
+	payload := []byte{byte(seq >> 24), byte(seq >> 16), byte(seq >> 8), byte(seq)}
+	return pkt.BuildUDP(pkt.UDPSpec{
+		Src: pkt.MustParseAddr("10.0.0.1"), Dst: pkt.MustParseAddr("30.0.0.1"),
+		SrcPort: uint16(1000 + seq%8), DstPort: 9, Payload: payload, TTL: 64,
+	})
+}
+
+// PathTraceTable renders the pathtrace experiment result.
+func PathTraceTable(r PathTraceResult) *Table {
+	t := &Table{
+		Title:  "Pathtrace (eisrpath): in-band spans across a 3-router line",
+		Header: []string{"metric", "value"},
+	}
+	t.Add("packets offered", fmt.Sprint(r.Packets))
+	t.Add("origin sampling", fmt.Sprintf("1-in-%d", r.Sample))
+	t.Add("contexts originated (A)", fmt.Sprint(r.Sampled))
+	t.Add("spans folded (C)", fmt.Sprint(r.Folded))
+	t.Add("malformed spans", fmt.Sprint(r.BadSpans))
+	t.Add("3-hop latency", fmt.Sprintf("n=%d mean=%.0fns", r.LatencyCount, r.LatencyMean))
+	t.Add("elapsed", r.Elapsed.Round(time.Millisecond).String())
+	for _, s := range r.Spans {
+		hops := ""
+		for i, h := range s.Hops {
+			if i > 0 {
+				hops += " > "
+			}
+			hops += fmt.Sprintf("r%d[w%d g%02x %s q=%dns t=%dns]",
+				h.Router, h.Worker, h.Gates, h.Verdict, h.QueueNs, h.TotalNs)
+		}
+		t.Add(fmt.Sprintf("  span %s", s.TraceID), fmt.Sprintf("%s total=%dns", hops, s.TotalNs))
+	}
+	t.Note("every span must show exactly one hop per router (A=1, B=2, C=3) with hop residencies summing to the span total")
+	t.Note("UDP links are best-effort: folded < offered means wire drops, not lost spans")
+	return t
+}

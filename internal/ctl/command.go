@@ -25,6 +25,9 @@ import (
 //	stats
 //	flows
 //	trace [N]
+//	spans [N]
+//	events [since=K] [max=N]
+//	pathtrace [N]
 //	health
 //	quarantine PLUGIN INSTANCE
 //
@@ -121,6 +124,31 @@ func ParseCommand(args []string) (*Request, error) {
 			return &Request{Op: OpTrace, Args: map[string]string{"max": rest[0]}}, nil
 		default:
 			return nil, fmt.Errorf("ctl: trace [N]")
+		}
+	case "spans":
+		switch len(rest) {
+		case 0:
+			return &Request{Op: OpSpans}, nil
+		case 1:
+			return &Request{Op: OpSpans, Args: map[string]string{"max": rest[0]}}, nil
+		default:
+			return nil, fmt.Errorf("ctl: spans [N]")
+		}
+	case "events":
+		for _, a := range rest {
+			if k, _, _ := strings.Cut(a, "="); k != "since" && k != "max" {
+				return nil, fmt.Errorf("ctl: events [since=K] [max=N]")
+			}
+		}
+		return &Request{Op: OpEvents, Args: parseKVs(rest)}, nil
+	case "pathtrace":
+		switch len(rest) {
+		case 0:
+			return &Request{Op: OpPathTrace}, nil
+		case 1:
+			return &Request{Op: OpPathTrace, Args: map[string]string{"sample": rest[0]}}, nil
+		default:
+			return nil, fmt.Errorf("ctl: pathtrace [N]")
 		}
 	case "health":
 		return &Request{Op: OpHealth}, nil

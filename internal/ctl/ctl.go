@@ -44,6 +44,9 @@ const (
 	OpHealth     Op = "health"     // per-instance fault / quarantine report
 	OpQuarantine Op = "quarantine" // force an instance into quarantine
 	OpLinks      Op = "links"      // wire-backed interfaces (netio)
+	OpSpans      Op = "spans"      // folded path-trace spans (eisrpath)
+	OpEvents     Op = "events"     // structured event journal
+	OpPathTrace  Op = "pathtrace"  // path-trace status / sampling rate
 )
 
 // Request is one control message.

@@ -234,6 +234,11 @@ type Router struct {
 	telDropMTU      *telemetry.Counter
 	telDegraded     *telemetry.Counter
 	telPktNanos     *telemetry.Histogram
+
+	// ptrace is the in-band path tracer (eisrpath), captured from the
+	// registry at assembly; nil (all methods no-op) when path tracing
+	// was not enabled. The sampling rate inside it is runtime-mutable.
+	ptrace *telemetry.PathTracer
 }
 
 // New assembles a router.
@@ -284,6 +289,7 @@ func New(cfg Config) (*Router, error) {
 // branch) but every cell is nil and records nothing.
 func (r *Router) initTelemetry(t *telemetry.Telemetry) {
 	r.tel = t
+	r.ptrace = t.PathTracer() // nil-safe; nil tracer no-ops every call
 	r.gateNames = make([]string, len(r.gates))
 	r.telGateDispatch = make([]*telemetry.Counter, len(r.gates))
 	r.telGateNanos = make([]*telemetry.Histogram, len(r.gates))
@@ -490,10 +496,21 @@ func (r *Router) forwardMono(p *pkt.Packet, st *ifaceState) bool {
 //
 //eisr:fastpath
 func (r *Router) forwardPlugin(p *pkt.Packet, st *ifaceState) bool {
+	// Path-trace origin sampling: Enabled is one nil check plus an
+	// atomic load, the only cost the untraced path pays for eisrpath.
+	// The key hash is computed only for sampling-on routers, and a
+	// packet that arrived with a wire context stays traced regardless.
+	if !p.Path.Active && p.KeyValid && r.ptrace.Enabled() {
+		if id, ok := r.ptrace.Origin(aiu.HashKey(p.Key)); ok {
+			p.Path.Active = true
+			p.Path.ID = id
+		}
+	}
 	// Tracer() is one nil check plus an atomic load; Acquire returns nil
 	// unless tracing is enabled and this packet is sampled, so the
 	// untraced path pays a couple of predicted branches.
-	if te := r.tel.Tracer().Acquire(); te != nil {
+	te := r.tel.Tracer().Acquire()
+	if te != nil || p.Path.Active {
 		return r.forwardTraced(p, te, st)
 	}
 	return r.forwardGates(p, r.Counter, nil, st)
@@ -510,6 +527,9 @@ const (
 // same gate walk with a stack-local cycles counter so this packet's
 // classifier accesses can be attributed to its trace entry, then merges
 // them into the shared counter so benchmark accounting is unchanged.
+// It serves both the router-local trace ring (te, may be nil — every
+// TraceEntry method is a nil no-op) and the in-band path context
+// (p.Path.Active), which share the packet clock reads.
 //
 //eisr:fastpath
 func (r *Router) forwardTraced(p *pkt.Packet, te *telemetry.TraceEntry, st *ifaceState) bool {
@@ -522,14 +542,54 @@ func (r *Router) forwardTraced(p *pkt.Packet, te *telemetry.TraceEntry, st *ifac
 	te.RecordKey(p.Key, start.UnixNano())
 	te.RecordClassify(!p.CacheMiss, p.CacheMiss, cc.Mem, cc.FnPtr)
 	verdict, reason := verdictForwarded, ""
+	pv := pkt.PathVerdictForwarded
 	switch {
 	case !ok:
-		verdict, reason = verdictDropped, p.DropMsg
+		verdict, reason, pv = verdictDropped, p.DropMsg, pkt.PathVerdictDropped
 	case p.OutIf < 0:
-		verdict = verdictDelivered
+		verdict, pv = verdictDelivered, pkt.PathVerdictDelivered
 	}
 	te.Commit(verdict, reason, p.OutIf, elapsed)
+	if p.Path.Active {
+		r.pathStamp(p, pv, start, elapsed)
+	}
 	return ok
+}
+
+// pathStamp appends this router's hop record to an active in-band trace
+// context: queue residency (receive stamp to forwarding start), total
+// residency so far (TransmitWire re-stamps it at wire egress so output
+// queueing is included), the worker that forwarded it, and the gates
+// that dispatched an instance. When this router terminates the path —
+// local delivery or drop — the accumulated hops fold into the span
+// ring.
+//
+//eisr:fastpath
+func (r *Router) pathStamp(p *pkt.Packet, verdict uint8, start time.Time, elapsed int64) {
+	var queueNs int64
+	if !p.Stamp.IsZero() {
+		queueNs = start.Sub(p.Stamp).Nanoseconds()
+	}
+	var worker uint16
+	if r.pool != nil {
+		worker = uint16(aiu.SteerWorker(p.Key, r.pool.n))
+	}
+	p.Path.AppendHop(pkt.PathHop{
+		Router:  r.ptrace.Router(),
+		InIf:    int16(p.InIf),
+		OutIf:   int16(p.OutIf),
+		Worker:  worker,
+		Gates:   p.Path.LocalGates,
+		Verdict: verdict,
+		QueueNs: pkt.ClampNs(queueNs),
+		TotalNs: pkt.ClampNs(queueNs + elapsed),
+	})
+	p.Path.LocalGates = 0
+	p.Path.StampedHere = true
+	if verdict != pkt.PathVerdictForwarded {
+		r.ptrace.Fold(&p.Path, p.Key, start.UnixNano())
+		p.Path.Active = false
+	}
 }
 
 // hopIdentity resolves the plugin code and instance name recorded in a
@@ -590,6 +650,11 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 			}
 		} else {
 			inst, _ = r.aiu.LookupGate(p, g, now, c)
+		}
+		// The in-band hop record's gate-chain summary: bit i set when
+		// gate i dispatched a plugin instance for this packet.
+		if inst != nil && p.Path.Active && gi < 8 {
+			p.Path.LocalGates |= 1 << uint(gi)
 		}
 		switch g {
 		case pcu.TypeRouting:

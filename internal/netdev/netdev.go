@@ -462,7 +462,10 @@ func (i *Interface) Transmit(p *pkt.Packet) error {
 	i.tel.txPackets.Inc()
 	i.tel.txBytes.Add(uint64(len(p.Data)))
 	if peer != nil {
-		q := &pkt.Packet{Data: p.Data, InIf: peer.Index, OutIf: -1, TOS: p.TOS}
+		q := &pkt.Packet{Data: p.Data, InIf: peer.Index, OutIf: -1, TOS: p.TOS, Path: p.Path}
+		// The trace context crosses the in-memory link like it crosses
+		// the wire: router-local accumulation state does not.
+		q.Path.LocalGates, q.Path.StampedHere = 0, false
 		if k, err := pkt.ExtractKey(q.Data, peer.Index); err == nil {
 			q.Key, q.KeyValid = k, true
 		}

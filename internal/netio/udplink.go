@@ -119,6 +119,33 @@ type UDPLink struct {
 
 	stats linkStats
 	tel   linkTel
+
+	// jr is the event journal (nil = off); ring-full burst onsets and
+	// peer changes are journaled. The burst gates rate-limit the
+	// drop-arm journaling to one event per quiet period per direction.
+	jr      *telemetry.Journal
+	rxBurst burstGate
+	txBurst burstGate
+}
+
+// burstQuietNs separates ring-full bursts: the first drop after a quiet
+// second journals the burst onset; further drops inside the window are
+// counted in the stats but not journaled.
+const burstQuietNs = int64(time.Second)
+
+// burstGate is the onset detector: an atomic timestamp of the last
+// journaled drop. Lock-free so the drop arms stay fastpath-clean.
+type burstGate struct{ last atomic.Int64 }
+
+// onset reports whether this drop starts a new burst (and claims it).
+//
+//eisr:fastpath
+func (g *burstGate) onset(now int64) bool {
+	last := g.last.Load()
+	if now-last < burstQuietNs {
+		return false
+	}
+	return g.last.CompareAndSwap(last, now)
 }
 
 // NewUDPLink binds the local socket and builds the link for an
@@ -159,22 +186,26 @@ func NewUDPLink(ifc *netdev.Interface, cfg Config) (*UDPLink, error) {
 		done:  make(chan struct{}),
 	}
 	for i := range l.slots {
-		// One byte beyond the MTU so an oversized datagram is detectable
-		// (a read that fills MTU+1 bytes was too big) instead of being
-		// silently truncated at the buffer boundary.
-		l.slots[i].buf = make([]byte, l.mtu+1)
+		// MTU plus the worst-case path-trace encapsulation, plus one
+		// byte so an oversized inner datagram is detectable (a read that
+		// fills the buffer was too big) instead of being silently
+		// truncated at the buffer boundary.
+		l.slots[i].buf = make([]byte, l.mtu+pkt.MaxPathEncap+1)
 	}
 	for i := 0; i < txRing; i++ {
-		l.free <- &wireBuf{buf: make([]byte, l.mtu)}
+		// Egress frames carry up to MaxPathEncap bytes of trace context
+		// in front of an MTU-sized datagram.
+		l.free <- &wireBuf{buf: make([]byte, l.mtu+pkt.MaxPathEncap)}
+	}
+	if cfg.Tel != nil {
+		l.setTelemetry(cfg.Tel)
+		l.jr = cfg.Tel.Journal()
 	}
 	if cfg.Peer != "" {
 		if err := l.SetPeer(cfg.Peer); err != nil {
 			conn.Close()
 			return nil, err
 		}
-	}
-	if cfg.Tel != nil {
-		l.setTelemetry(cfg.Tel)
 	}
 	return l, nil
 }
@@ -220,6 +251,7 @@ func (l *UDPLink) SetPeer(addr string) error {
 	l.mu.Lock()
 	l.peer.Store(&ap)
 	l.mu.Unlock()
+	l.jr.Record(telemetry.EvLinkPeer, l.ifc.Name+" peer "+ap.String())
 	return nil
 }
 
@@ -308,20 +340,30 @@ func (l *UDPLink) rxBatch() (n int, closed bool) {
 //
 //eisr:fastpath
 func (l *UDPLink) deliver(slot *rxSlot, n int) {
-	if n > l.mtu {
+	data := slot.buf[:n]
+	p := &slot.p
+	*p = pkt.Packet{InIf: l.ifc.Index, OutIf: -1}
+	// Strip a path-trace encapsulation, if any, before MTU and key
+	// checks: both apply to the inner datagram.
+	consumed, ok := pkt.DecodePath(data, &p.Path)
+	if !ok {
+		l.stats.rxDropMalformed.Add(1)
+		l.tel.rxDropMalformed.Inc()
+		return
+	}
+	data = data[consumed:]
+	if len(data) > l.mtu {
 		l.stats.rxDropTooBig.Add(1)
 		l.tel.rxDropTooBig.Inc()
 		return
 	}
-	data := slot.buf[:n]
 	k, err := pkt.ExtractKey(data, l.ifc.Index)
 	if err != nil {
 		l.stats.rxDropMalformed.Add(1)
 		l.tel.rxDropMalformed.Inc()
 		return
 	}
-	p := &slot.p
-	*p = pkt.Packet{Data: data, InIf: l.ifc.Index, OutIf: -1, Key: k, KeyValid: true}
+	p.Data, p.Key, p.KeyValid = data, k, true
 	switch data[0] >> 4 {
 	case 4:
 		p.TOS = data[1]
@@ -331,6 +373,9 @@ func (l *UDPLink) deliver(slot *rxSlot, n int) {
 	if l.ifc.InjectPacket(p) != nil {
 		l.stats.rxDropRing.Add(1)
 		l.tel.rxDropRing.Inc()
+		if l.jr != nil && l.rxBurst.onset(time.Now().UnixNano()) {
+			l.jr.Record(telemetry.EvRxRingBurst, l.ifc.Name)
+		}
 		return
 	}
 	l.stats.rxPackets.Add(1)
@@ -352,9 +397,27 @@ func (l *UDPLink) TransmitWire(p *pkt.Packet) error {
 	default:
 		l.stats.txDropRing.Add(1)
 		l.tel.txDropRing.Inc()
+		if l.jr != nil && l.txBurst.onset(time.Now().UnixNano()) {
+			l.jr.Record(telemetry.EvTxRingBurst, l.ifc.Name)
+		}
 		return netdev.ErrRingFull
 	}
-	wb.n = copy(wb.buf, p.Data)
+	if p.Path.Active && p.Path.NHops > 0 {
+		// Re-stamp the hop this router appended so its total residency
+		// includes TX queueing up to this point (foreign hops — a
+		// context transiting an untraced best-effort router — are never
+		// touched). Then prepend the encapsulation.
+		if p.Path.StampedHere && !p.Stamp.IsZero() {
+			h := p.Path.Last()
+			if ns := pkt.ClampNs(time.Since(p.Stamp).Nanoseconds()); ns > h.TotalNs {
+				h.TotalNs = ns
+			}
+		}
+		n := pkt.EncodePath(&p.Path, wb.buf)
+		wb.n = n + copy(wb.buf[n:], p.Data)
+	} else {
+		wb.n = copy(wb.buf, p.Data)
+	}
 	select {
 	case l.txq <- wb:
 		return nil
@@ -369,6 +432,9 @@ func (l *UDPLink) TransmitWire(p *pkt.Packet) error {
 	l.free <- wb
 	l.stats.txDropRing.Add(1)
 	l.tel.txDropRing.Inc()
+	if l.jr != nil && l.txBurst.onset(time.Now().UnixNano()) {
+		l.jr.Record(telemetry.EvTxRingBurst, l.ifc.Name)
+	}
 	return netdev.ErrRingFull
 }
 

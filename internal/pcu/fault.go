@@ -157,6 +157,7 @@ type Health struct {
 	telClassifierFaults *telemetry.Counter
 	telQuarantines      *telemetry.Counter
 	telQuarantined      *telemetry.Gauge
+	jr                  *telemetry.Journal
 }
 
 // NewHealth builds a health tracker.
@@ -176,6 +177,7 @@ func (h *Health) SetTelemetry(t *telemetry.Telemetry) {
 	h.telClassifierFaults = fault(OriginClassifier)
 	h.telQuarantines = t.Counter("eisr_plugin_quarantines_total", "instances quarantined after repeated faults")
 	h.telQuarantined = t.Gauge("eisr_plugins_quarantined", "instances currently quarantined")
+	h.jr = t.Journal()
 }
 
 func (h *Health) now() time.Time {
@@ -237,11 +239,13 @@ func (h *Health) Record(f *PluginFault, inst Instance) {
 		ih.quarantinedAt = f.When
 		trigger = true
 	}
+	name := ih.plugin + "/" + ih.instance
 	n := h.quarantinedLocked()
 	h.mu.Unlock()
 	if trigger {
 		h.telQuarantines.Inc()
 		h.telQuarantined.Set(int64(n))
+		h.jr.Record(telemetry.EvQuarantine, name)
 		if h.cfg.OnQuarantine != nil {
 			safely(func() { h.cfg.OnQuarantine(inst, f) })
 		}
@@ -273,10 +277,12 @@ func (h *Health) Quarantine(inst Instance, plugin, instance string) bool {
 		return false
 	}
 	ih.quarantined, ih.manual, ih.quarantinedAt = true, true, now
+	name := ih.plugin + "/" + ih.instance
 	n := h.quarantinedLocked()
 	h.mu.Unlock()
 	h.telQuarantines.Inc()
 	h.telQuarantined.Set(int64(n))
+	h.jr.Record(telemetry.EvQuarantine, name)
 	if h.cfg.OnQuarantine != nil {
 		safely(func() { h.cfg.OnQuarantine(inst, nil) })
 	}
@@ -301,9 +307,14 @@ func (h *Health) MarkDrained(inst Instance) {
 		return
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if ih := h.byInst[inst]; ih != nil && ih.quarantined {
+	var name string
+	if ih := h.byInst[inst]; ih != nil && ih.quarantined && !ih.drained {
 		ih.drained = true
+		name = ih.plugin + "/" + ih.instance
+	}
+	h.mu.Unlock()
+	if name != "" {
+		h.jr.Record(telemetry.EvQuarantineDrained, name)
 	}
 }
 

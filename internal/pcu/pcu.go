@@ -225,6 +225,7 @@ type Registry struct {
 	telLoaded  *telemetry.Gauge
 	telLoads   *telemetry.Counter
 	telUnloads *telemetry.Counter
+	jr         *telemetry.Journal
 }
 
 // NewRegistry returns an empty PCU.
@@ -243,6 +244,7 @@ func (r *Registry) SetTelemetry(t *telemetry.Telemetry) {
 	r.telLoaded = t.Gauge("eisr_plugins_loaded", "plugins currently loaded")
 	r.telLoads = t.Counter("eisr_plugin_loads_total", "plugin load operations")
 	r.telUnloads = t.Counter("eisr_plugin_unloads_total", "plugin unload operations")
+	r.jr = t.Journal()
 }
 
 // SetGuard attaches the plugin fault barrier. Call once at assembly
@@ -293,6 +295,7 @@ func (r *Registry) Load(p Plugin) error {
 	r.mu.Unlock()
 	r.telLoads.Inc()
 	r.telLoaded.Set(int64(n))
+	r.jr.Record(telemetry.EvPluginLoad, e.name)
 	return nil
 }
 
@@ -318,6 +321,7 @@ func (r *Registry) Unload(name string) error {
 	r.mu.Unlock()
 	r.telUnloads.Inc()
 	r.telLoaded.Set(int64(n))
+	r.jr.Record(telemetry.EvPluginUnload, name)
 	return nil
 }
 

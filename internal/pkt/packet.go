@@ -119,6 +119,11 @@ type Packet struct {
 	// daemon on every router along the path even though the packet is
 	// addressed to the far-end session destination.
 	PuntLocal bool
+
+	// Path is the in-band trace context (eisrpath). Inactive for the
+	// vast majority of packets; embedded by value so the untraced path
+	// pays one boolean check and no allocation.
+	Path PathContext
 }
 
 // MarkDrop flags the packet for discard with a reason used in statistics

@@ -1,0 +1,121 @@
+package pkt
+
+import (
+	"testing"
+)
+
+func samplePathContext() PathContext {
+	c := PathContext{Active: true, ID: 0xDEADBEEFCAFE}
+	c.AppendHop(PathHop{Router: 1, InIf: 0, OutIf: 1, Worker: 3, Gates: 0b1010, Verdict: PathVerdictForwarded, QueueNs: 1200, TotalNs: 4800})
+	c.AppendHop(PathHop{Router: 2, InIf: -1, OutIf: -1, Worker: 0, Gates: 0b1111, Verdict: PathVerdictDelivered, QueueNs: 77, TotalNs: 0xFFFFFFFF})
+	return c
+}
+
+func TestPathEncodeDecodeRoundTrip(t *testing.T) {
+	c := samplePathContext()
+	var buf [MaxPathEncap]byte
+	n := EncodePath(&c, buf[:])
+	if n != c.EncodedPathLen() || n != pathHdrWire+2*pathHopWire {
+		t.Fatalf("encoded %d bytes, want %d", n, pathHdrWire+2*pathHopWire)
+	}
+	var got PathContext
+	consumed, ok := DecodePath(buf[:n], &got)
+	if !ok || consumed != n {
+		t.Fatalf("decode: consumed=%d ok=%v, want %d true", consumed, ok, n)
+	}
+	got.LocalGates = c.LocalGates
+	if got != c {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+}
+
+func TestPathDecodeBareDatagram(t *testing.T) {
+	// IPv4 and IPv6 first bytes never collide with the magic.
+	for _, first := range []byte{0x45, 0x60} {
+		var c PathContext
+		consumed, ok := DecodePath([]byte{first, 0, 0, 0}, &c)
+		if consumed != 0 || !ok || c.Active {
+			t.Fatalf("first byte %#x: consumed=%d ok=%v active=%v, want bare passthrough", first, consumed, ok, c.Active)
+		}
+	}
+}
+
+func TestPathDecodeFutureVersionSkipped(t *testing.T) {
+	c := samplePathContext()
+	var buf [MaxPathEncap + 64]byte
+	n := EncodePath(&c, buf[:])
+	buf[1] = PathVersion + 7 // future header version
+	inner := copy(buf[n:], []byte{0x45, 0, 0, 20})
+	var got PathContext
+	consumed, ok := DecodePath(buf[:n+inner], &got)
+	if !ok || consumed != n {
+		t.Fatalf("future version: consumed=%d ok=%v, want skip of %d bytes", consumed, ok, n)
+	}
+	if got.Active {
+		t.Fatalf("future version must deliver untraced, got active context")
+	}
+}
+
+func TestPathDecodeMalformed(t *testing.T) {
+	c := samplePathContext()
+	var buf [MaxPathEncap]byte
+	n := EncodePath(&c, buf[:])
+	cases := map[string][]byte{
+		"truncated header": append([]byte(nil), buf[:8]...),
+		"encap beyond frame": func() []byte {
+			b := append([]byte(nil), buf[:n]...)
+			b[3] = 0xFF // encLen > len(data)
+			return b
+		}(),
+		"impossible hop count": func() []byte {
+			b := append([]byte(nil), buf[:n]...)
+			b[5] = MaxPathHops + 1
+			return b
+		}(),
+		"hops beyond encap": func() []byte {
+			b := append([]byte(nil), buf[:n]...)
+			b[5] = 3 // claims 3 hops but encLen covers 2
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		var got PathContext
+		if _, ok := DecodePath(data, &got); ok {
+			t.Errorf("%s: decode accepted malformed encap", name)
+		}
+	}
+}
+
+func TestPathAppendHopBounded(t *testing.T) {
+	var c PathContext
+	for i := 0; i < MaxPathHops+3; i++ {
+		c.AppendHop(PathHop{Router: uint32(i + 1)})
+	}
+	if c.NHops != MaxPathHops {
+		t.Fatalf("NHops=%d, want cap at %d", c.NHops, MaxPathHops)
+	}
+	if last := c.Last(); last == nil || last.Router != MaxPathHops {
+		t.Fatalf("Last=%+v, want router %d (overflow hops dropped)", last, MaxPathHops)
+	}
+}
+
+func TestClampNs(t *testing.T) {
+	if ClampNs(-5) != 0 || ClampNs(42) != 42 || ClampNs(1<<40) != 0xFFFFFFFF {
+		t.Fatalf("ClampNs saturation broken")
+	}
+}
+
+func TestPathCodecZeroAlloc(t *testing.T) {
+	c := samplePathContext()
+	var buf [MaxPathEncap]byte
+	var got PathContext
+	allocs := testing.AllocsPerRun(200, func() {
+		n := EncodePath(&c, buf[:])
+		if _, ok := DecodePath(buf[:n], &got); !ok {
+			t.Fatal("decode failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode+decode allocates %.1f per op, want 0", allocs)
+	}
+}

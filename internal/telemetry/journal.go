@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultJournalSize is the event journal depth when callers pass 0.
+const DefaultJournalSize = 1024
+
+// Journal event kinds. Record callers on hot paths must pass these
+// constants (and preexisting detail strings) so recording stays
+// allocation-free.
+const (
+	EvPluginLoad        = "plugin-load"
+	EvPluginUnload      = "plugin-unload"
+	EvQuarantine        = "quarantine"
+	EvQuarantineDrained = "quarantine-drained"
+	EvLinkPeer          = "link-peer"
+	EvRxRingBurst       = "rx-ring-burst"
+	EvTxRingBurst       = "tx-ring-burst"
+	EvConfig            = "config"
+	EvPathSample        = "path-sample"
+	EvRouterStart       = "router-start"
+	EvRouterStop        = "router-stop"
+)
+
+// journalEntry is one slot of the event ring, guarded by the same
+// per-entry busy try-lock discipline as the trace and span rings.
+type journalEntry struct {
+	busy      atomic.Uint32
+	committed bool
+
+	seq       uint64
+	unixMilli int64
+	kind      string
+	detail    string
+}
+
+// Journal is the fixed-size structured event journal: control-plane and
+// exception events (quarantines, plugin lifecycle, link peer changes,
+// ring-full burst onsets, config mutations) with monotonic sequence
+// numbers and coarse millisecond timestamps. Recording is lock-free and
+// allocation-free so exception arms of the data path (a TX ring-full
+// burst) can journal without violating fastpath discipline. A nil
+// *Journal no-ops every method.
+type Journal struct {
+	entries []journalEntry
+	mask    uint64
+	seq     atomic.Uint64
+	skipped atomic.Uint64
+}
+
+// NewJournal builds a journal with size slots (rounded up to a power of
+// two; 0 = DefaultJournalSize).
+func NewJournal(size int) *Journal {
+	if size <= 0 {
+		size = DefaultJournalSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Journal{entries: make([]journalEntry, n), mask: uint64(n - 1)}
+}
+
+// EnableJournal installs the event journal (size 0 = default).
+// Assembly time, like EnableTrace.
+func (t *Telemetry) EnableJournal(size int) *Journal {
+	if t == nil {
+		return nil
+	}
+	j := NewJournal(size)
+	t.mu.Lock()
+	t.journal.Store(j)
+	t.mu.Unlock()
+	return j
+}
+
+// Journal returns the live event journal, or nil when journaling is
+// off. One atomic load.
+//
+//eisr:fastpath
+func (t *Telemetry) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.journal.Load()
+}
+
+// Record appends one event. kind and detail must be preexisting strings
+// (constants, names fixed at assembly) — the copy is a header copy, so
+// recording allocates nothing. A slot still held by a reader is skipped
+// rather than waited on.
+//
+//eisr:fastpath
+func (j *Journal) Record(kind, detail string) {
+	if j == nil {
+		return
+	}
+	seq := j.seq.Add(1) - 1
+	e := &j.entries[seq&j.mask]
+	if !e.busy.CompareAndSwap(0, 1) {
+		j.skipped.Add(1)
+		return
+	}
+	e.seq = seq
+	e.unixMilli = time.Now().UnixMilli()
+	e.kind = kind
+	e.detail = detail
+	e.committed = true
+	e.busy.Store(0)
+}
+
+// NextSeq returns the sequence number the next event will get — the
+// follow-mode cursor.
+func (j *Journal) NextSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}
+
+// EventSample is one journal event rendered for the control protocol.
+type EventSample struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Snapshot copies up to max committed events with sequence >= since,
+// ordered by ascending sequence (deterministic; `pmgr events -f` polls
+// with since as its cursor). Control path; allocates.
+func (j *Journal) Snapshot(since uint64, max int) []EventSample {
+	if j == nil {
+		return nil
+	}
+	n := len(j.entries)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]EventSample, 0, max)
+	next := j.seq.Load()
+	for i := uint64(0); i < uint64(n); i++ {
+		seq := next - 1 - i
+		if seq+1 == 0 { // wrapped past the first-ever event
+			break
+		}
+		if seq < since {
+			break
+		}
+		e := &j.entries[seq&j.mask]
+		if !e.busy.CompareAndSwap(0, 1) {
+			continue
+		}
+		if e.committed && e.seq == seq {
+			out = append(out, EventSample{
+				Seq: e.seq, Time: time.UnixMilli(e.unixMilli),
+				Kind: e.kind, Detail: e.detail,
+			})
+		}
+		e.busy.Store(0)
+		if next-1-i == 0 {
+			break
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	if len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

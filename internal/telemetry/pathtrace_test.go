@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"os"
+	"testing"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+func testKey(port uint16) pkt.Key {
+	return pkt.Key{Proto: pkt.ProtoUDP, SrcPort: port, DstPort: 9, InIf: 0}
+}
+
+func TestPathTracerNilNoOps(t *testing.T) {
+	var pt *PathTracer
+	if pt.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if _, ok := pt.Origin(0); ok {
+		t.Fatal("nil tracer sampled a packet")
+	}
+	if pt.Router() != 0 || pt.SampleRate() != 0 {
+		t.Fatal("nil tracer leaks state")
+	}
+	pt.SetSampleRate(4)
+	var c pkt.PathContext
+	c.AppendHop(pkt.PathHop{TotalNs: 10})
+	pt.Fold(&c, pkt.Key{}, 0) // must not panic
+	if got := pt.SnapshotSpans(8); got != nil {
+		t.Fatalf("nil tracer snapshot: %v", got)
+	}
+	var tel *Telemetry
+	if tel.PathTracer() != nil || tel.Journal() != nil {
+		t.Fatal("nil registry returned live tracer/journal")
+	}
+}
+
+func TestPathTracerOriginDeterministic(t *testing.T) {
+	tel := New()
+	pt := tel.EnablePathTrace(7, 64, 4)
+	if tel.PathTracer() != pt {
+		t.Fatal("PathTracer accessor does not return the installed tracer")
+	}
+	if pt.Router() != 7 {
+		t.Fatalf("router id %d, want 7", pt.Router())
+	}
+	// Deterministic 1-in-N on the hash: same hash, same decision.
+	for hash := uint32(0); hash < 64; hash++ {
+		_, first := pt.Origin(hash)
+		_, second := pt.Origin(hash)
+		if first != second {
+			t.Fatalf("hash %d: sampling not deterministic", hash)
+		}
+		if want := hash%4 == 0; first != want {
+			t.Fatalf("hash %d: sampled=%v, want %v", hash, first, want)
+		}
+	}
+	id1, ok1 := pt.Origin(0)
+	id2, ok2 := pt.Origin(4)
+	if !ok1 || !ok2 || id1 == id2 {
+		t.Fatalf("trace ids not unique: %x %x", id1, id2)
+	}
+	if id1>>48 != 7 {
+		t.Fatalf("trace id %x does not carry the router id", id1)
+	}
+}
+
+func TestPathTracerSetSampleRateRuntime(t *testing.T) {
+	tel := New()
+	pt := tel.EnablePathTrace(1, 64, 0)
+	if pt.Enabled() {
+		t.Fatal("sample 0 must mean disabled")
+	}
+	if _, ok := pt.Origin(0); ok {
+		t.Fatal("disabled tracer sampled")
+	}
+	pt.SetSampleRate(1)
+	if !pt.Enabled() {
+		t.Fatal("SetSampleRate(1) did not enable")
+	}
+	if _, ok := pt.Origin(12345); !ok {
+		t.Fatal("1-in-1 sampling missed a packet")
+	}
+	pt.SetSampleRate(-3)
+	if pt.Enabled() {
+		t.Fatal("negative rate must disable")
+	}
+}
+
+func TestPathTracerFoldAndSnapshot(t *testing.T) {
+	tel := New()
+	pt := tel.EnablePathTrace(3, 64, 1)
+	var c pkt.PathContext
+	c.Active = true
+	c.ID = 0xABCD
+	c.AppendHop(pkt.PathHop{Router: 1, OutIf: 1, Verdict: pkt.PathVerdictForwarded, QueueNs: 100, TotalNs: 400})
+	c.AppendHop(pkt.PathHop{Router: 3, OutIf: -1, Verdict: pkt.PathVerdictDelivered, QueueNs: 50, TotalNs: 600})
+	pt.Fold(&c, testKey(1000), 42)
+
+	spans := pt.SnapshotSpans(0)
+	if len(spans) != 1 {
+		t.Fatalf("%d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.TraceID != "000000000000abcd" {
+		t.Fatalf("trace id %q", s.TraceID)
+	}
+	if s.TotalNs != 1000 {
+		t.Fatalf("span total %d, want sum of hop totals 1000", s.TotalNs)
+	}
+	if len(s.Hops) != 2 || s.Hops[0].Router != 1 || s.Hops[1].Router != 3 {
+		t.Fatalf("hops %+v", s.Hops)
+	}
+	if s.Hops[1].Verdict != "delivered" {
+		t.Fatalf("terminal verdict %q", s.Hops[1].Verdict)
+	}
+	// The 2-hop latency histogram saw the span.
+	v, ok := tel.Find(`eisr_path_latency_ns{hops="2"}`)
+	if !ok || v.Hist.Count != 1 || v.Hist.Sum != 1000 {
+		t.Fatalf("latency histogram: ok=%v %+v", ok, v.Hist)
+	}
+	st := pt.Status()
+	if st.Spans != 1 || st.Router != 3 || st.Sample != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestSpanSnapshotAscendingSeq(t *testing.T) {
+	tel := New()
+	pt := tel.EnablePathTrace(1, 16, 1)
+	for i := 0; i < 40; i++ { // wrap the 16-slot ring
+		var c pkt.PathContext
+		c.Active, c.ID = true, uint64(i)
+		c.AppendHop(pkt.PathHop{Router: 1, Verdict: pkt.PathVerdictDelivered, TotalNs: uint32(i)})
+		pt.Fold(&c, testKey(uint16(i)), int64(i))
+	}
+	spans := pt.SnapshotSpans(0)
+	if len(spans) != 16 {
+		t.Fatalf("%d spans, want full ring of 16", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq <= spans[i-1].Seq {
+			t.Fatalf("spans not ascending by seq: %d then %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+	if spans[len(spans)-1].Seq != 39 {
+		t.Fatalf("newest span seq %d, want 39", spans[len(spans)-1].Seq)
+	}
+}
+
+// The disabled-sampling fast path (Enabled check) and an active Fold
+// must both stay allocation-free.
+func TestPathTraceZeroAlloc(t *testing.T) {
+	tel := New()
+	pt := tel.EnablePathTrace(1, 64, 0)
+	n := testing.AllocsPerRun(1000, func() {
+		if pt.Enabled() {
+			t.Fatal("sampling should be off")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("disabled sampling check allocated %v per op", n)
+	}
+	pt.SetSampleRate(1)
+	k := testKey(7)
+	n = testing.AllocsPerRun(1000, func() {
+		id, ok := pt.Origin(8)
+		if !ok {
+			t.Fatal("1-in-1 missed")
+		}
+		var c pkt.PathContext
+		c.Active, c.ID = true, id
+		c.AppendHop(pkt.PathHop{Router: 1, Verdict: pkt.PathVerdictDelivered, TotalNs: 5})
+		pt.Fold(&c, k, 1)
+	})
+	if n != 0 {
+		t.Fatalf("origin+fold allocated %v per op", n)
+	}
+}
+
+// Satellite S5 timing guard (run by `make bench-smoke`): the exact
+// calls the forwarding path makes per packet with sampling disabled —
+// the nil-or-atomic Enabled check — must cost under 2ns and allocate
+// nothing, for both the telemetry-off (nil tracer) and sampling-off
+// configurations.
+func TestBenchSmokePathTraceOverhead(t *testing.T) {
+	if os.Getenv("EISR_BENCH_SMOKE") == "" {
+		t.Skip("timing guard; run via make bench-smoke (EISR_BENCH_SMOKE=1)")
+	}
+	measure := func(name string, pt *PathTracer) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if pt.Enabled() {
+					if _, ok := pt.Origin(uint32(i)); ok {
+						b.Fatal("disabled tracer sampled")
+					}
+				}
+			}
+		})
+		if r.AllocsPerOp() != 0 {
+			t.Fatalf("%s: %d allocs/op, want 0", name, r.AllocsPerOp())
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		t.Logf("%s: %.3f ns/op", name, ns)
+		if ns >= 2 {
+			t.Fatalf("%s costs %.3f ns/op, want < 2", name, ns)
+		}
+	}
+	measure("nil tracer (telemetry off)", nil)
+	tel := New()
+	measure("sampling off", tel.EnablePathTrace(1, 64, 0))
+}

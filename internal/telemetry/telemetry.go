@@ -60,7 +60,9 @@ type Telemetry struct {
 	order  []*metric
 	byFull map[string]*metric
 
-	trace atomic.Pointer[TraceRing]
+	trace   atomic.Pointer[TraceRing]
+	path    atomic.Pointer[PathTracer]
+	journal atomic.Pointer[Journal]
 }
 
 // New builds an empty registry.

@@ -26,6 +26,7 @@ package eisr
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/routerplugins/eisr/internal/aiu"
@@ -106,6 +107,21 @@ type Options struct {
 	// TraceSample records every Nth packet in the trace ring (0 or 1 =
 	// every packet). Only meaningful with Telemetry.
 	TraceSample int
+	// RouterID identifies this router in in-band path-trace hop records
+	// (eisrpath). Only meaningful with Telemetry.
+	RouterID uint32
+	// PathSample enables in-band path tracing at the origin: 1-in-N
+	// packets (deterministic by flow-key hash) carry a trace context
+	// across the wire. 0 = origin sampling off (the router still stamps
+	// and folds contexts that arrive from peers). Runtime-mutable via
+	// "pmgr pathtrace N". Only meaningful with Telemetry.
+	PathSample int
+	// SpanBuffer sizes the folded-span ring (entries, rounded up to a
+	// power of two; 0 = the default). Only meaningful with Telemetry.
+	SpanBuffer int
+	// EventJournal sizes the structured event journal ring (0 = the
+	// default). Only meaningful with Telemetry.
+	EventJournal int
 	// FaultPolicy selects what happens to a packet whose plugin dispatch
 	// panicked: "drop" (default) discards it, "forward" continues past
 	// the faulted gate on the default path.
@@ -133,6 +149,7 @@ type Router struct {
 	mu            sync.Mutex
 	done          chan struct{}
 	running       bool
+	serving       atomic.Bool
 	localHandlers map[uint16]func(*pkt.Packet)
 
 	// guard/health are the plugin fault-isolation layer: every plugin
@@ -182,6 +199,10 @@ func New(opts Options) (*Router, error) {
 			size = telemetry.DefaultTraceSize
 		}
 		tel.EnableTrace(size, opts.TraceSample)
+		// The event journal and path tracer must exist before ipcore and
+		// the links capture their pointers at assembly below.
+		tel.EnableJournal(opts.EventJournal)
+		tel.EnablePathTrace(opts.RouterID, opts.SpanBuffer, opts.PathSample)
 		if a != nil {
 			a.SetTelemetry(tel)
 		}
@@ -488,6 +509,10 @@ func (r *Router) Start() {
 			d.Start()
 		}
 	}
+	r.Telemetry.Journal().Record(telemetry.EvRouterStart, "forwarding up")
+	// Serving flips last: a health probe that sees 200 is guaranteed the
+	// forwarding loop and every wire driver are already up.
+	r.serving.Store(true)
 }
 
 // Stop halts the forwarding loop, then stops the wire drivers: the
@@ -495,11 +520,16 @@ func (r *Router) Start() {
 // reclaimer quiesces, then each driver closes its socket and joins its
 // I/O goroutines.
 func (r *Router) Stop() {
+	// Serving flips first — health probes report 503 for the whole
+	// teardown window — and unconditionally, so a Stop racing Start
+	// never leaves a stale 200.
+	r.serving.Store(false)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.running {
 		return
 	}
+	r.Telemetry.Journal().Record(telemetry.EvRouterStop, "forwarding down")
 	close(r.done)
 	r.running = false
 	for _, ifc := range r.Core.Interfaces() {
@@ -508,6 +538,11 @@ func (r *Router) Stop() {
 		}
 	}
 }
+
+// Serving reports whether the router is past Start and not yet into
+// Stop — the health-probe truth behind eisrd's /healthz endpoint.
+// Lock-free, safe from any goroutine.
+func (r *Router) Serving() bool { return r.serving.Load() }
 
 // Connect wires an interface of this router to an interface of another
 // (or the same) router as a point-to-point link.

@@ -5,13 +5,16 @@
 # UDP-encapsulated IP datagrams through the full gate/classifier path
 # with `eisrbench -exp wire`, and fail on any unexplained loss.
 # eisrbench exits nonzero when packets are lost; `pmgr links` must show
-# the wire in the operator report.
+# the wire in the operator report, and the event journal must have
+# recorded the boot. Readiness comes from the /healthz probe (200 only
+# while the router serves), not from sleeping.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO=${GO:-go}
 BIN=bin
 CTL=127.0.0.1:14242
+METRICS=127.0.0.1:14280
 INGRESS=127.0.0.1:19001
 EGRESS=127.0.0.1:19002
 SINK=127.0.0.1:19102
@@ -38,17 +41,22 @@ register drr drr0 'filter=<*, *, *, *, *, *>' weight=2
 route add 0.0.0.0/0 dev 1
 EOF
 
-$BIN/eisrd -ctl $CTL -ifaces 2 -config "$CONF" \
+$BIN/eisrd -ctl $CTL -metrics $METRICS -router-id 1 -ifaces 2 -config "$CONF" \
     -link "0=$INGRESS," -link "1=$EGRESS,$SINK" &
 DAEMON_PID=$!
 
-# Wait for the control socket.
-for i in $(seq 1 50); do
-    if $BIN/pmgr -s $CTL plugins >/dev/null 2>&1; then
+# Readiness: /healthz flips to 200 only once Start has completed — the
+# boot script has run and forwarding workers and wire drivers are up.
+for i in $(seq 1 100); do
+    if curl -fsS -o /dev/null "http://$METRICS/healthz" 2>/dev/null; then
         break
     fi
     if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
         echo "wire-smoke: eisrd died during startup" >&2
+        exit 1
+    fi
+    if [ "$i" -eq 100 ]; then
+        echo "wire-smoke: /healthz never went ready" >&2
         exit 1
     fi
     sleep 0.1
@@ -62,6 +70,27 @@ LINKS=$($BIN/pmgr -s $CTL links)
 echo "$LINKS"
 if ! echo "$LINKS" | grep -q udp; then
     echo "wire-smoke: pmgr links does not report the UDP links" >&2
+    exit 1
+fi
+
+# The event journal recorded the boot: router start, the drr module
+# load, the peer wiring, and the config mutations must all be visible
+# to the operator.
+echo "wire-smoke: pmgr events"
+EVENTS=$($BIN/pmgr -s $CTL events max=64)
+echo "$EVENTS"
+for want in router-start plugin-load link-peer config; do
+    if ! echo "$EVENTS" | grep -q "$want"; then
+        echo "wire-smoke: event journal is missing a $want record" >&2
+        exit 1
+    fi
+done
+
+# Runtime sampling control round-trips through the control socket and
+# itself lands in the journal.
+$BIN/pmgr -s $CTL pathtrace 16 >/dev/null
+if ! $BIN/pmgr -s $CTL events max=8 | grep -q path-sample; then
+    echo "wire-smoke: pathtrace mutation not journaled" >&2
     exit 1
 fi
 
