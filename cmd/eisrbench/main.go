@@ -20,8 +20,8 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
-	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "faults",
-	"wire", "pathtrace",
+	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "batch",
+	"faults", "wire", "pathtrace",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -146,6 +146,22 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.ParallelTable(rows))
+	}
+	if run("batch") {
+		ran = true
+		opts := bench.BatchSweepOptions{Wire: *exp == "batch"}
+		if *full {
+			opts.Flows, opts.PerFlow, opts.WirePackets = 4096, 500, 10_000
+		}
+		rows, err := bench.RunBatchSweep(opts)
+		if err != nil {
+			fatal(err)
+		}
+		w := opts.Workers
+		if w <= 0 {
+			w = 4
+		}
+		fmt.Println(bench.BatchTable(rows, w))
 	}
 	if run("faults") {
 		ran = true

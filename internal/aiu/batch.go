@@ -1,0 +1,229 @@
+package aiu
+
+import (
+	"time"
+
+	"github.com/routerplugins/eisr/internal/cycles"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// BatchLookup is the vector variant of the gate macro: it resolves the
+// bound plugin instance for every packet of a worker batch at one gate.
+// The per-packet cascade is exactly LookupGate's — FIX fast path, flow
+// table, first-packet classification — but restructured into passes so
+// the batch amortizes what the scalar path pays per packet:
+//
+//   - the gate→slot map access happens once per batch, not per packet;
+//   - the five-tuple hashes for the whole batch are computed in one
+//     tight ALU pass before any chain is walked, separating the
+//     independent hash work from the dependent pointer chases (the
+//     software analog of prefetching between shard entries);
+//   - the shard read lock is taken once per contiguous same-shard run
+//     instead of once per packet — with hash steering a worker's whole
+//     batch maps to one shard, so this is one RLock/RUnlock per batch
+//     per gate.
+//
+// All scratch is owned by the BatchLookup and preallocated, so the
+// steady-state resolve allocates nothing. A BatchLookup belongs to one
+// worker; it is not safe for concurrent use.
+type BatchLookup struct {
+	a       *AIU
+	hashes  []uint32
+	pending []bool
+	dups    []bool
+	recs    []*FlowRecord
+	gens    []uint64
+}
+
+// NewBatchLookup builds a resolver with scratch for batches of up to
+// capacity packets (larger batches grow the scratch off the hot path).
+func (a *AIU) NewBatchLookup(capacity int) *BatchLookup {
+	if capacity < 1 {
+		capacity = 1
+	}
+	bl := &BatchLookup{a: a}
+	bl.grow(capacity)
+	return bl
+}
+
+// grow sizes the scratch arrays — construction time, or the rare
+// larger-than-capacity batch.
+//
+//eisr:slowpath
+func (bl *BatchLookup) grow(n int) {
+	bl.hashes = make([]uint32, n)
+	bl.pending = make([]bool, n)
+	bl.dups = make([]bool, n)
+	bl.recs = make([]*FlowRecord, n)
+	bl.gens = make([]uint64, n)
+}
+
+// Resolve fills insts[i] with the instance bound to ps[i]'s flow at the
+// gate, for every non-nil entry of ps (nil entries — packets already
+// dead in the batch walk — resolve to nil). It is equivalent to calling
+// LookupGate per packet: the same FIX/flow-table/classify cascade, the
+// same counter and telemetry accounting, the same generation guards.
+// len(insts) must equal len(ps).
+//
+//eisr:fastpath
+//eisr:allow(snapdiscipline) batched LookupGate: one generation-guarded binds load per packet (not per invocation), each guarded by BindIfCurrent exactly as the scalar path's loads are
+func (bl *BatchLookup) Resolve(ps []*pkt.Packet, gate pcu.Type, now time.Time, c *cycles.Counter, insts []pcu.Instance) {
+	a := bl.a
+	n := len(ps)
+	if n > len(bl.hashes) {
+		bl.grow(n)
+	}
+	slot, ok := a.slots[gate]
+	if !ok {
+		for i := range ps {
+			insts[i] = nil
+		}
+		return
+	}
+	// Pass 1: FIX fast path and hash precompute. Packets whose FIX is
+	// current resolve with one guarded load; the rest get their flow
+	// hash computed here, in one branch-light pass, so the chain walks
+	// below run back to back on warm hash values.
+	for i := 0; i < n; i++ {
+		insts[i] = nil
+		bl.pending[i] = false
+		bl.dups[i] = false
+		bl.recs[i] = nil
+		p := ps[i]
+		if p == nil {
+			continue
+		}
+		if p.FIX != nil {
+			rec, isRec := p.FIX.(*FlowRecord)
+			if isRec {
+				c.Access(1) // one indirect load through the FIX
+				if b := rec.BindIfCurrent(slot, p.FIXGen); b != nil {
+					insts[i] = b.Instance
+					continue
+				}
+			}
+			p.FIX = nil
+		}
+		if !p.KeyValid {
+			k, err := pkt.ExtractKey(p.Data, p.InIf)
+			if err != nil {
+				continue
+			}
+			p.Key, p.KeyValid = k, true
+		}
+		c.FnPointer() // the index-hash function-pointer load of Table 2
+		bl.hashes[i] = HashKey(p.Key)
+		bl.pending[i] = true
+	}
+	// Pass 2: flow-table chain walks, one shard read-lock per
+	// contiguous same-shard run (already-resolved slots do not break a
+	// run — they touch no shard).
+	t := a.flows
+	anyMiss := false
+	i := 0
+	for i < n {
+		if !bl.pending[i] {
+			i++
+			continue
+		}
+		sh := t.shardFor(bl.hashes[i])
+		last := i
+		for j := i + 1; j < n; j++ {
+			if !bl.pending[j] {
+				continue
+			}
+			if t.shardFor(bl.hashes[j]) != sh {
+				break
+			}
+			last = j
+		}
+		var runHits, runMisses uint64
+		sh.mu.RLock()
+		for k := i; k <= last; k++ {
+			if !bl.pending[k] {
+				continue
+			}
+			// A chunk can carry several first packets of one brand-new
+			// flow. The first one misses here and classifies in pass 3;
+			// its followers must not also walk to a miss — in the scalar
+			// order they would have hit the record the first packet
+			// inserts, so they are marked and resolved after that insert
+			// (pass 3) through the ordinary table lookup. The scan only
+			// runs once a miss exists, so a hit-only batch pays nothing.
+			if anyMiss {
+				for j := 0; j < k; j++ {
+					if bl.pending[j] && bl.recs[j] == nil && bl.hashes[j] == bl.hashes[k] && ps[j].Key == ps[k].Key {
+						bl.dups[k] = true
+						break
+					}
+				}
+				if bl.dups[k] {
+					continue
+				}
+			}
+			h := bl.hashes[k]
+			var chain uint64
+			for r := sh.buckets[h&sh.mask]; r != nil; r = r.next {
+				c.Access(1)
+				chain++
+				if r.Key == ps[k].Key {
+					r.touch(now)
+					bl.recs[k] = r
+					bl.gens[k] = r.gen.Load()
+					break
+				}
+			}
+			if bl.recs[k] != nil {
+				runHits++
+			} else {
+				runMisses++
+				anyMiss = true
+			}
+			t.telChain.Observe(chain)
+		}
+		sh.mu.RUnlock()
+		sh.hits.Add(runHits)
+		sh.misses.Add(runMisses)
+		t.telHits.Add(runHits)
+		t.telMisses.Add(runMisses)
+		i = last + 1
+	}
+	// Pass 3: bind the hits (generation-guarded, FIX cached in the
+	// packet) and classify the misses — the same per-packet slow path
+	// the scalar walk takes on a cache miss. Misses resolve in batch
+	// order, so a marked duplicate always runs after the packet that
+	// inserts its flow's record and finds it with a plain lookup, whose
+	// internal hit/chain/touch accounting matches the scalar walk.
+	var cached uint64
+	for i := 0; i < n; i++ {
+		if !bl.pending[i] {
+			continue
+		}
+		p := ps[i]
+		if rec := bl.recs[i]; rec != nil {
+			if b := rec.BindIfCurrent(slot, bl.gens[i]); b != nil {
+				p.FIX, p.FIXGen = rec, bl.gens[i]
+				cached++
+				insts[i] = b.Instance
+				continue
+			}
+		}
+		if bl.dups[i] {
+			if rec, gen := t.LookupGen(p.Key, now, c); rec != nil {
+				if b := rec.BindIfCurrent(slot, gen); b != nil {
+					p.FIX, p.FIXGen = rec, gen
+					cached++
+					insts[i] = b.Instance
+					continue
+				}
+			}
+			// The just-inserted record was evicted between passes; fall
+			// through to the same classify the scalar walk would reach.
+		}
+		insts[i], _ = a.classifyAndInsert(p, slot, now, c)
+	}
+	if cached > 0 {
+		a.cachedLookups.Add(cached)
+	}
+}

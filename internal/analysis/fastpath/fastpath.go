@@ -53,10 +53,10 @@ var telemetryFast = map[string]bool{
 	"TraceEntry.RecordKey": true, "TraceEntry.RecordHop": true,
 	"TraceEntry.RecordClassify": true, "TraceEntry.Commit": true,
 	"TraceRing.Acquire": true, "TraceRing.Skipped": true,
-	"Telemetry.Tracer": true,
+	"Telemetry.Tracer":     true,
 	"Telemetry.PathTracer": true, "PathTracer.Enabled": true,
 	"PathTracer.Origin": true, "PathTracer.Router": true,
-	"PathTracer.Fold": true,
+	"PathTracer.Fold":   true,
 	"Telemetry.Journal": true, "Journal.Record": true,
 }
 
@@ -181,11 +181,16 @@ func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, edge func(*types.Func)) {
 }
 
 func checkCall(pass *analysis.Pass, name string, call *ast.CallExpr, edge func(*types.Func)) {
-	// Builtin make always allocates.
+	// Builtin make always allocates; append may grow its backing array
+	// (a batch loop that appends must run over preallocated scratch and
+	// carry an //eisr:allow(fastpath) stating the capacity argument).
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
-			if b.Name() == "make" || b.Name() == "new" {
+			switch b.Name() {
+			case "make", "new":
 				pass.Reportf(call.Pos(), "%s: %s allocates on the fast path", name, b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "%s: append may grow and allocate on the fast path (preallocate the scratch and bound the batch to its cap)", name)
 			}
 			return
 		}

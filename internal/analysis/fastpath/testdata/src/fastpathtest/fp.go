@@ -133,3 +133,15 @@ func (m *meter) record(ns uint64) {
 func (m *meter) export() int {
 	return len(m.reg.Snapshot()) // want "calls telemetry.Telemetry.Snapshot on the fast path"
 }
+
+// batchAppend exercises the vector-forwarding append rule: append may
+// grow its backing array, so the fast path only admits it over
+// preallocated scratch declared with an allow.
+//
+//eisr:fastpath
+func (p *pipeline) batchAppend(scratch []int, n int) []int {
+	scratch = append(scratch, n) // want "batchAppend: append may grow and allocate on the fast path"
+	//eisr:allow(fastpath) preallocated scratch, caller bounds the batch to its cap
+	scratch = append(scratch, n)
+	return scratch
+}

@@ -410,6 +410,16 @@ func (ck *checker) isAcquireCall(call *ast.CallExpr) bool {
 	return ck.mb.isMbufPtr(sig.Results().At(0).Type())
 }
 
+// isBuiltinAppend reports whether call is the append builtin.
+func (ck *checker) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	_, ok = ck.pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
 // recvFromMbufChan reports whether e is `<-ch` with ch carrying mbuf
 // pointers.
 func (ck *checker) recvFromMbufChan(e ast.Expr) bool {
@@ -429,6 +439,29 @@ func (ck *checker) assign(n *ast.AssignStmt, s state) state {
 			ck.guards[okv] = buf
 		}
 		return ck.acquire(s, buf, n.Lhs[0].Pos())
+	}
+	// Batch formation: s = append(s, pk, ...) stores the mbuf into a
+	// container exactly like s[i] = pk — the slice owns it now. The
+	// vector forwarding loops (pool worker, TX drain) hand their whole
+	// batch to a forward/transmit sink, which is where the container's
+	// contents are consumed.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && ck.isBuiltinAppend(call) {
+			s = ck.scanUses(call.Args[0], s)
+			for _, arg := range call.Args[1:] {
+				if v := ck.varOf(arg); v != nil {
+					if _, tracked := s[v]; tracked {
+						s = ck.releaseVar(s, v, arg.Pos())
+						continue
+					}
+				}
+				s = ck.scanUses(arg, s)
+			}
+			if v := ck.varOf(n.Lhs[0]); v != nil {
+				return ck.untrack(s, v)
+			}
+			return ck.scanUses(n.Lhs[0], s)
+		}
 	}
 	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
 		lhs := ck.varOf(n.Lhs[0])

@@ -230,3 +230,38 @@ func (r *ring) allowSuppresses(fail bool) {
 	}
 	transmit(wb)
 }
+
+func forwardBatch(ps []*pkt.Packet) {
+	for _, p := range ps {
+		forwardOne(p)
+	}
+}
+
+// cleanBatchAppend: appending to the batch slice stores the packet into
+// a container — the batch owns it, and the wholesale handoff consumes
+// the container's contents.
+func (r *ring) cleanBatchAppend(batch []*pkt.Packet) {
+	p := r.PollPacket()
+	if p == nil {
+		return
+	}
+	batch = append(batch, p)
+	forwardBatch(batch)
+}
+
+// useAfterBatchAppend touches a buffer the batch container already
+// owns.
+func (r *ring) useAfterBatchAppend(batch []*buf) {
+	wb := <-r.free
+	batch = append(batch, wb)
+	_ = wb.n // want "use of packet buffer wb after handoff"
+	_ = batch
+}
+
+// doubleReleaseAppend frees a buffer the batch already owns.
+func (r *ring) doubleReleaseAppend(batch []*buf) {
+	wb := <-r.free
+	batch = append(batch, wb)
+	r.freeBuf(wb) // want "packet buffer wb released twice"
+	_ = batch
+}

@@ -1,0 +1,156 @@
+package bench
+
+// Batch sweep guards (satellite of the vector forwarding PR): the sweep
+// must be well-formed at any core count, ForwardBatch must not allocate
+// per packet on the steady-state hit path (asserted in every `go test`
+// — allocation counts are deterministic), and under `make bench-smoke`
+// batching must actually pay: batch=8 no slower than batch=1 and
+// batch=16 at least 1.3x, on the 4-worker in-process topology.
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/ipcore"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+)
+
+func TestRunBatchSweepSmall(t *testing.T) {
+	rows, err := RunBatchSweep(BatchSweepOptions{
+		Sizes: []int{1, 8}, Flows: 64, PerFlow: 20, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PPS <= 0 {
+			t.Errorf("batch=%d: pps = %f", r.Batch, r.PPS)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %f", rows[0].Speedup)
+	}
+	if s := BatchTable(rows, 2).String(); s == "" {
+		t.Error("empty table")
+	}
+}
+
+// newBatchAllocRig builds a one-gate router with primed flows and a
+// reusable packet vector for the alloc guard.
+func newBatchAllocRig(tb testing.TB, batch int) (*ipcore.Router, *ipcore.Batcher, []*pkt.Packet) {
+	tb.Helper()
+	routes, err := routing.New(bmp.KindBSPL)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := aiu.New(aiu.Config{FlowBuckets: 256, MaxFlows: 128}, pcu.TypeSched)
+	inst := benchInstance{}
+	a.Bind(pcu.TypeSched, aiu.MatchAll(), &inst, nil)
+	r, err := ipcore.New(ipcore.Config{
+		Mode: ipcore.ModePlugin, Gates: []pcu.Type{pcu.TypeSched},
+		AIU: a, Routes: routes, OutQueueLen: 1 << 16,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r.AddInterface(netdev.NewInterface(0, netdev.Config{}))
+	r.AddInterface(netdev.NewInterface(1, netdev.Config{}))
+	routes.Add(pkt.MustParsePrefix("0.0.0.0/0"), routing.NextHop{IfIndex: 1})
+
+	now := time.Now()
+	ps := make([]*pkt.Packet, batch)
+	for i := range ps {
+		data, err := pkt.BuildUDP(pkt.UDPSpec{
+			Src: pkt.AddrV4(0x0a000000 + uint32(i%8)), Dst: pkt.AddrV4(0x14000001),
+			SrcPort: uint16(1000 + i%8), DstPort: 9, TTL: 255, Payload: make([]byte, 32),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		k, err := pkt.ExtractKey(data, 0)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ps[i] = &pkt.Packet{Data: data, Key: k, KeyValid: true, InIf: 0, OutIf: -1, Stamp: now}
+	}
+	b := r.NewBatcher(batch)
+	// Prime the flows so the measured runs sit on the cache-hit path.
+	b.ForwardBatch(ps)
+	for r.TxDrain(1, 1<<16) > 0 {
+	}
+	return r, b, ps
+}
+
+// TestBenchSmokeForwardBatchZeroAlloc is the acceptance guard for the
+// vector path: steady-state ForwardBatch allocates nothing per packet.
+// Allocation counts are deterministic, so this runs in every `go test`,
+// not just under the smoke harness.
+func TestBenchSmokeForwardBatchZeroAlloc(t *testing.T) {
+	const batch = 32
+	r, b, ps := newBatchAllocRig(t, batch)
+	n := testing.AllocsPerRun(100, func() {
+		for _, p := range ps {
+			p.OutIf = -1
+		}
+		if got := b.ForwardBatch(ps); got != batch {
+			t.Fatalf("batch lost packets: %d of %d survived", got, batch)
+		}
+		for r.TxDrain(1, 1<<16) > 0 {
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ForwardBatch allocated %v per %d-packet batch, want 0", n, batch)
+	}
+}
+
+func BenchmarkForwardBatch(b *testing.B) {
+	const batch = 32
+	r, fb, ps := newBatchAllocRig(b, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			p.OutIf = -1
+		}
+		fb.ForwardBatch(ps)
+		for r.TxDrain(1, 1<<16) > 0 {
+		}
+	}
+}
+
+// TestBenchSmokeBatchSpeedup is the throughput acceptance gate: on the
+// 4-worker in-process topology, batch=8 must not be slower than batch=1
+// and batch=16 must deliver at least 1.3x. Run via `make bench-smoke`.
+func TestBenchSmokeBatchSpeedup(t *testing.T) {
+	if os.Getenv("EISR_BENCH_SMOKE") == "" {
+		t.Skip("timing guard; run via make bench-smoke (EISR_BENCH_SMOKE=1)")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need 4 cores for the batch speedup guard, have %d", runtime.NumCPU())
+	}
+	rows, err := RunBatchSweep(BatchSweepOptions{
+		Sizes: []int{1, 8, 16}, Flows: 1024, PerFlow: 200, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("batch=%2d: %.0f pps (%.2fx)", r.Batch, r.PPS, r.Speedup)
+	}
+	if rows[1].Speedup < 1.0 {
+		t.Fatalf("batch=8 is slower than batch=1: %.2fx", rows[1].Speedup)
+	}
+	if rows[2].Speedup < 1.3 {
+		t.Fatalf("batch=16 speedup %.2fx, want >= 1.3x", rows[2].Speedup)
+	}
+}

@@ -39,6 +39,9 @@ type WireOptions struct {
 	// Workers sizes the in-process routers' worker pools (ignored in
 	// daemon mode).
 	Workers int
+	// Batch caps the in-process routers' per-worker forwarding vector
+	// (0 = the engine default; ignored in daemon mode).
+	Batch int
 }
 
 // WireResult is the wire experiment outcome.
@@ -111,7 +114,7 @@ func RunWire(opts WireOptions) (WireResult, error) {
 			return err
 		}
 	} else {
-		a, b, linkA, linkBOut, err := buildWirePair(opts.Workers)
+		a, b, linkA, linkBOut, err := buildWirePair(opts.Workers, opts.Batch)
 		if err != nil {
 			return res, err
 		}
@@ -208,9 +211,9 @@ func RunWire(opts WireOptions) (WireResult, error) {
 // ring, drr at the sched gate, egress on a UDP link) wired to router B
 // (UDP ingress link, UDP egress link whose peer the caller points at
 // the sink).
-func buildWirePair(workers int) (a, b *eisr.Router, linkA, linkBOut *netio.UDPLink, err error) {
+func buildWirePair(workers, batch int) (a, b *eisr.Router, linkA, linkBOut *netio.UDPLink, err error) {
 	mk := func() (*eisr.Router, error) {
-		r, err := eisr.New(eisr.Options{VerifyChecksums: true, Workers: workers})
+		r, err := eisr.New(eisr.Options{VerifyChecksums: true, Workers: workers, BatchSize: batch})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,430 @@
+// Vector forwarding: the batched variant of the gate walk.
+//
+// The scalar walk (forwardGates) pays, per packet: one snapshot load,
+// one gate-counter increment per gate, one slots-map access plus one
+// shard read-lock per flow lookup, and one indirect call through the
+// fault barrier per bound instance. ForwardBatch amortizes all four
+// across a worker batch: the COW interface snapshot is loaded once per
+// batch, gate counters are bumped once per gate with the batch size,
+// flow lookups go through aiu.BatchLookup (one shard RLock per
+// contiguous same-shard run — with hash steering, one per batch), and
+// instance dispatch is issued once per (instance, contiguous-run) —
+// through HandleBatch when the instance implements pcu.BatchHandler,
+// else as a per-packet HandlePacket loop over the run.
+//
+// Equivalence with the scalar walk is a hard requirement (the batch
+// equivalence suite pins it): per-packet verdicts, drop reasons,
+// telemetry totals, and per-flow order are identical. Traced packets
+// (trace ring or in-band path context) take the scalar forwardTraced
+// path so hop records are identical by construction.
+package ipcore
+
+import (
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+)
+
+// DefaultBatchSize is the worker batch cap when Config.BatchSize is
+// zero: large enough to amortize locks and indirect calls, small enough
+// to bound the latency a queued packet waits behind its batch.
+const DefaultBatchSize = 32
+
+// Batcher carries one worker's preallocated batch scratch. All slices
+// are sized to the cap at construction, so a steady-state ForwardBatch
+// allocates nothing. A Batcher belongs to one worker goroutine; it is
+// not safe for concurrent use.
+type Batcher struct {
+	r   *Router
+	bl  *aiu.BatchLookup
+	cap int
+
+	// seg accumulates the current untraced segment between flushes.
+	seg []*pkt.Packet
+
+	// Per-packet walk state, indexed like the chunk.
+	lookup []*pkt.Packet  // nil-holed view handed to BatchLookup
+	insts  []pcu.Instance // resolved instance per packet at the current gate
+	dead   []bool         // verdict reached (dropped or delivered)
+	routed []bool         // forwarding decision made
+	sched  []bool         // a scheduler instance took the packet
+	fault  []bool         // degraded at the current gate (forward policy)
+
+	// Dispatch-run scratch: the packets of one (instance, run).
+	run    []*pkt.Packet
+	runIdx []int
+}
+
+// NewBatcher builds batch scratch for batches of up to capacity packets
+// (0 = DefaultBatchSize). Larger slices passed to ForwardBatch are
+// processed in capacity-sized chunks.
+func (r *Router) NewBatcher(capacity int) *Batcher {
+	if capacity <= 0 {
+		capacity = DefaultBatchSize
+	}
+	b := &Batcher{
+		r: r, cap: capacity,
+		seg:    make([]*pkt.Packet, 0, capacity),
+		lookup: make([]*pkt.Packet, capacity),
+		insts:  make([]pcu.Instance, capacity),
+		dead:   make([]bool, capacity),
+		routed: make([]bool, capacity),
+		sched:  make([]bool, capacity),
+		fault:  make([]bool, capacity),
+		run:    make([]*pkt.Packet, 0, capacity),
+		runIdx: make([]int, 0, capacity),
+	}
+	if r.aiu != nil {
+		b.bl = r.aiu.NewBatchLookup(capacity)
+	}
+	return b
+}
+
+// ForwardBatch forwards every packet of ps and returns how many
+// survived (forwarded or delivered — the count of true returns Forward
+// would have produced). The interface-state snapshot is loaded exactly
+// once per call and threaded through every segment, so the whole batch
+// forwards against one coherent generation of the interface tables.
+//
+// Traced packets (trace-ring sample or in-band path context) take the
+// scalar forwardTraced walk so their hop records and trace entries are
+// identical to the per-packet path by construction — and in position:
+// the untraced segment collected so far is flushed first, so neither a
+// traced packet nor its followers can overtake packets submitted before
+// them. Untraced packets accumulate into cap-bounded segments that run
+// the vector gate walk.
+//
+//eisr:fastpath
+func (b *Batcher) ForwardBatch(ps []*pkt.Packet) int {
+	r := b.r
+	st := r.state.Load()
+	if r.mode == ModeBestEffort || b.bl == nil {
+		// The best-effort kernel has no gates to batch; run the scalar
+		// chain per packet against the caller's snapshot.
+		ok := 0
+		for _, p := range ps {
+			if p != nil && r.forwardMono(p, st) {
+				ok++
+			}
+		}
+		return ok
+	}
+	total := 0
+	b.seg = b.seg[:0]
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		// Path-trace origin sampling, then the trace-ring check — both
+		// exactly as forwardPlugin does them, in submission order.
+		if !p.Path.Active && p.KeyValid && r.ptrace.Enabled() {
+			if id, ok := r.ptrace.Origin(aiu.HashKey(p.Key)); ok {
+				p.Path.Active = true
+				p.Path.ID = id
+			}
+		}
+		te := r.tel.Tracer().Acquire()
+		if te != nil || p.Path.Active {
+			total += b.flushSeg(st)
+			if r.forwardTraced(p, te, st) {
+				total++
+			}
+			continue
+		}
+		//eisr:allow(fastpath) preallocated scratch: the segment is flushed at the batch cap, its capacity
+		b.seg = append(b.seg, p)
+		if len(b.seg) == b.cap {
+			total += b.flushSeg(st)
+		}
+	}
+	return total + b.flushSeg(st)
+}
+
+// flushSeg runs the accumulated untraced segment through the vector
+// gate walk and resets it.
+//
+//eisr:fastpath
+func (b *Batcher) flushSeg(st *ifaceState) int {
+	if len(b.seg) == 0 {
+		return 0
+	}
+	n := b.forwardChunk(b.seg, st)
+	b.seg = b.seg[:0]
+	return n
+}
+
+// forwardChunk runs one cap-bounded chunk of non-nil, untraced packets
+// through the vector gate walk.
+//
+//eisr:fastpath
+func (b *Batcher) forwardChunk(ps []*pkt.Packet, st *ifaceState) int {
+	r := b.r
+	n := len(ps)
+	survived := 0
+	alive := 0
+	var now time.Time
+	for i := 0; i < n; i++ {
+		p := ps[i]
+		b.dead[i], b.routed[i], b.sched[i] = false, false, false
+		if !r.validate(p) {
+			b.dead[i] = true
+			continue
+		}
+		if now.IsZero() {
+			// One flow-touch timestamp per chunk (the scalar path reads
+			// it per packet; only LRU touch ordering can tell).
+			now = p.Stamp
+			if now.IsZero() {
+				now = r.clock()
+			}
+		}
+		alive++
+	}
+	if alive == 0 {
+		return survived
+	}
+	c := r.Counter
+	for gi, g := range r.gates {
+		if alive == 0 {
+			break
+		}
+		r.telGateDispatch[gi].Add(uint64(alive))
+		for i := 0; i < n; i++ {
+			b.fault[i] = false
+			if b.dead[i] {
+				b.lookup[i] = nil
+			} else {
+				b.lookup[i] = ps[i]
+			}
+		}
+		b.bl.Resolve(b.lookup[:n], g, now, c, b.insts[:n])
+		switch g {
+		case pcu.TypeRouting:
+			// Dispatch first (a QoS-routing instance may set the output
+			// interface), then the forwarding decision per packet.
+			alive -= b.dispatchGate(g, ps)
+			for i := 0; i < n; i++ {
+				if b.dead[i] {
+					continue
+				}
+				p := ps[i]
+				if r.deliverLocal(p, st) {
+					b.dead[i] = true
+					survived++
+					alive--
+					continue
+				}
+				if p.OutIf < 0 {
+					nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
+					if !ok {
+						r.dropNoRoute(p)
+						b.dead[i] = true
+						alive--
+						continue
+					}
+					p.OutIf = nh.IfIndex
+					p.NextHop = nh.Gateway
+				}
+				if !r.decTTL(p) {
+					b.dead[i] = true
+					alive--
+					continue
+				}
+				b.routed[i] = true
+			}
+		case pcu.TypeSched:
+			// Forwarding decision first for packets no routing gate
+			// covered, exactly as the scalar sched arm does.
+			for i := 0; i < n; i++ {
+				if b.dead[i] || b.routed[i] {
+					continue
+				}
+				p := ps[i]
+				if r.deliverLocal(p, st) {
+					b.dead[i] = true
+					survived++
+					alive--
+					continue
+				}
+				nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
+				if !ok {
+					r.dropNoRoute(p)
+					b.dead[i] = true
+					alive--
+					continue
+				}
+				p.OutIf = nh.IfIndex
+				p.NextHop = nh.Gateway
+				if !r.decTTL(p) {
+					b.dead[i] = true
+					alive--
+					continue
+				}
+				b.routed[i] = true
+			}
+			alive -= b.dispatchGate(g, ps)
+			for i := 0; i < n; i++ {
+				if b.dead[i] || b.insts[i] == nil || b.fault[i] {
+					continue
+				}
+				p := ps[i]
+				if p.Drop {
+					r.pluginDrop(p, nil)
+					b.dead[i] = true
+					alive--
+					continue
+				}
+				b.sched[i] = true
+				r.stats.schedEnq.Add(1)
+				r.stats.forwarded.Add(1)
+				r.telForwarded.Inc()
+			}
+		default:
+			alive -= b.dispatchGate(g, ps)
+			for i := 0; i < n; i++ {
+				if b.dead[i] || b.insts[i] == nil || b.fault[i] {
+					continue
+				}
+				if ps[i].Drop {
+					r.pluginDrop(ps[i], nil)
+					b.dead[i] = true
+					alive--
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if b.dead[i] || !ps[i].PuntLocal {
+				continue
+			}
+			r.stats.delivered.Add(1)
+			r.telDelivered.Inc()
+			if r.cfg.LocalSink != nil {
+				r.cfg.LocalSink(ps[i])
+			}
+			b.dead[i] = true
+			survived++
+			alive--
+		}
+	}
+	for i := 0; i < n; i++ {
+		if b.dead[i] {
+			continue
+		}
+		p := ps[i]
+		if b.sched[i] {
+			survived++
+			continue
+		}
+		if !b.routed[i] {
+			if r.deliverLocal(p, st) {
+				survived++
+				continue
+			}
+			nh, ok := r.cfg.Routes.Lookup(p.Key.Dst, c)
+			if !ok {
+				r.dropNoRoute(p)
+				continue
+			}
+			p.OutIf = nh.IfIndex
+			p.NextHop = nh.Gateway
+			if !r.decTTL(p) {
+				continue
+			}
+		}
+		if r.enqueueFIFO(p, st) {
+			survived++
+		}
+	}
+	return survived
+}
+
+// dispatchGate issues the gate's dispatches for every live packet with
+// a bound instance, one guarded call per (instance, contiguous-run):
+// consecutive live packets bound to the same instance form a run (dead
+// packets and packets with no instance at this gate sit between runs
+// without splitting them). A run goes through HandleBatch when the
+// instance implements pcu.BatchHandler, else through the scalar
+// per-packet dispatch. Returns how many packets reached a drop verdict;
+// b.fault marks degraded packets (forward policy) the caller must treat
+// as if no instance were bound.
+//
+//eisr:fastpath
+func (b *Batcher) dispatchGate(g pcu.Type, ps []*pkt.Packet) (killed int) {
+	r := b.r
+	n := len(ps)
+	i := 0
+	for i < n {
+		if b.dead[i] || b.insts[i] == nil {
+			i++
+			continue
+		}
+		inst := b.insts[i]
+		b.run = b.run[:0]
+		b.runIdx = b.runIdx[:0]
+		j := i
+		for ; j < n; j++ {
+			if b.dead[j] || b.insts[j] == nil {
+				continue
+			}
+			if b.insts[j] != inst {
+				break
+			}
+			//eisr:allow(fastpath) preallocated scratch: run cap is the batch cap, a run never outgrows its chunk
+			b.run = append(b.run, ps[j])
+			//eisr:allow(fastpath) preallocated scratch: same cap as b.run
+			b.runIdx = append(b.runIdx, j)
+		}
+		if bh, ok := inst.(pcu.BatchHandler); ok {
+			killed += b.dispatchBatchRun(g, bh, inst)
+		} else {
+			for k, p := range b.run {
+				idx := b.runIdx[k]
+				cont, faulted := r.gateDispatch(g, inst, p)
+				b.fault[idx] = faulted
+				if !cont {
+					b.dead[idx] = true
+					killed++
+				}
+			}
+		}
+		i = j
+	}
+	return killed
+}
+
+// dispatchBatchRun sends one run through HandleBatch behind the fault
+// barrier. A contained panic counts one fault against the instance
+// (quarantine accounting identical to the scalar barrier) and the whole
+// run receives the fault policy: forward-policy runs are degraded,
+// drop-policy runs are dropped with the fault as reason.
+//
+//eisr:fastpath
+func (b *Batcher) dispatchBatchRun(g pcu.Type, bh pcu.BatchHandler, inst pcu.Instance) (killed int) {
+	r := b.r
+	flt := r.guard.DispatchBatch(g, bh, inst, b.run)
+	if flt == nil {
+		return 0
+	}
+	r.stats.faults.Add(1)
+	forward := r.guard.Policy() == pcu.PolicyForward
+	for k, idx := range b.runIdx {
+		p := b.run[k]
+		if forward {
+			p.Drop = false
+			r.stats.degraded.Add(1)
+			r.telDegraded.Inc()
+			b.fault[idx] = true
+			continue
+		}
+		if !p.Drop {
+			p.MarkDrop(flt.Error())
+		}
+		r.stats.dropped.Add(1)
+		r.countDrop(r.telDropFault)
+		b.dead[idx] = true
+		killed++
+	}
+	return killed
+}

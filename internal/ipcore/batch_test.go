@@ -1,0 +1,682 @@
+// The batch equivalence suite: ForwardBatch must be observationally
+// identical to Forward — same verdicts, same drop reasons, same
+// telemetry totals, same per-flow order, same path-trace hop records —
+// for any trace and any chunking. Every test here runs the same
+// deterministic packet trace through a scalar rig and a batch rig and
+// diffs everything observable.
+package ipcore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/aiu"
+	"github.com/routerplugins/eisr/internal/bmp"
+	"github.com/routerplugins/eisr/internal/netdev"
+	"github.com/routerplugins/eisr/internal/pcu"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+// newEqRig builds a plugin-mode router with an output queue deep enough
+// that queue-full drops cannot differ between drain patterns. workers=0
+// forwards inline; workers>1 builds the pool for the parallel variant.
+func newEqRig(t *testing.T, tel *telemetry.Telemetry, guard *pcu.Guard, workers int) *testRig {
+	t.Helper()
+	routes, err := routing.New(bmp.KindBSPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes.Add(pkt.MustParsePrefix("0.0.0.0/0"), routing.NextHop{IfIndex: 1})
+	routes.Add(pkt.MustParsePrefix("2000::/3"), routing.NextHop{IfIndex: 1})
+	a := aiu.New(aiu.Config{InitialFlows: 64, MaxFlows: 1024, FlowBuckets: 1024}, DefaultGates...)
+	r, err := New(Config{
+		Mode: ModePlugin, AIU: a, Routes: routes, VerifyChecksums: true,
+		OutQueueLen: 65536, Tel: tel, Guard: guard, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := netdev.NewInterface(0, netdev.Config{Addr: pkt.MustParseAddr("192.0.2.1")})
+	out := netdev.NewInterface(1, netdev.Config{RxRing: 65536})
+	sink := netdev.NewInterface(2, netdev.Config{RxRing: 65536})
+	netdev.Connect(out, sink)
+	r.AddInterface(in)
+	r.AddInterface(out)
+	return &testRig{r: r, in: in, out: out, sink: sink, a: a}
+}
+
+// eqCounterInstance is a scalar-only instance (no HandleBatch): the
+// batch path must dispatch it through the per-packet fallback loop.
+type eqCounterInstance struct {
+	name string
+	pkts atomic.Uint64
+}
+
+func (e *eqCounterInstance) InstanceName() string { return e.name }
+func (e *eqCounterInstance) HandlePacket(p *pkt.Packet) error {
+	e.pkts.Add(1)
+	return nil
+}
+
+// eqVerdictInstance denies packets whose source port is a multiple of 7
+// — the same verdict logic through both ABI shapes. The scalar rig only
+// ever calls HandlePacket; the batch rig's dispatcher must prefer
+// HandleBatch.
+type eqVerdictInstance struct {
+	name    string
+	pkts    atomic.Uint64
+	batches atomic.Uint64
+}
+
+func (e *eqVerdictInstance) InstanceName() string { return e.name }
+
+func (e *eqVerdictInstance) verdict(p *pkt.Packet) {
+	if p.Key.SrcPort%7 == 0 {
+		p.MarkDrop("eq: denied")
+	}
+}
+
+func (e *eqVerdictInstance) HandlePacket(p *pkt.Packet) error {
+	e.pkts.Add(1)
+	e.verdict(p)
+	return nil
+}
+
+func (e *eqVerdictInstance) HandleBatch(ps []*pkt.Packet) {
+	e.batches.Add(1)
+	e.pkts.Add(uint64(len(ps)))
+	for _, p := range ps {
+		e.verdict(p)
+	}
+}
+
+// bindEqInstances installs the trace's plugin population: a scalar-only
+// counter at the options gate and a batch-capable verdict instance at
+// the security gate.
+func bindEqInstances(t *testing.T, rig *testRig) (*eqCounterInstance, *eqVerdictInstance) {
+	t.Helper()
+	opt := &eqCounterInstance{name: "eq-count"}
+	sec := &eqVerdictInstance{name: "eq-verdict"}
+	if _, err := rig.a.Bind(pcu.TypeOptions, aiu.MatchAll(), opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.a.Bind(pcu.TypeSecurity, aiu.MatchAll(), sec, nil); err != nil {
+		t.Fatal(err)
+	}
+	return opt, sec
+}
+
+const eqFlows = 16
+
+// eqPacket builds packet i of the deterministic trace: 16 flows, two of
+// them IPv6 (one routable, one with no route), source ports chosen so
+// flows 1, 8, and 15 are denied by the verdict instance.
+func eqPacket(t *testing.T, i int) *pkt.Packet {
+	t.Helper()
+	f := i % eqFlows
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint32(payload, uint32(f))
+	binary.BigEndian.PutUint32(payload[4:], uint32(i/eqFlows))
+	spec := pkt.UDPSpec{SrcPort: uint16(1000 + f), DstPort: 9, Payload: payload, TTL: 64}
+	switch f {
+	case 5: // no route: 100::1 is outside 2000::/3
+		spec.Src, spec.Dst = pkt.MustParseAddr("2001:db8::5"), pkt.MustParseAddr("100::1")
+	case 11: // routable v6
+		spec.Src, spec.Dst = pkt.MustParseAddr("2001:db8::11"), pkt.MustParseAddr("2001:db8::99")
+	default:
+		spec.Src, spec.Dst = pkt.AddrV4(0x0a000000+uint32(f)), pkt.AddrV4(0x14000001)
+	}
+	data, err := pkt.BuildUDP(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pkt.NewPacket(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stamp = time.Now()
+	return p
+}
+
+// drainEq flushes the output queue and collects the sink's packets.
+func drainEq(t *testing.T, rig *testRig) []*pkt.Packet {
+	t.Helper()
+	for rig.r.TxDrain(1, 4096) > 0 {
+	}
+	var out []*pkt.Packet
+	for {
+		p := rig.sink.Poll()
+		if p == nil {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// eqFlowSeq decodes the (flow, seq) pair a trace packet carries.
+func eqFlowSeq(t *testing.T, p *pkt.Packet) (uint32, uint32) {
+	t.Helper()
+	off := pkt.IPv4HeaderLen + 8
+	if p.Data[0]>>4 == 6 {
+		off = 40 + 8
+	}
+	pl := p.Data[off:]
+	return binary.BigEndian.Uint32(pl), binary.BigEndian.Uint32(pl[4:])
+}
+
+// eqCounters renders the deterministic counter families — everything
+// except the timing histograms, which legitimately differ run to run.
+func eqCounters(t *testing.T, tel *telemetry.Telemetry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tel.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	keep := []string{
+		"eisr_gate_dispatch_total", "eisr_verdicts_total", "eisr_drops_total",
+		"eisr_degraded_packets_total", "eisr_pool_drop_full",
+	}
+	var out []string
+	for _, ln := range strings.Split(sb.String(), "\n") {
+		for _, f := range keep {
+			if strings.HasPrefix(ln, f) && !strings.HasPrefix(ln, "#") {
+				out = append(out, ln)
+			}
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestBatchEquivalence runs the 10k-packet trace through Forward and
+// through ForwardBatch under adversarial chunk sizes (sub-cap, exactly
+// cap, and beyond cap, which exercises internal re-chunking) and
+// requires identical verdict stats, telemetry counters, instance
+// dispatch counts, flow-cache behavior, and total sink order.
+func TestBatchEquivalence(t *testing.T) {
+	const total = 10000
+
+	sTel := telemetry.New()
+	scalar := newEqRig(t, sTel, nil, 0)
+	sOpt, sSec := bindEqInstances(t, scalar)
+	sSurvived := 0
+	for i := 0; i < total; i++ {
+		if scalar.r.Forward(eqPacket(t, i)) {
+			sSurvived++
+		}
+	}
+	sSink := drainEq(t, scalar)
+
+	bTel := telemetry.New()
+	batch := newEqRig(t, bTel, nil, 0)
+	bOpt, bSec := bindEqInstances(t, batch)
+	b := batch.r.NewBatcher(32)
+	sizes := []int{1, 3, 32, 7, 64, 16, 5, 96, 2, 31, 33}
+	bSurvived, si := 0, 0
+	ps := make([]*pkt.Packet, 0, 96)
+	for i := 0; i < total; {
+		n := sizes[si%len(sizes)]
+		si++
+		if n > total-i {
+			n = total - i
+		}
+		ps = ps[:0]
+		for k := 0; k < n; k++ {
+			ps = append(ps, eqPacket(t, i))
+			i++
+		}
+		bSurvived += b.ForwardBatch(ps)
+	}
+	bSink := drainEq(t, batch)
+
+	if sSurvived != bSurvived {
+		t.Errorf("survived: scalar=%d batch=%d", sSurvived, bSurvived)
+	}
+	if ss, bs := scalar.r.Stats(), batch.r.Stats(); ss != bs {
+		t.Errorf("stats diverge:\nscalar %+v\nbatch  %+v", ss, bs)
+	}
+	if sc, bc := eqCounters(t, sTel), eqCounters(t, bTel); sc != bc {
+		t.Errorf("telemetry counters diverge:\nscalar:\n%s\nbatch:\n%s", sc, bc)
+	}
+	if sOpt.pkts.Load() != bOpt.pkts.Load() {
+		t.Errorf("options dispatches: scalar=%d batch=%d", sOpt.pkts.Load(), bOpt.pkts.Load())
+	}
+	if sSec.pkts.Load() != bSec.pkts.Load() {
+		t.Errorf("security dispatches: scalar=%d batch=%d", sSec.pkts.Load(), bSec.pkts.Load())
+	}
+	if sSec.batches.Load() != 0 {
+		t.Errorf("scalar rig reached HandleBatch %d times", sSec.batches.Load())
+	}
+	if bSec.batches.Load() == 0 {
+		t.Error("batch rig never used HandleBatch")
+	}
+	sc1, sf1 := scalar.a.Stats()
+	bc1, bf1 := batch.a.Stats()
+	if sc1 != bc1 || sf1 != bf1 {
+		t.Errorf("flow cache: scalar cached=%d first=%d, batch cached=%d first=%d", sc1, sf1, bc1, bf1)
+	}
+	if len(sSink) != len(bSink) {
+		t.Fatalf("sink packets: scalar=%d batch=%d", len(sSink), len(bSink))
+	}
+	// Single-threaded ForwardBatch preserves the total submission order,
+	// not just per-flow order: the sink sequences must match exactly.
+	for i := range sSink {
+		sf, ssq := eqFlowSeq(t, sSink[i])
+		bf, bsq := eqFlowSeq(t, bSink[i])
+		if sf != bf || ssq != bsq {
+			t.Fatalf("sink[%d]: scalar flow=%d seq=%d, batch flow=%d seq=%d", i, sf, ssq, bf, bsq)
+		}
+	}
+}
+
+// TestBatchEquivalenceTraced repeats the equivalence run with the trace
+// ring sampling every 4th packet and in-band path tracing sampling by
+// flow hash. Sampled packets must produce identical trace-ring entries,
+// and packets reaching the sink must carry identical path hop records.
+func TestBatchEquivalenceTraced(t *testing.T) {
+	const total = 2048
+	mk := func() (*testRig, *telemetry.Telemetry) {
+		tel := telemetry.New()
+		tel.EnableTrace(4096, 4)
+		tel.EnablePathTrace(7, 256, 2)
+		rig := newEqRig(t, tel, nil, 0)
+		bindEqInstances(t, rig)
+		return rig, tel
+	}
+
+	scalar, sTel := mk()
+	for i := 0; i < total; i++ {
+		scalar.r.Forward(eqPacket(t, i))
+	}
+	sSink := drainEq(t, scalar)
+
+	batch, bTel := mk()
+	b := batch.r.NewBatcher(32)
+	ps := make([]*pkt.Packet, 0, 32)
+	for i := 0; i < total; {
+		ps = ps[:0]
+		for k := 0; k < 32 && i < total; k++ {
+			ps = append(ps, eqPacket(t, i))
+			i++
+		}
+		b.ForwardBatch(ps)
+	}
+	bSink := drainEq(t, batch)
+
+	// Trace-ring entries: same packets sampled, same hops recorded.
+	digest := func(samples []telemetry.TraceSample) []string {
+		var out []string
+		for i := len(samples) - 1; i >= 0; i-- { // snapshot is newest first
+			s := samples[i]
+			var hops []string
+			for _, h := range s.Hops {
+				hops = append(hops, h.Gate+"/"+h.Instance)
+			}
+			out = append(out, fmt.Sprintf("%s %s %s hit=%v first=%v hops=%s",
+				s.Flow, s.Verdict, s.DropReason, s.CacheHit, s.FirstPacket, strings.Join(hops, ",")))
+		}
+		return out
+	}
+	sd := digest(sTel.Tracer().Snapshot(total))
+	bd := digest(bTel.Tracer().Snapshot(total))
+	if len(sd) == 0 {
+		t.Fatal("scalar run produced no trace samples")
+	}
+	if len(sd) != len(bd) {
+		t.Fatalf("trace samples: scalar=%d batch=%d", len(sd), len(bd))
+	}
+	for i := range sd {
+		if sd[i] != bd[i] {
+			t.Fatalf("trace sample %d diverges:\nscalar %s\nbatch  %s", i, sd[i], bd[i])
+		}
+	}
+
+	// In-band path records on the packets themselves.
+	if len(sSink) != len(bSink) {
+		t.Fatalf("sink packets: scalar=%d batch=%d", len(sSink), len(bSink))
+	}
+	traced := 0
+	for i := range sSink {
+		sp, bp := sSink[i].Path, bSink[i].Path
+		if sp.Active != bp.Active || sp.NHops != bp.NHops {
+			t.Fatalf("sink[%d] path context diverges: scalar active=%v nhops=%d, batch active=%v nhops=%d",
+				i, sp.Active, sp.NHops, bp.Active, bp.NHops)
+		}
+		if !sp.Active {
+			continue
+		}
+		traced++
+		for h := 0; h < int(sp.NHops); h++ {
+			sh, bh := sp.Hops[h], bp.Hops[h]
+			if sh.Router != bh.Router || sh.InIf != bh.InIf || sh.OutIf != bh.OutIf ||
+				sh.Gates != bh.Gates || sh.Verdict != bh.Verdict {
+				t.Fatalf("sink[%d] hop %d diverges: scalar %+v batch %+v", i, h, sh, bh)
+			}
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no path-traced packet reached the sink")
+	}
+}
+
+// TestBatchEquivalenceParallel runs the trace through a 4-worker pool —
+// the production batch path, with hash steering and per-worker Batchers
+// — against the scalar reference. Total order is no longer defined, but
+// everything per-flow and every counter must still match exactly.
+func TestBatchEquivalenceParallel(t *testing.T) {
+	const total = 10000
+	const workers = 4
+
+	perFlow := func(sink []*pkt.Packet) map[uint32][]uint32 {
+		m := make(map[uint32][]uint32)
+		for _, p := range sink {
+			f, seq := eqFlowSeq(t, p)
+			m[f] = append(m[f], seq)
+		}
+		return m
+	}
+
+	sTel := telemetry.New()
+	scalar := newEqRig(t, sTel, nil, 0)
+	sOpt, sSec := bindEqInstances(t, scalar)
+	for i := 0; i < total; i++ {
+		scalar.r.Forward(eqPacket(t, i))
+	}
+	sFlows := perFlow(drainEq(t, scalar))
+
+	pTel := telemetry.New()
+	par := newEqRig(t, pTel, nil, workers)
+	pOpt, pSec := bindEqInstances(t, par)
+	pool := par.r.Pool()
+	pool.Start()
+	forwarded := func() uint64 {
+		var s uint64
+		for w := 0; w < workers; w++ {
+			s += pool.Forwarded(w)
+		}
+		return s
+	}
+	// Keep in-flight below half a worker queue so Submit can never shed:
+	// a shed would count a drop the scalar arm does not have.
+	for i := 0; i < total; i++ {
+		for uint64(i)-forwarded() > poolQueueLen/2 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		if !pool.Submit(eqPacket(t, i)) {
+			t.Fatalf("submit %d shed despite pacing", i)
+		}
+	}
+	pool.Stop() // waits for the workers to drain every submitted packet
+	pFlows := perFlow(drainEq(t, par))
+
+	if ss, ps := scalar.r.Stats(), par.r.Stats(); ss != ps {
+		t.Errorf("stats diverge:\nscalar   %+v\nparallel %+v", ss, ps)
+	}
+	if sc, pc := eqCounters(t, sTel), eqCounters(t, pTel); sc != pc {
+		t.Errorf("telemetry counters diverge:\nscalar:\n%s\nparallel:\n%s", sc, pc)
+	}
+	if sOpt.pkts.Load() != pOpt.pkts.Load() || sSec.pkts.Load() != pSec.pkts.Load() {
+		t.Errorf("dispatch counts: scalar opt=%d sec=%d, parallel opt=%d sec=%d",
+			sOpt.pkts.Load(), sSec.pkts.Load(), pOpt.pkts.Load(), pSec.pkts.Load())
+	}
+	if pSec.batches.Load() == 0 {
+		t.Error("parallel rig never used HandleBatch")
+	}
+	sc1, sf1 := scalar.a.Stats()
+	pc1, pf1 := par.a.Stats()
+	if sc1 != pc1 || sf1 != pf1 {
+		t.Errorf("flow cache: scalar cached=%d first=%d, parallel cached=%d first=%d", sc1, sf1, pc1, pf1)
+	}
+	if len(sFlows) != len(pFlows) {
+		t.Fatalf("flows at sink: scalar=%d parallel=%d", len(sFlows), len(pFlows))
+	}
+	// Steering pins a flow to one worker, so each flow's packets must
+	// arrive in submission order — the exact per-flow sequence the scalar
+	// run produced.
+	for f, sseq := range sFlows {
+		pseq, ok := pFlows[f]
+		if !ok {
+			t.Fatalf("flow %d missing from the parallel sink", f)
+		}
+		if len(sseq) != len(pseq) {
+			t.Fatalf("flow %d: scalar delivered %d, parallel %d", f, len(sseq), len(pseq))
+		}
+		for i := range sseq {
+			if sseq[i] != pseq[i] {
+				t.Fatalf("flow %d reordered at %d: scalar seq=%d parallel seq=%d", f, i, sseq[i], pseq[i])
+			}
+		}
+	}
+}
+
+// eqPanicInstance panics on every dispatch, scalar shape only.
+type eqPanicInstance struct {
+	name  string
+	calls atomic.Uint64
+}
+
+func (e *eqPanicInstance) InstanceName() string { return e.name }
+func (e *eqPanicInstance) HandlePacket(p *pkt.Packet) error {
+	e.calls.Add(1)
+	panic("eq: boom")
+}
+
+// eqPanicBatchInstance panics on every batch dispatch.
+type eqPanicBatchInstance struct{ eqPanicInstance }
+
+func (e *eqPanicBatchInstance) HandleBatch(ps []*pkt.Packet) {
+	e.calls.Add(1)
+	panic("eq: boom")
+}
+
+// TestBatchQuarantineEquivalence proves a panicking HandleBatch drops
+// only the offending run — innocent packets in the same batch keep
+// forwarding — and that quarantine accounting matches the scalar
+// barrier: one panic is one fault, and the same threshold quarantines
+// both shapes.
+func TestBatchQuarantineEquivalence(t *testing.T) {
+	const threshold = 3
+	mkGuard := func() *pcu.Guard {
+		return pcu.NewGuard(pcu.PolicyDrop, pcu.NewHealth(pcu.HealthConfig{
+			Threshold: threshold, Window: time.Hour,
+		}))
+	}
+	filt := aiu.MustParseFilter("10.0.0.0/8, *, UDP, *, *, *")
+
+	// Scalar reference: threshold panicking packets quarantine.
+	sGuard := mkGuard()
+	scalar := newEqRig(t, nil, sGuard, 0)
+	sInst := &eqPanicInstance{name: "eq-panic"}
+	if _, err := scalar.a.Bind(pcu.TypeSecurity, filt, sInst, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < threshold; i++ {
+		if scalar.r.Forward(sendUDP(t, scalar, "10.0.0.1", "20.0.0.1", 1000, 9)) {
+			t.Fatal("faulted packet forwarded under the drop policy")
+		}
+	}
+	ss := scalar.r.Stats()
+	if ss.PluginFaults != threshold || ss.Dropped != threshold {
+		t.Fatalf("scalar stats: %+v", ss)
+	}
+	if !sGuard.Health().IsQuarantined(sInst) {
+		t.Fatal("scalar instance not quarantined at threshold")
+	}
+
+	// Batch arm: mixed batches of 4 panicking-flow and 4 innocent-flow
+	// packets. The innocent flow has no instance at the gate, so its
+	// slots sit inside the run without splitting it — one fault per
+	// batch, and only the panicking flow's packets die.
+	bGuard := mkGuard()
+	batch := newEqRig(t, nil, bGuard, 0)
+	bInst := &eqPanicBatchInstance{eqPanicInstance{name: "eq-panic-batch"}}
+	if _, err := batch.a.Bind(pcu.TypeSecurity, filt, bInst, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := batch.r.NewBatcher(8)
+	for round := 0; round < threshold; round++ {
+		ps := make([]*pkt.Packet, 0, 8)
+		for k := 0; k < 4; k++ {
+			ps = append(ps, sendUDP(t, batch, "10.0.0.1", "20.0.0.1", 1000, 9))
+			ps = append(ps, sendUDP(t, batch, "11.0.0.1", "20.0.0.1", 1000, 9))
+		}
+		if got := b.ForwardBatch(ps); got != 4 {
+			t.Fatalf("round %d: %d packets survived the mixed batch, want the 4 innocent ones", round, got)
+		}
+	}
+	bs := batch.r.Stats()
+	if bs.PluginFaults != threshold {
+		t.Errorf("batch faults = %d, want %d (one per panicking run)", bs.PluginFaults, threshold)
+	}
+	if bs.Dropped != threshold*4 {
+		t.Errorf("batch dropped = %d, want %d (only the offending run)", bs.Dropped, threshold*4)
+	}
+	if bs.Forwarded != threshold*4 {
+		t.Errorf("batch forwarded = %d, want %d", bs.Forwarded, threshold*4)
+	}
+	if bInst.calls.Load() != threshold {
+		t.Errorf("HandleBatch entered %d times, want %d", bInst.calls.Load(), threshold)
+	}
+	if !bGuard.Health().IsQuarantined(bInst) {
+		t.Error("batch instance not quarantined at the same threshold")
+	}
+	sink := drainEq(t, batch)
+	if len(sink) != threshold*4 {
+		t.Fatalf("sink got %d packets, want %d innocents", len(sink), threshold*4)
+	}
+	for i, p := range sink {
+		if p.Key.Src != pkt.MustParseAddr("11.0.0.1") {
+			t.Fatalf("sink[%d] is not an innocent-flow packet: %v", i, p.Key.Src)
+		}
+	}
+}
+
+// wedgeInstance parks the dispatching worker until released; entered is
+// closed on the first dispatch.
+type wedgeInstance struct {
+	name    string
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *wedgeInstance) InstanceName() string { return w.name }
+func (w *wedgeInstance) HandlePacket(p *pkt.Packet) error {
+	w.once.Do(func() { close(w.entered) })
+	<-w.release
+	return nil
+}
+
+// TestSubmitShedsOnlyOverloadedWorker is the drop-policy regression for
+// the non-blocking Submit: wedging one worker fills only its own queue
+// — Submit sheds that flow, counts the drops, and every other flow
+// keeps forwarding undisturbed.
+func TestSubmitShedsOnlyOverloadedWorker(t *testing.T) {
+	rig := newParallelRig(t, 2, nil)
+	pool := rig.r.Pool()
+
+	// Find two flows steered to different workers.
+	fA, fB := -1, -1
+	for f := 0; f < 64 && (fA < 0 || fB < 0); f++ {
+		switch aiu.SteerWorker(seqPacket(t, f, 0).Key, 2) {
+		case 0:
+			if fA < 0 {
+				fA = f
+			}
+		case 1:
+			if fB < 0 {
+				fB = f
+			}
+		}
+	}
+	if fA < 0 || fB < 0 {
+		t.Fatal("steering put 64 flows on one worker")
+	}
+	wA := aiu.SteerWorker(seqPacket(t, fA, 0).Key, 2)
+	wB := 1 - wA
+
+	wedge := &wedgeInstance{name: "wedge", entered: make(chan struct{}), release: make(chan struct{})}
+	filt := aiu.MustParseFilter(fmt.Sprintf("10.0.0.%d/32, *, UDP, *, *, *", fA))
+	if _, err := rig.a.Bind(pcu.TypeSecurity, filt, wedge, nil); err != nil {
+		t.Fatal(err)
+	}
+	pool.Start()
+	t.Cleanup(func() {
+		close(wedge.release)
+		pool.Stop()
+	})
+
+	pool.Submit(seqPacket(t, fA, 0))
+	<-wedge.entered // worker wA is now parked mid-dispatch
+
+	// Fill the wedged worker's queue until Submit sheds.
+	shed := false
+	for i := 0; i < poolQueueLen+64 && !shed; i++ {
+		shed = !pool.Submit(seqPacket(t, fA, uint32(i+1)))
+	}
+	if !shed {
+		t.Fatal("Submit never shed with a wedged worker")
+	}
+	if pool.Drops(wA) == 0 || pool.DropTotal() == 0 {
+		t.Fatalf("shed not counted: drops(wA)=%d total=%d", pool.Drops(wA), pool.DropTotal())
+	}
+	if rig.r.Stats().Dropped < pool.DropTotal() {
+		t.Errorf("router stats missed the sheds: dropped=%d, pool=%d", rig.r.Stats().Dropped, pool.DropTotal())
+	}
+
+	// The other worker's flow is unaffected.
+	const n = 100
+	for i := 0; i < n; i++ {
+		if !pool.Submit(seqPacket(t, fB, uint32(i))) {
+			t.Fatalf("flow B submission %d shed despite an idle owner", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Forwarded(wB) < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := pool.Forwarded(wB); got < n {
+		t.Fatalf("idle worker forwarded %d of %d while its sibling was wedged", got, n)
+	}
+	if pool.Drops(wB) != 0 {
+		t.Errorf("idle worker shed %d packets", pool.Drops(wB))
+	}
+}
+
+// TestPoolDropCounterExposed pins the eisr_pool_drop_full telemetry
+// family: with the workers never started, the owning queue fills and
+// every further Submit is counted against the named counter.
+func TestPoolDropCounterExposed(t *testing.T) {
+	tel := telemetry.New()
+	routes, err := routing.New(bmp.KindBSPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes.Add(pkt.MustParsePrefix("0.0.0.0/0"), routing.NextHop{IfIndex: 1})
+	r, err := New(Config{Mode: ModeBestEffort, Routes: routes, Workers: 2, Tel: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := r.Pool()
+	want := uint64(0)
+	for i := 0; i < poolQueueLen+200; i++ {
+		if !pool.Submit(seqPacket(t, 1, uint32(i))) {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("queue never filled")
+	}
+	if got := tel.CounterValue("eisr_pool_drop_full"); got != want {
+		t.Errorf("eisr_pool_drop_full = %d, want %d", got, want)
+	}
+	if got := pool.DropTotal(); got != want {
+		t.Errorf("DropTotal = %d, want %d", got, want)
+	}
+}

@@ -166,6 +166,11 @@ type Config struct {
 	// announces quiescence to; wire the same instance into the PCU so
 	// free-instance destruction waits out in-flight dispatches.
 	Reclaim *pcu.Reclaimer
+	// BatchSize caps the per-worker forwarding vector: each pool worker
+	// drains up to this many queued packets per iteration and walks
+	// them through ForwardBatch (0 = DefaultBatchSize; 1 degenerates to
+	// per-packet forwarding).
+	BatchSize int
 	// Tel, when non-nil, attaches the telemetry registry: per-gate
 	// dispatch counters, drop/verdict accounting, and (when a trace
 	// ring is enabled on the registry) per-packet path traces.
@@ -232,6 +237,7 @@ type Router struct {
 	telDropFault    *telemetry.Counter
 	telDropQueue    *telemetry.Counter
 	telDropMTU      *telemetry.Counter
+	telPoolDrop     *telemetry.Counter
 	telDegraded     *telemetry.Counter
 	telPktNanos     *telemetry.Histogram
 
@@ -268,7 +274,7 @@ func New(cfg Config) (*Router, error) {
 		drainers: make(map[int32][]Drainer),
 	})
 	if cfg.Workers > 1 {
-		r.pool = NewPool(r, cfg.Workers, cfg.Reclaim)
+		r.pool = NewPool(r, cfg.Workers, cfg.Reclaim, cfg.BatchSize)
 	}
 	if cfg.AIU != nil {
 		r.gateSlots = make([]int, len(gates))
@@ -325,6 +331,8 @@ func (r *Router) initTelemetry(t *telemetry.Telemetry) {
 	r.telDropFault = reason("plugin-fault")
 	r.telDropQueue = reason("queue-full")
 	r.telDropMTU = reason("mtu")
+	r.telPoolDrop = t.Counter("eisr_pool_drop_full",
+		"packets dropped at Submit because the owning worker's ingress queue was full")
 	r.telDegraded = t.Counter("eisr_degraded_packets_total",
 		"packets forwarded past a faulted gate under the forward policy")
 	r.telPktNanos = t.Histogram("eisr_packet_ns",

@@ -32,21 +32,24 @@ import (
 
 // poolQueueLen is the per-worker ingress queue depth. Deep enough that
 // a briefly busy worker does not stall the submitter, small enough to
-// bound latency under overload (backpressure blocks the poller, which
-// is what a real ingress ring does).
+// bound latency under overload (a full queue drops at Submit, which is
+// what a real ingress ring does when the poller outruns a core).
 const poolQueueLen = 1024
 
 // Pool fans forwarding out to n workers, steering by flow hash.
 type Pool struct {
 	r      *Router
 	n      int
+	batch  int
 	queues []chan *pkt.Packet
 	eps    []*pcu.WorkerEpoch
 	rec    *pcu.Reclaimer
 	wg     sync.WaitGroup
 	// fwd counts packets forwarded per worker — the steering-balance
-	// telemetry of the parallel engine.
-	fwd *telemetry.PerWorker
+	// telemetry of the parallel engine. drops counts packets Submit
+	// discarded because the owning worker's queue was full.
+	fwd   *telemetry.PerWorker
+	drops *telemetry.PerWorker
 
 	mu      sync.Mutex
 	started bool
@@ -56,21 +59,27 @@ type Pool struct {
 // the epoch reclaimer the workers announce quiescence to; nil creates a
 // private one (instance destruction then still waits out this pool's
 // in-flight dispatches, but the PCU must be handed the same reclaimer —
-// see Reclaimer — for the deferral to cover free-instance).
-func NewPool(r *Router, n int, rec *pcu.Reclaimer) *Pool {
+// see Reclaimer — for the deferral to cover free-instance). batch caps
+// the per-worker forwarding vector (0 = DefaultBatchSize).
+func NewPool(r *Router, n int, rec *pcu.Reclaimer, batch int) *Pool {
 	if n < 2 {
 		n = 2
 	}
 	if rec == nil {
 		rec = pcu.NewReclaimer()
 	}
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
 	p := &Pool{
 		r:      r,
 		n:      n,
+		batch:  batch,
 		queues: make([]chan *pkt.Packet, n),
 		eps:    make([]*pcu.WorkerEpoch, n),
 		rec:    rec,
 		fwd:    telemetry.NewPerWorker(n),
+		drops:  telemetry.NewPerWorker(n),
 	}
 	for i := range p.queues {
 		p.queues[i] = make(chan *pkt.Packet, poolQueueLen)
@@ -87,6 +96,13 @@ func (p *Pool) Reclaimer() *pcu.Reclaimer { return p.rec }
 
 // Forwarded returns worker i's forwarded-packet count.
 func (p *Pool) Forwarded(i int) uint64 { return p.fwd.Value(i) }
+
+// Drops returns how many packets Submit discarded for worker i because
+// its queue was full.
+func (p *Pool) Drops(i int) uint64 { return p.drops.Value(i) }
+
+// DropTotal returns the pool-wide Submit overload drop count.
+func (p *Pool) DropTotal() uint64 { return p.drops.Total() }
 
 // Start launches the workers. Idempotent.
 func (p *Pool) Start() {
@@ -127,38 +143,82 @@ func (p *Pool) Stop() {
 
 // Submit hands a packet to the worker owning its flow. All packets of a
 // five-tuple flow map to the same worker, so per-flow order is the
-// submission order. Blocks when the worker's queue is full.
-func (p *Pool) Submit(pk *pkt.Packet) {
-	p.queues[aiu.SteerWorker(pk.Key, p.n)] <- pk
+// submission order. Never blocks: when the owning worker's queue is
+// full the packet is dropped and counted (eisr_pool_drop_full, plus the
+// per-worker Drops cell) and Submit returns false. A blocking Submit
+// would head-of-line-stall the shared RX drain — one saturated worker
+// would stop *every* flow on *every* interface — so overload sheds on
+// the overloaded flow's queue only, the same never-block policy as the
+// netio TX ring.
+//
+//eisr:fastpath
+func (p *Pool) Submit(pk *pkt.Packet) bool {
+	w := aiu.SteerWorker(pk.Key, p.n)
+	select {
+	case p.queues[w] <- pk:
+		return true
+	default:
+		p.drops.Inc(w)
+		p.r.stats.dropped.Add(1)
+		p.r.countDrop(p.r.telPoolDrop)
+		return false
+	}
 }
 
 // worker is one forwarding goroutine: park offline on the queue, go
-// online to forward, announce a quiescent point between packets, and
-// park again when the queue runs dry.
+// online, drain up to the batch cap without blocking, forward the whole
+// vector through the Batcher, announce a quiescent point between
+// batches, and park again when the queue runs dry.
 func (p *Pool) worker(i int) {
 	defer p.wg.Done()
 	q := p.queues[i]
 	ep := p.eps[i]
+	b := p.r.NewBatcher(p.batch)
+	batch := make([]*pkt.Packet, 0, p.batch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		b.ForwardBatch(batch)
+		p.fwd.Add(i, uint64(len(batch)))
+		batch = batch[:0]
+		ep.Quiesce()
+	}
 	for pk := range q {
 		ep.Online()
+		batch = append(batch, pk)
 		for {
-			p.r.Forward(pk)
-			p.fwd.Inc(i)
-			ep.Quiesce()
-			var next *pkt.Packet
+			closed := false
+		fill:
+			for len(batch) < cap(batch) {
+				select {
+				case np, more := <-q:
+					if !more {
+						closed = true
+						break fill
+					}
+					batch = append(batch, np)
+				default:
+					break fill
+				}
+			}
+			flush()
+			if closed {
+				ep.Offline()
+				return
+			}
 			select {
-			case np, ok := <-q:
-				if !ok {
+			case np, more := <-q:
+				if !more {
 					ep.Offline()
 					return
 				}
-				next = np
+				batch = append(batch, np)
 			default:
 			}
-			if next == nil {
-				break
+			if len(batch) == 0 {
+				break // queue dry: park offline on the range receive
 			}
-			pk = next
 		}
 		ep.Offline()
 	}

@@ -94,7 +94,13 @@ func TestPoolPerFlowOrdering(t *testing.T) {
 	const flows, perFlow = 32, 200
 	for seq := uint32(0); seq < perFlow; seq++ {
 		for f := 0; f < flows; f++ {
-			pool.Submit(seqPacket(t, f, seq))
+			// Submit never blocks; the producer supplies its own
+			// backpressure by retrying the rejected packet before moving
+			// on, which preserves per-flow submission order.
+			pk := seqPacket(t, f, seq)
+			for !pool.Submit(pk) {
+				time.Sleep(20 * time.Microsecond)
+			}
 		}
 	}
 	pool.Stop() // waits for every submitted packet
@@ -163,13 +169,18 @@ func TestRunParallelEndToEnd(t *testing.T) {
 		defer wg.Done()
 		rig.r.Run(done)
 	}()
+	// Pace the producer below worker-queue capacity: Submit sheds load
+	// instead of blocking, so an unpaced burst would (correctly) drop.
+	// Keeping ≤512 packets in flight guarantees losslessness.
 	const n = 2000
-	for i := 0; i < n; i++ {
-		rig.in.InjectPacket(seqPacket(t, i%16, uint32(i/16)))
-	}
 	deadline := time.Now().Add(5 * time.Second)
-	got := 0
+	injected, got := 0, 0
 	for got < n && time.Now().Before(deadline) {
+		if injected < n && injected-got < 512 {
+			rig.in.InjectPacket(seqPacket(t, injected%16, uint32(injected/16)))
+			injected++
+			continue
+		}
 		if p := rig.sink.Poll(); p != nil {
 			got++
 			continue

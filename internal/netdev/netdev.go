@@ -58,13 +58,18 @@ type LinkStats struct {
 	RxBytes         uint64  `json:"rx_bytes"`
 	RxDropRing      uint64  `json:"rx_drop_ring"`      // RX ring full at delivery
 	RxDropTooBig    uint64  `json:"rx_drop_too_big"`   // datagram exceeded the MTU
-	RxDropMalformed uint64  `json:"rx_drop_malformed"` // key extraction failed
+	RxDropMalformed uint64  `json:"rx_drop_malformed"` // sum of the bad-path and bad-key arms
+	RxDropBadPath   uint64  `json:"rx_drop_bad_path"`  // path-trace encapsulation failed to decode
+	RxDropBadKey    uint64  `json:"rx_drop_bad_key"`   // flow-key extraction failed
+	RxErrTransient  uint64  `json:"rx_err_transient"`  // transient socket read errors (skipped, not fatal)
 	TxPackets       uint64  `json:"tx_packets"`
 	TxBytes         uint64  `json:"tx_bytes"`
 	TxDropRing      uint64  `json:"tx_drop_ring"` // TX ring full at enqueue
 	TxErrors        uint64  `json:"tx_errors"`    // socket write failures
 	Batches         uint64  `json:"rx_batches"`   // RX wakeups (one batched drain each)
 	AvgBatch        float64 `json:"rx_avg_batch"` // mean packets per RX batch
+	TxBatches       uint64  `json:"tx_batches"`   // TX wakeups (one batched drain each)
+	AvgTxBatch      float64 `json:"tx_avg_batch"` // mean packets per TX drain
 }
 
 // LinkInfo describes a wire-backed interface for operator tooling (the

@@ -61,32 +61,39 @@ type wireBuf struct {
 // linkStats is the live counter set (atomics; the RX goroutine, TX
 // drain, and forwarding workers all record concurrently).
 type linkStats struct {
-	rxPackets       atomic.Uint64
-	rxBytes         atomic.Uint64
-	rxDropRing      atomic.Uint64
-	rxDropTooBig    atomic.Uint64
-	rxDropMalformed atomic.Uint64
-	txPackets       atomic.Uint64
-	txBytes         atomic.Uint64
-	txDropRing      atomic.Uint64
-	txErrors        atomic.Uint64
-	batches         atomic.Uint64
-	batchedPkts     atomic.Uint64
+	rxPackets      atomic.Uint64
+	rxBytes        atomic.Uint64
+	rxDropRing     atomic.Uint64
+	rxDropTooBig   atomic.Uint64
+	rxDropBadPath  atomic.Uint64 // path-trace encapsulation failed to decode
+	rxDropBadKey   atomic.Uint64 // flow-key extraction failed
+	rxErrTransient atomic.Uint64 // non-fatal socket read errors (skipped)
+	txPackets      atomic.Uint64
+	txBytes        atomic.Uint64
+	txDropRing     atomic.Uint64
+	txErrors       atomic.Uint64
+	batches        atomic.Uint64
+	batchedPkts    atomic.Uint64
+	txBatches      atomic.Uint64
+	txBatchedPkts  atomic.Uint64
 }
 
 // linkTel is the optional registered metric set; every cell is nil
 // without a registry, and record calls are nil-receiver no-ops.
 type linkTel struct {
-	rxPackets       *telemetry.Counter
-	rxBytes         *telemetry.Counter
-	rxDropRing      *telemetry.Counter
-	rxDropTooBig    *telemetry.Counter
-	rxDropMalformed *telemetry.Counter
-	txPackets       *telemetry.Counter
-	txBytes         *telemetry.Counter
-	txDropRing      *telemetry.Counter
-	txErrors        *telemetry.Counter
-	batchSize       *telemetry.Histogram
+	rxPackets      *telemetry.Counter
+	rxBytes        *telemetry.Counter
+	rxDropRing     *telemetry.Counter
+	rxDropTooBig   *telemetry.Counter
+	rxDropBadPath  *telemetry.Counter
+	rxDropBadKey   *telemetry.Counter
+	rxErrTransient *telemetry.Counter
+	txPackets      *telemetry.Counter
+	txBytes        *telemetry.Counter
+	txDropRing     *telemetry.Counter
+	txErrors       *telemetry.Counter
+	batchSize      *telemetry.Histogram
+	txBatchSize    *telemetry.Histogram
 }
 
 // UDPLink is a wire driver carrying an interface's traffic as UDP
@@ -103,6 +110,11 @@ type UDPLink struct {
 	// slotSeq.
 	slots   []rxSlot
 	slotSeq uint64
+
+	// readFrom is the socket read the RX loop issues — a seam so tests
+	// can inject read errors. Set once at construction, never changed
+	// while the RX goroutine runs.
+	readFrom func(b []byte) (int, netip.AddrPort, error)
 
 	// free and txq together hold exactly TxRing wire buffers: a
 	// forwarding worker moves a buffer free→txq (non-blocking on both
@@ -123,9 +135,10 @@ type UDPLink struct {
 	// jr is the event journal (nil = off); ring-full burst onsets and
 	// peer changes are journaled. The burst gates rate-limit the
 	// drop-arm journaling to one event per quiet period per direction.
-	jr      *telemetry.Journal
-	rxBurst burstGate
-	txBurst burstGate
+	jr       *telemetry.Journal
+	rxBurst  burstGate
+	txBurst  burstGate
+	errBurst burstGate
 }
 
 // burstQuietNs separates ring-full bursts: the first drop after a quiet
@@ -185,6 +198,7 @@ func NewUDPLink(ifc *netdev.Interface, cfg Config) (*UDPLink, error) {
 		txq:   make(chan *wireBuf, txRing),
 		done:  make(chan struct{}),
 	}
+	l.readFrom = conn.ReadFromUDPAddrPort
 	for i := range l.slots {
 		// MTU plus the worst-case path-trace encapsulation, plus one
 		// byte so an oversized inner datagram is detectable (a read that
@@ -222,13 +236,16 @@ func (l *UDPLink) setTelemetry(t *telemetry.Telemetry) {
 		rxBytes:   t.Counter("eisr_netio_bytes_total", "wire bytes per link and direction", lbl, dir("rx")),
 		txBytes:   t.Counter("eisr_netio_bytes_total", "wire bytes per link and direction", lbl, dir("tx")),
 
-		rxDropRing:      t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("ring-full")),
-		rxDropTooBig:    t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("too-big")),
-		rxDropMalformed: t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("malformed")),
-		txDropRing:      t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("tx"), reason("ring-full")),
+		rxDropRing:    t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("ring-full")),
+		rxDropTooBig:  t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("too-big")),
+		rxDropBadPath: t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("bad-path")),
+		rxDropBadKey:  t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("rx"), reason("bad-key")),
+		txDropRing:    t.Counter("eisr_netio_drops_total", "wire drops by direction and reason", lbl, dir("tx"), reason("ring-full")),
 
-		txErrors:  t.Counter("eisr_netio_tx_errors_total", "socket write failures per link", lbl),
-		batchSize: t.Histogram("eisr_netio_rx_batch", "datagrams drained per RX wakeup", lbl),
+		rxErrTransient: t.Counter("eisr_netio_rx_errors_total", "transient socket read errors per link (counted and skipped, never fatal)", lbl),
+		txErrors:       t.Counter("eisr_netio_tx_errors_total", "socket write failures per link", lbl),
+		batchSize:      t.Histogram("eisr_netio_rx_batch", "datagrams drained per RX wakeup", lbl),
+		txBatchSize:    t.Histogram("eisr_netio_tx_batch", "datagrams written per TX drain wakeup", lbl),
 	}
 }
 
@@ -308,18 +325,34 @@ func (l *UDPLink) rxLoop() {
 // short-deadline reads until the batch cap or the socket runs dry. At
 // saturation the cap is hit before the deadline, so the loop cycles
 // batches with no timeout errors and no allocations.
+//
+// Read errors are classified, not fatal: only net.ErrClosed (the link
+// stopping) ends the RX loop. Anything else — e.g. an ICMP
+// port-unreachable surfacing as ECONNREFUSED on a connected UDP socket
+// — is a transient condition of one datagram exchange; it is counted
+// (rx_err_transient), its onset journaled, and the loop keeps reading.
 func (l *UDPLink) rxBatch() (n int, closed bool) {
 	if err := l.conn.SetReadDeadline(time.Time{}); err != nil {
 		return 0, true
 	}
 	for n < l.batch {
 		slot := &l.slots[l.slotSeq%uint64(len(l.slots))]
-		cnt, _, err := l.conn.ReadFromUDPAddrPort(slot.buf)
+		cnt, _, err := l.readFrom(slot.buf)
 		if err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// Batch drain window expired: the batch is done, the
+				// link is healthy.
 				return n, false
 			}
-			return n, true
+			if errors.Is(err, net.ErrClosed) {
+				return n, true
+			}
+			l.stats.rxErrTransient.Add(1)
+			l.tel.rxErrTransient.Inc()
+			if l.jr != nil && l.errBurst.onset(time.Now().UnixNano()) {
+				l.jr.Record(telemetry.EvRxErrBurst, l.ifc.Name+" "+err.Error())
+			}
+			continue
 		}
 		l.slotSeq++
 		l.deliver(slot, cnt)
@@ -347,8 +380,8 @@ func (l *UDPLink) deliver(slot *rxSlot, n int) {
 	// checks: both apply to the inner datagram.
 	consumed, ok := pkt.DecodePath(data, &p.Path)
 	if !ok {
-		l.stats.rxDropMalformed.Add(1)
-		l.tel.rxDropMalformed.Inc()
+		l.stats.rxDropBadPath.Add(1)
+		l.tel.rxDropBadPath.Inc()
 		return
 	}
 	data = data[consumed:]
@@ -359,8 +392,8 @@ func (l *UDPLink) deliver(slot *rxSlot, n int) {
 	}
 	k, err := pkt.ExtractKey(data, l.ifc.Index)
 	if err != nil {
-		l.stats.rxDropMalformed.Add(1)
-		l.tel.rxDropMalformed.Inc()
+		l.stats.rxDropBadKey.Add(1)
+		l.tel.rxDropBadKey.Inc()
 		return
 	}
 	p.Data, p.Key, p.KeyValid = data, k, true
@@ -439,14 +472,36 @@ func (l *UDPLink) TransmitWire(p *pkt.Packet) error {
 }
 
 // txLoop writes queued wire buffers to the socket until the link stops.
+// Each wakeup drains everything already queued (up to the pool size, so
+// the slice is preallocated and never grows) and writes the whole batch
+// back to back — forwarding workers batch their enqueues, so one wakeup
+// typically flushes a worker's whole TX vector instead of cycling the
+// scheduler per datagram.
 func (l *UDPLink) txLoop() {
 	defer l.wg.Done()
+	pend := make([]*wireBuf, 0, cap(l.txq))
 	for {
 		select {
 		case <-l.done:
 			return
 		case wb := <-l.txq:
-			l.transmitOne(wb)
+			pend = append(pend, wb)
+		fill:
+			for len(pend) < cap(pend) {
+				select {
+				case more := <-l.txq:
+					pend = append(pend, more)
+				default:
+					break fill
+				}
+			}
+			for _, w := range pend {
+				l.transmitOne(w)
+			}
+			l.stats.txBatches.Add(1)
+			l.stats.txBatchedPkts.Add(uint64(len(pend)))
+			l.tel.txBatchSize.Observe(uint64(len(pend)))
+			pend = pend[:0]
 		}
 	}
 }
@@ -476,22 +531,33 @@ func (l *UDPLink) transmitOne(wb *wireBuf) {
 	l.free <- wb
 }
 
-// Stats snapshots the link counters.
+// Stats snapshots the link counters. RxDropMalformed is kept as the sum
+// of the attributable arms (bad path header + bad flow key) for
+// consumers that predate the split.
 func (l *UDPLink) Stats() netdev.LinkStats {
+	badPath := l.stats.rxDropBadPath.Load()
+	badKey := l.stats.rxDropBadKey.Load()
 	s := netdev.LinkStats{
 		RxPackets:       l.stats.rxPackets.Load(),
 		RxBytes:         l.stats.rxBytes.Load(),
 		RxDropRing:      l.stats.rxDropRing.Load(),
 		RxDropTooBig:    l.stats.rxDropTooBig.Load(),
-		RxDropMalformed: l.stats.rxDropMalformed.Load(),
+		RxDropMalformed: badPath + badKey,
+		RxDropBadPath:   badPath,
+		RxDropBadKey:    badKey,
+		RxErrTransient:  l.stats.rxErrTransient.Load(),
 		TxPackets:       l.stats.txPackets.Load(),
 		TxBytes:         l.stats.txBytes.Load(),
 		TxDropRing:      l.stats.txDropRing.Load(),
 		TxErrors:        l.stats.txErrors.Load(),
 		Batches:         l.stats.batches.Load(),
+		TxBatches:       l.stats.txBatches.Load(),
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(l.stats.batchedPkts.Load()) / float64(s.Batches)
+	}
+	if s.TxBatches > 0 {
+		s.AvgTxBatch = float64(l.stats.txBatchedPkts.Load()) / float64(s.TxBatches)
 	}
 	return s
 }

@@ -1,8 +1,11 @@
 package netio
 
 import (
+	"errors"
 	"net"
+	"net/netip"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,6 +286,117 @@ func TestHostnamePeerResolves(t *testing.T) {
 	}
 	if err := l.SetPeer("not an address"); err == nil {
 		t.Error("garbage peer accepted")
+	}
+}
+
+// TestRxSurvivesTransientReadErrors is the regression for the RX loop
+// dying on a transient socket error (e.g. ICMP port-unreachable
+// surfacing as ECONNREFUSED on a connected UDP socket): injected
+// transient errors must be counted and journaled once per burst, the
+// loop must keep reading and delivering, and only net.ErrClosed — the
+// link stopping — may end it.
+func TestRxSurvivesTransientReadErrors(t *testing.T) {
+	const injectErrs = 5
+	tel := telemetry.New()
+	jr := tel.EnableJournal(64)
+	ifc, l := newLink(t, netdev.Config{Name: "flaky0"}, Config{Tel: tel})
+
+	transient := errors.New("recvfrom: connection refused")
+	inner := l.readFrom
+	var injected atomic.Int64
+	l.readFrom = func(b []byte) (int, netip.AddrPort, error) {
+		if injected.Add(1) <= injectErrs {
+			return 0, netip.AddrPort{}, transient
+		}
+		return inner(b)
+	}
+	l.Start()
+	src := dialTo(t, l)
+
+	// The RX loop eats the injected burst first (the seam fails the
+	// first reads), then must still deliver a real datagram.
+	data := buildUDP(t, []byte("after the storm"))
+	if _, err := src.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	p := pollFor(ifc, 2*time.Second)
+	if p == nil {
+		t.Fatalf("RX loop never recovered from transient errors: %+v", l.Stats())
+	}
+	if string(p.Data) != string(data) {
+		t.Error("payload corrupted after error recovery")
+	}
+	s := l.Stats()
+	if s.RxErrTransient != injectErrs {
+		t.Errorf("RxErrTransient = %d, want %d", s.RxErrTransient, injectErrs)
+	}
+	if got := tel.CounterValue(`eisr_netio_rx_errors_total{iface="flaky0"}`); got != injectErrs {
+		t.Errorf("eisr_netio_rx_errors_total = %d, want %d", got, injectErrs)
+	}
+	// The injected errors are back to back — one burst, one journal
+	// entry, not one per error.
+	bursts := 0
+	for _, ev := range jr.Snapshot(0, 64) {
+		if ev.Kind == telemetry.EvRxErrBurst {
+			bursts++
+			if !strings.Contains(ev.Detail, "flaky0") || !strings.Contains(ev.Detail, "refused") {
+				t.Errorf("burst event detail = %q, want link name and error", ev.Detail)
+			}
+		}
+	}
+	if bursts != 1 {
+		t.Errorf("journaled %d rx-error bursts, want 1", bursts)
+	}
+
+	// net.ErrClosed must still end the loop: Stop joins the RX
+	// goroutine, so a loop that treats ErrClosed as transient hangs here.
+	stopped := make(chan struct{})
+	go func() { l.Stop(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RX loop did not exit on net.ErrClosed")
+	}
+}
+
+// TestRxDropSplitBadPathVsBadKey pins the split of the old malformed
+// counter: a corrupt path-trace encapsulation and an unparseable bare
+// datagram are different failures with different counters, and the
+// compat RxDropMalformed field is their sum.
+func TestRxDropSplitBadPathVsBadKey(t *testing.T) {
+	tel := telemetry.New()
+	_, l := newLink(t, netdev.Config{Name: "wan1"}, Config{Tel: tel})
+	l.Start()
+	src := dialTo(t, l)
+
+	// Path magic with a truncated header: DecodePath fails → bad-path.
+	if _, err := src.Write([]byte{pkt.PathMagic, pkt.PathVersion, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	// No encapsulation, bogus IP version: key extraction fails → bad-key.
+	if _, err := src.Write([]byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s := l.Stats()
+		if s.RxDropBadPath == 1 && s.RxDropBadKey == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := l.Stats()
+	if s.RxDropBadPath != 1 || s.RxDropBadKey != 1 {
+		t.Fatalf("drop split never settled: %+v", s)
+	}
+	if s.RxDropMalformed != 2 {
+		t.Errorf("RxDropMalformed = %d, want the sum 2", s.RxDropMalformed)
+	}
+	if got := tel.CounterValue(`eisr_netio_drops_total{iface="wan1",dir="rx",reason="bad-path"}`); got != 1 {
+		t.Errorf("bad-path counter = %d, want 1", got)
+	}
+	if got := tel.CounterValue(`eisr_netio_drops_total{iface="wan1",dir="rx",reason="bad-key"}`); got != 1 {
+		t.Errorf("bad-key counter = %d, want 1", got)
 	}
 }
 

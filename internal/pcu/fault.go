@@ -529,6 +529,28 @@ func (g *Guard) Dispatch(gate Type, inst Instance, p *pkt.Packet) (err error, fl
 	return err, nil
 }
 
+// DispatchBatch invokes bh.HandleBatch inside the same barrier as
+// Dispatch — the vector gate data path. inst is the instance identity
+// the fault is recorded against (bh and inst are the same object seen
+// through different interfaces; passing both avoids a per-run type
+// re-assertion). One panic out of a batch is one fault: it counts once
+// toward the instance's quarantine threshold, and the caller applies
+// the fault policy to every packet of the run, since the barrier cannot
+// know which packets the instance finished before panicking.
+func (g *Guard) DispatchBatch(gate Type, bh BatchHandler, inst Instance, ps []*pkt.Packet) (flt *PluginFault) {
+	panicked := true
+	defer func() {
+		if !panicked {
+			return
+		}
+		flt = g.newFault(OriginGate, gate, inst, recover())
+		g.deliver(flt, inst)
+	}()
+	bh.HandleBatch(ps)
+	panicked = false
+	return nil
+}
+
 // Control invokes a plugin control callback inside the barrier: a
 // panic fails the control request with the structured fault instead of
 // crashing the router. Control faults are recorded against the target

@@ -101,6 +101,30 @@ type Instance interface {
 	HandlePacket(p *pkt.Packet) error
 }
 
+// BatchHandler is the optional vector fast path of the plugin ABI: an
+// instance that also implements it receives whole per-worker packet
+// batches from the vector forwarding walk — one indirect call (and
+// typically one lock acquisition) per contiguous run of packets bound
+// to the instance, instead of one per packet. The core falls back to
+// per-packet HandlePacket automatically when the interface is absent.
+//
+// Contract:
+//   - ps is non-empty, in arrival order, and every packet's flow is
+//     bound to this instance at the dispatching gate. The slice is the
+//     core's scratch — the instance must not retain it past the call.
+//   - Per-packet verdicts are signaled by marking the packet
+//     (p.MarkDrop); there is no per-packet error return. The core
+//     honors p.Drop after the call exactly as it honors a HandlePacket
+//     error, so drop accounting is identical on both paths.
+//   - A panic is contained by the same Guard barrier as HandlePacket
+//     and counts one fault against the instance; the whole batch then
+//     receives the fault policy (the per-packet path would have faulted
+//     each packet individually — batching coarsens the blast radius to
+//     the batch, never beyond it).
+type BatchHandler interface {
+	HandleBatch(ps []*pkt.Packet)
+}
+
 // MsgKind is the kind of a control message. The standardized message set
 // (§4) must be answered by every plugin; plugin-specific messages use
 // MsgCustom with a verb.

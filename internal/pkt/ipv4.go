@@ -9,11 +9,14 @@ import (
 // IPv4HeaderLen is the length of an IPv4 header without options.
 const IPv4HeaderLen = 20
 
-// Errors returned by the header codecs.
+// Errors returned by the header codecs. ErrTTLExpired is a sentinel —
+// the TTL-expiry drop arm of the forwarding fast path must not allocate
+// an error per expired packet.
 var (
 	ErrTruncated  = errors.New("pkt: truncated packet")
 	ErrBadVersion = errors.New("pkt: bad IP version")
 	ErrBadHeader  = errors.New("pkt: malformed header")
+	ErrTTLExpired = errors.New("pkt: TTL or hop limit already zero")
 )
 
 // IPv4Header is a parsed IPv4 header. Fields mirror RFC 791.
@@ -128,7 +131,7 @@ func DecTTLv4(b []byte) (uint8, error) {
 	}
 	ttl := b[8]
 	if ttl == 0 {
-		return 0, errors.New("pkt: TTL already zero")
+		return 0, ErrTTLExpired
 	}
 	// RFC 1624 incremental update: HC' = ~(~HC + ~m + m'), where m is the
 	// 16-bit word holding TTL and protocol.

@@ -150,7 +150,7 @@ func DecHopLimit(b []byte) (uint8, error) {
 		return 0, ErrTruncated
 	}
 	if b[7] == 0 {
-		return 0, fmt.Errorf("pkt: hop limit already zero")
+		return 0, ErrTTLExpired
 	}
 	b[7]--
 	return b[7], nil

@@ -130,6 +130,35 @@ func (i *FirewallInstance) HandlePacket(p *pkt.Packet) error {
 	return nil
 }
 
+// HandleBatch implements pcu.BatchHandler: the same per-packet verdict
+// cascade as HandlePacket, with the decision counters accumulated
+// locally and merged under one mutex acquisition per batch instead of
+// one per packet. Denied packets are marked (the core honors p.Drop
+// after the dispatch exactly as it honors a HandlePacket error).
+func (i *FirewallInstance) HandleBatch(ps []*pkt.Packet) {
+	var allowed, denied uint64
+	for _, p := range ps {
+		allow := i.defaultAllow
+		if rec, _ := p.FIX.(*aiu.FlowRecord); rec != nil {
+			if b := rec.Bind(i.slot); b.Rec != nil {
+				if v, ok := b.Rec.Private.(Verdict); ok {
+					allow = bool(v)
+				}
+			}
+		}
+		if allow {
+			allowed++
+		} else {
+			denied++
+			p.MarkDrop("firewall: denied")
+		}
+	}
+	i.mu.Lock()
+	i.st.Allowed += allowed
+	i.st.Denied += denied
+	i.mu.Unlock()
+}
+
 // Snapshot returns the counters.
 func (i *FirewallInstance) Snapshot() FirewallStats {
 	i.mu.Lock()

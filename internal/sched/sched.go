@@ -46,7 +46,9 @@ func NewFIFO(limit int) *FIFO {
 	if limit <= 0 {
 		limit = 512
 	}
-	return &FIFO{limit: limit}
+	// Preallocate to the limit: Enqueue's append then never grows the
+	// backing array (Dequeue resets length, not capacity).
+	return &FIFO{q: make([]*pkt.Packet, 0, limit), limit: limit}
 }
 
 // Enqueue implements Scheduler.
@@ -56,6 +58,19 @@ func (f *FIFO) Enqueue(p *pkt.Packet) error {
 	if f.Len() >= f.limit {
 		return ErrQueueFull
 	}
+	if len(f.q) == cap(f.q) && f.head > 0 {
+		// The slice ran into its preallocated cap with dequeued slots
+		// at the front: compact the live region in place (a bounded
+		// pointer memmove, no allocation) and clear the vacated tail so
+		// the array does not pin departed packets.
+		n := copy(f.q, f.q[f.head:])
+		for i := n; i < len(f.q); i++ {
+			f.q[i] = nil
+		}
+		f.q = f.q[:n]
+		f.head = 0
+	}
+	//eisr:allow(fastpath) preallocated to the limit at construction; the limit check and compaction above bound it under cap
 	f.q = append(f.q, p)
 	return nil
 }

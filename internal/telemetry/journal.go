@@ -20,6 +20,7 @@ const (
 	EvLinkPeer          = "link-peer"
 	EvRxRingBurst       = "rx-ring-burst"
 	EvTxRingBurst       = "tx-ring-burst"
+	EvRxErrBurst        = "rx-err-burst"
 	EvConfig            = "config"
 	EvPathSample        = "path-sample"
 	EvRouterStart       = "router-start"

@@ -80,6 +80,11 @@ type Options struct {
 	// preserving per-flow ordering. 0 or 1 keeps the paper's single
 	// flow of control.
 	Workers int
+	// BatchSize caps each worker's forwarding vector: a worker drains up
+	// to BatchSize queued packets and pushes them through the batched
+	// gate walk in one pass (0 = the engine default; 1 degenerates to
+	// per-packet forwarding). Only meaningful with Workers > 1.
+	BatchSize int
 	// CollapseDAGNodes enables the §5.1.2 node-collapsing optimization.
 	CollapseDAGNodes bool
 	// ShareIdenticalTables enables the §5.1.2 inter-DAG optimization:
@@ -241,6 +246,7 @@ func New(opts Options) (*Router, error) {
 		SendICMPErrors: opts.SendICMPErrors,
 		Clock:          opts.Clock,
 		Workers:        opts.Workers,
+		BatchSize:      opts.BatchSize,
 		Reclaim:        rc,
 		Tel:            tel,
 		Guard:          guard,
