@@ -20,8 +20,8 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
-	"drrshare", "hfsc", "schedovh", "telemetry", "parallel", "batch",
-	"faults", "wire", "pathtrace",
+	"drrshare", "hfsc", "schedovh", "sched-scale", "telemetry",
+	"parallel", "batch", "faults", "wire", "pathtrace",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -30,6 +30,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (50k filters, 1000 reps)")
 	seed := flag.Int64("seed", 1998, "random seed")
 	workers := flag.Int("workers", 0, "max worker count for the parallel sweep (0 = 1,2,4)")
+	schedFlows := flag.Int("sched-flows", 0, "sched-scale: cap the largest flow tier (0 = 1M explicit, 100k under -exp all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	wireDaemon := flag.String("wire-daemon", "", "wire: drive a live eisrd — its ingress -link socket address (default: in-process topology)")
 	wireSrc := flag.String("wire-src", "", "wire: sender socket bind address (default 127.0.0.1:0)")
@@ -117,6 +118,28 @@ func main() {
 			n = 1_000_000
 		}
 		fmt.Println(bench.SchedOverheadTable(bench.RunSchedOverhead(n)))
+	}
+	if run("sched-scale") {
+		ran = true
+		tiers := []int{10_000, 100_000, 1_000_000}
+		if *exp == "all" && *schedFlows == 0 && !*full {
+			// The million-flow tier is explicit-opt-in territory: under
+			// "all" stop at 100k so the whole-suite run stays quick.
+			tiers = []int{10_000, 100_000}
+		}
+		if *schedFlows > 0 {
+			capped := tiers[:0]
+			for _, n := range tiers {
+				if n <= *schedFlows {
+					capped = append(capped, n)
+				}
+			}
+			if len(capped) == 0 || capped[len(capped)-1] < *schedFlows {
+				capped = append(capped, *schedFlows)
+			}
+			tiers = capped
+		}
+		fmt.Println(bench.SchedScaleTable(bench.RunSchedScale(bench.SchedScaleOptions{Tiers: tiers})))
 	}
 	if run("telemetry") {
 		ran = true

@@ -50,6 +50,7 @@ var telemetryFast = map[string]bool{
 	"PerWorker.Inc":     true, "PerWorker.Add": true, "PerWorker.Value": true,
 	"SchedMetrics.RecordEnqueue": true, "SchedMetrics.RecordDequeue": true,
 	"SchedMetrics.RecordDrop": true, "SchedMetrics.SetQueues": true,
+	"SchedMetrics.RecordHorizonClamp": true,
 	"TraceEntry.RecordKey": true, "TraceEntry.RecordHop": true,
 	"TraceEntry.RecordClassify": true, "TraceEntry.Commit": true,
 	"TraceRing.Acquire": true, "TraceRing.Skipped": true,

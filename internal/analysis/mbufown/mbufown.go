@@ -68,6 +68,13 @@ var releasePrefixes = []string{
 	"steer", "drop", "put", "handoff",
 }
 
+// condHandoffPrefixes name the refusable handoffs: a single bool result
+// that is false means the callee did NOT take the buffer (a full worker
+// queue sheds) and the caller owns it again. Deliberately narrower than
+// releasePrefixes — Forward and Process return a verdict about a packet
+// they consumed either way.
+var condHandoffPrefixes = []string{"submit", "try", "offer"}
+
 func hasPrefix(name string, prefixes []string) bool {
 	lower := strings.ToLower(name)
 	for _, p := range prefixes {
@@ -239,6 +246,10 @@ type checker struct {
 	// guards maps an ok-variable of a two-valued receive to the buffer
 	// variable it guards (`np, ok := <-q`: ok false means np is nil).
 	guards map[*types.Var]*types.Var
+	// condRelease maps the bool result of a conditional handoff to the
+	// buffer it shipped (`ok := pool.Submit(p)`: ok false means the
+	// handoff was refused and the caller owns p again).
+	condRelease map[*types.Var]*types.Var
 	// report is nil during solving and set during the reporting pass.
 	report func(pos token.Pos, format string, args ...any)
 	// reported dedups leak reports by acquisition site.
@@ -248,10 +259,11 @@ type checker struct {
 func checkFunc(pass *analysis.Pass, mb *mbufTypes, fd *ast.FuncDecl) {
 	g := dataflow.Build(fd.Body)
 	ck := &checker{
-		pass:     pass,
-		mb:       mb,
-		guards:   make(map[*types.Var]*types.Var),
-		reported: make(map[token.Pos]bool),
+		pass:        pass,
+		mb:          mb,
+		guards:      make(map[*types.Var]*types.Var),
+		condRelease: make(map[*types.Var]*types.Var),
+		reported:    make(map[token.Pos]bool),
 	}
 	res := dataflow.Solve(g, dataflow.Problem[state]{
 		Init:     state{},
@@ -432,6 +444,18 @@ func (ck *checker) recvFromMbufChan(e ast.Expr) bool {
 }
 
 func (ck *checker) assign(n *ast.AssignStmt, s state) state {
+	// Conditional handoff with a named result: ok := pool.Submit(p).
+	// Record the ok→buffer mapping before the call below releases p, so
+	// refine can restore ownership on the refused (`if !ok`) branch.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			if buf := ck.condHandoffBuf(call, s); buf != nil {
+				if okv := ck.varOf(n.Lhs[0]); okv != nil {
+					ck.condRelease[okv] = buf
+				}
+			}
+		}
+	}
 	// Two-valued channel receive: x, ok := <-ch.
 	if len(n.Lhs) == 2 && len(n.Rhs) == 1 && ck.recvFromMbufChan(n.Rhs[0]) {
 		buf := ck.varOf(n.Lhs[0])
@@ -590,7 +614,26 @@ func (ck *checker) consumeCallArgs(call *ast.CallExpr, s state, alwaysConsume bo
 			consume = hasPrefix(fn.Name(), releasePrefixes)
 		}
 	}
-	s = ck.scanUses(call.Fun, s)
+	// A release-named method on the buffer itself (p.ReleaseBuf()) ends
+	// ownership through the receiver: only identifiers of mbuf pointer
+	// type match, so method calls on a flow queue or pool stay reads.
+	// The receiver is the release itself, not a preceding read, so the
+	// fun scan is skipped when it matches (double release stays the one
+	// diagnostic at that site).
+	released := false
+	if consume {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if v := ck.varOf(sel.X); v != nil && ck.mb.isMbufPtr(v.Type()) {
+				if _, tracked := s[v]; tracked {
+					s = ck.releaseVar(s, v, sel.X.Pos())
+					released = true
+				}
+			}
+		}
+	}
+	if !released {
+		s = ck.scanUses(call.Fun, s)
+	}
 	for _, arg := range call.Args {
 		if v := ck.varOf(arg); v != nil {
 			if _, tracked := s[v]; tracked {
@@ -605,6 +648,52 @@ func (ck *checker) consumeCallArgs(call *ast.CallExpr, s state, alwaysConsume bo
 		s = ck.scanUses(arg, s)
 	}
 	return s
+}
+
+// condHandoffBuf matches a conditional handoff: a release-named callee
+// returning exactly one bool, with exactly one tracked mbuf argument. It
+// returns that argument's variable, or nil when the shape doesn't match
+// (no result, several buffers, untracked argument).
+func (ck *checker) condHandoffBuf(call *ast.CallExpr, s state) *types.Var {
+	fn := analysis.CalleeFunc(ck.pass.Info, call)
+	if fn == nil || !hasPrefix(fn.Name(), condHandoffPrefixes) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Bool {
+		return nil
+	}
+	var buf *types.Var
+	for _, arg := range call.Args {
+		v := ck.varOf(arg)
+		if v == nil || !ck.mb.isMbufPtr(v.Type()) {
+			continue
+		}
+		if _, tracked := s[v]; !tracked {
+			continue
+		}
+		if buf != nil {
+			return nil
+		}
+		buf = v
+	}
+	return buf
+}
+
+// reOwn restores ownership of v: the refused arm of a conditional
+// handoff hands the buffer back to the caller, who must dispose of it.
+func (ck *checker) reOwn(s state, v *types.Var) state {
+	vs, ok := s[v]
+	if !ok {
+		return s
+	}
+	out := s.clone()
+	out[v] = vstate{flags: mayOwn, acq: vs.acq, name: vs.name}
+	return out
 }
 
 func (ck *checker) returnStmt(n *ast.ReturnStmt, s state) state {
@@ -714,12 +803,24 @@ func (ck *checker) refine(cond ast.Expr, branch bool, s state) state {
 		if c.Op == token.NOT {
 			return ck.refine(c.X, !branch, s)
 		}
+	case *ast.CallExpr:
+		// `if !pool.Submit(p)`: the condition node already released p
+		// (the handoff may succeed), so the false edge — the refused
+		// handoff — restores ownership and the shed arm must release.
+		if !branch {
+			if buf := ck.condHandoffBuf(c, s); buf != nil {
+				return ck.reOwn(s, buf)
+			}
+		}
 	case *ast.Ident:
 		// `if ok` from x, ok := <-ch: the false edge means no element
 		// was received and x is nil.
 		if v, _ := ck.pass.Info.ObjectOf(c).(*types.Var); v != nil {
 			if buf := ck.guards[v]; buf != nil && !branch {
 				return ck.clearOwn(s, buf)
+			}
+			if buf := ck.condRelease[v]; buf != nil && !branch {
+				return ck.reOwn(s, buf)
 			}
 		}
 	}

@@ -249,6 +249,69 @@ func (r *ring) cleanBatchAppend(batch []*pkt.Packet) {
 	forwardBatch(batch)
 }
 
+func (r *ring) Submit(p *pkt.Packet) bool {
+	select {
+	case r.pq <- p:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseBuf is a release-named method on the buffer itself, like
+// pkt.Packet.ReleaseBuf.
+func (b *buf) releaseSelf() { _ = b }
+
+// cleanShedReown: the refused Submit hands the packet back; the shed arm
+// releases it through the buffer's own method. No finding.
+func (r *ring) cleanShedReown() {
+	p := r.PollPacket()
+	if p == nil {
+		return
+	}
+	if !r.Submit(p) {
+		p.ReleaseBuf()
+	}
+}
+
+// leakShedForgotten: the refused Submit re-owns the packet and the shed
+// arm forgets to release it — the overload-leak bug shape.
+func (r *ring) leakShedForgotten(counter *int) {
+	p := r.PollPacket() // want "packet buffer p may leak"
+	if p == nil {
+		return
+	}
+	if !r.Submit(p) {
+		*counter++
+	}
+}
+
+// cleanShedOkVar: same contract through a named bool result.
+func (r *ring) cleanShedOkVar() {
+	p := r.PollPacket()
+	if p == nil {
+		return
+	}
+	ok := r.Submit(p)
+	if !ok {
+		p.ReleaseBuf()
+	}
+}
+
+// cleanMethodRelease: a release-named method on the tracked buffer ends
+// ownership through the receiver.
+func (r *ring) cleanMethodRelease() {
+	wb := <-r.free
+	wb.releaseSelf()
+}
+
+// doubleMethodRelease: the receiver release counts like any other.
+func (r *ring) doubleMethodRelease() {
+	wb := <-r.free
+	wb.releaseSelf()
+	wb.releaseSelf() // want "packet buffer wb released twice"
+}
+
 // useAfterBatchAppend touches a buffer the batch container already
 // owns.
 func (r *ring) useAfterBatchAppend(batch []*buf) {

@@ -303,6 +303,9 @@ func (b *Batcher) forwardChunk(ps []*pkt.Packet, st *ifaceState) int {
 			if r.cfg.LocalSink != nil {
 				r.cfg.LocalSink(ps[i])
 			}
+			// Same contract as deliverLocal: delivery is synchronous,
+			// the buffer recycles once the sink returns.
+			ps[i].ReleaseBuf()
 			b.dead[i] = true
 			survived++
 			alive--
@@ -423,6 +426,7 @@ func (b *Batcher) dispatchBatchRun(g pcu.Type, bh pcu.BatchHandler, inst pcu.Ins
 		}
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropFault)
+		p.ReleaseBuf()
 		b.dead[idx] = true
 		killed++
 	}

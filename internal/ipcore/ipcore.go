@@ -483,6 +483,7 @@ func (r *Router) forwardMono(p *pkt.Packet, st *ifaceState) bool {
 		if err := r.cfg.MonoSched.Enqueue(p); err != nil {
 			r.stats.dropped.Add(1)
 			r.countDrop(r.telDropQueue)
+			p.ReleaseBuf()
 			return false
 		}
 		r.stats.schedEnq.Add(1)
@@ -748,6 +749,9 @@ func (r *Router) forwardGates(p *pkt.Packet, c *cycles.Counter, te *telemetry.Tr
 			if r.cfg.LocalSink != nil {
 				r.cfg.LocalSink(p)
 			}
+			// Same contract as deliverLocal: delivery is synchronous,
+			// the buffer recycles once the sink returns.
+			p.ReleaseBuf()
 			return true
 		}
 	}
@@ -778,6 +782,7 @@ func (r *Router) pluginDrop(p *pkt.Packet, err error) bool {
 	r.stats.pluginDrops.Add(1)
 	r.stats.dropped.Add(1)
 	r.countDrop(r.telDropPlugin)
+	p.ReleaseBuf()
 	return false
 }
 
@@ -810,6 +815,7 @@ func (r *Router) gateDispatch(g pcu.Type, inst pcu.Instance, p *pkt.Packet) (con
 	}
 	r.stats.dropped.Add(1)
 	r.countDrop(r.telDropFault)
+	p.ReleaseBuf()
 	return false, true
 }
 
@@ -821,6 +827,7 @@ func (r *Router) validate(p *pkt.Packet) bool {
 			r.stats.badChecksum.Add(1)
 			r.stats.dropped.Add(1)
 			r.countDrop(r.telDropChecksum)
+			p.ReleaseBuf()
 			return false
 		}
 	case 6:
@@ -828,6 +835,7 @@ func (r *Router) validate(p *pkt.Packet) bool {
 	default:
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropMalform)
+		p.ReleaseBuf()
 		return false
 	}
 	if !p.KeyValid {
@@ -835,6 +843,7 @@ func (r *Router) validate(p *pkt.Packet) bool {
 		if err != nil {
 			r.stats.dropped.Add(1)
 			r.countDrop(r.telDropMalform)
+			p.ReleaseBuf()
 			return false
 		}
 		p.Key, p.KeyValid = k, true
@@ -859,6 +868,10 @@ func (r *Router) deliverLocal(p *pkt.Packet, st *ifaceState) bool {
 	if r.cfg.LocalSink != nil {
 		r.cfg.LocalSink(p)
 	}
+	// Delivery is synchronous: a handler that retains payload must copy
+	// it, so the receive buffer recycles as soon as the sink returns
+	// (the same validity contract the driver's descriptor ring gave).
+	p.ReleaseBuf()
 	return true
 }
 
@@ -875,6 +888,7 @@ func (r *Router) decTTL(p *pkt.Packet) bool {
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropTTL)
 		r.sendICMPError(p, pkt.ICMPv4TimeExceeded, pkt.ICMPv6TimeExceeded, 0, 0)
+		p.ReleaseBuf()
 		return false
 	}
 	return true
@@ -887,6 +901,7 @@ func (r *Router) dropNoRoute(p *pkt.Packet) bool {
 	r.stats.dropped.Add(1)
 	r.countDrop(r.telDropNoRoute)
 	r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6DestUnreach, 0, 0)
+	p.ReleaseBuf()
 	return false
 }
 
@@ -971,11 +986,13 @@ func (r *Router) enqueueFIFO(p *pkt.Packet, st *ifaceState) bool {
 	if q == nil {
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropQueue)
+		p.ReleaseBuf()
 		return false
 	}
 	if err := q.Enqueue(p); err != nil {
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropQueue)
+		p.ReleaseBuf()
 		return false
 	}
 	r.stats.forwarded.Add(1)
@@ -1033,6 +1050,7 @@ func (r *Router) TxDrain(ifIdx int32, budget int) int {
 func (r *Router) transmit(p *pkt.Packet, st *ifaceState) {
 	ifc := st.ifaces[p.OutIf]
 	if ifc == nil {
+		p.ReleaseBuf()
 		return
 	}
 	if len(p.Data) > ifc.MTU {
@@ -1046,15 +1064,22 @@ func (r *Router) transmit(p *pkt.Packet, st *ifaceState) {
 					q := *p
 					q.Data = f
 					q.FIX = nil
+					// The fragment copies don't own the original's
+					// receive buffer; it is released once, below, after
+					// every fragment has been consumed by Transmit.
+					q.Owner = nil
+					q.QNext = nil
 					ifc.Transmit(&q)
 				}
 				r.stats.fragmented.Add(1)
+				p.ReleaseBuf()
 				return
 			}
 		}
 		r.stats.dropped.Add(1)
 		r.countDrop(r.telDropMTU)
 		r.sendICMPError(p, pkt.ICMPv4DestUnreach, pkt.ICMPv6PacketTooBig, 4, 0)
+		p.ReleaseBuf()
 		return
 	}
 	ifc.Transmit(p)
@@ -1110,7 +1135,15 @@ func (r *Router) stepSubmit() int {
 			if p == nil {
 				break
 			}
-			r.pool.Submit(p)
+			if !r.pool.Submit(p) {
+				// The steered worker's queue is full and the packet was
+				// shed: charge the receiving interface and return the
+				// mbuf to its pool — Submit already counted the drop
+				// router-wide, but without the release sustained
+				// overload would bleed the interface's buffer pool dry.
+				ifc.CountRxOverload()
+				p.ReleaseBuf()
+			}
 			n++
 		}
 	}

@@ -104,10 +104,17 @@ type Stats struct {
 	RxDropTooBig    uint64
 	RxDropDown      uint64
 	RxDropMalformed uint64
+	RxDropOverload  uint64 // shed by the forwarding engine (worker queue full)
 	// TX drop reasons (sum to TxDrops).
 	TxDropRing   uint64
 	TxDropTooBig uint64
 	TxDropDown   uint64
+
+	// MbufFallback counts receive-buffer allocations made after the
+	// mbuf pool was exhausted (more packets in flight than the declared
+	// BufDepth — the signature of a release leak upstream). Not a drop:
+	// the packet is still delivered, on a heap buffer.
+	MbufFallback uint64
 }
 
 // ifStats is the live counter set: lock-free atomics so the per-packet
@@ -123,9 +130,12 @@ type ifStats struct {
 	rxDropTooBig    atomic.Uint64
 	rxDropDown      atomic.Uint64
 	rxDropMalformed atomic.Uint64
+	rxDropOverload  atomic.Uint64
 	txDropRing      atomic.Uint64
 	txDropTooBig    atomic.Uint64
 	txDropDown      atomic.Uint64
+
+	mbufFallback atomic.Uint64
 }
 
 // ifTel is the optional registered metric set (SetTelemetry): the same
@@ -142,9 +152,12 @@ type ifTel struct {
 	rxDropTooBig    *telemetry.Counter
 	rxDropDown      *telemetry.Counter
 	rxDropMalformed *telemetry.Counter
+	rxDropOverload  *telemetry.Counter
 	txDropRing      *telemetry.Counter
 	txDropTooBig    *telemetry.Counter
 	txDropDown      *telemetry.Counter
+
+	mbufFallback *telemetry.Counter
 }
 
 // Interface is one network interface. Packets received from the
@@ -165,18 +178,21 @@ type Interface struct {
 	stats ifStats
 	tel   ifTel
 
-	// mbufs is the receive descriptor ring's buffer pool: Inject copies
-	// wire bytes into the next ring buffer, exactly like a DMA engine
-	// filling preallocated mbufs. Buffers recycle once the pool wraps,
-	// so a packet's data is valid while fewer than BufDepth packets
-	// arrive behind it — the same contract a real driver gives the
-	// stack. The pool is sized to the RX ring plus any reserve declared
-	// with ReserveMbufs: with a worker pool, a packet can sit in a
-	// worker's ingress queue long after it left the RX ring, so the
-	// reserve must cover the total worker queue depth or a backlogged
-	// worker would read a recycled buffer.
-	mbufs     [][]byte
-	mbufSeq   uint64
+	// The receive buffer pool: Inject copies wire bytes into a pool
+	// buffer, exactly like a DMA engine filling preallocated mbufs, and
+	// stamps the packet's Owner so whoever retires it (transmit, drop,
+	// shed) returns the buffer with ReleaseMbuf. mbufFree is the LIFO
+	// free list of recycled MTU-sized buffers; mbufMade counts buffers
+	// created so far, capped at BufDepth (RX ring plus any reserve
+	// declared with ReserveMbufs: with a worker pool, a packet can sit
+	// in a worker's ingress queue long after it left the RX ring, so
+	// the reserve must cover the total worker queue depth). When the
+	// pool is exhausted — more packets in flight than the declared
+	// depth, the signature of a missing release upstream — nextMbuf
+	// degrades to a counted heap allocation instead of corrupting a
+	// buffer still in flight.
+	mbufFree  [][]byte
+	mbufMade  int
 	mbufExtra int
 
 	// Addr is the interface's own address (used by daemons and for
@@ -269,9 +285,12 @@ func (i *Interface) SetTelemetry(t *telemetry.Telemetry) {
 		rxDropTooBig:    t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("too-big")),
 		rxDropDown:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("down")),
 		rxDropMalformed: t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("malformed")),
+		rxDropOverload:  t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("rx"), reason("overload")),
 		txDropRing:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("ring-full")),
 		txDropTooBig:    t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("too-big")),
 		txDropDown:      t.Counter("eisr_netdev_drops_total", "interface drops by direction and reason", l, dir("tx"), reason("down")),
+
+		mbufFallback: t.Counter("eisr_netdev_mbuf_fallback_total", "receive buffers heap-allocated after pool exhaustion", l),
 	}
 }
 
@@ -308,10 +327,12 @@ func (i *Interface) Inject(data []byte) error {
 	copy(buf, data)
 	p, err := pkt.NewPacket(buf, i.Index)
 	if err != nil {
+		i.releaseRaw(buf)
 		i.stats.rxDropMalformed.Add(1)
 		i.tel.rxDropMalformed.Inc()
 		return err
 	}
+	p.Owner = i
 	p.Stamp = i.clock()
 	select {
 	case i.rx <- p:
@@ -321,6 +342,7 @@ func (i *Interface) Inject(data []byte) error {
 		i.tel.rxBytes.Add(uint64(len(data)))
 		return nil
 	default:
+		p.ReleaseBuf()
 		i.stats.rxDropRing.Add(1)
 		i.tel.rxDropRing.Inc()
 		return ErrRingFull
@@ -330,55 +352,85 @@ func (i *Interface) Inject(data []byte) error {
 // ReserveMbufs extends the receive buffer pool beyond the RX ring by
 // extra buffers. The core calls this when a worker pool is configured:
 // a packet steered to a worker can sit in that worker's ingress queue
-// while the RX ring keeps wrapping, so the pool must cover ring depth
-// plus the total worker queue depth or the backlogged packet's mbuf
-// would be overwritten underneath it. Control path only; an
-// already-allocated pool is regrown.
+// while the RX ring keeps turning over, so the pool must cover ring
+// depth plus the total worker queue depth. Control path only; buffers
+// allocate lazily so the larger depth costs nothing until used.
 func (i *Interface) ReserveMbufs(extra int) {
 	if extra < 0 {
 		extra = 0
 	}
 	i.mu.Lock()
-	defer i.mu.Unlock()
-	if extra <= i.mbufExtra {
-		return
+	if extra > i.mbufExtra {
+		i.mbufExtra = extra
 	}
-	i.mbufExtra = extra
-	if i.mbufs != nil {
-		i.mbufs = i.newPoolLocked()
-	}
+	i.mu.Unlock()
 }
 
 // BufDepth reports the receive buffer pool depth: the number of packets
-// that can be in flight (RX ring, worker queues) before the oldest
-// buffer recycles. Wire drivers size their own pools from it.
+// that can be in flight (RX ring, worker queues, output queues) before
+// allocation falls back to the heap. Wire drivers size their own pools
+// from it.
 func (i *Interface) BufDepth() int {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return cap(i.rx) + i.mbufExtra + 1
 }
 
-// newPoolLocked builds the mbuf pool at the current target depth.
-// Buffers allocate lazily on first use so an interface that never sees
-// raw injection pays nothing.
-func (i *Interface) newPoolLocked() [][]byte {
-	return make([][]byte, cap(i.rx)+i.mbufExtra+1)
-}
+// depthLocked is BufDepth with i.mu already held.
+func (i *Interface) depthLocked() int { return cap(i.rx) + i.mbufExtra + 1 }
 
-// nextMbuf hands out the next receive buffer from the descriptor ring,
-// growing the pool lazily to the configured depth.
+// nextMbuf hands out a receive buffer: recycled from the free list,
+// created lazily up to the pool depth, or — pool exhausted — a counted
+// heap fallback (graceful degradation, never a recycled-in-flight
+// buffer).
 func (i *Interface) nextMbuf(n int) []byte {
 	i.mu.Lock()
-	defer i.mu.Unlock()
-	if i.mbufs == nil {
-		i.mbufs = i.newPoolLocked()
+	if l := len(i.mbufFree); l > 0 {
+		buf := i.mbufFree[l-1]
+		i.mbufFree[l-1] = nil
+		i.mbufFree = i.mbufFree[:l-1]
+		i.mu.Unlock()
+		return buf[:n]
 	}
-	slot := i.mbufSeq % uint64(len(i.mbufs))
-	i.mbufSeq++
-	if i.mbufs[slot] == nil {
-		i.mbufs[slot] = make([]byte, i.MTU)
+	if i.mbufMade < i.depthLocked() {
+		i.mbufMade++
+		i.mu.Unlock()
+		return make([]byte, i.MTU)[:n]
 	}
-	return i.mbufs[slot][:n]
+	i.mu.Unlock()
+	i.stats.mbufFallback.Add(1)
+	i.tel.mbufFallback.Inc()
+	return make([]byte, i.MTU)[:n]
+}
+
+// ReleaseMbuf implements pkt.BufOwner: the holder retiring a packet
+// returns its receive buffer for recycling. Data that was resliced or
+// replaced (decapsulation, plugins swapping in their own buffer) no
+// longer reaches back to a full pool buffer and is left to the garbage
+// collector; the free list is capped at the pool depth so released
+// fallback buffers cannot grow it without bound.
+func (i *Interface) ReleaseMbuf(p *pkt.Packet) {
+	i.releaseRaw(p.Data)
+}
+
+func (i *Interface) releaseRaw(b []byte) {
+	if cap(b) < i.MTU {
+		return
+	}
+	b = b[:i.MTU]
+	i.mu.Lock()
+	if len(i.mbufFree) < i.depthLocked() {
+		i.mbufFree = append(i.mbufFree, b)
+	}
+	i.mu.Unlock()
+}
+
+// CountRxOverload records a received packet shed by the forwarding
+// engine because its steered worker's ingress queue was full — charged
+// against the receiving interface, like any other RX drop.
+func (i *Interface) CountRxOverload() {
+	i.stats.rxDropOverload.Add(1)
+	i.tel.rxDropOverload.Inc()
 }
 
 // InjectPacket enqueues an already-built packet — the zero-copy,
@@ -436,7 +488,15 @@ func (i *Interface) RxLen() int { return len(i.rx) }
 // ATM card loops to the measurement host). A driver that reports
 // backpressure (ErrRingFull) turns into a counted TX drop — the
 // forwarding worker is never blocked on the wire.
+//
+// Transmit consumes the packet's receive buffer on every arm — wire,
+// peer, sink, and the drop paths alike — returning it to its pool
+// before returning. This is safe because no arm retains p.Data past
+// the call: drivers copy into their own wire buffers synchronously
+// (the TransmitWire contract) and the in-memory peer path copies into
+// the peer's mbuf pool below.
 func (i *Interface) Transmit(p *pkt.Packet) error {
+	defer p.ReleaseBuf()
 	i.mu.Lock()
 	up, peer, driver := i.up, i.peer, i.driver
 	i.mu.Unlock()
@@ -467,7 +527,12 @@ func (i *Interface) Transmit(p *pkt.Packet) error {
 	i.tel.txPackets.Inc()
 	i.tel.txBytes.Add(uint64(len(p.Data)))
 	if peer != nil {
-		q := &pkt.Packet{Data: p.Data, InIf: peer.Index, OutIf: -1, TOS: p.TOS, Path: p.Path}
+		// Copy into the peer's own mbuf pool, like a wire would: the
+		// sender's buffer recycles the moment Transmit returns, so the
+		// peer must not alias it.
+		buf := peer.nextMbuf(len(p.Data))
+		copy(buf, p.Data)
+		q := &pkt.Packet{Data: buf, InIf: peer.Index, OutIf: -1, TOS: p.TOS, Path: p.Path, Owner: peer}
 		// The trace context crosses the in-memory link like it crosses
 		// the wire: router-local accumulation state does not.
 		q.Path.LocalGates, q.Path.StampedHere = 0, false
@@ -482,6 +547,7 @@ func (i *Interface) Transmit(p *pkt.Packet) error {
 			peer.tel.rxPackets.Inc()
 			peer.tel.rxBytes.Add(uint64(len(q.Data)))
 		default:
+			q.ReleaseBuf()
 			peer.stats.rxDropRing.Add(1)
 			peer.tel.rxDropRing.Inc()
 		}
@@ -501,11 +567,14 @@ func (i *Interface) Stats() Stats {
 		RxDropTooBig:    i.stats.rxDropTooBig.Load(),
 		RxDropDown:      i.stats.rxDropDown.Load(),
 		RxDropMalformed: i.stats.rxDropMalformed.Load(),
+		RxDropOverload:  i.stats.rxDropOverload.Load(),
 		TxDropRing:      i.stats.txDropRing.Load(),
 		TxDropTooBig:    i.stats.txDropTooBig.Load(),
 		TxDropDown:      i.stats.txDropDown.Load(),
+
+		MbufFallback: i.stats.mbufFallback.Load(),
 	}
-	s.RxDrops = s.RxDropRing + s.RxDropTooBig + s.RxDropDown + s.RxDropMalformed
+	s.RxDrops = s.RxDropRing + s.RxDropTooBig + s.RxDropDown + s.RxDropMalformed + s.RxDropOverload
 	s.TxDrops = s.TxDropRing + s.TxDropTooBig + s.TxDropDown
 	return s
 }

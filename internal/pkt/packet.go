@@ -124,6 +124,40 @@ type Packet struct {
 	// vast majority of packets; embedded by value so the untraced path
 	// pays one boolean check and no allocation.
 	Path PathContext
+
+	// QNext links packets queued on the same flow inside a queueing
+	// discipline (the classic mbuf m_nextpkt chain). It is owned by
+	// whichever discipline currently queues the packet: schedulers may
+	// thread unbounded per-flow lists through it without allocating, and
+	// must clear it on dequeue. Code outside a discipline never touches
+	// it.
+	QNext *Packet
+
+	// Owner, when non-nil, is the buffer pool Data was drawn from. The
+	// holder that retires the packet (transmit, drop, shed) returns the
+	// buffer with ReleaseBuf so the pool can recycle it; a nil Owner
+	// means the data is caller-managed (generated packets, wire-driver
+	// slots) and release is a no-op.
+	Owner BufOwner
+}
+
+// BufOwner recycles a packet's receive buffer. netdev.Interface
+// implements it for its mbuf pool; the indirection keeps the packet
+// header free of a netdev dependency.
+type BufOwner interface {
+	ReleaseMbuf(p *Packet)
+}
+
+// ReleaseBuf returns the packet's data buffer to its pool, if any. The
+// owner is cleared first so a second release on another path is a
+// harmless no-op rather than a double free.
+//
+//eisr:fastpath
+func (p *Packet) ReleaseBuf() {
+	if o := p.Owner; o != nil {
+		p.Owner = nil
+		o.ReleaseMbuf(p)
+	}
 }
 
 // MarkDrop flags the packet for discard with a reason used in statistics
@@ -153,5 +187,7 @@ func (p *Packet) Clone() *Packet {
 	q.FIX = nil
 	q.FIXGen = 0
 	q.CacheMiss = false
+	q.QNext = nil
+	q.Owner = nil // the clone's data is heap-owned, not pool-owned
 	return &q
 }

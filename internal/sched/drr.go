@@ -10,8 +10,8 @@ import (
 // Preallocated enqueue errors: the enqueue path runs per packet and must
 // not allocate error values.
 var (
-	ErrForeignQueue = errors.New("sched: queue does not belong to this DRR")
-	ErrNoQueue      = errors.New("sched: packet has no DRR queue")
+	ErrForeignQueue = errors.New("sched: queue does not belong to this scheduler")
+	ErrNoQueue      = errors.New("sched: packet has no flow queue")
 )
 
 // DRR is the weighted Deficit Round Robin scheduler of §6.1 [Shreedhar &
@@ -93,7 +93,16 @@ func (d *DRR) RemoveQueue(q *DRRQueue) {
 	if q == nil || q.parent != d {
 		return
 	}
-	d.total -= q.fifo.Len()
+	if n := q.fifo.Len(); n > 0 {
+		// The purged backlog leaves the scheduler without a dequeue:
+		// shrink the backlog gauge explicitly and return the packets'
+		// receive buffers to their pool.
+		d.total -= n
+		d.Tel.RecordPurged(n)
+		for p := q.fifo.Dequeue(); p != nil; p = q.fifo.Dequeue() {
+			p.ReleaseBuf()
+		}
+	}
 	if q.onList {
 		d.unlink(q)
 	}
@@ -149,7 +158,15 @@ func (d *DRR) Dequeue() *pkt.Packet {
 	for d.active != nil {
 		q := d.active
 		if q.fresh {
-			q.deficit += int(float64(d.quantum) * q.Weight)
+			grant := int(float64(d.quantum) * q.Weight)
+			if grant < 1 {
+				// A weight below 1/quantum truncates to a zero grant, and
+				// a backlogged queue whose deficit never grows spins this
+				// loop forever. Every visit must make at least one byte
+				// of progress.
+				grant = 1
+			}
+			q.deficit += grant
 			q.fresh = false
 		}
 		if head := q.fifo.Head(); head != nil && len(head.Data) <= q.deficit {
@@ -157,6 +174,9 @@ func (d *DRR) Dequeue() *pkt.Packet {
 			q.deficit -= len(p.Data)
 			q.Served += uint64(len(p.Data))
 			d.total--
+			// Observe the remaining deficit before the emptied-queue
+			// reset below zeroes it: the histogram samples the fairness
+			// state at serving time, not a post-reset constant.
 			d.Tel.RecordDequeue(q.deficit)
 			if q.fifo.Len() == 0 {
 				q.deficit = 0

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/routerplugins/eisr/internal/pkt"
 )
@@ -93,6 +94,140 @@ func TestQuickDRRConservation(t *testing.T) {
 		return in == out && d.Len() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEiffelConservation: packets out equals packets in for random
+// enqueue patterns, mirroring the DRR property — the wheel never loses
+// or duplicates a packet across rotations and horizon clamps.
+func TestQuickEiffelConservation(t *testing.T) {
+	f := func(seed int64, flowsRaw, pktsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFlows := int(flowsRaw%8) + 1
+		nPkts := int(pktsRaw%200) + 1
+		e := NewEiffel(1500, nPkts+1)
+		qs := make([]*EiffelQueue, nFlows)
+		for i := range qs {
+			// Weights spanning nine orders of magnitude: tiny weights
+			// exercise the horizon clamp, not a livelock.
+			qs[i] = e.NewQueue("", math.Pow(10, -float64(rng.Intn(9)))*float64(1+rng.Intn(4)))
+		}
+		in := 0
+		for i := 0; i < nPkts; i++ {
+			q := qs[rng.Intn(nFlows)]
+			if err := e.EnqueueFlow(q, &pkt.Packet{Data: make([]byte, 64+rng.Intn(1400))}); err == nil {
+				in++
+			}
+		}
+		out := 0
+		for e.Dequeue() != nil {
+			out++
+		}
+		return in == out && e.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEiffelDRRFairness: on identical backlogged arrivals, Eiffel's
+// per-flow service agrees with DRR's within quantum bounds. Both
+// disciplines guarantee weighted shares with per-round (DRR) or
+// per-bucket (Eiffel) granularity, so while every flow stays backlogged
+// the divergence is bounded by a few quanta of the heaviest flow plus a
+// packet of slop per discipline.
+func TestQuickEiffelDRRFairness(t *testing.T) {
+	const quantum, maxPkt = 1500, 1500
+	f := func(seed int64, flowsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFlows := int(flowsRaw%4) + 2
+		d := NewDRR(quantum, 1<<20)
+		e := NewEiffel(quantum, 1<<20)
+		dqs := make([]*DRRQueue, nFlows)
+		eqs := make([]*EiffelQueue, nFlows)
+		for i := 0; i < nFlows; i++ {
+			w := float64(1 + rng.Intn(4))
+			dqs[i] = d.NewQueue("", w)
+			eqs[i] = e.NewQueue("", w)
+		}
+		// Identical arrivals, heavy enough to stay backlogged throughout.
+		const perFlow = 600
+		for i := 0; i < nFlows; i++ {
+			for j := 0; j < perFlow; j++ {
+				size := 64 + rng.Intn(maxPkt-64)
+				d.EnqueueFlow(dqs[i], &pkt.Packet{Data: make([]byte, size)})
+				e.EnqueueFlow(eqs[i], &pkt.Packet{Data: make([]byte, size)})
+			}
+		}
+		// Serve the same amount of work from each discipline, stopping
+		// well before any flow can drain.
+		const serve = perFlow / 2 * 700
+		for served := 0; served < serve; {
+			p := d.Dequeue()
+			if p == nil {
+				return false
+			}
+			served += len(p.Data)
+		}
+		for served := 0; served < serve; {
+			p := e.Dequeue()
+			if p == nil {
+				return false
+			}
+			served += len(p.Data)
+		}
+		for i := 0; i < nFlows; i++ {
+			diff := int64(dqs[i].Served) - int64(eqs[i].Served)
+			if diff < 0 {
+				diff = -diff
+			}
+			tol := int64(4*quantum*dqs[i].Weight) + 4*maxPkt
+			if diff > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSchedDrainAnyWeight: behind the link simulator, both DRR and
+// Eiffel drain a backlog completely for any weight > 0, however small —
+// the regression surface of the fractional-weight livelock. The
+// watchdog converts a livelock into a failure.
+func TestQuickSchedDrainAnyWeight(t *testing.T) {
+	f := func(seed int64, expRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		weight := math.Pow(10, -float64(expRaw%9)) * (1 + rng.Float64())
+		drain := func(s Scheduler, enq func(p *pkt.Packet) error) bool {
+			for i := 0; i < 50; i++ {
+				if err := enq(&pkt.Packet{Data: make([]byte, 64+rng.Intn(1400))}); err != nil {
+					return false
+				}
+			}
+			sim := NewLinkSim(s, 1e6)
+			done := make(chan int, 1)
+			go func() { done <- len(sim.Run(math.Inf(1))) }()
+			select {
+			case n := <-done:
+				return n == 50 && s.Len() == 0
+			case <-time.After(10 * time.Second):
+				return false
+			}
+		}
+		d := NewDRR(1500, 0)
+		dq := d.NewQueue("", weight)
+		if !drain(d, func(p *pkt.Packet) error { return d.EnqueueFlow(dq, p) }) {
+			return false
+		}
+		e := NewEiffel(1500, 0)
+		eq := e.NewQueue("", weight)
+		return drain(e, func(p *pkt.Packet) error { return e.EnqueueFlow(eq, p) })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }

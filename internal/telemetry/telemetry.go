@@ -196,6 +196,8 @@ type SchedMetrics struct {
 	enqueued *Counter
 	dequeued *Counter
 	drops    *Counter
+	purged   *Counter
+	clamps   *Counter
 	backlog  *Gauge
 	queues   *Gauge
 	deficit  *Histogram
@@ -211,6 +213,8 @@ func (t *Telemetry) SchedMetrics(plugin, instance string) *SchedMetrics {
 		enqueued: t.Counter("eisr_sched_enqueued_total", "packets admitted by the scheduling discipline", l...),
 		dequeued: t.Counter("eisr_sched_dequeued_total", "packets handed to the link by the scheduling discipline", l...),
 		drops:    t.Counter("eisr_sched_drops_total", "packets rejected at enqueue (queue limit)", l...),
+		purged:   t.Counter("eisr_sched_purged_total", "queued packets discarded when a flow queue was removed", l...),
+		clamps:   t.Counter("eisr_sched_horizon_clamps_total", "flow ranks clamped to the scheduling wheel horizon (Eiffel)", l...),
 		backlog:  t.Gauge("eisr_sched_backlog", "packets queued across all flows of the instance", l...),
 		queues:   t.Gauge("eisr_sched_queues", "live per-flow queues of the instance", l...),
 		deficit:  t.Histogram("eisr_sched_deficit_bytes", "DRR per-flow deficit observed at dequeue", l...),
@@ -251,6 +255,29 @@ func (m *SchedMetrics) RecordDrop() {
 		return
 	}
 	m.drops.Inc()
+}
+
+// RecordPurged counts n backlogged packets discarded by a flow-queue
+// removal. They left the scheduler without a dequeue, so the backlog
+// gauge shrinks here (control path: flow eviction, instance teardown).
+func (m *SchedMetrics) RecordPurged(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.purged.Add(uint64(n))
+	m.backlog.Add(-int64(n))
+}
+
+// RecordHorizonClamp counts a flow rank clamped to the scheduling
+// wheel's horizon (an Eiffel flow so light that one packet's virtual
+// service exceeds the wheel depth).
+//
+//eisr:fastpath
+func (m *SchedMetrics) RecordHorizonClamp() {
+	if m == nil {
+		return
+	}
+	m.clamps.Inc()
 }
 
 // SetQueues publishes the live per-flow queue count (control path:

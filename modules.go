@@ -46,7 +46,7 @@ func Modules() []string {
 }
 
 // LoadPlugin loads a module by name into this router — the modload
-// analog. Names: "drr", "hfsc", "red", "ipsec", "firewall", "stats",
+// analog. Names: "drr", "eiffel", "hfsc", "red", "ipsec", "firewall", "stats",
 // "tcpmon", "l4route", "options", "null-<gate>" for the empty plugins
 // used in the overhead measurements, and "chaos-<gate>" for the
 // fault-injection plugin exercising the isolation layer.
@@ -102,6 +102,7 @@ func gateByName(s string) pcu.Type {
 
 func init() {
 	RegisterModule("drr", func(r *Router) pcu.Plugin { return plugins.NewDRRPlugin(r.Env) })
+	RegisterModule("eiffel", func(r *Router) pcu.Plugin { return plugins.NewEiffelPlugin(r.Env) })
 	RegisterModule("hfsc", func(r *Router) pcu.Plugin { return plugins.NewHFSCPlugin(r.Env) })
 	RegisterModule("red", func(r *Router) pcu.Plugin { return plugins.NewREDPlugin(r.Env) })
 	RegisterModule("firewall", func(r *Router) pcu.Plugin { return plugins.NewFirewallPlugin(r.Env) })
