@@ -1,7 +1,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: all build test lint race vet check bench-smoke wire-smoke clean
+.PHONY: all build test lint race vet check bench-smoke wire-smoke fib-churn-smoke clean
 
 all: check
 
@@ -28,10 +28,12 @@ vet: $(BIN)/eisrlint
 # registration/snapshot racing record calls, the fault barrier and
 # quarantine path plus the wire topology (root package), the control
 # server's connection-teardown bookkeeping, the netio RX/TX goroutines
-# racing forwarding workers and Stop, and the analyzer suite (whose
-# shared fixture loader is hit from parallel tests).
+# racing forwarding workers and Stop, the routing table's lock-free
+# lookups racing batched applies, the route-feed daemon's flush/sweep
+# machinery racing its sources, and the analyzer suite (whose shared
+# fixture loader is hit from parallel tests).
 race:
-	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl ./internal/netio ./internal/analysis/...
+	$(GO) test -race . ./internal/aiu ./internal/pcu ./internal/ipcore ./internal/telemetry ./internal/ctl ./internal/netio ./internal/routing ./internal/routefeed ./internal/analysis/...
 
 # Overhead guards: the telemetry-off flow-cache hit path must stay
 # allocation-free and the disabled record calls under 2ns per packet;
@@ -39,7 +41,10 @@ race:
 # netio wire RX and TX paths must stay allocation-free per packet; the
 # path-trace origin check with sampling disabled must cost 0 allocs and
 # < 2ns per packet; the Eiffel scheduler's per-packet cost must stay
-# flat (<=2x) from 10k to 100k live flows with 0 allocs in steady state.
+# flat (<=2x) from 10k to 100k live flows with 0 allocs in steady state;
+# FIB lookups at a million prefixes must stay allocation-free and an
+# incremental single-route update must beat the full rebuild by >= 10x
+# at 100k, with churn never costing packets on the wire.
 bench-smoke:
 	EISR_BENCH_SMOKE=1 $(GO) test -run BenchSmoke -count=1 -v ./internal/aiu ./internal/bench ./internal/netio ./internal/telemetry
 
@@ -48,6 +53,14 @@ bench-smoke:
 # zero unexplained drops, and exercise `pmgr links`.
 wire-smoke:
 	./scripts/wire_smoke.sh
+
+# Full-table FIB smoke: load a 100k-prefix dump into a live eisrd
+# through the route feed (one batch, one snapshot publication), check
+# the pmgr feed/routes surfaces, journal records and eisr_fib_feed_*
+# telemetry, then run 10k route updates under verified forwarding load
+# with zero unexplained drops and bounded convergence.
+fib-churn-smoke:
+	./scripts/fib_churn_smoke.sh
 
 check: build test lint vet race
 

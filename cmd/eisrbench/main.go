@@ -21,7 +21,7 @@ import (
 var experiments = []string{
 	"table1", "table2", "table3", "flowcache", "dagscale", "gates",
 	"drrshare", "hfsc", "schedovh", "sched-scale", "telemetry",
-	"parallel", "batch", "faults", "wire", "pathtrace",
+	"parallel", "batch", "faults", "wire", "pathtrace", "fib", "fib-churn",
 	"ablate-cache", "ablate-bmp", "ablate-collapse", "ablate-interdag",
 }
 
@@ -235,6 +235,35 @@ func main() {
 		fmt.Println(bench.PathTraceTable(res))
 		if res.BadSpans > 0 {
 			fatal(fmt.Errorf("pathtrace: %d malformed spans", res.BadSpans))
+		}
+	}
+	if run("fib") {
+		ran = true
+		opts := bench.FIBOptions{Seed: *seed}
+		if *exp == "all" && !*full {
+			// The million-prefix tier is explicit-opt-in territory
+			// (`-exp fib` or -full), same policy as sched-scale.
+			opts.Sizes = []int{10_000, 100_000}
+		}
+		rows, err := bench.RunFIB(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FIBTable(rows))
+	}
+	if run("fib-churn") {
+		ran = true
+		opts := bench.FIBChurnOptions{}
+		if *exp == "all" && !*full {
+			opts.Routes, opts.Updates, opts.Packets = 10_000, 2_000, 2_000
+		}
+		res, err := bench.RunFIBChurn(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FIBChurnTable(res))
+		if res.Lost() > 0 {
+			fatal(fmt.Errorf("fib-churn: lost %d of %d packets", res.Lost(), res.Packets))
 		}
 	}
 	if run("ablate-cache") {

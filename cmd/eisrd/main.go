@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/routerplugins/eisr"
+	"github.com/routerplugins/eisr/internal/routefeed"
 )
 
 func main() {
@@ -55,8 +56,14 @@ func main() {
 	faultPolicy := flag.String("fault-policy", "drop", "packet fate when a plugin dispatch panics: drop|forward")
 	faultThreshold := flag.Int("fault-threshold", 0, "quarantine an instance after N faults in the window (0 = default 5; negative = never)")
 	faultWindow := flag.Duration("fault-window", 0, "sliding window for -fault-threshold (0 = default 10s)")
+	feedBatch := flag.Int("feed-batch", 0, "route-feed batch size: a live feed's pending updates flush into one snapshot at this count (0 = default 1024)")
+	feedFlush := flag.Duration("feed-flush", 0, "route-feed timer flush interval for partial batches (0 = default 50ms)")
 	var links linkFlags
 	flag.Var(&links, "link", "back an interface with a UDP overlay link: IFINDEX=LOCAL,PEER (repeatable; PEER may be empty)")
+	var routes stringFlags
+	flag.Var(&routes, "route", "install a static route at boot: 'PREFIX dev N [via GW] [metric M]' (repeatable; all -route flags load as one batch)")
+	var feeds stringFlags
+	flag.Var(&feeds, "feed", "attach a route-feed source: file:PATH (full-table dump) or tcp:HOST:PORT (live line-protocol stream; repeatable)")
 	flag.Parse()
 
 	r, err := eisr.New(eisr.Options{
@@ -87,6 +94,23 @@ func main() {
 			log.Fatalf("eisrd: link %d: %v", lk.iface, err)
 		}
 		log.Printf("eisrd: interface %d wired: %s -> %q", lk.iface, link.LocalAddr(), lk.peer)
+	}
+	if len(routes) > 0 {
+		if err := r.AddRoutes(routes); err != nil {
+			log.Fatalf("eisrd: -route: %v", err)
+		}
+		log.Printf("eisrd: %d static routes loaded in one batch", len(routes))
+	}
+	if len(feeds) > 0 || *feedBatch > 0 || *feedFlush > 0 {
+		// Enable the feed before -routed below so the route daemon's
+		// churn is accounted through the same feed machinery.
+		r.EnableFeed(routefeed.Options{BatchMax: *feedBatch, FlushEvery: *feedFlush})
+		for _, spec := range feeds {
+			if err := r.AttachFeed(spec); err != nil {
+				log.Fatalf("eisrd: -feed: %v", err)
+			}
+			log.Printf("eisrd: route feed attached: %s", spec)
+		}
 	}
 	if *config != "" {
 		if err := runScript(r, *config); err != nil {
@@ -170,6 +194,16 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Printf("eisrd: shutting down; core stats: %+v", r.Core.Stats())
+}
+
+// stringFlags collects a repeatable string flag (-route, -feed).
+type stringFlags []string
+
+func (f *stringFlags) String() string { return strings.Join(*f, " ") }
+
+func (f *stringFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
 }
 
 // linkSpec is one parsed -link entry.

@@ -42,7 +42,8 @@ commands:
   register PLUGIN INSTANCE filter=SPEC [key=value ...]
   deregister PLUGIN INSTANCE filter=SPEC
   msg PLUGIN [INSTANCE] VERB [key=value ...]
-  route add PREFIX dev N [via GW] [metric M] | route del PREFIX | routes
+  route add PREFIX dev N [via GW] [metric M] | route del PREFIX
+  routes [max=N] | feed
   filters GATE | stats | flows | trace [N]
   spans [N] | events [-f] [since=K] [max=N] | pathtrace [N]
   health | quarantine PLUGIN INSTANCE

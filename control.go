@@ -100,9 +100,24 @@ func (r *Router) control(req *ctl.Request) (any, error) {
 			Via    string `json:"via,omitempty"`
 			Metric int    `json:"metric"`
 		}
+		// max caps the listing — "pmgr routes max=20" stays usable
+		// against a full-table FIB where the complete dump would be a
+		// million rows of JSON.
+		max := 0
+		if req.Args != nil && req.Args["max"] != "" {
+			n, err := strconv.Atoi(req.Args["max"])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("eisr: routes wants a positive max, got %q", req.Args["max"])
+			}
+			max = n
+		}
+		list := r.Routes.Routes()
+		if max > 0 && len(list) > max {
+			list = list[:max]
+		}
 		var out []routeInfo
 		var noGateway pkt.Addr
-		for _, rt := range r.Routes.Routes() {
+		for _, rt := range list {
 			ri := routeInfo{Prefix: rt.Prefix.String(), Dev: rt.NextHop.IfIndex, Metric: rt.NextHop.Metric}
 			if rt.NextHop.Gateway != noGateway {
 				ri.Via = rt.NextHop.Gateway.String()
@@ -110,6 +125,8 @@ func (r *Router) control(req *ctl.Request) (any, error) {
 			out = append(out, ri)
 		}
 		return out, nil
+	case ctl.OpFeed:
+		return r.FeedReport()
 	case ctl.OpFilters:
 		if r.AIU == nil {
 			return nil, fmt.Errorf("eisr: no classifier in best-effort mode")

@@ -1,0 +1,131 @@
+package eisr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/ctl"
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routefeed"
+)
+
+func mustAddr(t *testing.T, s string) pkt.Addr {
+	t.Helper()
+	a, err := pkt.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestFeedFileLoad drives the full wiring: a dump file attached with
+// AttachFeed loads under Start, and "pmgr feed" reports it.
+func TestFeedFileLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full-table.txt")
+	const n = 500
+	var body []byte
+	for i := 0; i < n; i++ {
+		body = append(body, fmt.Sprintf("10.%d.%d.0/24 dev 1\n", i/250, i%250)...)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := New(Options{Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddInterface(0, "in", "192.0.2.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddInterface(1, "out", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachFeed("file:" + path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.FeedReport(); err != nil {
+		t.Fatalf("feed attached but FeedReport failed: %v", err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Routes.Len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Routes.Len() != n {
+		t.Fatalf("table has %d routes, want %d", r.Routes.Len(), n)
+	}
+
+	// The control surface: feed status and a capped route listing.
+	data, err := r.Control(&ctl.Request{Op: ctl.OpFeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, ok := data.([]routefeed.SourceStatus)
+	if !ok || len(sts) != 1 {
+		t.Fatalf("feed payload = %#v", data)
+	}
+	if sts[0].Routes != n || sts[0].Batches != 1 {
+		t.Fatalf("feed status = %+v, want %d routes in 1 batch", sts[0], n)
+	}
+	capped, err := r.Control(&ctl.Request{Op: ctl.OpRoutes, Args: map[string]string{"max": "10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(capped)
+	var rows []map[string]any
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("routes max=10 returned %d rows", len(rows))
+	}
+}
+
+// TestFeedReportWithoutFeed checks the error path for "pmgr feed" on a
+// router with no feed attached.
+func TestFeedReportWithoutFeed(t *testing.T) {
+	r, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Control(&ctl.Request{Op: ctl.OpFeed}); err == nil {
+		t.Fatal("feed report succeeded with no feed attached")
+	}
+}
+
+// TestRouteDaemonThroughFeed checks that enabling the feed before the
+// route daemon routes RIP's table programming through a feed sink, so
+// its routes appear in the per-source feed accounting.
+func TestRouteDaemonThroughFeed(t *testing.T) {
+	r, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddInterface(0, "lan", "192.0.2.1"); err != nil {
+		t.Fatal(err)
+	}
+	r.EnableFeed(routefeed.Options{})
+	d := r.EnableRouteDaemon()
+	if err := d.Originate("10.5.0.0/16", 0); err != nil {
+		t.Fatal(err)
+	}
+	nh, ok := r.Routes.Lookup(mustAddr(t, "10.5.1.1"), nil)
+	if !ok || nh.IfIndex != 0 {
+		t.Fatalf("originated route missing: %+v ok %v", nh, ok)
+	}
+	sts, err := r.FeedReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 || sts[0].Name != "rip" || sts[0].Routes != 1 {
+		t.Fatalf("feed status = %+v, want rip owning 1 route", sts)
+	}
+}

@@ -23,13 +23,26 @@ import (
 // (D = 32) and 8 for IPv6, and exactly the paper's 5/7 whenever D is 31-
 // or 127-wide or less, which any realistic filter population satisfies.
 //
-// Mutations are cheap bookkeeping that mark the structure dirty; the hash
-// tables and marker BMPs are (re)built lazily on the next lookup. This
-// favors the router workload: filter installation is control path, lookup
-// is data path.
+// Mutations come in two flavors. Insert/Delete are cheap bookkeeping that
+// mark the structure dirty for a lazy full rebuild on the next lookup —
+// the original control-path design. ApplyDelta is the incremental path:
+// it derives a new BSPL whose per-length tables are persistent
+// (copy-on-write at group granularity, see ptable) and repairs markers
+// and precomputed BMPs only in the affected prefix neighborhood, falling
+// back (ok=false) when the delta would change the set of distinct
+// lengths — which would invalidate every entry's binary-search path.
+// Deletes never shrink the length set (emptied tables are kept), so
+// churn within an established length population stays incremental.
 type BSPL struct {
 	store map[pkt.Prefix]any
 	dirty bool
+
+	// ref mirrors the real prefixes (Len > 0) in a PATRICIA and answers
+	// the neighborhood queries incremental maintenance needs: best
+	// matching prefix up to a length, longer-prefix existence, and
+	// subtree enumeration. Maintained copy-on-write by ApplyDelta so the
+	// receiver's ref stays intact.
+	ref *Patricia
 
 	fam [2]bsplFamily // 0: IPv4, 1: IPv6
 }
@@ -38,10 +51,47 @@ type bsplFamily struct {
 	// lens is the sorted set of distinct installed prefix lengths
 	// (excluding 0); tables[i] is the hash table for lens[i].
 	lens   []int
-	tables []map[pkt.Addr]*bsplEntry
+	tables []*ptable
+	// marklens[i] is the set of prefix lengths whose binary-search path
+	// drops a marker in tables[i] (lengths longer than lens[i] that
+	// visit position i). Derived from lens alone, shared immutably
+	// across incremental derivations, used for exact marker liveness.
+	marklens [][]int
 	// defVal is the value of the zero-length prefix, if any.
 	defVal any
 	defSet bool
+}
+
+// computeMarkLens derives, for each position in lens, which prefix
+// lengths leave markers there: length L' visits position i on its
+// binary-search path with L' > lens[i].
+func computeMarkLens(lens []int) [][]int {
+	m := make([][]int, len(lens))
+	for _, L := range lens {
+		lo, hi := 0, len(lens)-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch {
+			case L > lens[mid]:
+				m[mid] = append(m[mid], L)
+				lo = mid + 1
+			case L == lens[mid]:
+				lo = hi + 1
+			default:
+				hi = mid - 1
+			}
+		}
+	}
+	return m
+}
+
+func lenIn(set []int, l int) bool {
+	for _, x := range set {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 type bsplEntry struct {
@@ -57,7 +107,7 @@ type bsplEntry struct {
 
 // NewBSPL returns an empty binary-search-on-prefix-lengths table.
 func NewBSPL() *BSPL {
-	return &BSPL{store: make(map[pkt.Prefix]any)}
+	return &BSPL{store: make(map[pkt.Prefix]any), ref: NewPatricia()}
 }
 
 // Name implements Table.
@@ -91,6 +141,15 @@ func famIndex(v6 bool) int {
 	return 0
 }
 
+// lenIndex returns the position of L in f.lens, or -1.
+func (f *bsplFamily) lenIndex(L int) int {
+	i := sort.SearchInts(f.lens, L)
+	if i < len(f.lens) && f.lens[i] == L {
+		return i
+	}
+	return -1
+}
+
 // rebuild constructs the per-length hash tables, markers, and precomputed
 // marker BMPs from the prefix store.
 func (t *BSPL) rebuild() {
@@ -98,37 +157,30 @@ func (t *BSPL) rebuild() {
 	t.fam[1] = bsplFamily{}
 
 	// A PATRICIA over the real prefixes answers "best matching prefix of
-	// this marker's bit string" queries during the build.
+	// this marker's bit string" queries during the build — and is kept
+	// afterwards as the incremental path's reference structure.
 	ref := NewPatricia()
-	lenSet := [2]map[int]bool{{}, {}}
+	lenCount := [2]map[int]int{{}, {}}
 	for p, v := range t.store {
 		f := &t.fam[famIndex(p.Addr.IsV6())]
 		if p.Len == 0 {
 			f.defVal, f.defSet = v, true
 			continue
 		}
-		lenSet[famIndex(p.Addr.IsV6())][p.Len] = true
+		lenCount[famIndex(p.Addr.IsV6())][p.Len]++
 		ref.Insert(p, v)
 	}
 	for fi := range t.fam {
 		f := &t.fam[fi]
-		for l := range lenSet[fi] {
+		for l := range lenCount[fi] {
 			f.lens = append(f.lens, l)
 		}
 		sort.Ints(f.lens)
-		f.tables = make([]map[pkt.Addr]*bsplEntry, len(f.lens))
-		for i := range f.tables {
-			f.tables[i] = make(map[pkt.Addr]*bsplEntry)
+		f.marklens = computeMarkLens(f.lens)
+		f.tables = make([]*ptable, len(f.lens))
+		for i, l := range f.lens {
+			f.tables[i] = newPtable(lenCount[fi][l])
 		}
-	}
-
-	entry := func(f *bsplFamily, idx int, key pkt.Addr) *bsplEntry {
-		e := f.tables[idx][key]
-		if e == nil {
-			e = &bsplEntry{}
-			f.tables[idx][key] = e
-		}
-		return e
 	}
 
 	// Walk each prefix's binary search path over the length array,
@@ -144,11 +196,11 @@ func (t *BSPL) rebuild() {
 			L := f.lens[mid]
 			switch {
 			case p.Len > L:
-				e := entry(f, mid, p.Addr.Truncate(L))
+				e, _ := f.tables[mid].upd(p.Addr.Truncate(L))
 				e.hasLonger = true
 				lo = mid + 1
 			case p.Len == L:
-				entry(f, mid, p.Addr)
+				f.tables[mid].upd(p.Addr)
 				lo = hi + 1 // done
 			default:
 				hi = mid - 1
@@ -162,14 +214,226 @@ func (t *BSPL) rebuild() {
 		f := &t.fam[fi]
 		for i, tab := range f.tables {
 			L := f.lens[i]
-			for key, e := range tab {
+			tab.each(func(key pkt.Addr, e *bsplEntry) {
 				if v, mp, ok := ref.lookupMax(key, L, nil); ok {
 					e.bmpVal, e.bmpPrefix, e.bmpOK = v, mp, true
 				}
-			}
+			})
 		}
 	}
+	t.ref = ref
 	t.dirty = false
+}
+
+// ApplyDelta implements Incremental. It derives a new BSPL sharing all
+// untouched hash-table groups with the receiver and repairs only the
+// binary-search paths of the mutated prefixes plus the entries in their
+// covered neighborhoods, so a delta's cost tracks how much of the prefix
+// space it disturbs, not the table size.
+//
+// ok=false (receiver untouched, caller rebuilds) when the receiver has
+// pending lazy mutations, or when an added prefix introduces a length
+// with no existing table — a new length changes every entry's
+// binary-search path, which is exactly a rebuild.
+//
+// The receiver stays valid for concurrent Lookup, but its store and ref
+// bookkeeping transfer to the result: do not mutate the receiver after a
+// successful ApplyDelta.
+func (t *BSPL) ApplyDelta(d Delta) (Table, bool) {
+	if t.dirty {
+		return nil, false
+	}
+	for _, a := range d.Adds {
+		p := pkt.PrefixFrom(a.Prefix.Addr, a.Prefix.Len)
+		if p.Len == 0 {
+			continue
+		}
+		if t.fam[famIndex(p.Addr.IsV6())].lenIndex(p.Len) < 0 {
+			return nil, false
+		}
+	}
+	// Deletes can only empty a table, never remove a length (emptied
+	// tables are kept), so they are always incremental.
+
+	nt := &BSPL{
+		store: t.store, // ownership transfers; see doc comment
+		ref:   &Patricia{root4: t.ref.root4, root6: t.ref.root6, n: t.ref.n},
+	}
+	for fi := range t.fam {
+		src := &t.fam[fi]
+		dst := &nt.fam[fi]
+		dst.lens = src.lens
+		dst.marklens = src.marklens
+		dst.tables = append([]*ptable(nil), src.tables...)
+		dst.defVal, dst.defSet = src.defVal, src.defSet
+	}
+	owned := [2][]bool{
+		make([]bool, len(nt.fam[0].tables)),
+		make([]bool, len(nt.fam[1].tables)),
+	}
+	tab := func(fi, i int) *ptable {
+		f := &nt.fam[fi]
+		if !owned[fi][i] {
+			f.tables[i] = f.tables[i].clone()
+			owned[fi][i] = true
+		}
+		return f.tables[i]
+	}
+	for _, a := range d.Adds {
+		nt.applyAdd(pkt.PrefixFrom(a.Prefix.Addr, a.Prefix.Len), a.Val, tab)
+	}
+	for _, p := range d.Dels {
+		nt.applyDel(pkt.PrefixFrom(p.Addr, p.Len), tab)
+	}
+	return nt, true
+}
+
+// replayPath walks p's binary search path over f.lens, calling fn with
+// each visited (table index, key) pair — markers below p.Len, the entry
+// at p.Len itself last.
+func replayPath(f *bsplFamily, p pkt.Prefix, fn func(mid int, L int, key pkt.Addr)) {
+	lo, hi := 0, len(f.lens)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		L := f.lens[mid]
+		switch {
+		case p.Len > L:
+			fn(mid, L, p.Addr.Truncate(L))
+			lo = mid + 1
+		case p.Len == L:
+			fn(mid, L, p.Addr)
+			lo = hi + 1 // done
+		default:
+			hi = mid - 1
+		}
+	}
+}
+
+func (t *BSPL) applyAdd(p pkt.Prefix, v any, tab func(fi, i int) *ptable) {
+	fi := famIndex(p.Addr.IsV6())
+	f := &t.fam[fi]
+	t.store[p] = v
+	if p.Len == 0 {
+		f.defVal, f.defSet = v, true
+		return
+	}
+	root := t.ref.rootFor(p.Addr.IsV6())
+	added := false
+	*root = patInsertCOW(*root, p, v, &added)
+	if added {
+		t.ref.n++
+	}
+
+	// Seed p's own binary-search path: markers steering upward below
+	// p.Len, the real entry at p.Len. Fresh entries get their BMP from
+	// the reference trie (which already includes p).
+	replayPath(f, p, func(mid, L int, key pkt.Addr) {
+		e, fresh := tab(fi, mid).upd(key)
+		if fresh {
+			if bv, bp, ok := t.ref.lookupMax(key, L, nil); ok {
+				e.bmpVal, e.bmpPrefix, e.bmpOK = bv, bp, true
+			}
+		}
+		if p.Len > L {
+			e.hasLonger = true
+		} else {
+			// p is now the longest possible BMP at its own level.
+			e.bmpVal, e.bmpPrefix, e.bmpOK = v, p, true
+		}
+	})
+
+	// Repair the covered neighborhood: every entry at a level deeper
+	// than p.Len whose bit string p now covers must adopt p as its BMP
+	// if p is longer than what it had. Those entries live exactly on the
+	// search paths of the real prefixes under p, so enumerating the
+	// subtree in the reference trie and replaying each path visits all
+	// of them.
+	t.ref.walkUnder(p, func(q pkt.Prefix, _ any) {
+		if q == p {
+			return
+		}
+		replayPath(f, q, func(mid, L int, key pkt.Addr) {
+			if L <= p.Len {
+				return
+			}
+			e, _ := tab(fi, mid).upd(key)
+			if !e.bmpOK || e.bmpPrefix.Len <= p.Len {
+				e.bmpVal, e.bmpPrefix, e.bmpOK = v, p, true
+			}
+		})
+	})
+}
+
+func (t *BSPL) applyDel(p pkt.Prefix, tab func(fi, i int) *ptable) {
+	fi := famIndex(p.Addr.IsV6())
+	f := &t.fam[fi]
+	if _, ok := t.store[p]; !ok {
+		return
+	}
+	delete(t.store, p)
+	if p.Len == 0 {
+		f.defVal, f.defSet = nil, false
+		return
+	}
+	root := t.ref.rootFor(p.Addr.IsV6())
+	removed := false
+	*root = patDeleteCOW(*root, p, &removed)
+	if removed {
+		t.ref.n--
+	}
+
+	// Entries in the covered neighborhood whose precomputed BMP was p
+	// fall back to whatever the reference trie (p already removed) says.
+	t.ref.walkUnder(p, func(q pkt.Prefix, _ any) {
+		replayPath(f, q, func(mid, L int, key pkt.Addr) {
+			if L < p.Len {
+				return
+			}
+			e := t.fam[fi].tables[mid].get(key)
+			if e == nil || !e.bmpOK || e.bmpPrefix != p {
+				return
+			}
+			me, _ := tab(fi, mid).upd(key)
+			if bv, bp, ok := t.ref.lookupMax(key, L, nil); ok {
+				me.bmpVal, me.bmpPrefix, me.bmpOK = bv, bp, true
+			} else {
+				me.bmpVal, me.bmpPrefix, me.bmpOK = nil, pkt.Prefix{}, false
+			}
+		})
+	})
+
+	// Walk p's own search path: recompute each touched entry's BMP and
+	// steering bit, and drop entries that no longer serve anyone. The
+	// liveness rule is exactly the rebuild's: an entry at position mid
+	// exists iff it is a real prefix or some installed prefix whose
+	// length drops markers at mid (marklens) extends its bits. Keeping
+	// this exact — rather than over-approximating with "anything longer
+	// exists below" — matters for correctness, not just probe count: a
+	// stale marker is unreachable by later adds' neighborhood repair
+	// (it sits on no current prefix's search path), so its precomputed
+	// BMP would rot and steer lookups past shorter matches.
+	replayPath(f, p, func(mid, L int, key pkt.Addr) {
+		pt := tab(fi, mid)
+		e := pt.get(key)
+		if e == nil {
+			return
+		}
+		_, real := t.store[pkt.PrefixFrom(key, L)]
+		marker := t.ref.anyUnder(pkt.PrefixFrom(key, L), func(q pkt.Prefix, _ any) bool {
+			return lenIn(f.marklens[mid], q.Len)
+		})
+		if !real && !marker {
+			pt.del(key)
+			return
+		}
+		me, _ := pt.upd(key)
+		me.hasLonger = marker
+		if bv, bp, ok := t.ref.lookupMax(key, L, nil); ok {
+			me.bmpVal, me.bmpPrefix, me.bmpOK = bv, bp, true
+		} else {
+			me.bmpVal, me.bmpPrefix, me.bmpOK = nil, pkt.Prefix{}, false
+		}
+	})
 }
 
 // Lookup implements Table. Each hash probe costs one memory access; the
@@ -193,7 +457,7 @@ func (t *BSPL) Lookup(a pkt.Addr, c *cycles.Counter) (any, pkt.Prefix, bool) {
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		c.Access(1)
-		e := f.tables[mid][a.Truncate(f.lens[mid])]
+		e := f.tables[mid].get(a.Truncate(f.lens[mid]))
 		if e == nil {
 			hi = mid - 1
 			continue

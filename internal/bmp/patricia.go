@@ -150,6 +150,165 @@ func patCompact(n *patNode) *patNode {
 	}
 }
 
+// ApplyDelta implements Incremental. The returned table shares every
+// subtree not on a mutated spine with the receiver: each insert or
+// delete path-copies only the nodes from the root down to the affected
+// prefix (O(depth) clones), so the receiver stays valid for concurrent
+// lock-free Lookup while the routing table publishes the result.
+func (t *Patricia) ApplyDelta(d Delta) (Table, bool) {
+	nt := &Patricia{root4: t.root4, root6: t.root6, n: t.n}
+	for _, a := range d.Adds {
+		p := pkt.PrefixFrom(a.Prefix.Addr, a.Prefix.Len)
+		root := nt.rootFor(p.Addr.IsV6())
+		added := false
+		*root = patInsertCOW(*root, p, a.Val, &added)
+		if added {
+			nt.n++
+		}
+	}
+	for _, p := range d.Dels {
+		p = pkt.PrefixFrom(p.Addr, p.Len)
+		root := nt.rootFor(p.Addr.IsV6())
+		removed := false
+		*root = patDeleteCOW(*root, p, &removed)
+		if removed {
+			nt.n--
+		}
+	}
+	return nt, true
+}
+
+func patClone(n *patNode) *patNode {
+	c := *n
+	return &c
+}
+
+// patInsertCOW is patInsert with path copying: every node whose value or
+// child pointers change is cloned, untouched subtrees are shared.
+func patInsertCOW(n *patNode, p pkt.Prefix, v any, added *bool) *patNode {
+	if n == nil {
+		*added = true
+		return &patNode{prefix: p, hasVal: true, val: v}
+	}
+	cpl := n.prefix.Addr.CommonPrefixLen(p.Addr)
+	if cpl > n.prefix.Len {
+		cpl = n.prefix.Len
+	}
+	if cpl > p.Len {
+		cpl = p.Len
+	}
+	if cpl < n.prefix.Len {
+		// Split: the fresh parent references n unchanged, so n's subtree
+		// stays shared with the old tree.
+		parent := &patNode{prefix: pkt.PrefixFrom(p.Addr, cpl)}
+		parent.child[n.prefix.Addr.Bit(cpl)] = n
+		if cpl == p.Len {
+			parent.hasVal, parent.val = true, v
+		} else {
+			nn := &patNode{prefix: p, hasVal: true, val: v}
+			parent.child[p.Addr.Bit(cpl)] = nn
+		}
+		*added = true
+		return parent
+	}
+	if p.Len == n.prefix.Len {
+		if !n.hasVal {
+			*added = true
+		}
+		nn := patClone(n)
+		nn.hasVal, nn.val = true, v
+		return nn
+	}
+	b := p.Addr.Bit(n.prefix.Len)
+	c := patInsertCOW(n.child[b], p, v, added)
+	nn := patClone(n)
+	nn.child[b] = c
+	return nn
+}
+
+// patDeleteCOW is patDelete with path copying. Compaction only ever runs
+// on nodes cloned within this call, never on shared ones.
+func patDeleteCOW(n *patNode, p pkt.Prefix, removed *bool) *patNode {
+	if n == nil {
+		return nil
+	}
+	if n.prefix == p {
+		if !n.hasVal {
+			return n
+		}
+		*removed = true
+		nn := patClone(n)
+		nn.hasVal, nn.val = false, nil
+		return patCompact(nn)
+	}
+	if n.prefix.Len >= p.Len || !n.prefix.Contains(p.Addr) {
+		return n
+	}
+	b := p.Addr.Bit(n.prefix.Len)
+	c := patDeleteCOW(n.child[b], p, removed)
+	if !*removed {
+		return n
+	}
+	nn := patClone(n)
+	nn.child[b] = c
+	return patCompact(nn)
+}
+
+// anyUnder reports whether some stored prefix q whose first p.Len bits
+// equal p's satisfies pred, short-circuiting on the first hit. BSPL
+// delete uses it to decide whether a marker still has a source.
+func (t *Patricia) anyUnder(p pkt.Prefix, pred func(q pkt.Prefix, v any) bool) bool {
+	n := *t.rootFor(p.Addr.IsV6())
+	for n != nil && n.prefix.Len < p.Len {
+		if !n.prefix.Contains(p.Addr) {
+			return false
+		}
+		n = n.child[p.Addr.Bit(n.prefix.Len)]
+	}
+	if n == nil || n.prefix.Addr.CommonPrefixLen(p.Addr) < p.Len {
+		return false
+	}
+	return patAny(n, pred)
+}
+
+func patAny(n *patNode, pred func(pkt.Prefix, any) bool) bool {
+	if n == nil {
+		return false
+	}
+	if n.hasVal && pred(n.prefix, n.val) {
+		return true
+	}
+	return patAny(n.child[0], pred) || patAny(n.child[1], pred)
+}
+
+// walkUnder calls fn for every stored prefix q whose first p.Len bits
+// equal p's (q at least as long as p, p itself included). BSPL update
+// uses it to enumerate the affected prefix neighborhood.
+func (t *Patricia) walkUnder(p pkt.Prefix, fn func(q pkt.Prefix, v any)) {
+	n := *t.rootFor(p.Addr.IsV6())
+	for n != nil && n.prefix.Len < p.Len {
+		if !n.prefix.Contains(p.Addr) {
+			return
+		}
+		n = n.child[p.Addr.Bit(n.prefix.Len)]
+	}
+	if n == nil || n.prefix.Addr.CommonPrefixLen(p.Addr) < p.Len {
+		return
+	}
+	patWalk(n, fn)
+}
+
+func patWalk(n *patNode, fn func(pkt.Prefix, any)) {
+	if n == nil {
+		return
+	}
+	if n.hasVal {
+		fn(n.prefix, n.val)
+	}
+	patWalk(n.child[0], fn)
+	patWalk(n.child[1], fn)
+}
+
 // Lookup implements Table.
 func (t *Patricia) Lookup(a pkt.Addr, c *cycles.Counter) (any, pkt.Prefix, bool) {
 	return t.lookupMax(a, a.BitLen(), c)

@@ -1,0 +1,267 @@
+package bmp
+
+import "github.com/routerplugins/eisr/internal/pkt"
+
+// ptable is a persistent hash table from truncated addresses to BSPL
+// entries, built for the one-writer/many-reader snapshot regime: readers
+// call get on a published table with no synchronization, while the
+// single writer derives a new table via clone and mutates only that.
+//
+// The layout is three-level: a small root of chunk pointers, fixed-size
+// chunks of group pointers, and short entry groups (the hash buckets).
+// Every level is copy-on-write at generation granularity: clone bumps
+// the generation and copies just the root; a mutation copies the chunk
+// and group it lands in the first time this generation touches them. A
+// delta that lands in k buckets therefore copies O(k) chunks and groups
+// plus one root of n/(chunk size) pointers — update cost tracks the
+// touched neighborhood, not the table size — while the published
+// table's chunks and groups are never mutated again.
+type ptable struct {
+	gen    uint64
+	mask   uint32 // bucket-index mask (buckets - 1)
+	n      int
+	chunks []*pchunk
+}
+
+// pchunkBits sizes a chunk at 512 buckets: a touched chunk costs a 4KiB
+// pointer-slice copy, and the root stays at ~512 pointers even for a
+// million-prefix table (2^18 buckets).
+const pchunkBits = 9
+
+type pchunk struct {
+	gen    uint64
+	groups []*pgroup
+}
+
+type pgroup struct {
+	gen     uint64
+	entries []pentry
+}
+
+type pentry struct {
+	key pkt.Addr
+	e   bsplEntry
+}
+
+// ptableTargetLoad is the mean entries-per-group above which the table
+// doubles. Groups are short slices scanned linearly, so the target
+// keeps probe cost at a handful of key compares.
+const ptableTargetLoad = 6
+
+func newPtable(hint int) *ptable {
+	buckets := uint32(8)
+	for int(buckets)*ptableTargetLoad < hint {
+		buckets <<= 1
+	}
+	t := &ptable{mask: buckets - 1}
+	t.chunks = make([]*pchunk, numChunks(buckets))
+	return t
+}
+
+func numChunks(buckets uint32) int {
+	n := int(buckets) >> pchunkBits
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// chunkLen is the group-slot count of one chunk for this table size.
+func (t *ptable) chunkLen() int {
+	if int(t.mask)+1 < 1<<pchunkBits {
+		return int(t.mask) + 1
+	}
+	return 1 << pchunkBits
+}
+
+// addrHash mixes a truncated address into a bucket hash. Keys within one
+// table share a truncation length, so for IPv4 the significant bits sit
+// at the top of the word and a multiplicative mix spreads them; IPv6
+// takes FNV-1a over the full 16 bytes.
+func addrHash(a pkt.Addr) uint32 {
+	if !a.IsV6() {
+		x := a.V4Uint()
+		x *= 0x9e3779b1
+		x ^= x >> 15
+		x *= 0x85ebca6b
+		x ^= x >> 13
+		return x
+	}
+	b := a.As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// get returns the entry for key, or nil. Safe for concurrent use on a
+// published (no longer mutated) table; performs no allocation.
+func (t *ptable) get(key pkt.Addr) *bsplEntry {
+	if t == nil || t.n == 0 {
+		return nil
+	}
+	idx := addrHash(key) & t.mask
+	ch := t.chunks[idx>>pchunkBits]
+	if ch == nil {
+		return nil
+	}
+	g := ch.groups[idx&(1<<pchunkBits-1)]
+	if g == nil {
+		return nil
+	}
+	for i := range g.entries {
+		if g.entries[i].key == key {
+			return &g.entries[i].e
+		}
+	}
+	return nil
+}
+
+// clone derives a mutable table for the next generation. Only the chunk
+// root is copied; chunks and groups are shared until first touched.
+func (t *ptable) clone() *ptable {
+	nt := &ptable{gen: t.gen + 1, mask: t.mask, n: t.n}
+	nt.chunks = append([]*pchunk(nil), t.chunks...)
+	return nt
+}
+
+// ownedGroup returns the group for bucket idx with its chunk, copying
+// either level first unless this generation already owns it.
+func (t *ptable) ownedGroup(idx uint32) *pgroup {
+	ci := idx >> pchunkBits
+	ch := t.chunks[ci]
+	if ch == nil {
+		ch = &pchunk{gen: t.gen, groups: make([]*pgroup, t.chunkLen())}
+		t.chunks[ci] = ch
+	} else if ch.gen != t.gen {
+		nc := &pchunk{gen: t.gen, groups: append([]*pgroup(nil), ch.groups...)}
+		t.chunks[ci] = nc
+		ch = nc
+	}
+	si := idx & (1<<pchunkBits - 1)
+	g := ch.groups[si]
+	if g == nil {
+		g = &pgroup{gen: t.gen}
+		ch.groups[si] = g
+		return g
+	}
+	if g.gen != t.gen {
+		ng := &pgroup{gen: t.gen, entries: append([]pentry(nil), g.entries...)}
+		ch.groups[si] = ng
+		return ng
+	}
+	return g
+}
+
+// upd returns a mutable entry for key, inserting a zero entry if absent;
+// fresh reports whether the key was new. The returned pointer is valid
+// until the next upd/del on this table (growth rehashes groups), so
+// callers mutate it immediately. Writer-side only.
+func (t *ptable) upd(key pkt.Addr) (e *bsplEntry, fresh bool) {
+	if int(t.mask+1)*ptableTargetLoad < t.n+1 {
+		t.grow()
+	}
+	g := t.ownedGroup(addrHash(key) & t.mask)
+	for i := range g.entries {
+		if g.entries[i].key == key {
+			return &g.entries[i].e, false
+		}
+	}
+	g.entries = append(g.entries, pentry{key: key})
+	t.n++
+	return &g.entries[len(g.entries)-1].e, true
+}
+
+// del removes key if present. Writer-side only.
+func (t *ptable) del(key pkt.Addr) bool {
+	idx := addrHash(key) & t.mask
+	ch := t.chunks[idx>>pchunkBits]
+	if ch == nil {
+		return false
+	}
+	g := ch.groups[idx&(1<<pchunkBits-1)]
+	if g == nil {
+		return false
+	}
+	found := false
+	for i := range g.entries {
+		if g.entries[i].key == key {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	g = t.ownedGroup(idx)
+	for i := range g.entries {
+		if g.entries[i].key == key {
+			last := len(g.entries) - 1
+			g.entries[i] = g.entries[last]
+			g.entries[last] = pentry{}
+			g.entries = g.entries[:last]
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
+// grow doubles the bucket count and rehashes into generation-owned
+// chunks and groups. Amortized across inserts; the old levels stay
+// intact for any published ancestor generation.
+func (t *ptable) grow() {
+	old := t.chunks
+	buckets := (t.mask + 1) << 1
+	t.mask = buckets - 1
+	t.chunks = make([]*pchunk, numChunks(buckets))
+	reinsert := func(pe pentry) {
+		idx := addrHash(pe.key) & t.mask
+		ci := idx >> pchunkBits
+		ch := t.chunks[ci]
+		if ch == nil {
+			ch = &pchunk{gen: t.gen, groups: make([]*pgroup, t.chunkLen())}
+			t.chunks[ci] = ch
+		}
+		si := idx & (1<<pchunkBits - 1)
+		g := ch.groups[si]
+		if g == nil {
+			g = &pgroup{gen: t.gen}
+			ch.groups[si] = g
+		}
+		g.entries = append(g.entries, pe)
+	}
+	for _, ch := range old {
+		if ch == nil {
+			continue
+		}
+		for _, g := range ch.groups {
+			if g == nil {
+				continue
+			}
+			for i := range g.entries {
+				reinsert(g.entries[i])
+			}
+		}
+	}
+}
+
+// each calls fn for every entry. The pointer is mutable writer-side
+// during a build; fn must not call upd/del.
+func (t *ptable) each(fn func(key pkt.Addr, e *bsplEntry)) {
+	for _, ch := range t.chunks {
+		if ch == nil {
+			continue
+		}
+		for _, g := range ch.groups {
+			if g == nil {
+				continue
+			}
+			for i := range g.entries {
+				fn(g.entries[i].key, &g.entries[i].e)
+			}
+		}
+	}
+}

@@ -20,7 +20,8 @@ import (
 //	msg PLUGIN [INSTANCE] VERB [key=value ...]
 //	route add PREFIX dev N [via GW] [metric M]
 //	route del PREFIX
-//	routes
+//	routes [max=N]
+//	feed
 //	filters GATE
 //	stats
 //	flows
@@ -106,7 +107,14 @@ func ParseCommand(args []string) (*Request, error) {
 			return nil, fmt.Errorf("ctl: route add|del, got %q", rest[0])
 		}
 	case "routes":
-		return &Request{Op: OpRoutes}, nil
+		for _, a := range rest {
+			if k, _, _ := strings.Cut(a, "="); k != "max" {
+				return nil, fmt.Errorf("ctl: routes [max=N]")
+			}
+		}
+		return &Request{Op: OpRoutes, Args: parseKVs(rest)}, nil
+	case "feed":
+		return &Request{Op: OpFeed}, nil
 	case "filters":
 		if len(rest) != 1 {
 			return nil, fmt.Errorf("ctl: filters GATE")

@@ -37,6 +37,7 @@ const (
 	OpRouteAdd   Op = "route-add"  // install a route
 	OpRouteDel   Op = "route-del"  // remove a route
 	OpRoutes     Op = "routes"     // list routes
+	OpFeed       Op = "feed"       // route-feed source status
 	OpFilters    Op = "filters"    // list filters at a gate
 	OpStats      Op = "stats"      // router core statistics
 	OpFlows      Op = "flows"      // flow table statistics

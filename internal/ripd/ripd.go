@@ -40,10 +40,18 @@ type RouteEntry struct {
 	Metric int    `json:"metric"`
 }
 
+// Table is the forwarding-table surface the daemon programs: satisfied
+// by *routing.Table directly, and by the route feed's Sink when RIP
+// churn is accounted through the feed daemon.
+type Table interface {
+	Add(p pkt.Prefix, nh routing.NextHop)
+	ApplyBatch(adds []routing.Route, dels []pkt.Prefix) (nadds, ndels int)
+}
+
 // Daemon is the route daemon for one router.
 type Daemon struct {
 	core  *ipcore.Router
-	table *routing.Table
+	table Table
 	clock func() time.Time
 
 	mu sync.Mutex
@@ -69,7 +77,7 @@ type learnedRoute struct {
 }
 
 // New builds a daemon over a router core and its forwarding table.
-func New(core *ipcore.Router, table *routing.Table) *Daemon {
+func New(core *ipcore.Router, table Table) *Daemon {
 	return &Daemon{
 		core: core, table: table, clock: time.Now,
 		origin:         make(map[pkt.Prefix]bool),
@@ -121,6 +129,10 @@ func (d *Daemon) HandlePacket(p *pkt.Packet) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.Received++
+	// One advertisement becomes one forwarding-table batch: a single
+	// snapshot publication no matter how many routes it carries.
+	var adds []routing.Route
+	var dels []pkt.Prefix
 	for _, re := range u.Routes {
 		prefix, err := pkt.ParsePrefix(re.Prefix)
 		if err != nil {
@@ -135,7 +147,7 @@ func (d *Daemon) HandlePacket(p *pkt.Packet) {
 			// Poisoned or too far: withdraw if we learned it this way.
 			if lr, ok := d.learned[prefix]; ok && lr.nh.Gateway == from {
 				delete(d.learned, prefix)
-				d.table.Del(prefix)
+				dels = append(dels, prefix)
 			}
 			continue
 		}
@@ -143,10 +155,13 @@ func (d *Daemon) HandlePacket(p *pkt.Packet) {
 		if !ok || metric < lr.metric || lr.nh.Gateway == from {
 			nh := routing.NextHop{IfIndex: p.InIf, Gateway: from, Metric: metric}
 			d.learned[prefix] = &learnedRoute{nh: nh, metric: metric, viaIf: p.InIf, deadline: now.Add(d.expireAfter)}
-			d.table.Add(prefix, nh)
+			adds = append(adds, routing.Route{Prefix: prefix, NextHop: nh})
 		} else if lr.nh.Gateway == from {
 			lr.deadline = now.Add(d.expireAfter)
 		}
+	}
+	if len(adds) > 0 || len(dels) > 0 {
+		d.table.ApplyBatch(adds, dels)
 	}
 }
 
@@ -218,15 +233,17 @@ func (d *Daemon) Expire() int {
 	now := d.clock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := 0
+	var dels []pkt.Prefix
 	for p, lr := range d.learned {
 		if lr.deadline.Before(now) {
 			delete(d.learned, p)
-			d.table.Del(p)
-			n++
+			dels = append(dels, p)
 		}
 	}
-	return n
+	if len(dels) > 0 {
+		d.table.ApplyBatch(nil, dels)
+	}
+	return len(dels)
 }
 
 // Tick runs one protocol round: advertise then expire. Simulations call

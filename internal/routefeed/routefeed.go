@@ -1,0 +1,510 @@
+// Package routefeed is the route-feed daemon: the user-space process
+// that streams route updates into the forwarding table at full-table
+// scale. Where ripd speaks a routing protocol, routefeed is the
+// plumbing underneath any route producer — a full-table dump file, a
+// live line-protocol socket, or the in-process route daemon pushing
+// through a Sink — and its job is mechanical sympathy with the FIB:
+// coalesce updates to the last operation per prefix, apply them in
+// batches so one snapshot is published per batch rather than per route,
+// sweep stale routes on end-of-RIB markers, and account for all of it
+// (eisr_fib_feed_* metrics, feed-connect/loss/resync journal events).
+//
+// The line protocol, shared by dump files and sockets:
+//
+//	add PREFIX dev N [via GW] [metric M]
+//	PREFIX dev N [via GW] [metric M]     (bare route spec: add)
+//	del PREFIX
+//	eor                                  (end of RIB: sweep stale routes)
+//	# comment
+//
+// Each source owns the routes it installed. An eor marker declares the
+// stream state complete: every owned route not refreshed since the
+// stream (re)connected or the previous eor is withdrawn in one batch —
+// the mark-and-sweep resync that lets a feed restart without leaking
+// ghost routes into the table. Dump files that end without an explicit
+// eor get an implicit one at EOF, so a full-table load converges and is
+// measured (eisr_fib_convergence_ns) without trailer discipline.
+package routefeed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+// OpKind discriminates feed operations.
+type OpKind uint8
+
+// The operation kinds a Source emits.
+const (
+	// OpAdd announces Route.
+	OpAdd OpKind = iota
+	// OpDel withdraws Prefix.
+	OpDel
+	// OpEOR marks end-of-RIB: the stream's table view is complete and
+	// unrefreshed owned routes are swept.
+	OpEOR
+	// OpConnect reports the stream is up (emitted once per successful
+	// connection, before any route ops).
+	OpConnect
+	// OpBad counts an unparseable line without killing the stream.
+	OpBad
+)
+
+// Op is one operation emitted by a feed source.
+type Op struct {
+	Kind   OpKind
+	Route  routing.Route // OpAdd
+	Prefix pkt.Prefix    // OpDel
+}
+
+// Source is a pluggable route producer. Run streams operations into
+// emit until the stream ends or done closes, returning nil for a clean
+// end of stream. The daemon calls Run again (with backoff) unless the
+// source is oneshot. emit is safe to call only from within Run.
+type Source interface {
+	Name() string
+	Run(done <-chan struct{}, emit func(Op)) error
+	// Oneshot sources (dump files) run once and are not reconnected;
+	// their whole stream is treated as a single batch, flushed at
+	// eor/EOF — the bulk-load path.
+	Oneshot() bool
+}
+
+// Options configures a Daemon.
+type Options struct {
+	// BatchMax flushes a live source's pending batch when it reaches
+	// this many coalesced operations (0 = 1024). Oneshot sources ignore
+	// it and flush only at eor/EOF.
+	BatchMax int
+	// FlushEvery is the timer flush interval for live sources whose
+	// pending batch has not reached BatchMax (0 = 50ms).
+	FlushEvery time.Duration
+	// Backoff is the base reconnect delay for live sources, doubling to
+	// 8x while connections keep failing (0 = 500ms).
+	Backoff time.Duration
+	// Telemetry attaches the eisr_fib_feed_* metric family and the feed
+	// journal events. Nil records nothing.
+	Telemetry *telemetry.Telemetry
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+// Daemon owns the feed sources for one forwarding table.
+type Daemon struct {
+	table      *routing.Table
+	tel        *telemetry.Telemetry
+	batchMax   int
+	flushEvery time.Duration
+	backoff    time.Duration
+	now        func() time.Time
+
+	mu      sync.Mutex
+	states  []*state
+	started bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// state is the daemon-side bookkeeping for one source (or sink).
+type state struct {
+	src      Source // nil for push sinks
+	name     string
+	met      *telemetry.FeedMetrics
+	batchMax int // 0 = flush only at eor/stream end
+
+	mu      sync.Mutex
+	pending []Op                    // arrival order, one slot per prefix
+	idx     map[pkt.Prefix]int      // prefix -> pending slot (last op wins)
+	owned   map[pkt.Prefix]struct{} // routes this source installed
+	seen    map[pkt.Prefix]struct{} // refreshed since the resync epoch began
+	// resyncStart anchors the convergence measurement: stream connect
+	// or the previous eor.
+	resyncStart time.Time
+	connected   bool
+	sawConnect  bool // this Run call got an OpConnect
+	lastErr     string
+
+	batches, adds, withdraws, swept, resyncs, badLines uint64
+}
+
+// SourceStatus is one source's row in the "pmgr feed" payload.
+type SourceStatus struct {
+	Name      string `json:"name"`
+	Connected bool   `json:"connected"`
+	Routes    int    `json:"routes"`
+	Pending   int    `json:"pending"`
+	Batches   uint64 `json:"batches"`
+	Adds      uint64 `json:"adds"`
+	Withdraws uint64 `json:"withdraws"`
+	Swept     uint64 `json:"swept"`
+	Resyncs   uint64 `json:"resyncs"`
+	BadLines  uint64 `json:"bad_lines,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// New builds a feed daemon over a forwarding table.
+func New(table *routing.Table, opts Options) *Daemon {
+	d := &Daemon{
+		table:      table,
+		tel:        opts.Telemetry,
+		batchMax:   opts.BatchMax,
+		flushEvery: opts.FlushEvery,
+		backoff:    opts.Backoff,
+		now:        opts.Clock,
+	}
+	if d.batchMax <= 0 {
+		d.batchMax = 1024
+	}
+	if d.flushEvery <= 0 {
+		d.flushEvery = 50 * time.Millisecond
+	}
+	if d.backoff <= 0 {
+		d.backoff = 500 * time.Millisecond
+	}
+	if d.now == nil {
+		d.now = time.Now
+	}
+	return d
+}
+
+func (d *Daemon) journal() *telemetry.Journal { return d.tel.Journal() }
+
+func (d *Daemon) addState(name string, src Source) *state {
+	st := &state{
+		src:         src,
+		name:        name,
+		met:         d.tel.FeedMetrics(name),
+		batchMax:    d.batchMax,
+		idx:         make(map[pkt.Prefix]int),
+		owned:       make(map[pkt.Prefix]struct{}),
+		resyncStart: d.now(),
+	}
+	if src != nil && src.Oneshot() {
+		st.batchMax = 0
+	}
+	d.mu.Lock()
+	d.states = append(d.states, st)
+	started := d.started
+	d.mu.Unlock()
+	if started && src != nil {
+		d.wg.Add(1)
+		go d.runSource(st)
+	}
+	return st
+}
+
+// AddSource registers a source. Sources added after Start begin
+// streaming immediately.
+func (d *Daemon) AddSource(src Source) {
+	d.addState(src.Name(), src)
+}
+
+// AddSpec registers a source by its eisrd flag syntax:
+// "file:PATH" (oneshot full-table dump) or "tcp:HOST:PORT" (live
+// line-protocol stream with reconnect).
+func (d *Daemon) AddSpec(spec string) error {
+	switch {
+	case strings.HasPrefix(spec, "file:"):
+		d.AddSource(FileSource{Path: strings.TrimPrefix(spec, "file:")})
+	case strings.HasPrefix(spec, "tcp:"):
+		d.AddSource(SocketSource{Addr: strings.TrimPrefix(spec, "tcp:")})
+	default:
+		return fmt.Errorf("routefeed: unknown feed spec %q (want file:PATH or tcp:HOST:PORT)", spec)
+	}
+	return nil
+}
+
+// Start launches the source goroutines and the timer flusher.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.done = make(chan struct{})
+	states := append([]*state(nil), d.states...)
+	d.mu.Unlock()
+	for _, st := range states {
+		if st.src == nil {
+			continue
+		}
+		d.wg.Add(1)
+		go d.runSource(st)
+	}
+	d.wg.Add(1)
+	go d.flushLoop()
+}
+
+// Stop winds the daemon down: sources are interrupted, remaining
+// pending batches are flushed, goroutines joined. Idempotent.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if !d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = false
+	done := d.done
+	d.mu.Unlock()
+	close(done)
+	d.wg.Wait()
+	d.Flush()
+}
+
+// Flush force-flushes every source's pending batch (shutdown, tests).
+func (d *Daemon) Flush() {
+	for _, st := range d.snapshotStates() {
+		st.mu.Lock()
+		d.flushLocked(st)
+		st.mu.Unlock()
+	}
+}
+
+// Status reports per-source feed state, sorted by name.
+func (d *Daemon) Status() []SourceStatus {
+	var out []SourceStatus
+	for _, st := range d.snapshotStates() {
+		st.mu.Lock()
+		out = append(out, SourceStatus{
+			Name: st.name, Connected: st.connected,
+			Routes: len(st.owned), Pending: len(st.pending),
+			Batches: st.batches, Adds: st.adds, Withdraws: st.withdraws,
+			Swept: st.swept, Resyncs: st.resyncs, BadLines: st.badLines,
+			LastError: st.lastErr,
+		})
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (d *Daemon) snapshotStates() []*state {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*state(nil), d.states...)
+}
+
+// flushLoop is the timer flusher for live sources: a pending batch that
+// has not reached BatchMax still reaches the table within FlushEvery.
+func (d *Daemon) flushLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			for _, st := range d.snapshotStates() {
+				st.mu.Lock()
+				// batchMax 0 = oneshot bulk load mid-stream: the whole
+				// dump is one batch, the timer must not split it.
+				if st.batchMax > 0 {
+					d.flushLocked(st)
+				}
+				st.mu.Unlock()
+			}
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// runSource drives one live (or oneshot) source: run, flush the
+// remainder, journal the loss, back off, reconnect.
+func (d *Daemon) runSource(st *state) {
+	defer d.wg.Done()
+	backoff := d.backoff
+	for {
+		select {
+		case <-d.done:
+			return
+		default:
+		}
+		st.mu.Lock()
+		st.sawConnect = false
+		st.mu.Unlock()
+		err := st.src.Run(d.done, func(op Op) { d.emit(st, op) })
+		st.mu.Lock()
+		d.flushLocked(st)
+		wasUp := st.sawConnect
+		st.connected = false
+		if err != nil {
+			st.lastErr = err.Error()
+		}
+		st.mu.Unlock()
+		if wasUp && !st.src.Oneshot() {
+			d.journal().Record(telemetry.EvFeedLoss, st.name)
+		}
+		if st.src.Oneshot() {
+			return
+		}
+		if wasUp {
+			backoff = d.backoff
+		} else if backoff < 8*d.backoff {
+			backoff *= 2
+		}
+		select {
+		case <-d.done:
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// emit ingests one operation from a source or sink.
+func (d *Daemon) emit(st *state, op Op) {
+	switch op.Kind {
+	case OpConnect:
+		st.mu.Lock()
+		st.connected = true
+		st.sawConnect = true
+		st.lastErr = ""
+		st.resyncStart = d.now()
+		st.seen = make(map[pkt.Prefix]struct{}, len(st.owned))
+		st.mu.Unlock()
+		st.met.RecordConnect()
+		d.journal().Record(telemetry.EvFeedConnect, st.name)
+	case OpBad:
+		st.mu.Lock()
+		st.badLines++
+		st.mu.Unlock()
+	case OpAdd, OpDel:
+		st.mu.Lock()
+		var p pkt.Prefix
+		if op.Kind == OpAdd {
+			p = pkt.PrefixFrom(op.Route.Prefix.Addr, op.Route.Prefix.Len)
+			op.Route.Prefix = p
+		} else {
+			p = pkt.PrefixFrom(op.Prefix.Addr, op.Prefix.Len)
+			op.Prefix = p
+		}
+		if i, ok := st.idx[p]; ok {
+			st.pending[i] = op
+		} else {
+			st.idx[p] = len(st.pending)
+			st.pending = append(st.pending, op)
+		}
+		if st.batchMax > 0 && len(st.pending) >= st.batchMax {
+			d.flushLocked(st)
+		}
+		st.mu.Unlock()
+	case OpEOR:
+		st.mu.Lock()
+		d.flushLocked(st)
+		d.sweepLocked(st)
+		st.mu.Unlock()
+	}
+}
+
+// flushLocked applies the pending batch — one ApplyBatch call, one
+// snapshot publication — and updates ownership. Called with st.mu held;
+// the lock order state.mu -> Table.mu is fixed (the table never calls
+// back into the feed).
+func (d *Daemon) flushLocked(st *state) {
+	if len(st.pending) == 0 {
+		return
+	}
+	adds := make([]routing.Route, 0, len(st.pending))
+	var dels []pkt.Prefix
+	for _, op := range st.pending {
+		if op.Kind == OpAdd {
+			adds = append(adds, op.Route)
+		} else {
+			dels = append(dels, op.Prefix)
+		}
+	}
+	st.pending = st.pending[:0]
+	clear(st.idx)
+	d.table.ApplyBatch(adds, dels)
+	for _, rt := range adds {
+		st.owned[rt.Prefix] = struct{}{}
+		if st.seen != nil {
+			st.seen[rt.Prefix] = struct{}{}
+		}
+	}
+	for _, p := range dels {
+		delete(st.owned, p)
+		delete(st.seen, p)
+	}
+	st.batches++
+	st.adds += uint64(len(adds))
+	st.withdraws += uint64(len(dels))
+	st.met.RecordBatch(len(adds), len(dels), len(st.owned))
+}
+
+// sweepLocked is the end-of-RIB resync: every owned route not refreshed
+// this epoch is withdrawn in one batch, and the epoch restarts. The
+// elapsed time since the epoch began is the stream's convergence
+// latency. Called with st.mu held.
+func (d *Daemon) sweepLocked(st *state) {
+	var dels []pkt.Prefix
+	for p := range st.owned {
+		if _, ok := st.seen[p]; !ok {
+			dels = append(dels, p)
+		}
+	}
+	if len(dels) > 0 {
+		d.table.ApplyBatch(nil, dels)
+		for _, p := range dels {
+			delete(st.owned, p)
+		}
+	}
+	st.resyncs++
+	st.swept += uint64(len(dels))
+	st.withdraws += uint64(len(dels))
+	st.met.RecordResync(len(dels), len(st.owned), uint64(d.now().Sub(st.resyncStart)))
+	d.journal().Record(telemetry.EvFeedResync, st.name)
+	st.seen = make(map[pkt.Prefix]struct{}, len(st.owned))
+	st.resyncStart = d.now()
+}
+
+// Sink adapts a push-style in-process producer — the route daemon — to
+// a feed source: it implements the table-programming surface ripd
+// expects (Add/ApplyBatch), so RIP churn flows through the feed's
+// coalescing, ownership accounting, and telemetry. Pushes flush
+// immediately: the producer has already batched (one advertisement =
+// one ApplyBatch), so the sink adds accounting, not latency.
+type Sink struct {
+	d  *Daemon
+	st *state
+}
+
+// Sink registers a push source under name and returns its handle.
+func (d *Daemon) Sink(name string) *Sink {
+	st := d.addState(name, nil)
+	st.mu.Lock()
+	st.connected = true
+	st.mu.Unlock()
+	return &Sink{d: d, st: st}
+}
+
+// Add installs one route through the feed.
+func (s *Sink) Add(p pkt.Prefix, nh routing.NextHop) {
+	s.d.emit(s.st, Op{Kind: OpAdd, Route: routing.Route{Prefix: p, NextHop: nh}})
+	s.flush()
+}
+
+// ApplyBatch installs adds and withdraws dels as one feed batch.
+func (s *Sink) ApplyBatch(adds []routing.Route, dels []pkt.Prefix) (int, int) {
+	for _, rt := range adds {
+		s.d.emit(s.st, Op{Kind: OpAdd, Route: rt})
+	}
+	for _, p := range dels {
+		s.d.emit(s.st, Op{Kind: OpDel, Prefix: p})
+	}
+	s.flush()
+	return len(adds), len(dels)
+}
+
+func (s *Sink) flush() {
+	s.st.mu.Lock()
+	s.d.flushLocked(s.st)
+	s.st.mu.Unlock()
+}

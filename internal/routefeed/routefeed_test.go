@@ -1,0 +1,422 @@
+package routefeed
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+	"github.com/routerplugins/eisr/internal/telemetry"
+)
+
+func newTable(t *testing.T) *routing.Table {
+	t.Helper()
+	tbl, err := routing.New("patricia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func ip4(a, b, c, d byte) pkt.Addr {
+	return pkt.AddrV4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+func lookupIf(t *testing.T, tbl *routing.Table, addr pkt.Addr) (int32, bool) {
+	t.Helper()
+	nh, ok := tbl.Lookup(addr, nil)
+	return nh.IfIndex, ok
+}
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind OpKind
+		ok   bool
+		err  bool
+	}{
+		{"add 10.0.0.0/8 dev 1", OpAdd, true, false},
+		{"10.0.0.0/8 dev 1 via 192.168.1.1 metric 5", OpAdd, true, false},
+		{"del 10.0.0.0/8", OpDel, true, false},
+		{"withdraw 10.0.0.0/8", OpDel, true, false},
+		{"eor", OpEOR, true, false},
+		{"", 0, false, false},
+		{"   ", 0, false, false},
+		{"# comment", 0, false, false},
+		{"add not-a-prefix dev 1", 0, false, true},
+		{"del", 0, false, true},
+		{"bogus line", 0, false, true},
+	}
+	for _, c := range cases {
+		op, ok, err := ParseLine(c.in)
+		if (err != nil) != c.err || ok != c.ok || (ok && op.Kind != c.kind) {
+			t.Errorf("ParseLine(%q) = kind %v ok %v err %v; want kind %v ok %v err %v",
+				c.in, op.Kind, ok, err, c.kind, c.ok, c.err)
+		}
+	}
+	op, _, _ := ParseLine("add 10.1.2.3/16 dev 3 via 192.168.0.1 metric 7")
+	want := "10.1.0.0/16"
+	if got := pkt.PrefixFrom(op.Route.Prefix.Addr, op.Route.Prefix.Len).String(); got != want {
+		t.Errorf("parsed prefix = %s, want %s", got, want)
+	}
+	if op.Route.NextHop.IfIndex != 3 || op.Route.NextHop.Metric != 7 {
+		t.Errorf("parsed next hop = %+v", op.Route.NextHop)
+	}
+}
+
+// TestFileLoad loads a dump file and checks the whole table arrives as
+// one batch (one feed batch, one resync) with correct routes.
+func TestFileLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.txt")
+	const n = 2000
+	var buf []byte
+	buf = append(buf, "# full-table dump\n"...)
+	for i := 0; i < n; i++ {
+		buf = append(buf, fmt.Sprintf("10.%d.%d.0/24 dev %d\n", i/256, i%256, i%8)...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tbl := newTable(t)
+	tel := telemetry.New()
+	tel.EnableJournal(0)
+	d := New(tbl, Options{Telemetry: tel})
+	if err := d.AddSpec("file:" + path); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for tbl.Len() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("table has %d routes, want %d", tbl.Len(), n)
+	}
+	if ifi, ok := lookupIf(t, tbl, ip4(10, 3, 9, 77)); !ok || ifi != int32((3*256+9)%8) {
+		t.Fatalf("lookup 10.3.9.77 = dev %d ok %v", ifi, ok)
+	}
+
+	var st SourceStatus
+	for _, s := range d.Status() {
+		st = s
+	}
+	if st.Batches != 1 {
+		t.Errorf("dump load took %d batches, want 1 (one snapshot publication)", st.Batches)
+	}
+	if st.Adds != n || st.Routes != n || st.Resyncs != 1 || st.Swept != 0 {
+		t.Errorf("status = %+v", st)
+	}
+	// The dump got an implicit eor: connect + resync are journaled.
+	evs := tel.Journal().Snapshot(0, 0)
+	var connects, resyncs int
+	for _, e := range evs {
+		switch e.Kind {
+		case telemetry.EvFeedConnect:
+			connects++
+		case telemetry.EvFeedResync:
+			resyncs++
+		}
+	}
+	if connects != 1 || resyncs != 1 {
+		t.Errorf("journal: %d connects, %d resyncs, want 1 each", connects, resyncs)
+	}
+}
+
+// TestFileBadLines checks malformed dump lines are counted, not fatal.
+func TestFileBadLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.txt")
+	body := "10.0.0.0/8 dev 1\nthis is garbage\n10.1.0.0/16 dev 2\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tbl := newTable(t)
+	d := New(tbl, Options{})
+	d.AddSource(FileSource{Path: path})
+	d.Start()
+	defer d.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for tbl.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := d.Status()[0]
+	if tbl.Len() != 2 || st.BadLines != 1 {
+		t.Fatalf("len %d badLines %d, want 2 and 1", tbl.Len(), st.BadLines)
+	}
+}
+
+// fakeSource scripts a sequence of streams for resync/coalescing tests:
+// each Run call plays the next op slice, then returns its error.
+type fakeSource struct {
+	name    string
+	oneshot bool
+
+	mu      sync.Mutex
+	streams [][]Op
+	errs    []error
+	runs    int
+	block   chan struct{} // when non-nil, Run waits on it after emitting
+}
+
+func (f *fakeSource) Name() string  { return f.name }
+func (f *fakeSource) Oneshot() bool { return f.oneshot }
+
+func (f *fakeSource) Run(done <-chan struct{}, emit func(Op)) error {
+	f.mu.Lock()
+	i := f.runs
+	f.runs++
+	var ops []Op
+	var err error
+	if i < len(f.streams) {
+		ops = f.streams[i]
+	}
+	if i < len(f.errs) {
+		err = f.errs[i]
+	}
+	block := f.block
+	f.mu.Unlock()
+	if i >= len(f.streams) {
+		// Script exhausted: idle until the daemon stops.
+		<-done
+		return nil
+	}
+	emit(Op{Kind: OpConnect})
+	for _, op := range ops {
+		emit(op)
+	}
+	if block != nil {
+		select {
+		case <-block:
+		case <-done:
+		}
+	}
+	return err
+}
+
+func addOp(p string, dev int32) Op {
+	pr, err := pkt.ParsePrefix(p)
+	if err != nil {
+		panic(err)
+	}
+	return Op{Kind: OpAdd, Route: routing.Route{Prefix: pr, NextHop: routing.NextHop{IfIndex: dev}}}
+}
+
+func delOp(p string) Op {
+	pr, err := pkt.ParsePrefix(p)
+	if err != nil {
+		panic(err)
+	}
+	return Op{Kind: OpDel, Prefix: pr}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestResyncSweep checks the mark-and-sweep: a reconnected stream that
+// no longer announces a route gets it withdrawn at eor.
+func TestResyncSweep(t *testing.T) {
+	tbl := newTable(t)
+	src := &fakeSource{
+		name: "fake",
+		streams: [][]Op{
+			{addOp("10.0.0.0/8", 1), addOp("10.1.0.0/16", 2), {Kind: OpEOR}},
+			// Reconnect without 10.1.0.0/16: the eor must sweep it.
+			{addOp("10.0.0.0/8", 1), {Kind: OpEOR}},
+		},
+	}
+	d := New(tbl, Options{Backoff: time.Millisecond})
+	d.AddSource(src)
+	d.Start()
+	defer d.Stop()
+
+	waitFor(t, "second resync", func() bool {
+		s := d.Status()[0]
+		return s.Resyncs >= 2
+	})
+	if _, ok := lookupIf(t, tbl, ip4(10, 1, 2, 3)); !ok {
+		// 10.1.0.0/16 is gone, but 10.0.0.0/8 still covers 10.1.2.3.
+		t.Fatal("covering /8 disappeared")
+	}
+	if ifi, _ := lookupIf(t, tbl, ip4(10, 1, 2, 3)); ifi != 1 {
+		t.Fatalf("10.1.2.3 -> dev %d, want swept to /8 (dev 1)", ifi)
+	}
+	s := d.Status()[0]
+	if s.Swept != 1 || s.Routes != 1 {
+		t.Fatalf("status = %+v, want 1 swept, 1 owned", s)
+	}
+}
+
+// TestCoalescing checks same-prefix churn inside one batch collapses to
+// the last operation.
+func TestCoalescing(t *testing.T) {
+	tbl := newTable(t)
+	d := New(tbl, Options{BatchMax: 1 << 20, FlushEvery: time.Hour})
+	sink := d.Sink("push")
+
+	// Use emit directly (no auto-flush) to build up a pending batch.
+	d.emit(sink.st, addOp("10.0.0.0/8", 1))
+	d.emit(sink.st, delOp("10.0.0.0/8"))
+	d.emit(sink.st, addOp("10.2.0.0/16", 2))
+	d.emit(sink.st, addOp("10.2.0.0/16", 7))
+	d.Flush()
+
+	if _, ok := lookupIf(t, tbl, ip4(10, 0, 0, 1)); ok {
+		t.Fatal("add-then-del prefix reached the table")
+	}
+	if ifi, ok := lookupIf(t, tbl, ip4(10, 2, 3, 4)); !ok || ifi != 7 {
+		t.Fatalf("coalesced add = dev %d ok %v, want dev 7", ifi, ok)
+	}
+	st := d.Status()[0]
+	if st.Batches != 1 || st.Adds != 1 || st.Withdraws != 1 {
+		t.Fatalf("status = %+v, want 1 batch, 1 add, 1 withdraw", st)
+	}
+}
+
+// TestSinkProgramsTable checks the ripd-facing sink surface.
+func TestSinkProgramsTable(t *testing.T) {
+	tbl := newTable(t)
+	d := New(tbl, Options{})
+	sink := d.Sink("rip")
+
+	p, _ := pkt.ParsePrefix("172.16.0.0/12")
+	sink.Add(p, routing.NextHop{IfIndex: 4})
+	if ifi, ok := lookupIf(t, tbl, ip4(172, 20, 0, 1)); !ok || ifi != 4 {
+		t.Fatalf("sink add = dev %d ok %v", ifi, ok)
+	}
+	sink.ApplyBatch(
+		[]routing.Route{{Prefix: mustPrefix("192.168.0.0/16"), NextHop: routing.NextHop{IfIndex: 5}}},
+		[]pkt.Prefix{p},
+	)
+	if _, ok := lookupIf(t, tbl, ip4(172, 20, 0, 1)); ok {
+		t.Fatal("sink del did not withdraw")
+	}
+	if ifi, ok := lookupIf(t, tbl, ip4(192, 168, 1, 1)); !ok || ifi != 5 {
+		t.Fatalf("sink batch add = dev %d ok %v", ifi, ok)
+	}
+	st := d.Status()[0]
+	if !st.Connected || st.Routes != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func mustPrefix(s string) pkt.Prefix {
+	p, err := pkt.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestSocketReconnect runs a live TCP feed through a drop and a
+// reconnect, checking the routes, the resync, and the journal.
+func TestSocketReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	defer ln.Close()
+
+	// Serve two connections: the first announces two routes and drops,
+	// the second re-announces only one and stays up.
+	go func() {
+		c1, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(c1, "10.0.0.0/8 dev 1\n10.9.0.0/16 dev 2\neor\n")
+		c1.Close()
+		c2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(c2, "10.0.0.0/8 dev 1\neor\n")
+		// Hold c2 open until the test ends.
+		buf := make([]byte, 1)
+		c2.Read(buf)
+		c2.Close()
+	}()
+
+	tbl := newTable(t)
+	tel := telemetry.New()
+	tel.EnableJournal(0)
+	d := New(tbl, Options{Telemetry: tel, Backoff: 5 * time.Millisecond, FlushEvery: time.Millisecond})
+	if err := d.AddSpec("tcp:" + ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Stop()
+
+	waitFor(t, "reconnect resync", func() bool {
+		s := d.Status()[0]
+		return s.Resyncs >= 2
+	})
+	s := d.Status()[0]
+	if s.Swept != 1 || s.Routes != 1 || !s.Connected {
+		t.Fatalf("status = %+v", s)
+	}
+	if ifi, ok := lookupIf(t, tbl, ip4(10, 9, 1, 1)); !ok || ifi != 1 {
+		t.Fatalf("after sweep 10.9.1.1 -> dev %d ok %v, want /8 dev 1", ifi, ok)
+	}
+	var connects, losses, resyncs int
+	for _, e := range tel.Journal().Snapshot(0, 0) {
+		switch e.Kind {
+		case telemetry.EvFeedConnect:
+			connects++
+		case telemetry.EvFeedLoss:
+			losses++
+		case telemetry.EvFeedResync:
+			resyncs++
+		}
+	}
+	if connects < 2 || losses < 1 || resyncs < 2 {
+		t.Fatalf("journal: connects %d losses %d resyncs %d", connects, losses, resyncs)
+	}
+}
+
+// TestBatchMaxFlush checks a live source's oversized batch flushes at
+// BatchMax without waiting for the timer.
+func TestBatchMaxFlush(t *testing.T) {
+	tbl := newTable(t)
+	d := New(tbl, Options{BatchMax: 8, FlushEvery: time.Hour})
+	sink := d.Sink("push")
+	for i := 0; i < 8; i++ {
+		d.emit(sink.st, addOp(fmt.Sprintf("10.%d.0.0/16", i), 1))
+	}
+	if tbl.Len() != 8 {
+		t.Fatalf("table has %d routes before any explicit flush, want 8 (BatchMax)", tbl.Len())
+	}
+	st := d.Status()[0]
+	if st.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", st.Batches)
+	}
+}
+
+// TestStopFlushesPending checks Stop drains whatever is still queued.
+func TestStopFlushesPending(t *testing.T) {
+	tbl := newTable(t)
+	d := New(tbl, Options{BatchMax: 1 << 20, FlushEvery: time.Hour})
+	sink := d.Sink("push")
+	d.Start()
+	d.emit(sink.st, addOp("10.0.0.0/8", 1))
+	d.Stop()
+	if tbl.Len() != 1 {
+		t.Fatalf("pending add lost on Stop: table has %d routes", tbl.Len())
+	}
+}

@@ -1,0 +1,152 @@
+package routefeed
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/routing"
+)
+
+// ParseLine parses one line of the feed protocol. ok is false for blank
+// lines and comments; err reports a malformed operation.
+func ParseLine(s string) (op Op, ok bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return Op{}, false, nil
+	}
+	verb, rest, _ := strings.Cut(s, " ")
+	switch verb {
+	case "eor":
+		return Op{Kind: OpEOR}, true, nil
+	case "del", "withdraw":
+		p, err := pkt.ParsePrefix(strings.TrimSpace(rest))
+		if err != nil {
+			return Op{}, false, err
+		}
+		return Op{Kind: OpDel, Prefix: p}, true, nil
+	case "add":
+		s = rest
+		fallthrough
+	default:
+		// A bare route spec is an add — the dump-file format is exactly
+		// the static-route syntax, one route per line.
+		rt, err := routing.ParseRoute(s)
+		if err != nil {
+			return Op{}, false, err
+		}
+		return Op{Kind: OpAdd, Route: rt}, true, nil
+	}
+}
+
+// scanOps reads the line protocol from r, emitting parsed operations.
+// Malformed lines become OpBad (counted, stream survives). Checks done
+// every 1024 lines so a multi-million-line load stays interruptible.
+func scanOps(r io.Reader, done <-chan struct{}, emit func(Op)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if n++; n&1023 == 0 {
+			select {
+			case <-done:
+				return nil
+			default:
+			}
+		}
+		op, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			emit(Op{Kind: OpBad})
+			continue
+		}
+		if ok {
+			emit(op)
+		}
+	}
+	return sc.Err()
+}
+
+// FileSource streams a route dump file once — the full-table load path.
+// The whole file is one batch: the daemon flushes it at eor (implicit
+// at EOF when the dump has no trailer), publishing one snapshot for the
+// entire table.
+type FileSource struct {
+	Path string
+}
+
+// Name labels the source's telemetry and journal events.
+func (f FileSource) Name() string { return "file:" + f.Path }
+
+// Oneshot reports that a dump runs once and is not reconnected.
+func (f FileSource) Oneshot() bool { return true }
+
+// Run streams the dump.
+func (f FileSource) Run(done <-chan struct{}, emit func(Op)) error {
+	fh, err := os.Open(f.Path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	emit(Op{Kind: OpConnect})
+	sawEOR := false
+	err = scanOps(fh, done, func(op Op) {
+		if op.Kind == OpEOR {
+			sawEOR = true
+		}
+		emit(op)
+	})
+	if err == nil && !sawEOR {
+		emit(Op{Kind: OpEOR})
+	}
+	return err
+}
+
+// SocketSource streams the line protocol from a TCP endpoint — the live
+// feed path. The daemon reconnects with backoff when the stream drops;
+// on reconnect the mark-and-sweep resync (keyed on the peer's eor)
+// clears whatever the previous connection installed that the new one
+// does not re-announce.
+type SocketSource struct {
+	Addr string
+	// Dial overrides the connector (tests). Nil dials TCP with a 5s
+	// timeout.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Name labels the source's telemetry and journal events.
+func (s SocketSource) Name() string { return "tcp:" + s.Addr }
+
+// Oneshot reports that a live stream is reconnected, not oneshot.
+func (s SocketSource) Oneshot() bool { return false }
+
+// Run dials and streams until the connection drops or done closes.
+func (s SocketSource) Run(done <-chan struct{}, emit func(Op)) error {
+	dial := s.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	conn, err := dial(s.Addr)
+	if err != nil {
+		return err
+	}
+	// Unblock the read loop when the daemon stops: closing the
+	// connection is the only portable way to interrupt a blocked Read.
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		select {
+		case <-done:
+			conn.Close()
+		case <-stopped:
+		}
+	}()
+	defer conn.Close()
+	emit(Op{Kind: OpConnect})
+	return scanOps(conn, done, emit)
+}

@@ -16,10 +16,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/routerplugins/eisr/internal/bmp"
 	"github.com/routerplugins/eisr/internal/cycles"
 	"github.com/routerplugins/eisr/internal/pkt"
+	"github.com/routerplugins/eisr/internal/telemetry"
 )
 
 // NextHop is a forwarding decision.
@@ -43,18 +45,24 @@ type Route struct {
 // the paper's arrangement, where BMP implementations are plugins used
 // "for packet classification and routing".
 //
-// Lookups are lock-free: mutators rebuild the BMP structure from the
-// route list under the control-path mutex, prime its lazily built
-// internals, and publish it atomically. Every worker of the parallel
-// forwarding engine performs a route lookup per routed packet, so even
-// a read lock here would put one shared cache line on every core's hit
-// path; copy-on-write moves the entire cost to route churn, which is
-// control-path by definition.
+// Lookups are lock-free: mutators derive a new BMP structure under the
+// control-path mutex and publish it atomically. Every worker of the
+// parallel forwarding engine performs a route lookup per routed packet,
+// so even a read lock here would put one shared cache line on every
+// core's hit path; copy-on-write moves the entire cost to route churn,
+// which is control-path by definition.
+//
+// Engines that implement bmp.Incremental (PATRICIA, BSPL) derive each
+// generation from the published one via ApplyDelta, copying only the
+// structure the batch touches; the others (linear, CPE) rebuild from
+// the route list. Either way exactly one snapshot is published per
+// mutation batch.
 type Table struct {
 	mu   sync.Mutex // serializes mutators
 	kind bmp.Kind
 	list map[pkt.Prefix]NextHop
 	snap atomic.Pointer[tableSnap]
+	met  *telemetry.FIBMetrics
 }
 
 // tableSnap is one immutable published generation of the BMP structure.
@@ -77,6 +85,15 @@ func New(kind bmp.Kind) (*Table, error) {
 	return t, nil
 }
 
+// SetTelemetry attaches the eisr_fib_* metric family. Control path;
+// call before route churn starts (typically right after construction).
+func (t *Table) SetTelemetry(tel *telemetry.Telemetry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.met = tel.FIBMetrics(string(t.kind))
+	t.met.SetRoutes(len(t.list))
+}
+
 // rebuildLocked constructs a fresh BMP structure from the route list,
 // primes every lazily built internal (the data path must never mutate
 // the published structure), and publishes it. Called with t.mu held.
@@ -94,30 +111,83 @@ func (t *Table) rebuildLocked() {
 	t.snap.Store(&tableSnap{bmp: b})
 }
 
+// bulkRebuildOps is the batch size at which publishLocked starts
+// considering a full rebuild instead of per-prefix incremental
+// maintenance: below it incremental always wins, above it the batch
+// must also be a large fraction of the resulting table. A full-table
+// dump load (ops ≈ table) rebuilds once; a 10k-route churn batch on a
+// million-route table stays incremental.
+const bulkRebuildOps = 4096
+
+// publishLocked publishes one snapshot reflecting delta d: derived
+// incrementally from the live snapshot when the engine supports it,
+// rebuilt from the route list otherwise. Called with t.mu held (the
+// mutex is what makes load-modify-store on t.snap safe). Reports
+// whether the incremental path was taken.
+func (t *Table) publishLocked(d bmp.Delta) bool {
+	if ops := len(d.Adds) + len(d.Dels); ops >= bulkRebuildOps && ops*2 >= len(t.list) {
+		t.rebuildLocked()
+		return false
+	}
+	if inc, ok := t.snap.Load().bmp.(bmp.Incremental); ok {
+		if nb, applied := inc.ApplyDelta(d); applied {
+			t.snap.Store(&tableSnap{bmp: nb})
+			return true
+		}
+	}
+	t.rebuildLocked()
+	return false
+}
+
+// ApplyBatch installs adds and withdraws dels as one mutation batch
+// with a single snapshot publication — the bulk-load and churn-feed
+// entry point. Adds are applied before dels; callers with interleaved
+// same-prefix operations must coalesce to the last op per prefix first.
+// Per-route semantics match Add/Del: an add with a worse (higher)
+// metric than the installed route is ignored, a del of an absent prefix
+// is a no-op. Returns the number of routes actually installed and
+// withdrawn.
+func (t *Table) ApplyBatch(adds []Route, dels []pkt.Prefix) (nadds, ndels int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := time.Now()
+	var d bmp.Delta
+	for _, r := range adds {
+		p := pkt.PrefixFrom(r.Prefix.Addr, r.Prefix.Len)
+		if old, ok := t.list[p]; ok && old.Metric < r.NextHop.Metric {
+			continue
+		}
+		t.list[p] = r.NextHop
+		d.Adds = append(d.Adds, bmp.PrefixVal{Prefix: p, Val: r.NextHop})
+		nadds++
+	}
+	for _, p := range dels {
+		p = pkt.PrefixFrom(p.Addr, p.Len)
+		if _, ok := t.list[p]; !ok {
+			continue
+		}
+		delete(t.list, p)
+		d.Dels = append(d.Dels, p)
+		ndels++
+	}
+	if d.Empty() {
+		return
+	}
+	incremental := t.publishLocked(d)
+	t.met.RecordBatch(nadds, ndels, len(t.list), incremental, uint64(time.Since(start)))
+	return
+}
+
 // Add installs or replaces a route. A route with a worse (higher) metric
 // than the installed one for the same prefix is ignored.
 func (t *Table) Add(p pkt.Prefix, nh NextHop) {
-	p = pkt.PrefixFrom(p.Addr, p.Len)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if old, ok := t.list[p]; ok && old.Metric < nh.Metric {
-		return
-	}
-	t.list[p] = nh
-	t.rebuildLocked()
+	t.ApplyBatch([]Route{{Prefix: p, NextHop: nh}}, nil)
 }
 
 // Del removes a route, reporting whether it existed.
 func (t *Table) Del(p pkt.Prefix) bool {
-	p = pkt.PrefixFrom(p.Addr, p.Len)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.list[p]; !ok {
-		return false
-	}
-	delete(t.list, p)
-	t.rebuildLocked()
-	return true
+	_, n := t.ApplyBatch(nil, []pkt.Prefix{p})
+	return n > 0
 }
 
 // Lookup finds the longest-prefix route for a destination. Lock-free:

@@ -1,0 +1,125 @@
+package telemetry
+
+// FIBMetrics bundles the forwarding-table cells so the routing table
+// carries a single nil-checkable pointer. All record methods run on the
+// control path (route churn), never per packet; a nil *FIBMetrics
+// no-ops everything.
+type FIBMetrics struct {
+	adds       *Counter
+	withdraws  *Counter
+	incPub     *Counter
+	rebuildPub *Counter
+	routes     *Gauge
+	batch      *Histogram
+	publishNS  *Histogram
+}
+
+// FIBMetrics registers the forwarding-table metric set for one BMP kind.
+func (t *Telemetry) FIBMetrics(kind string) *FIBMetrics {
+	if t == nil {
+		return nil
+	}
+	l := []Label{{"kind", kind}}
+	return &FIBMetrics{
+		adds:       t.Counter("eisr_fib_adds_total", "routes installed or replaced in the forwarding table", l...),
+		withdraws:  t.Counter("eisr_fib_withdraws_total", "routes withdrawn from the forwarding table", l...),
+		incPub:     t.Counter("eisr_fib_publishes_total", "forwarding-table snapshot publications by update path", Label{"kind", kind}, Label{"path", "incremental"}),
+		rebuildPub: t.Counter("eisr_fib_publishes_total", "forwarding-table snapshot publications by update path", Label{"kind", kind}, Label{"path", "rebuild"}),
+		routes:     t.Gauge("eisr_fib_routes", "routes currently installed in the forwarding table", l...),
+		batch:      t.Histogram("eisr_fib_batch_routes", "route mutations applied per snapshot publication", l...),
+		publishNS:  t.Histogram("eisr_fib_publish_ns", "nanoseconds from batch apply start to snapshot publication", l...),
+	}
+}
+
+// RecordBatch records one applied mutation batch: adds/dels route
+// counts, the resulting table size, whether the engine took the
+// incremental path or a full rebuild, and the apply-to-publish latency.
+func (m *FIBMetrics) RecordBatch(adds, dels, routes int, incremental bool, ns uint64) {
+	if m == nil {
+		return
+	}
+	m.adds.Add(uint64(adds))
+	m.withdraws.Add(uint64(dels))
+	m.routes.Set(int64(routes))
+	m.batch.Observe(uint64(adds + dels))
+	m.publishNS.Observe(ns)
+	if incremental {
+		m.incPub.Inc()
+	} else {
+		m.rebuildPub.Inc()
+	}
+}
+
+// SetRoutes publishes the current table size (control path: telemetry
+// attach after initial load).
+func (m *FIBMetrics) SetRoutes(n int) {
+	if m == nil {
+		return
+	}
+	m.routes.Set(int64(n))
+}
+
+// FeedMetrics bundles the per-source route-feed cells. All methods are
+// control path (feed batches, stream lifecycle); a nil *FeedMetrics
+// no-ops everything.
+type FeedMetrics struct {
+	adds       *Counter
+	withdraws  *Counter
+	batches    *Counter
+	reconnects *Counter
+	swept      *Counter
+	routes     *Gauge
+	batchSize  *Histogram
+	convergeNS *Histogram
+}
+
+// FeedMetrics registers the route-feed metric set for one source.
+func (t *Telemetry) FeedMetrics(source string) *FeedMetrics {
+	if t == nil {
+		return nil
+	}
+	l := []Label{{"source", source}}
+	return &FeedMetrics{
+		adds:       t.Counter("eisr_fib_feed_adds_total", "route announcements applied from this feed source", l...),
+		withdraws:  t.Counter("eisr_fib_feed_withdraws_total", "route withdrawals applied from this feed source", l...),
+		batches:    t.Counter("eisr_fib_feed_batches_total", "update batches this feed source flushed into the forwarding table", l...),
+		reconnects: t.Counter("eisr_fib_feed_reconnects_total", "stream (re)connections for this feed source", l...),
+		swept:      t.Counter("eisr_fib_feed_swept_total", "stale routes withdrawn by end-of-RIB resync sweeps", l...),
+		routes:     t.Gauge("eisr_fib_feed_routes", "routes currently owned by this feed source", l...),
+		batchSize:  t.Histogram("eisr_fib_feed_batch_routes", "route operations per flushed feed batch", l...),
+		convergeNS: t.Histogram("eisr_fib_convergence_ns", "nanoseconds from stream start to the end-of-RIB snapshot publication", l...),
+	}
+}
+
+// RecordBatch records one flushed feed batch.
+func (m *FeedMetrics) RecordBatch(adds, dels, owned int) {
+	if m == nil {
+		return
+	}
+	m.adds.Add(uint64(adds))
+	m.withdraws.Add(uint64(dels))
+	m.batches.Inc()
+	m.batchSize.Observe(uint64(adds + dels))
+	m.routes.Set(int64(owned))
+}
+
+// RecordConnect counts a stream (re)connection.
+func (m *FeedMetrics) RecordConnect() {
+	if m == nil {
+		return
+	}
+	m.reconnects.Inc()
+}
+
+// RecordResync records an end-of-RIB sweep: stale routes withdrawn, the
+// surviving owned-route count, and the stream-start-to-publish
+// convergence latency.
+func (m *FeedMetrics) RecordResync(swept, owned int, ns uint64) {
+	if m == nil {
+		return
+	}
+	m.swept.Add(uint64(swept))
+	m.withdraws.Add(uint64(swept))
+	m.routes.Set(int64(owned))
+	m.convergeNS.Observe(ns)
+}

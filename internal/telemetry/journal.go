@@ -25,6 +25,9 @@ const (
 	EvPathSample        = "path-sample"
 	EvRouterStart       = "router-start"
 	EvRouterStop        = "router-stop"
+	EvFeedConnect       = "feed-connect"
+	EvFeedLoss          = "feed-loss"
+	EvFeedResync        = "feed-resync"
 )
 
 // journalEntry is one slot of the event ring, guarded by the same

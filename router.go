@@ -38,6 +38,7 @@ import (
 	"github.com/routerplugins/eisr/internal/pkt"
 	"github.com/routerplugins/eisr/internal/plugins"
 	"github.com/routerplugins/eisr/internal/ripd"
+	"github.com/routerplugins/eisr/internal/routefeed"
 	"github.com/routerplugins/eisr/internal/routing"
 	"github.com/routerplugins/eisr/internal/rsvpd"
 	"github.com/routerplugins/eisr/internal/sched"
@@ -156,6 +157,7 @@ type Router struct {
 	running       bool
 	serving       atomic.Bool
 	localHandlers map[uint16]func(*pkt.Packet)
+	feed          *routefeed.Daemon
 
 	// guard/health are the plugin fault-isolation layer: every plugin
 	// invocation runs through guard's panic barrier, and health
@@ -211,6 +213,7 @@ func New(opts Options) (*Router, error) {
 		if a != nil {
 			a.SetTelemetry(tel)
 		}
+		routes.SetTelemetry(tel)
 	}
 	// With a worker pool, free-instance destruction must wait out
 	// in-flight dispatches: one epoch reclaimer is shared between the
@@ -372,6 +375,24 @@ func (r *Router) AddRoute(spec string) error {
 	return nil
 }
 
+// AddRoutes installs several static routes as one batch with a single
+// forwarding-snapshot publication — the startup-load path for eisrd's
+// -route flags and for bulk configuration scripts. All specs are parsed
+// before anything is installed, so a syntax error leaves the table
+// untouched.
+func (r *Router) AddRoutes(specs []string) error {
+	rts := make([]routing.Route, 0, len(specs))
+	for _, spec := range specs {
+		rt, err := routing.ParseRoute(spec)
+		if err != nil {
+			return err
+		}
+		rts = append(rts, rt)
+	}
+	r.Routes.ApplyBatch(rts, nil)
+	return nil
+}
+
 // DelRoute removes the route for a prefix.
 func (r *Router) DelRoute(prefix string) error {
 	p, err := pkt.ParsePrefix(prefix)
@@ -515,6 +536,9 @@ func (r *Router) Start() {
 			d.Start()
 		}
 	}
+	if r.feed != nil {
+		r.feed.Start()
+	}
 	r.Telemetry.Journal().Record(telemetry.EvRouterStart, "forwarding up")
 	// Serving flips last: a health probe that sees 200 is guaranteed the
 	// forwarding loop and every wire driver are already up.
@@ -536,6 +560,11 @@ func (r *Router) Stop() {
 		return
 	}
 	r.Telemetry.Journal().Record(telemetry.EvRouterStop, "forwarding down")
+	// The feed stops first: route churn quiesces before the forwarding
+	// loop and the wire drivers wind down.
+	if r.feed != nil {
+		r.feed.Stop()
+	}
 	close(r.done)
 	r.running = false
 	for _, ifc := range r.Core.Interfaces() {
@@ -561,10 +590,61 @@ func Connect(a *netdev.Interface, b *netdev.Interface) {
 // and programs the forwarding table. Call Originate on the returned
 // daemon for each connected network, wire the topology, and either call
 // Tick from a simulation loop or run Serve in a goroutine.
+//
+// When a route feed was enabled first (EnableFeed/AttachFeed), the
+// daemon programs the table through a feed sink, so RIP churn shows up
+// in the per-source feed accounting alongside file and socket feeds.
 func (r *Router) EnableRouteDaemon() *ripd.Daemon {
-	d := ripd.New(r.Core, r.Routes)
+	var tbl ripd.Table = r.Routes
+	r.mu.Lock()
+	f := r.feed
+	r.mu.Unlock()
+	if f != nil {
+		tbl = f.Sink("rip")
+	}
+	d := ripd.New(r.Core, tbl)
 	r.AddLocalHandler(ripd.Port, d.HandlePacket)
 	return d
+}
+
+// EnableFeed creates the route-feed daemon with explicit options (batch
+// size, flush interval; Telemetry is always the router's own registry).
+// Idempotent after first creation: later calls return the existing
+// daemon, options unchanged. Add sources with AttachFeed or directly on
+// the returned daemon; the feed's lifecycle follows the router (Start
+// launches the sources, Stop drains them), and a feed enabled on a
+// running router starts immediately.
+func (r *Router) EnableFeed(opts routefeed.Options) *routefeed.Daemon {
+	r.mu.Lock()
+	if r.feed == nil {
+		opts.Telemetry = r.Telemetry
+		r.feed = routefeed.New(r.Routes, opts)
+		if r.running {
+			r.feed.Start()
+		}
+	}
+	f := r.feed
+	r.mu.Unlock()
+	return f
+}
+
+// AttachFeed registers a route-feed source by spec — "file:PATH" for a
+// oneshot full-table dump load, "tcp:HOST:PORT" for a live
+// line-protocol stream — creating the feed daemon with default options
+// on first use.
+func (r *Router) AttachFeed(spec string) error {
+	return r.EnableFeed(routefeed.Options{}).AddSpec(spec)
+}
+
+// FeedReport reports per-source feed status (the "pmgr feed" payload).
+func (r *Router) FeedReport() ([]routefeed.SourceStatus, error) {
+	r.mu.Lock()
+	f := r.feed
+	r.mu.Unlock()
+	if f == nil {
+		return nil, fmt.Errorf("eisr: no route feed attached")
+	}
+	return f.Status(), nil
 }
 
 // EnableRSVP attaches the RSVP daemon (§3.1's in-progress daemon,
